@@ -1,0 +1,244 @@
+// Package beas is the public API of this repository: a resource-bounded
+// approximate query engine reproducing "Data Driven Approximation with
+// Bounded Resources" (Cao & Fan, VLDB 2017).
+//
+// Given a dataset D, an access schema A (access templates + constraints,
+// built automatically as At or extended with user-declared ladders) and a
+// resource ratio α ∈ (0, 1], BEAS answers relational queries — SPC, RA and
+// aggregates — while accessing at most α·|D| tuples, returning exact
+// answers when the query is boundedly evaluable within that budget and
+// otherwise approximate answers with a deterministic RC-accuracy lower
+// bound η.
+//
+// Quick start:
+//
+//	db := beas.NewDatabase()
+//	// ... add relations ...
+//	sys, err := beas.OpenAt(db)                     // build At indices
+//	q, err := beas.ParseSQL("select h.address, h.price from poi as h ...")
+//	ans, plan, err := sys.Query(q, 1e-3)            // access <= α|D| tuples
+//	fmt.Println(ans.Rel.Tuples, ans.Eta)
+//
+// The heavy lifting lives in the internal packages: internal/core holds the
+// approximation schemes (the paper's contribution), internal/access the
+// template indices, internal/chase the plan generator, internal/plan the
+// executor, internal/accuracy the RC/MAC/F measures, and internal/workload
+// plus internal/bench regenerate the paper's evaluation.
+package beas
+
+import (
+	"repro/internal/access"
+	"repro/internal/accuracy"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sqlparser"
+)
+
+// Re-exported relational model types.
+type (
+	// Database is an instance D of a database schema.
+	Database = relation.Database
+	// Relation is one relation instance.
+	Relation = relation.Relation
+	// Schema is a relation schema R(A1..Ah).
+	Schema = relation.Schema
+	// Attribute is one column description (name, kind, distance).
+	Attribute = relation.Attribute
+	// Value is a dynamically typed attribute value.
+	Value = relation.Value
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Distance is a per-attribute distance function.
+	Distance = relation.Distance
+)
+
+// Re-exported query types.
+type (
+	// Query is any query expression (SPC, RA or aggregate).
+	Query = query.Expr
+	// SPC is a flattened conjunctive query.
+	SPC = query.SPC
+	// Union, Diff and GroupBy are the RA / RAaggr combinators.
+	Union   = query.Union
+	Diff    = query.Diff
+	GroupBy = query.GroupBy
+	// Col references an attribute of an aliased atom.
+	Col = query.Col
+	// Pred is one selection predicate.
+	Pred = query.Pred
+	// Atom is a relation occurrence.
+	Atom = query.Atom
+)
+
+// Re-exported access-schema and result types.
+type (
+	// AccessSchema is a set of access-template ladders.
+	AccessSchema = access.Schema
+	// Ladder is a family of access templates over one shared index.
+	Ladder = access.Ladder
+	// Template is one access template R(X -> Y, N, d̄Y).
+	Template = access.Template
+	// Plan is an α-bounded query plan with its accuracy bound η.
+	Plan = core.Plan
+	// Answer is an executed plan's result.
+	Answer = core.Answer
+	// Report is an RC-measure evaluation of an answer set.
+	Report = accuracy.Report
+)
+
+// Value constructors.
+var (
+	Int    = relation.Int
+	Float  = relation.Float
+	String = relation.String
+	Null   = relation.Null
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind = relation.Kind
+
+// Value kinds, for schema declarations.
+const (
+	KindInt    = relation.KindInt
+	KindFloat  = relation.KindFloat
+	KindString = relation.KindString
+)
+
+// Distance constructors (§2.1).
+var (
+	Trivial  = relation.Trivial
+	Discrete = relation.Discrete
+	Numeric  = relation.Numeric
+)
+
+// Schema and database constructors.
+var (
+	Attr        = relation.Attr
+	NewSchema   = relation.NewSchema
+	MustSchema  = relation.MustSchema
+	NewRelation = relation.NewRelation
+	NewDatabase = relation.NewDatabase
+)
+
+// Query construction helpers.
+var (
+	C   = query.C
+	EqC = query.EqC
+	LeC = query.LeC
+	GeC = query.GeC
+	EqJ = query.EqJ
+	LeJ = query.LeJ
+)
+
+// Aggregate kinds.
+const (
+	AggMin   = query.AggMin
+	AggMax   = query.AggMax
+	AggSum   = query.AggSum
+	AggCount = query.AggCount
+	AggAvg   = query.AggAvg
+)
+
+// ParseSQL parses the supported SQL subset into a Query.
+func ParseSQL(sql string) (Query, error) { return sqlparser.Parse(sql) }
+
+// RenderSQL pretty-prints a query.
+func RenderSQL(q Query) string { return query.Render(q) }
+
+// BuildAt constructs the generic access schema At of Theorem 1(1) for the
+// database: every instance conforms to its own At, and every query becomes
+// approximable under it.
+func BuildAt(db *Database) (*AccessSchema, error) { return access.BuildAt(db) }
+
+// System is a BEAS instance bound to one database and one access schema
+// (the architecture of Fig. 2: offline index construction has happened;
+// Query performs the online plan generation and execution).
+type System struct {
+	scheme *core.Scheme
+}
+
+// Open builds a System from a database and a prebuilt access schema.
+// The schema should subsume At; see BuildAt and (*AccessSchema).Extend.
+func Open(db *Database, as *AccessSchema) *System {
+	return &System{scheme: core.New(db, as)}
+}
+
+// OpenAt builds a System with the generic access schema At.
+func OpenAt(db *Database) (*System, error) {
+	as, err := access.BuildAt(db)
+	if err != nil {
+		return nil, err
+	}
+	return Open(db, as), nil
+}
+
+// OpenDiscovered builds a System with At plus access constraints and
+// templates mined from the data (the discovery pass §4.1 suggests for the
+// offline component C1): key- and foreign-key-like groupings become
+// constraint ladders, low-cardinality categorical groupings become
+// template ladders. Discovered schemas usually yield far better accuracy
+// bounds than At alone.
+func OpenDiscovered(db *Database) (*System, error) {
+	as, err := access.DiscoverSchema(db, access.DiscoverOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return Open(db, as), nil
+}
+
+// Scheme exposes the underlying resource-bounded approximation scheme for
+// advanced use (experiments, custom execution).
+func (s *System) Scheme() *core.Scheme { return s.scheme }
+
+// Plan generates an α-bounded plan for the query without touching the data
+// (component C3): at most α·|D| tuples will be accessed on execution, and
+// Plan.Eta lower-bounds the RC accuracy of the answers.
+func (s *System) Plan(q Query, alpha float64) (*Plan, error) {
+	return s.scheme.GeneratePlan(q, alpha)
+}
+
+// Execute runs a generated plan (component C4).
+func (s *System) Execute(p *Plan) (*Answer, error) { return s.scheme.Execute(p) }
+
+// Query plans and executes in one call, returning the answers with their
+// deterministic accuracy bound and the plan itself.
+func (s *System) Query(q Query, alpha float64) (*Answer, *Plan, error) {
+	return s.scheme.Answer(q, alpha)
+}
+
+// QuerySQL parses and answers a SQL string.
+func (s *System) QuerySQL(sql string, alpha float64) (*Answer, *Plan, error) {
+	q, err := ParseSQL(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Query(q, alpha)
+}
+
+// MinAlphaExact returns the smallest resource ratio at which the query is
+// answered exactly (bounded evaluability within budget; Exp-3).
+func (s *System) MinAlphaExact(q Query) (float64, error) {
+	return s.scheme.MinAlphaExact(q)
+}
+
+// Accuracy measures an answer set against the exact answers under the
+// RC-measure (§3). It evaluates the query exactly, so it is for testing and
+// experiments, not for the resource-bounded path.
+func Accuracy(db *Database, q Query, answers *Relation) (Report, error) {
+	ev, err := accuracy.NewEvaluator(db, q)
+	if err != nil {
+		return Report{}, err
+	}
+	return ev.RC(answers), nil
+}
+
+// Exact computes the exact answers Q(D) with set semantics for RA queries;
+// the reference the paper compares against (and the "full evaluation" cost
+// baseline of Exp-5).
+func Exact(db *Database, q Query) (*Relation, error) {
+	if _, ok := q.(*GroupBy); ok {
+		return query.Evaluate(db, q)
+	}
+	return query.EvaluateSet(db, q)
+}

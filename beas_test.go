@@ -1,0 +1,193 @@
+package beas_test
+
+import (
+	"testing"
+
+	beas "repro"
+	"repro/internal/fixture"
+)
+
+// exampleSystem builds the paper's Example 1 database with its access
+// schema A0 through the public API.
+func exampleSystem(t testing.TB) (*beas.System, *beas.Database) {
+	t.Helper()
+	db := fixture.Example1(21, 60, 500)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		t.Fatalf("SchemaA0: %v", err)
+	}
+	return beas.Open(db, as), db
+}
+
+func TestQuickstartSQL(t *testing.T) {
+	sys, db := exampleSystem(t)
+	ans, plan, err := sys.QuerySQL(
+		`select h.address, h.price from poi as h, friend as f, person as p
+		 where f.pid = 3 and f.fid = p.pid and p.city = h.city
+		 and h.type = 'hotel' and h.price <= 95`, 0.05)
+	if err != nil {
+		t.Fatalf("QuerySQL: %v", err)
+	}
+	if ans.Eta <= 0 && !ans.Exact {
+		t.Errorf("eta = %g, want > 0", ans.Eta)
+	}
+	if plan.Budget != int(0.05*float64(db.Size())) {
+		t.Errorf("budget = %d", plan.Budget)
+	}
+	if ans.Stats.Accessed > plan.Budget {
+		t.Errorf("accessed %d > budget %d", ans.Stats.Accessed, plan.Budget)
+	}
+	// The accuracy guarantee holds through the public API too.
+	rep, err := beas.Accuracy(db, fixture.Q1(3, 95), ans.Rel)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if rep.Accuracy+1e-9 < ans.Eta {
+		t.Errorf("accuracy %.4f < eta %.4f", rep.Accuracy, ans.Eta)
+	}
+}
+
+func TestOpenDiscoveredBeatsAt(t *testing.T) {
+	db := fixture.Example1(23, 60, 500)
+	atSys, err := beas.OpenAt(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSys, err := beas.OpenDiscovered(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := fixture.Q2(3)
+	// The discovered schema should mine friend(pid -> fid) and
+	// person(pid -> city), making Q2 exact at a small ratio where the
+	// generic At cannot be.
+	const alpha = 0.02
+	dAns, _, err := dSys.Query(q, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atAns, _, err := atSys.Query(q, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dAns.Exact {
+		t.Errorf("discovered schema should answer Q2 exactly at alpha=%g", alpha)
+	}
+	if dAns.Eta < atAns.Eta {
+		t.Errorf("discovered schema eta %.3f below At eta %.3f", dAns.Eta, atAns.Eta)
+	}
+}
+
+func TestOpenAtAnswersEverything(t *testing.T) {
+	db := fixture.Example1(22, 40, 300)
+	sys, err := beas.OpenAt(db)
+	if err != nil {
+		t.Fatalf("OpenAt: %v", err)
+	}
+	// Theorem 1: any query is approximable under At alone.
+	ans, _, err := sys.Query(fixture.Q1(2, 120), 0.1)
+	if err != nil {
+		t.Fatalf("Query under At: %v", err)
+	}
+	if ans.Rel == nil {
+		t.Fatal("nil answers")
+	}
+}
+
+func TestExactAndProgrammaticQuery(t *testing.T) {
+	sys, db := exampleSystem(t)
+	q := &beas.SPC{
+		Atoms: []beas.Atom{{Rel: "poi", Alias: "h"}},
+		Preds: []beas.Pred{
+			beas.EqC(beas.C("h", "type"), beas.String("hotel")),
+			beas.LeC(beas.C("h", "price"), beas.Float(100)),
+		},
+		Output: []beas.Col{beas.C("h", "address"), beas.C("h", "price")},
+	}
+	exact, err := beas.Exact(db, q)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	ans, _, err := sys.Query(q, 1.0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !ans.Exact {
+		t.Error("alpha=1 should be exact")
+	}
+	if ans.Rel.Distinct().Len() != exact.Len() {
+		t.Errorf("answers %d != exact %d", ans.Rel.Distinct().Len(), exact.Len())
+	}
+}
+
+func TestMinAlphaExactPublic(t *testing.T) {
+	sys, db := exampleSystem(t)
+	alpha, err := sys.MinAlphaExact(fixture.Q2(3))
+	if err != nil {
+		t.Fatalf("MinAlphaExact: %v", err)
+	}
+	if alpha <= 0 || alpha > 1 {
+		t.Errorf("alpha_exact = %g", alpha)
+	}
+	// Bounded evaluability: a constant-size budget independent of |D|.
+	if alpha*float64(db.Size()) > float64(db.Size())/4 {
+		t.Errorf("alpha_exact budget too large: %g", alpha*float64(db.Size()))
+	}
+}
+
+func TestAggregateSQL(t *testing.T) {
+	sys, db := exampleSystem(t)
+	ans, _, err := sys.QuerySQL(
+		`select h.city, count(h.address) as cnt from poi as h
+		 where h.type = 'hotel' group by h.city`, 0.2)
+	if err != nil {
+		t.Fatalf("QuerySQL aggregate: %v", err)
+	}
+	if ans.Rel.Len() == 0 {
+		t.Fatal("no groups returned")
+	}
+	exact, err := beas.Exact(db, mustParse(t, `select h.city, count(h.address) as cnt from poi as h where h.type = 'hotel' group by h.city`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Rel.Len() > exact.Len() {
+		t.Errorf("approximate groups (%d) exceed exact groups (%d)", ans.Rel.Len(), exact.Len())
+	}
+}
+
+func mustParse(t *testing.T, sql string) beas.Query {
+	t.Helper()
+	q, err := beas.ParseSQL(sql)
+	if err != nil {
+		t.Fatalf("ParseSQL: %v", err)
+	}
+	return q
+}
+
+func TestRenderSQL(t *testing.T) {
+	q := mustParse(t, `select h.address from poi as h where h.price <= 95`)
+	if s := beas.RenderSQL(q); s == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestPlanThenExecuteSeparately(t *testing.T) {
+	sys, _ := exampleSystem(t)
+	p, err := sys.Plan(fixture.Q1(3, 95), 0.05)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if p.GenTime <= 0 {
+		t.Error("plan generation time not recorded")
+	}
+	if p.Tariff() > p.Budget {
+		t.Errorf("tariff %d > budget %d", p.Tariff(), p.Budget)
+	}
+	ans, err := sys.Execute(p)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if ans.Stats.Accessed > p.Budget {
+		t.Errorf("accessed %d > budget %d", ans.Stats.Accessed, p.Budget)
+	}
+}

@@ -1,0 +1,69 @@
+// Command beasbench regenerates the paper's evaluation (Figure 6, panels
+// (a)–(l)) on the synthetic datasets, printing one table per panel.
+//
+// Usage:
+//
+//	beasbench             # every figure at the default scale
+//	beasbench -fig 6a,6d  # selected figures
+//	beasbench -tiny       # fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+var figures = map[string]func(bench.Config) (*bench.Table, error){
+	"6a": bench.Fig6a, "6b": bench.Fig6b, "6c": bench.Fig6c, "6d": bench.Fig6d,
+	"6e": bench.Fig6e, "6f": bench.Fig6f, "6g": bench.Fig6g, "6h": bench.Fig6h,
+	"6i": bench.Fig6i, "6j": bench.Fig6j, "6k": bench.Fig6k, "6l": bench.Fig6l,
+}
+
+var order = []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l"}
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "comma-separated figure ids (6a..6l) or 'all'")
+		tiny    = flag.Bool("tiny", false, "use the tiny smoke-test configuration")
+		queries = flag.Int("queries", 0, "override the number of workload queries")
+	)
+	flag.Parse()
+
+	cfg := bench.Default
+	if *tiny {
+		cfg = bench.Tiny
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+
+	var ids []string
+	if *fig == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := figures[id]; !ok {
+				fmt.Fprintf(os.Stderr, "beasbench: unknown figure %q\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := figures[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "beasbench: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.Format())
+		fmt.Printf("(figure %s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

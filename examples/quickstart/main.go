@@ -1,0 +1,63 @@
+// Quickstart: build a tiny database, open a BEAS system with the generic
+// access schema At, and answer a SQL query with a resource budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	beas "repro"
+)
+
+func main() {
+	// A database of points of interest. Each attribute declares a
+	// distance: trivial for identifiers (never relaxed), discrete (0/1)
+	// for categories, and scaled |a-b| for numbers.
+	poi := beas.NewRelation(beas.MustSchema("poi",
+		beas.Attr("address", beas.KindString, beas.Discrete()),
+		beas.Attr("type", beas.KindString, beas.Discrete()),
+		beas.Attr("city", beas.KindString, beas.Trivial()),
+		beas.Attr("price", beas.KindFloat, beas.Numeric(100)),
+	))
+	rows := []struct {
+		addr, typ, city string
+		price           float64
+	}{
+		{"1 Main St", "hotel", "NYC", 95},
+		{"2 Oak Ave", "hotel", "NYC", 99},
+		{"3 Elm Rd", "hotel", "Chicago", 80},
+		{"4 Pine Ln", "bar", "NYC", 20},
+		{"5 Lake Dr", "hotel", "Boston", 200},
+		{"6 Hill Ct", "hotel", "Chicago", 150},
+		{"7 Bay Rd", "cafe", "Boston", 12},
+		{"8 Park Pl", "hotel", "NYC", 120},
+	}
+	for _, r := range rows {
+		poi.MustAppend(beas.Tuple{
+			beas.String(r.addr), beas.String(r.typ), beas.String(r.city), beas.Float(r.price),
+		})
+	}
+	db := beas.NewDatabase()
+	db.MustAdd(poi)
+
+	// Open with the generic access schema At: by Theorem 1 every query on
+	// this database is now approximable with bounded resources.
+	sys, err := beas.OpenAt(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sql := `select h.address, h.price from poi as h
+	        where h.type = 'hotel' and h.price <= 100`
+	for _, alpha := range []float64{0.25, 0.5, 1.0} {
+		ans, plan, err := sys.QuerySQL(sql, alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("alpha=%.2f: budget %d tuples, accessed %d, eta=%.3f exact=%v\n",
+			alpha, plan.Budget, ans.Stats.Accessed, ans.Eta, ans.Exact)
+		for _, t := range ans.Rel.Tuples {
+			fmt.Println("   ", t)
+		}
+	}
+}

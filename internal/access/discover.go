@@ -1,0 +1,212 @@
+package access
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// This file implements the access-schema discovery the paper sketches in
+// §4.1: "algorithms for discovering functional dependencies can be extended
+// to mine access constraints. This method can be extended to discover
+// access templates, with aggregates to compute cardinality bounds and
+// sampling to pick representative tuples."
+//
+// Discovery scans each relation for candidate X → Y groupings (X of size
+// ≤ MaxX) and keeps those that make useful ladders: either constraint-like
+// (every X-group is small, so the exact fetch is cheap — like
+// friend(pid → fid, 5000)) or template-like (few groups, each carrying a
+// K-D ladder over the value attributes — like poi({type, city} → ...)).
+
+// DiscoverOptions tunes the mining pass. The zero value is usable.
+type DiscoverOptions struct {
+	// MaxX bounds the size of candidate X sets (default 2).
+	MaxX int
+	// MaxFanout: a candidate is constraint-like when every group has at
+	// most this many distinct Y-tuples (default 256).
+	MaxFanout int
+	// MaxGroups: a candidate is template-like when it has at most this
+	// many groups (default 64) — each group carries its own index, so
+	// low-cardinality X sets are the useful ones.
+	MaxGroups int
+	// MaxPerRelation caps how many ladders are kept per relation, best
+	// candidates first (default 4).
+	MaxPerRelation int
+}
+
+func (o DiscoverOptions) withDefaults() DiscoverOptions {
+	if o.MaxX <= 0 {
+		o.MaxX = 2
+	}
+	if o.MaxFanout <= 0 {
+		o.MaxFanout = 256
+	}
+	if o.MaxGroups <= 0 {
+		o.MaxGroups = 64
+	}
+	if o.MaxPerRelation <= 0 {
+		o.MaxPerRelation = 4
+	}
+	return o
+}
+
+// Candidate is one mined ladder specification with its statistics.
+type Candidate struct {
+	Rel       string
+	X, Y      []string
+	Groups    int
+	MaxFanout int
+	// ConstraintLike reports that every group is small (cheap exact
+	// fetches); otherwise the candidate qualified as template-like.
+	ConstraintLike bool
+}
+
+// Discover mines candidate ladders from the data. Results are ordered per
+// relation from most to least selective (smallest max fanout first for
+// constraint-like, fewest groups first for template-like).
+func Discover(db *relation.Database, opts DiscoverOptions) []Candidate {
+	opts = opts.withDefaults()
+	var out []Candidate
+	for _, name := range db.Names() {
+		r := db.MustRelation(name)
+		if r.Len() == 0 {
+			continue
+		}
+		out = append(out, discoverRelation(r, opts)...)
+	}
+	return out
+}
+
+func discoverRelation(r *relation.Relation, opts DiscoverOptions) []Candidate {
+	attrs := r.Schema.AttrNames()
+	var xSets [][]string
+	for i, a := range attrs {
+		xSets = append(xSets, []string{a})
+		if opts.MaxX >= 2 {
+			for _, b := range attrs[i+1:] {
+				xSets = append(xSets, []string{a, b})
+			}
+		}
+	}
+
+	var cands []Candidate
+	for _, x := range xSets {
+		xIdx, err := r.Schema.Indices(x)
+		if err != nil {
+			continue
+		}
+		y := complement(attrs, x)
+		if len(y) == 0 {
+			continue
+		}
+		yIdx, _ := r.Schema.Indices(y)
+		groups := map[string]map[string]struct{}{}
+		for _, t := range r.Tuples {
+			k := t.Project(xIdx).Key()
+			g := groups[k]
+			if g == nil {
+				g = map[string]struct{}{}
+				groups[k] = g
+			}
+			g[t.Project(yIdx).Key()] = struct{}{}
+		}
+		maxFanout := 0
+		for _, g := range groups {
+			if len(g) > maxFanout {
+				maxFanout = len(g)
+			}
+		}
+		c := Candidate{Rel: r.Schema.Name, X: x, Y: y, Groups: len(groups), MaxFanout: maxFanout}
+		switch {
+		case len(groups) == 1:
+			// X is constant (or empty-equivalent): At already covers it.
+			continue
+		case maxFanout <= opts.MaxFanout:
+			c.ConstraintLike = true
+			cands = append(cands, c)
+		case len(groups) <= opts.MaxGroups:
+			cands = append(cands, c)
+		}
+	}
+
+	// Prefer constraint-like candidates with small fanout, then
+	// template-like with few groups; drop X-supersets of kept X-sets
+	// (the subset ladder already serves those fetches).
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.ConstraintLike != b.ConstraintLike {
+			return a.ConstraintLike
+		}
+		if a.ConstraintLike {
+			if a.MaxFanout != b.MaxFanout {
+				return a.MaxFanout < b.MaxFanout
+			}
+			return len(a.X) < len(b.X)
+		}
+		if a.Groups != b.Groups {
+			return a.Groups < b.Groups
+		}
+		return len(a.X) < len(b.X)
+	})
+	var kept []Candidate
+	for _, c := range cands {
+		if len(kept) >= opts.MaxPerRelation {
+			break
+		}
+		redundant := false
+		for _, k := range kept {
+			// Keep at most one of any subset/superset pair of X sets
+			// (the better-ranked one, which arrived first).
+			if subset(k.X, c.X) || subset(c.X, k.X) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// DiscoverSchema builds At plus ladders for all mined candidates: a fully
+// automatic instantiation of the paper's offline component C1.
+func DiscoverSchema(db *relation.Database, opts DiscoverOptions) (*Schema, error) {
+	s, err := BuildAt(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range Discover(db, opts) {
+		if _, err := s.Extend(db, c.Rel, c.X, c.Y); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func complement(all, minus []string) []string {
+	drop := map[string]bool{}
+	for _, m := range minus {
+		drop[m] = true
+	}
+	var out []string
+	for _, a := range all {
+		if !drop[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func subset(sub, super []string) bool {
+	in := map[string]bool{}
+	for _, s := range super {
+		in[s] = true
+	}
+	for _, s := range sub {
+		if !in[s] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package access
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestDiscoverFindsKeyConstraint(t *testing.T) {
+	db := exampleDB(t)
+	cands := Discover(db, DiscoverOptions{})
+	// person(pid -> city) is a key: fanout 1, constraint-like.
+	found := false
+	for _, c := range cands {
+		if c.Rel == "person" && len(c.X) == 1 && c.X[0] == "pid" {
+			found = true
+			if !c.ConstraintLike || c.MaxFanout != 1 {
+				t.Errorf("pid ladder stats: %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Error("discovery missed person(pid -> city)")
+	}
+}
+
+func TestDiscoverFindsTemplateGrouping(t *testing.T) {
+	db := exampleDB(t)
+	cands := Discover(db, DiscoverOptions{MaxFanout: 4, MaxPerRelation: 8})
+	// poi grouped by low-cardinality categorical attributes should appear
+	// as a template-like candidate ((type), (city) or (type, city)).
+	found := false
+	for _, c := range cands {
+		if c.Rel != "poi" || c.ConstraintLike {
+			continue
+		}
+		for _, x := range c.X {
+			if x == "type" || x == "city" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("discovery missed poi template groupings; got %+v", cands)
+	}
+}
+
+func TestDiscoverCaps(t *testing.T) {
+	db := exampleDB(t)
+	cands := Discover(db, DiscoverOptions{MaxPerRelation: 1})
+	perRel := map[string]int{}
+	for _, c := range cands {
+		perRel[c.Rel]++
+	}
+	for rel, n := range perRel {
+		if n > 1 {
+			t.Errorf("%s: %d candidates, cap was 1", rel, n)
+		}
+	}
+	// Supersets of a kept X must be dropped.
+	cands = Discover(db, DiscoverOptions{MaxPerRelation: 10})
+	for _, a := range cands {
+		for _, b := range cands {
+			if a.Rel == b.Rel && len(a.X) < len(b.X) && subset(a.X, b.X) {
+				t.Errorf("kept superset %v of %v on %s", b.X, a.X, a.Rel)
+			}
+		}
+	}
+}
+
+func TestDiscoverSchemaConformsAndAnswers(t *testing.T) {
+	db := exampleDB(t)
+	s, err := DiscoverSchema(db, DiscoverOptions{})
+	if err != nil {
+		t.Fatalf("DiscoverSchema: %v", err)
+	}
+	if s.Size() <= len(db.Names()) {
+		t.Errorf("discovered schema has no ladders beyond At: %d", s.Size())
+	}
+	if err := s.Verify(db); err != nil {
+		t.Errorf("discovered schema does not conform: %v", err)
+	}
+}
+
+func TestDiscoverEmptyDatabase(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustAdd(relation.NewRelation(relation.MustSchema("e",
+		relation.Attr("a", relation.KindInt, relation.Trivial()))))
+	if got := Discover(db, DiscoverOptions{}); len(got) != 0 {
+		t.Errorf("empty relation yielded candidates: %v", got)
+	}
+}

@@ -1,0 +1,281 @@
+package access
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kdtree"
+	"repro/internal/relation"
+)
+
+// Sample is one fetched representative: a Y-tuple plus the number of base
+// tuples it represents (the count annotation that sum/count/avg aggregation
+// needs, paper §7).
+type Sample struct {
+	Y     relation.Tuple
+	Count int
+}
+
+// Ladder is a family of access templates ψk = R(X → Y, 2^k, d̄k) for
+// k = 0..MaxK over a shared index: one K-D tree per distinct X-value. Level
+// MaxK has d̄ = 0̄ and doubles as the access constraint R(X → Y, N, 0̄) with
+// N the largest group's distinct-Y count.
+type Ladder struct {
+	RelName string
+	X, Y    []string
+
+	yAttrs      []relation.Attribute
+	maxK        int
+	resolutions [][]float64 // [k][|Y|]; max over groups of per-group level-k resolution
+	maxDistinct int         // largest distinct-Y count of any group
+	groups      map[string]*kdtree.Tree
+	indexSize   int // total representatives stored across all groups and levels
+}
+
+// BuildLadder scans the relation once and builds the shared index for the
+// template family R(X → Y, 2^k, d̄k). X may be empty (the whole relation is
+// one group, as in the generic schema At).
+func BuildLadder(db *relation.Database, rel string, x, y []string) (*Ladder, error) {
+	r, ok := db.Relation(rel)
+	if !ok {
+		return nil, fmt.Errorf("access: unknown relation %q", rel)
+	}
+	xIdx, err := r.Schema.Indices(x)
+	if err != nil {
+		return nil, fmt.Errorf("access: ladder X: %w", err)
+	}
+	yIdx, err := r.Schema.Indices(y)
+	if err != nil {
+		return nil, fmt.Errorf("access: ladder Y: %w", err)
+	}
+	if len(y) == 0 {
+		return nil, fmt.Errorf("access: ladder on %s needs at least one Y attribute", rel)
+	}
+	l := &Ladder{
+		RelName: rel,
+		X:       append([]string(nil), x...),
+		Y:       append([]string(nil), y...),
+		groups:  make(map[string]*kdtree.Tree),
+	}
+	l.yAttrs = make([]relation.Attribute, len(yIdx))
+	for i, j := range yIdx {
+		l.yAttrs[i] = r.Schema.Attrs[j]
+	}
+
+	// Group Y-projections by X-value.
+	type bucket struct{ items []kdtree.Item }
+	buckets := make(map[string]*bucket)
+	for _, t := range r.Tuples {
+		key := t.Project(xIdx).Key()
+		b := buckets[key]
+		if b == nil {
+			b = &bucket{}
+			buckets[key] = b
+		}
+		b.items = append(b.items, kdtree.Item{Tuple: t.Project(yIdx), Count: 1})
+	}
+
+	for key, b := range buckets {
+		tree := kdtree.Build(l.yAttrs, b.items)
+		l.groups[key] = tree
+		if tree.ExactLevel() > l.maxK {
+			l.maxK = tree.ExactLevel()
+		}
+		if tree.Items() > l.maxDistinct {
+			l.maxDistinct = tree.Items()
+		}
+	}
+
+	// Resolutions per level: max over groups.
+	l.resolutions = make([][]float64, l.maxK+1)
+	for k := 0; k <= l.maxK; k++ {
+		res := make([]float64, len(y))
+		for _, tree := range l.groups {
+			for i, d := range tree.Resolution(k) {
+				if d > res[i] {
+					res[i] = d
+				}
+			}
+		}
+		l.resolutions[k] = res
+	}
+
+	// Index size: representatives materialised per level, summed (the
+	// paper stores all MR levels in one table TR keyed by level).
+	for _, tree := range l.groups {
+		for k := 0; k <= tree.ExactLevel(); k++ {
+			l.indexSize += len(tree.Level(k))
+		}
+	}
+	return l, nil
+}
+
+// MaxK returns the top level; Template(MaxK) is exact.
+func (l *Ladder) MaxK() int { return l.maxK }
+
+// NumGroups returns the number of distinct X-values indexed.
+func (l *Ladder) NumGroups() int { return len(l.groups) }
+
+// MaxGroupDistinct returns the largest group's distinct-Y count: the N of
+// the ladder's access-constraint view, and the per-X-value fetch bound that
+// tariff estimation uses without touching the data.
+func (l *Ladder) MaxGroupDistinct() int { return l.maxDistinct }
+
+// IndexSize returns the number of representative tuples stored across all
+// groups and levels (the paper's Exp-4 metric).
+func (l *Ladder) IndexSize() int { return l.indexSize }
+
+// YAttrs returns the attribute descriptors of Y, in Y order.
+func (l *Ladder) YAttrs() []relation.Attribute { return l.yAttrs }
+
+// Template materialises the level-k template. k is clamped to [0, MaxK].
+func (l *Ladder) Template(k int) *Template {
+	if k < 0 {
+		k = 0
+	}
+	if k > l.maxK {
+		k = l.maxK
+	}
+	n := 1 << uint(k)
+	if l.maxDistinct < n || k == l.maxK {
+		n = l.maxDistinct
+	}
+	if n == 0 {
+		n = 1
+	}
+	res := make([]float64, len(l.Y))
+	if len(l.resolutions) > 0 {
+		copy(res, l.resolutions[k])
+	}
+	return &Template{
+		Relation:   l.RelName,
+		X:          l.X,
+		Y:          l.Y,
+		N:          n,
+		Resolution: res,
+		Ladder:     l,
+		K:          k,
+	}
+}
+
+// Constraint returns the exact (d̄ = 0̄) view of the ladder.
+func (l *Ladder) Constraint() *Template { return l.Template(l.maxK) }
+
+// Resolution returns d̄k (clamped), without materialising a Template.
+func (l *Ladder) Resolution(k int) []float64 {
+	if len(l.resolutions) == 0 {
+		return make([]float64, len(l.Y))
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > l.maxK {
+		k = l.maxK
+	}
+	return l.resolutions[k]
+}
+
+// MaxResolution returns max_B d̄k[B] at level k.
+func (l *Ladder) MaxResolution(k int) float64 {
+	worst := 0.0
+	for _, d := range l.Resolution(k) {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// FetchBound returns an upper bound, derivable from the ladder alone, on the
+// number of tuples a level-k fetch returns per X-value.
+func (l *Ladder) FetchBound(k int) int {
+	if k >= l.maxK {
+		return l.maxDistinct
+	}
+	n := 1 << uint(k)
+	if n > l.maxDistinct {
+		n = l.maxDistinct
+	}
+	return n
+}
+
+// Fetch returns the level-k samples for one X-value (by its canonical tuple
+// key). A missing X-value yields no samples — the data has no tuples for it.
+func (l *Ladder) Fetch(xKey string, k int) []Sample {
+	tree, ok := l.groups[xKey]
+	if !ok {
+		return nil
+	}
+	reps := tree.Level(k)
+	out := make([]Sample, len(reps))
+	for i, r := range reps {
+		out[i] = Sample{Y: r.Point, Count: r.Count}
+	}
+	return out
+}
+
+// GroupKeys returns the canonical keys of all indexed X-values. For X = ∅
+// this is the single empty key.
+func (l *Ladder) GroupKeys() []string {
+	keys := make([]string, 0, len(l.groups))
+	for k := range l.groups {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// ExactLevelFor returns the level at which the group of xKey is represented
+// exactly; 0 when the group does not exist.
+func (l *Ladder) ExactLevelFor(xKey string) int {
+	tree, ok := l.groups[xKey]
+	if !ok {
+		return 0
+	}
+	return tree.ExactLevel()
+}
+
+// Verify checks the conformance invariant D |= ψk for every level of the
+// ladder against the database (paper §2.1): each Y-tuple of each group is
+// within the level's resolution of some returned sample. It is O(|R| ×
+// samples) per level and intended for tests and data-loading validation.
+func (l *Ladder) Verify(db *relation.Database) error {
+	r, ok := db.Relation(l.RelName)
+	if !ok {
+		return fmt.Errorf("access: verify: unknown relation %q", l.RelName)
+	}
+	xIdx, err := r.Schema.Indices(l.X)
+	if err != nil {
+		return err
+	}
+	yIdx, err := r.Schema.Indices(l.Y)
+	if err != nil {
+		return err
+	}
+	const eps = 1e-9
+	for k := 0; k <= l.maxK; k++ {
+		res := l.Resolution(k)
+		for _, t := range r.Tuples {
+			xKey := t.Project(xIdx).Key()
+			yVal := t.Project(yIdx)
+			covered := false
+			for _, s := range l.Fetch(xKey, k) {
+				ok := true
+				for a := range l.yAttrs {
+					d := l.yAttrs[a].Dist.Between(yVal[a], s.Y[a])
+					if d > res[a]+eps && !(math.IsInf(d, 1) && math.IsInf(res[a], 1)) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return fmt.Errorf("access: %s level %d: tuple %v not covered within %v", l.RelName, k, t, res)
+			}
+		}
+	}
+	return nil
+}

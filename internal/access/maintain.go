@@ -1,0 +1,139 @@
+package access
+
+import (
+	"fmt"
+
+	"repro/internal/kdtree"
+	"repro/internal/relation"
+)
+
+// This file implements component C2 of the BEAS architecture (Fig. 2):
+// maintaining the access-schema indices in response to updates to D.
+// Updates are localised: inserting or deleting a tuple only affects the
+// K-D tree of its own X-group in each ladder, which is rebuilt from the
+// group's tuples — O(g log² g) for a group of size g, independent of |D|.
+
+// Insert appends the tuple to the relation in db and incrementally updates
+// every ladder of the schema that indexes that relation.
+func (s *Schema) Insert(db *relation.Database, rel string, t relation.Tuple) error {
+	r, ok := db.Relation(rel)
+	if !ok {
+		return fmt.Errorf("access: insert into unknown relation %q", rel)
+	}
+	if err := r.Append(t); err != nil {
+		return err
+	}
+	for _, l := range s.LaddersFor(rel) {
+		if err := l.refreshGroupOf(db, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes (one occurrence of) the tuple from the relation in db and
+// updates the affected ladder groups. It reports whether a tuple was
+// removed.
+func (s *Schema) Delete(db *relation.Database, rel string, t relation.Tuple) (bool, error) {
+	r, ok := db.Relation(rel)
+	if !ok {
+		return false, fmt.Errorf("access: delete from unknown relation %q", rel)
+	}
+	found := -1
+	for i, u := range r.Tuples {
+		if u.EqualTuple(t) {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return false, nil
+	}
+	r.Tuples = append(r.Tuples[:found], r.Tuples[found+1:]...)
+	for _, l := range s.LaddersFor(rel) {
+		if err := l.refreshGroupOf(db, t); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// refreshGroupOf rebuilds the index of the X-group the tuple belongs to,
+// and refreshes the ladder's derived metadata (levels, resolutions, sizes).
+func (l *Ladder) refreshGroupOf(db *relation.Database, t relation.Tuple) error {
+	r, ok := db.Relation(l.RelName)
+	if !ok {
+		return fmt.Errorf("access: ladder refresh: unknown relation %q", l.RelName)
+	}
+	xIdx, err := r.Schema.Indices(l.X)
+	if err != nil {
+		return err
+	}
+	yIdx, err := r.Schema.Indices(l.Y)
+	if err != nil {
+		return err
+	}
+	key := t.Project(xIdx).Key()
+
+	// Re-scan the group's tuples. This is a scan of the relation; a
+	// production system would keep a per-group tuple list — the asymptotic
+	// point (work independent of other groups' indices) is preserved.
+	var items []kdtree.Item
+	for _, u := range r.Tuples {
+		if u.Project(xIdx).Key() != key {
+			continue
+		}
+		items = append(items, kdtree.Item{Tuple: u.Project(yIdx), Count: 1})
+	}
+
+	old, existed := l.groups[key]
+	if len(items) == 0 {
+		if existed {
+			l.indexSize -= treeIndexSize(old)
+			delete(l.groups, key)
+		}
+	} else {
+		tree := kdtree.Build(l.yAttrs, items)
+		if existed {
+			l.indexSize -= treeIndexSize(old)
+		}
+		l.groups[key] = tree
+		l.indexSize += treeIndexSize(tree)
+	}
+	l.recomputeMeta()
+	return nil
+}
+
+func treeIndexSize(t *kdtree.Tree) int {
+	n := 0
+	for k := 0; k <= t.ExactLevel(); k++ {
+		n += len(t.Level(k))
+	}
+	return n
+}
+
+// recomputeMeta refreshes MaxK, MaxGroupDistinct and the per-level
+// resolutions after a group changed.
+func (l *Ladder) recomputeMeta() {
+	l.maxK, l.maxDistinct = 0, 0
+	for _, tree := range l.groups {
+		if tree.ExactLevel() > l.maxK {
+			l.maxK = tree.ExactLevel()
+		}
+		if tree.Items() > l.maxDistinct {
+			l.maxDistinct = tree.Items()
+		}
+	}
+	l.resolutions = make([][]float64, l.maxK+1)
+	for k := 0; k <= l.maxK; k++ {
+		res := make([]float64, len(l.Y))
+		for _, tree := range l.groups {
+			for i, d := range tree.Resolution(k) {
+				if d > res[i] {
+					res[i] = d
+				}
+			}
+		}
+		l.resolutions[k] = res
+	}
+}

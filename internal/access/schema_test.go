@@ -1,0 +1,100 @@
+package access
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestBuildAt(t *testing.T) {
+	db := exampleDB(t)
+	s, err := BuildAt(db)
+	if err != nil {
+		t.Fatalf("BuildAt: %v", err)
+	}
+	if s.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (one At ladder per relation)", s.Size())
+	}
+	for _, l := range s.Ladders {
+		if len(l.X) != 0 {
+			t.Errorf("At ladder %s has X = %v, want empty", l.RelName, l.X)
+		}
+		r := db.MustRelation(l.RelName)
+		if len(l.Y) != r.Schema.Arity() {
+			t.Errorf("At ladder %s Y arity = %d, want %d", l.RelName, len(l.Y), r.Schema.Arity())
+		}
+		if l.NumGroups() != 1 {
+			t.Errorf("At ladder %s groups = %d, want 1", l.RelName, l.NumGroups())
+		}
+	}
+	// Theorem 1(1): D |= At by construction.
+	if err := s.Verify(db); err != nil {
+		t.Errorf("Verify(At): %v", err)
+	}
+}
+
+func TestBuildAtSkipsEmptyRelations(t *testing.T) {
+	db := relation.NewDatabase()
+	db.MustAdd(relation.NewRelation(relation.MustSchema("empty",
+		relation.Attr("a", relation.KindInt, relation.Trivial()))))
+	s, err := BuildAt(db)
+	if err != nil {
+		t.Fatalf("BuildAt: %v", err)
+	}
+	if s.Size() != 0 {
+		t.Errorf("Size = %d, want 0", s.Size())
+	}
+}
+
+func TestSchemaExtendAndFind(t *testing.T) {
+	db := exampleDB(t)
+	s, err := BuildAt(db)
+	if err != nil {
+		t.Fatalf("BuildAt: %v", err)
+	}
+	l, err := s.Extend(db, "poi", []string{"type", "city"}, []string{"price", "address"})
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if s.Size() != 4 {
+		t.Errorf("Size after Extend = %d", s.Size())
+	}
+	if got := s.Find("poi", []string{"city", "type"}, []string{"address", "price"}); got != l {
+		t.Error("Find should match order-insensitively")
+	}
+	if s.Find("poi", []string{"type"}, []string{"price"}) != nil {
+		t.Error("Find should not match different attribute sets")
+	}
+	if got := len(s.LaddersFor("poi")); got != 2 {
+		t.Errorf("LaddersFor(poi) = %d, want 2 (At + extension)", got)
+	}
+	if _, err := s.Extend(db, "nope", nil, []string{"x"}); err == nil {
+		t.Error("Extend with bad relation must error")
+	}
+}
+
+func TestSchemaSizeMetrics(t *testing.T) {
+	db := exampleDB(t)
+	s, err := BuildAt(db)
+	if err != nil {
+		t.Fatalf("BuildAt: %v", err)
+	}
+	if _, err := s.Extend(db, "poi", []string{"type", "city"}, []string{"price", "address"}); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if s.NumTemplates() <= s.Size() {
+		t.Errorf("NumTemplates = %d should exceed ladder count %d", s.NumTemplates(), s.Size())
+	}
+	total := s.IndexSize()
+	constraints := s.ConstraintIndexSize()
+	if total <= 0 || constraints <= 0 {
+		t.Fatalf("index sizes: total=%d constraints=%d", total, constraints)
+	}
+	if constraints >= total {
+		t.Errorf("constraint index (%d) should be smaller than total (%d)", constraints, total)
+	}
+	// The paper's Exp-4: total index is a small multiple of |D|.
+	if total > 10*db.Size() {
+		t.Errorf("total index %d implausibly large vs |D|=%d", total, db.Size())
+	}
+}

@@ -1,0 +1,317 @@
+// Package accuracy implements the paper's accuracy measures: the RC-measure
+// (§3) — relevance and coverage under query relaxation — plus the MAC
+// measure of [Ioannidis & Poosala, VLDB'99] and the classical F-measure,
+// which the evaluation (§8) compares against.
+//
+// The relevance distance δrel(Q, D, s) = min_r max(r, min_{t∈Qr(D)} d(s,t))
+// is computed exactly by enumerating the candidate space of the relaxed
+// queries: query.EvaluateTracked returns every tuple that enters Qr(D) at
+// some finite range r together with that minimal range, so
+// δrel(s) = min over candidates t of max(enter(t), d(s, t)).
+// Predicates on unbounded (trivial-distance) attributes can never be
+// relaxed, which keeps the candidate space computable with ordinary joins.
+package accuracy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Report carries the RC-measure of one answer set.
+type Report struct {
+	// Accuracy = min(Frel, Fcov), the paper's accuracy(S, Q, D).
+	Accuracy float64
+	// Frel and Fcov are the relevance and coverage ratios.
+	Frel, Fcov float64
+	// RelDist and CovDist are the worst relevance and coverage distances
+	// behind the ratios.
+	RelDist, CovDist float64
+}
+
+// Evaluator measures answer sets for one query on one database, computing
+// the exact answers and the relaxation candidate space once.
+type Evaluator struct {
+	db    *relation.Database
+	expr  query.Expr
+	Exact *relation.Relation
+
+	outAttrs []relation.Attribute
+	// relevance candidate space
+	candidates *relation.Relation
+	enter      []float64
+	// distance attrs for relevance comparison (may be a prefix of the
+	// output schema for sum/count/avg group-bys)
+	relAttrs []relation.Attribute
+	relProj  []int // projection of an answer tuple for relevance matching
+	groupBy  *query.GroupBy
+}
+
+// NewEvaluator computes the exact answers Q(D) and the relaxation candidate
+// space for the query.
+func NewEvaluator(db *relation.Database, e query.Expr) (*Evaluator, error) {
+	ev := &Evaluator{db: db, expr: e}
+	outSchema, err := query.OutputSchema(e, db)
+	if err != nil {
+		return nil, err
+	}
+	ev.outAttrs = outSchema.Attrs
+
+	if g, ok := e.(*query.GroupBy); ok {
+		ev.groupBy = g
+		ev.Exact, err = query.Evaluate(db, e)
+		if err != nil {
+			return nil, err
+		}
+		return ev, ev.prepareGroupByCandidates(g)
+	}
+
+	ev.Exact, err = query.EvaluateSet(db, e)
+	if err != nil {
+		return nil, err
+	}
+	ev.candidates, ev.enter, err = query.EvaluateTracked(db, e)
+	if err != nil {
+		return nil, err
+	}
+	ev.relAttrs = ev.outAttrs
+	ev.relProj = identity(len(ev.outAttrs))
+	return ev, nil
+}
+
+// prepareGroupByCandidates builds the relevance candidate space per §3.2:
+// for min/max, candidates are the relaxed answers of Q' projected to
+// (X, V); for sum/count/avg, the relaxed answers of πX(Q').
+func (ev *Evaluator) prepareGroupByCandidates(g *query.GroupBy) error {
+	inRel, inEnter, err := query.EvaluateTracked(ev.db, g.In)
+	if err != nil {
+		return err
+	}
+	keyIdx := make([]int, len(g.Keys))
+	for i, k := range g.Keys {
+		j, ok := inRel.Schema.Index(k.Name())
+		if !ok {
+			return fmt.Errorf("accuracy: group-by key %s missing from child output", k)
+		}
+		keyIdx[i] = j
+	}
+	var proj []int
+	switch g.Agg {
+	case query.AggMin, query.AggMax:
+		onIdx, ok := inRel.Schema.Index(g.On.Name())
+		if !ok {
+			return fmt.Errorf("accuracy: aggregate column %s missing from child output", g.On)
+		}
+		proj = append(append([]int{}, keyIdx...), onIdx)
+		ev.relAttrs = ev.outAttrs // keys + agg value, comparable directly
+		ev.relProj = identity(len(ev.outAttrs))
+	default: // sum, count, avg: relevance looks at the keys only
+		proj = keyIdx
+		ev.relAttrs = ev.outAttrs[:len(g.Keys)]
+		ev.relProj = identity(len(g.Keys))
+	}
+	// Project and dedupe keeping the minimal entry range.
+	pos := map[string]int{}
+	out := relation.NewRelation(relation.MustSchema("cand", projAttrs(inRel.Schema.Attrs, proj)...))
+	var enters []float64
+	for i, t := range inRel.Tuples {
+		pt := t.Project(proj)
+		k := pt.Key()
+		if j, ok := pos[k]; ok {
+			if inEnter[i] < enters[j] {
+				enters[j] = inEnter[i]
+			}
+			continue
+		}
+		pos[k] = len(enters)
+		out.Tuples = append(out.Tuples, pt)
+		enters = append(enters, inEnter[i])
+	}
+	ev.candidates, ev.enter = out, enters
+	return nil
+}
+
+func projAttrs(attrs []relation.Attribute, idx []int) []relation.Attribute {
+	out := make([]relation.Attribute, len(idx))
+	for i, j := range idx {
+		a := attrs[j]
+		a.Name = fmt.Sprintf("c%d", i) // names are irrelevant for distances
+		out[i] = a
+	}
+	return out
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RC computes the RC-measure of the answer set S (§3.1):
+//
+//	Fcov = 1/(1 + max_t∈Q(D) δcov(Q,S,t)),
+//	Frel = 1/(1 + max_s∈S δrel(Q,D,s)),
+//	accuracy = min(Frel, Fcov),
+//
+// with Fcov = 1 when Q(D) = ∅, and accuracy = 0 when S = ∅ ≠ Q(D).
+func (ev *Evaluator) RC(s *relation.Relation) Report {
+	set := s.Distinct()
+	rep := Report{}
+
+	// Coverage.
+	switch {
+	case ev.Exact.Len() == 0:
+		rep.Fcov, rep.CovDist = 1, 0
+	case set.Len() == 0:
+		rep.Fcov, rep.CovDist = 0, math.Inf(1)
+	default:
+		worst := 0.0
+		for _, t := range ev.Exact.Tuples {
+			best := math.Inf(1)
+			for _, st := range set.Tuples {
+				if d := relation.TupleDistance(ev.outAttrs, st, t); d < best {
+					best = d
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+		rep.CovDist = worst
+		rep.Fcov = 1 / (1 + worst)
+	}
+
+	// Relevance.
+	worst := 0.0
+	dupKeys := ev.duplicatedKeys(set)
+	for _, st := range set.Tuples {
+		d := ev.relDist(st, dupKeys)
+		if d > worst {
+			worst = d
+		}
+	}
+	rep.RelDist = worst
+	rep.Frel = 1 / (1 + worst)
+
+	rep.Accuracy = math.Min(rep.Frel, rep.Fcov)
+	return rep
+}
+
+// duplicatedKeys finds group-by key values occurring more than once in S;
+// §3.2 assigns such answers relevance distance +inf (group-by semantics).
+func (ev *Evaluator) duplicatedKeys(set *relation.Relation) map[string]bool {
+	if ev.groupBy == nil {
+		return nil
+	}
+	nKeys := len(ev.groupBy.Keys)
+	count := map[string]int{}
+	for _, t := range set.Tuples {
+		count[t[:nKeys].Key()]++
+	}
+	dup := map[string]bool{}
+	for k, n := range count {
+		if n > 1 {
+			dup[k] = true
+		}
+	}
+	return dup
+}
+
+// relDist computes δrel(Q, D, s).
+func (ev *Evaluator) relDist(s relation.Tuple, dupKeys map[string]bool) float64 {
+	if ev.groupBy != nil {
+		nKeys := len(ev.groupBy.Keys)
+		if dupKeys[s[:nKeys].Key()] {
+			return math.Inf(1)
+		}
+	}
+	probe := s.Project(ev.relProj)
+	best := math.Inf(1)
+	for i, t := range ev.candidates.Tuples {
+		d := relation.TupleDistance(ev.relAttrs, probe, t)
+		v := math.Max(ev.enter[i], d)
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MAC computes a normalised Match-And-Compare accuracy in [0, 1] following
+// [27]: answers and exact answers are greedily matched by tuple distance;
+// the MAC distance averages the matched distances (capped at 1) plus a unit
+// penalty per unmatched tuple on either side, and accuracy is 1 − distance.
+func (ev *Evaluator) MAC(s *relation.Relation) float64 {
+	set := s.Distinct()
+	n, m := set.Len(), ev.Exact.Len()
+	if n == 0 && m == 0 {
+		return 1
+	}
+	if n == 0 || m == 0 {
+		return 0
+	}
+	type pair struct {
+		d    float64
+		i, j int
+	}
+	var pairs []pair
+	for i, st := range set.Tuples {
+		for j, t := range ev.Exact.Tuples {
+			d := relation.TupleDistance(ev.outAttrs, st, t)
+			if d > 1 {
+				d = 1
+			}
+			pairs = append(pairs, pair{d, i, j})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].d < pairs[b].d })
+	usedS := make([]bool, n)
+	usedE := make([]bool, m)
+	total, matched := 0.0, 0
+	for _, p := range pairs {
+		if usedS[p.i] || usedE[p.j] {
+			continue
+		}
+		usedS[p.i], usedE[p.j] = true, true
+		total += p.d
+		matched++
+	}
+	unmatched := (n - matched) + (m - matched)
+	denom := float64(matched + unmatched)
+	dist := (total + float64(unmatched)) / denom
+	return 1 - dist
+}
+
+// FMeasure computes the classical F-measure of S against the exact answers
+// (exact tuple membership; Example 2 shows why this is too brittle for
+// resource-bounded approximation).
+func (ev *Evaluator) FMeasure(s *relation.Relation) float64 {
+	set := s.Distinct()
+	if set.Len() == 0 || ev.Exact.Len() == 0 {
+		if set.Len() == 0 && ev.Exact.Len() == 0 {
+			return 1
+		}
+		return 0
+	}
+	exactKeys := map[string]bool{}
+	for _, t := range ev.Exact.Tuples {
+		exactKeys[t.Key()] = true
+	}
+	inter := 0
+	for _, t := range set.Tuples {
+		if exactKeys[t.Key()] {
+			inter++
+		}
+	}
+	if inter == 0 {
+		return 0
+	}
+	precs := float64(inter) / float64(set.Len())
+	recall := float64(inter) / float64(ev.Exact.Len())
+	return 2 * precs * recall / (precs + recall)
+}

@@ -1,0 +1,297 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// testDB mirrors the POI instance used across the suite: five POIs with
+// hand-checkable distances (price scale 100).
+func testDB(t testing.TB) *relation.Database {
+	t.Helper()
+	db := relation.NewDatabase()
+	poi := relation.NewRelation(relation.MustSchema("poi",
+		relation.Attr("address", relation.KindString, relation.Discrete()),
+		relation.Attr("type", relation.KindString, relation.Discrete()),
+		relation.Attr("city", relation.KindString, relation.Trivial()),
+		relation.Attr("price", relation.KindFloat, relation.Numeric(100)),
+	))
+	poi.MustAppend(
+		relation.Tuple{relation.String("a1"), relation.String("hotel"), relation.String("NYC"), relation.Float(90)},
+		relation.Tuple{relation.String("a2"), relation.String("hotel"), relation.String("NYC"), relation.Float(99)},
+		relation.Tuple{relation.String("a3"), relation.String("hotel"), relation.String("Chicago"), relation.Float(80)},
+		relation.Tuple{relation.String("a4"), relation.String("bar"), relation.String("NYC"), relation.Float(20)},
+		relation.Tuple{relation.String("a5"), relation.String("hotel"), relation.String("Boston"), relation.Float(200)},
+	)
+	db.MustAdd(poi)
+	return db
+}
+
+func cheapHotels() *query.SPC {
+	return &query.SPC{
+		Atoms: []query.Atom{{Rel: "poi", Alias: "h"}},
+		Preds: []query.Pred{
+			query.EqC(query.C("h", "type"), relation.String("hotel")),
+			query.LeC(query.C("h", "price"), relation.Float(95)),
+		},
+		Output: []query.Col{query.C("h", "address"), query.C("h", "price")},
+	}
+}
+
+func answers(vals ...[2]any) *relation.Relation {
+	r := relation.NewRelation(relation.MustSchema("s",
+		relation.Attr("h.address", relation.KindString, relation.Discrete()),
+		relation.Attr("h.price", relation.KindFloat, relation.Numeric(100)),
+	))
+	for _, v := range vals {
+		r.MustAppend(relation.Tuple{relation.String(v[0].(string)), relation.Float(v[1].(float64))})
+	}
+	return r
+}
+
+func newEval(t *testing.T, e query.Expr) *Evaluator {
+	t.Helper()
+	ev, err := NewEvaluator(testDB(t), e)
+	if err != nil {
+		t.Fatalf("NewEvaluator: %v", err)
+	}
+	return ev
+}
+
+func TestRCExactAnswersPerfect(t *testing.T) {
+	ev := newEval(t, cheapHotels())
+	if ev.Exact.Len() != 2 {
+		t.Fatalf("exact = %v", ev.Exact.Tuples)
+	}
+	rep := ev.RC(ev.Exact)
+	if rep.Accuracy != 1 || rep.Frel != 1 || rep.Fcov != 1 {
+		t.Errorf("RC(exact) = %+v, want all 1", rep)
+	}
+}
+
+func TestRCEmptyAnswerSet(t *testing.T) {
+	ev := newEval(t, cheapHotels())
+	rep := ev.RC(answers())
+	if rep.Accuracy != 0 || rep.Fcov != 0 {
+		t.Errorf("RC(empty) = %+v, want accuracy 0", rep)
+	}
+	// Empty S has vacuously perfect relevance.
+	if rep.Frel != 1 {
+		t.Errorf("Frel(empty) = %g, want 1", rep.Frel)
+	}
+}
+
+func TestRCEmptyExact(t *testing.T) {
+	// No hotel is that cheap: Q(D) = ∅, so Fcov = 1 for any S.
+	q := &query.SPC{
+		Atoms: []query.Atom{{Rel: "poi", Alias: "h"}},
+		Preds: []query.Pred{
+			query.EqC(query.C("h", "type"), relation.String("hotel")),
+			query.LeC(query.C("h", "price"), relation.Float(10)),
+		},
+		Output: []query.Col{query.C("h", "address"), query.C("h", "price")},
+	}
+	ev := newEval(t, q)
+	if ev.Exact.Len() != 0 {
+		t.Fatal("exact should be empty")
+	}
+	rep := ev.RC(answers([2]any{"a3", 80.0}))
+	if rep.Fcov != 1 {
+		t.Errorf("Fcov = %g, want 1 when Q(D) empty", rep.Fcov)
+	}
+	// a3 enters at r = |80-10|/100 = 0.7, and d(s, a3)=0, so Frel = 1/1.7.
+	if math.Abs(rep.Frel-1/1.7) > 1e-9 {
+		t.Errorf("Frel = %g, want %g", rep.Frel, 1/1.7)
+	}
+}
+
+func TestRCExample2SensibleAnswer(t *testing.T) {
+	// Example 2 of the paper: a $99 hotel is a sensible answer with RC > 0
+	// even though its F-measure is 0.
+	ev := newEval(t, cheapHotels())
+	s := answers([2]any{"a2", 99.0})
+	rep := ev.RC(s)
+	// Relevance: a2 enters the relaxed query at r = 0.04; d(s, a2) = 0.
+	if math.Abs(rep.RelDist-0.04) > 1e-9 {
+		t.Errorf("RelDist = %g, want 0.04", rep.RelDist)
+	}
+	// Coverage: both exact answers differ in address (discrete => 1).
+	if math.Abs(rep.CovDist-1) > 1e-9 {
+		t.Errorf("CovDist = %g, want 1", rep.CovDist)
+	}
+	if math.Abs(rep.Accuracy-0.5) > 1e-9 {
+		t.Errorf("Accuracy = %g, want 0.5", rep.Accuracy)
+	}
+	if f := ev.FMeasure(s); f != 0 {
+		t.Errorf("FMeasure = %g, want 0", f)
+	}
+}
+
+func TestRCSupersetKeepsCoverage(t *testing.T) {
+	ev := newEval(t, cheapHotels())
+	// Exact answers plus one extra near-miss: coverage stays perfect,
+	// relevance degrades slightly.
+	s := answers([2]any{"a1", 90.0}, [2]any{"a3", 80.0}, [2]any{"a2", 99.0})
+	rep := ev.RC(s)
+	if rep.Fcov != 1 {
+		t.Errorf("Fcov = %g, want 1 (S ⊇ exact)", rep.Fcov)
+	}
+	if math.Abs(rep.RelDist-0.04) > 1e-9 {
+		t.Errorf("RelDist = %g, want 0.04 (the $99 hotel)", rep.RelDist)
+	}
+}
+
+func TestRCIrrelevantAnswerPunished(t *testing.T) {
+	ev := newEval(t, cheapHotels())
+	// A $200 Boston hotel is far from the query's intent. Via candidate
+	// a5 itself δrel would be 1.05 (its entry range); the optimum is the
+	// $99 hotel a2: max(enter 0.04, distance max(1, 1.01)) = 1.01.
+	rep := ev.RC(answers([2]any{"a5", 200.0}))
+	if math.Abs(rep.RelDist-1.01) > 1e-9 {
+		t.Errorf("RelDist = %g, want 1.01", rep.RelDist)
+	}
+	if rep.Accuracy >= 0.5 {
+		t.Errorf("Accuracy = %g, want < 0.5", rep.Accuracy)
+	}
+}
+
+func TestRCFabricatedAnswer(t *testing.T) {
+	ev := newEval(t, cheapHotels())
+	// An answer not matching any data tuple: nearest candidate is a1
+	// (same price band) but the address differs (discrete distance 1).
+	rep := ev.RC(answers([2]any{"nowhere", 90.0}))
+	if rep.RelDist < 1 {
+		t.Errorf("RelDist = %g, want >= 1 for a fabricated tuple", rep.RelDist)
+	}
+}
+
+func TestMAC(t *testing.T) {
+	ev := newEval(t, cheapHotels())
+	if got := ev.MAC(ev.Exact); got != 1 {
+		t.Errorf("MAC(exact) = %g, want 1", got)
+	}
+	if got := ev.MAC(answers()); got != 0 {
+		t.Errorf("MAC(empty) = %g, want 0", got)
+	}
+	// One perfect match of two exact answers: distance (0 + 1 penalty)/2.
+	got := ev.MAC(answers([2]any{"a1", 90.0}))
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("MAC(half) = %g, want 0.5", got)
+	}
+	// A near-match scores between 0 and 1.
+	near := ev.MAC(answers([2]any{"a1", 92.0}, [2]any{"a3", 80.0}))
+	if near <= 0.9 || near >= 1 {
+		t.Errorf("MAC(near) = %g, want in (0.9, 1)", near)
+	}
+}
+
+func TestFMeasure(t *testing.T) {
+	ev := newEval(t, cheapHotels())
+	if got := ev.FMeasure(ev.Exact); got != 1 {
+		t.Errorf("F(exact) = %g", got)
+	}
+	// One of two exact answers: precision 1, recall 0.5 -> F = 2/3.
+	got := ev.FMeasure(answers([2]any{"a1", 90.0}))
+	if math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("F = %g, want 2/3", got)
+	}
+	if got := ev.FMeasure(answers()); got != 0 {
+		t.Errorf("F(empty) = %g", got)
+	}
+}
+
+// --- group-by -----------------------------------------------------------
+
+func hotelsByCity(agg query.AggKind) *query.GroupBy {
+	return &query.GroupBy{
+		In: &query.SPC{
+			Atoms:  []query.Atom{{Rel: "poi", Alias: "h"}},
+			Preds:  []query.Pred{query.EqC(query.C("h", "type"), relation.String("hotel"))},
+			Output: []query.Col{query.C("h", "city"), query.C("h", "price")},
+		},
+		Keys: []query.Col{query.C("h", "city")},
+		Agg:  agg,
+		On:   query.C("h", "price"),
+		As:   "agg",
+	}
+}
+
+func aggAnswers(scale float64, vals ...[2]any) *relation.Relation {
+	r := relation.NewRelation(relation.MustSchema("s",
+		relation.Attr("h.city", relation.KindString, relation.Trivial()),
+		relation.Attr("agg", relation.KindFloat, relation.Numeric(scale)),
+	))
+	for _, v := range vals {
+		r.MustAppend(relation.Tuple{relation.String(v[0].(string)), relation.Float(v[1].(float64))})
+	}
+	return r
+}
+
+func TestRCGroupByCountExample3(t *testing.T) {
+	// Analogue of the paper's Example 3: counts per city with errors.
+	ev := newEval(t, hotelsByCity(query.AggCount))
+	// Exact: NYC -> 2, Chicago -> 1, Boston -> 1.
+	if ev.Exact.Len() != 3 {
+		t.Fatalf("exact = %v", ev.Exact.Tuples)
+	}
+	s := aggAnswers(1, [2]any{"NYC", 3.0}, [2]any{"Chicago", 1.0}, [2]any{"Boston", 1.0})
+	rep := ev.RC(s)
+	// Coverage: NYC count off by 1 (scale 1) dominates.
+	if math.Abs(rep.CovDist-1) > 1e-9 {
+		t.Errorf("CovDist = %g, want 1 (count off by one)", rep.CovDist)
+	}
+	// Relevance: every key value is a real group (πX relevance is 0).
+	if rep.RelDist != 0 {
+		t.Errorf("RelDist = %g, want 0", rep.RelDist)
+	}
+}
+
+func TestRCGroupByDuplicateKeysPunished(t *testing.T) {
+	ev := newEval(t, hotelsByCity(query.AggCount))
+	s := aggAnswers(1, [2]any{"NYC", 2.0}, [2]any{"NYC", 3.0})
+	rep := ev.RC(s)
+	if !math.IsInf(rep.RelDist, 1) || rep.Frel != 0 {
+		t.Errorf("duplicate group keys must zero relevance: %+v", rep)
+	}
+}
+
+func TestRCGroupByMinMaxRelevance(t *testing.T) {
+	ev := newEval(t, hotelsByCity(query.AggMin))
+	// Exact min prices: NYC 90, Chicago 80, Boston 200.
+	// An answer (NYC, 99) is a real (city, price) pair: relevance via Q'.
+	s := aggAnswers(100, [2]any{"NYC", 99.0}, [2]any{"Chicago", 80.0}, [2]any{"Boston", 200.0})
+	rep := ev.RC(s)
+	if rep.RelDist != 0 {
+		t.Errorf("RelDist = %g, want 0 (actual tuples of Q')", rep.RelDist)
+	}
+	// Coverage: NYC min is 90 vs answered 99 -> 0.09 on scale 100.
+	if math.Abs(rep.CovDist-0.09) > 1e-9 {
+		t.Errorf("CovDist = %g, want 0.09", rep.CovDist)
+	}
+	// A fabricated (NYC, 55) pair is not in Q' and scores worse.
+	s2 := aggAnswers(100, [2]any{"NYC", 55.0}, [2]any{"Chicago", 80.0}, [2]any{"Boston", 200.0})
+	rep2 := ev.RC(s2)
+	if rep2.RelDist <= 0 {
+		t.Errorf("fabricated min: RelDist = %g, want > 0", rep2.RelDist)
+	}
+}
+
+func TestRCGroupByExactPerfect(t *testing.T) {
+	for _, agg := range []query.AggKind{query.AggCount, query.AggSum, query.AggAvg, query.AggMin, query.AggMax} {
+		ev := newEval(t, hotelsByCity(agg))
+		rep := ev.RC(ev.Exact)
+		if rep.Accuracy != 1 {
+			t.Errorf("%v: RC(exact) = %+v, want 1", agg, rep)
+		}
+	}
+}
+
+func TestEvaluatorErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := NewEvaluator(db, &query.SPC{Atoms: []query.Atom{{Rel: "nope"}}}); err == nil {
+		t.Error("invalid query must fail")
+	}
+}

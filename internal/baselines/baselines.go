@@ -1,0 +1,420 @@
+// Package baselines implements the three approximate-query-answering
+// comparators of the paper's evaluation (§8): Sampl (uniform sampling
+// synopsis, after [17]), Histo (multi-dimensional histogram synopsis, after
+// [27]) and a BlinkDB-style stratified sampler (after [8], reproducing the
+// paper's own manual simulation of BlinkDB's sample-selection strategy).
+//
+// All three are one-size-fits-all data-reduction schemes (Fig. 1(a)): they
+// build a synopsis of at most B = α|D| tuples once, then answer every query
+// from the synopsis. Aggregates are scaled by per-relation inverse sampling
+// rates, the standard estimator for uniform and stratified samples.
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Method is a baseline approximate query answering method.
+type Method struct {
+	name     string
+	db       *relation.Database // the synopsis
+	scale    map[string]float64 // per-relation |R| / |synopsis R|
+	supports func(query.Expr) bool
+}
+
+// Name identifies the method ("Sampl", "Histo", "BlinkDB").
+func (m *Method) Name() string { return m.name }
+
+// SynopsisSize returns the total number of synopsis tuples.
+func (m *Method) SynopsisSize() int { return m.db.Size() }
+
+// Supports reports whether the method can answer the query class at all
+// (the evaluation only scores methods on queries they support, §8).
+func (m *Method) Supports(e query.Expr) bool { return m.supports(e) }
+
+// Answer evaluates the query on the synopsis. Sum and count aggregates are
+// scaled by the product of the inverse sampling rates of the relations
+// involved; min/max/avg and non-aggregate queries are returned as computed.
+func (m *Method) Answer(e query.Expr) (*relation.Relation, error) {
+	res, err := query.Evaluate(m.db, e)
+	if err != nil {
+		return nil, err
+	}
+	g, ok := e.(*query.GroupBy)
+	if !ok || (g.Agg != query.AggCount && g.Agg != query.AggSum) {
+		return res, nil
+	}
+	factor := 1.0
+	for _, leaf := range query.SPCLeaves(g.In) {
+		for _, a := range leaf.Atoms {
+			if s, ok := m.scale[a.Rel]; ok {
+				factor *= s
+			}
+		}
+	}
+	if factor == 1 {
+		return res, nil
+	}
+	aggIdx := res.Schema.Arity() - 1
+	out := relation.NewRelation(res.Schema)
+	for _, t := range res.Tuples {
+		nt := t.Clone()
+		if f, okF := nt[aggIdx].AsFloat(); okF {
+			if g.Agg == query.AggCount {
+				nt[aggIdx] = relation.Int(int64(math.Round(f * factor)))
+			} else {
+				nt[aggIdx] = relation.Float(f * factor)
+			}
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}
+
+// shareBudget splits the synopsis budget across relations proportionally to
+// their sizes (at least one tuple per non-empty relation).
+func shareBudget(db *relation.Database, budget int) map[string]int {
+	total := db.Size()
+	out := make(map[string]int)
+	if total == 0 {
+		return out
+	}
+	for _, name := range db.Names() {
+		r := db.MustRelation(name)
+		if r.Len() == 0 {
+			continue
+		}
+		share := budget * r.Len() / total
+		if share < 1 {
+			share = 1
+		}
+		if share > r.Len() {
+			share = r.Len()
+		}
+		out[name] = share
+	}
+	return out
+}
+
+// NewSampl builds the uniform-sampling baseline: per relation, a uniform
+// random sample without replacement, budget-proportional across relations.
+func NewSampl(db *relation.Database, budget int, seed int64) *Method {
+	rng := rand.New(rand.NewSource(seed))
+	shares := shareBudget(db, budget)
+	syn := relation.NewDatabase()
+	scale := make(map[string]float64)
+	for _, name := range db.Names() {
+		r := db.MustRelation(name)
+		n := shares[name]
+		out := relation.NewRelation(r.Schema)
+		if n > 0 && r.Len() > 0 {
+			perm := rng.Perm(r.Len())[:n]
+			sort.Ints(perm)
+			for _, i := range perm {
+				out.Tuples = append(out.Tuples, r.Tuples[i])
+			}
+			scale[name] = float64(r.Len()) / float64(n)
+		}
+		syn.MustAdd(out)
+	}
+	return &Method{
+		name:     "Sampl",
+		db:       syn,
+		scale:    scale,
+		supports: func(query.Expr) bool { return true },
+	}
+}
+
+// NewHisto builds the histogram baseline: per relation, an equi-width grid
+// over (up to) the two widest numeric attributes, with one representative
+// tuple per non-empty bucket — numeric components are bucket means, other
+// components the bucket's first value. Representatives are synthetic tuples,
+// as in histogram-based set-valued approximation [27].
+func NewHisto(db *relation.Database, budget int) *Method {
+	shares := shareBudget(db, budget)
+	syn := relation.NewDatabase()
+	scale := make(map[string]float64)
+	for _, name := range db.Names() {
+		r := db.MustRelation(name)
+		out := histoRelation(r, shares[name])
+		if out.Len() > 0 {
+			scale[name] = float64(r.Len()) / float64(out.Len())
+		}
+		syn.MustAdd(out)
+	}
+	return &Method{
+		name:  "Histo",
+		db:    syn,
+		scale: scale,
+		// Histo targets SPC (aggregate or not), per the paper's setup.
+		supports: func(e query.Expr) bool {
+			if g, ok := e.(*query.GroupBy); ok {
+				_, isSPC := g.In.(*query.SPC)
+				return isSPC
+			}
+			_, isSPC := e.(*query.SPC)
+			return isSPC
+		},
+	}
+}
+
+func histoRelation(r *relation.Relation, buckets int) *relation.Relation {
+	out := relation.NewRelation(r.Schema)
+	if r.Len() == 0 || buckets <= 0 {
+		return out
+	}
+	// Pick the two numeric attributes with the widest normalised spread.
+	type dim struct {
+		idx      int
+		lo, hi   float64
+		spread   float64
+		binCount int
+	}
+	var dims []dim
+	for i, a := range r.Schema.Attrs {
+		if a.Type != relation.KindInt && a.Type != relation.KindFloat {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, t := range r.Tuples {
+			if f, ok := t[i].AsFloat(); ok {
+				lo, hi = math.Min(lo, f), math.Max(hi, f)
+			}
+		}
+		if lo >= hi {
+			continue
+		}
+		scale := a.Dist.Scale
+		if a.Dist.Kind != relation.DistNumeric || scale <= 0 {
+			scale = 1
+		}
+		dims = append(dims, dim{idx: i, lo: lo, hi: hi, spread: (hi - lo) / scale})
+	}
+	sort.Slice(dims, func(i, j int) bool { return dims[i].spread > dims[j].spread })
+	if len(dims) > 2 {
+		dims = dims[:2]
+	}
+
+	key := func(t relation.Tuple) string { return "" }
+	switch len(dims) {
+	case 0:
+		// No numeric spread: group by the first attribute's value, capped.
+		groups, _ := r.GroupBy([]string{r.Schema.Attrs[0].Name})
+		if len(groups) > buckets {
+			groups = groups[:buckets]
+		}
+		for _, g := range groups {
+			out.Tuples = append(out.Tuples, bucketRep(r.Schema, g.Tuples))
+		}
+		return out
+	case 1:
+		dims[0].binCount = buckets
+	default:
+		side := int(math.Sqrt(float64(buckets)))
+		if side < 1 {
+			side = 1
+		}
+		dims[0].binCount, dims[1].binCount = side, side
+	}
+	key = func(t relation.Tuple) string {
+		k := ""
+		for _, d := range dims {
+			f, ok := t[d.idx].AsFloat()
+			bin := 0
+			if ok {
+				bin = int(float64(d.binCount) * (f - d.lo) / (d.hi - d.lo))
+				if bin >= d.binCount {
+					bin = d.binCount - 1
+				}
+			} else {
+				bin = -1
+			}
+			k += string(rune('0'+len(k))) + relation.Int(int64(bin)).Key()
+		}
+		return k
+	}
+	byBucket := map[string][]relation.Tuple{}
+	var order []string
+	for _, t := range r.Tuples {
+		k := key(t)
+		if _, ok := byBucket[k]; !ok {
+			order = append(order, k)
+		}
+		byBucket[k] = append(byBucket[k], t)
+	}
+	for _, k := range order {
+		out.Tuples = append(out.Tuples, bucketRep(r.Schema, byBucket[k]))
+	}
+	return out
+}
+
+// bucketRep builds a bucket's representative: numeric attributes average,
+// other attributes take the first tuple's value.
+func bucketRep(s *relation.Schema, tuples []relation.Tuple) relation.Tuple {
+	rep := tuples[0].Clone()
+	for i, a := range s.Attrs {
+		if a.Type != relation.KindInt && a.Type != relation.KindFloat {
+			continue
+		}
+		sum, n := 0.0, 0
+		for _, t := range tuples {
+			if f, ok := t[i].AsFloat(); ok {
+				sum += f
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		mean := sum / float64(n)
+		if a.Type == relation.KindInt {
+			rep[i] = relation.Int(int64(math.Round(mean)))
+		} else {
+			rep[i] = relation.Float(mean)
+		}
+	}
+	return rep
+}
+
+// QCS is a query column set: the columns of one relation that a workload
+// uses for grouping and filtering — BlinkDB's sample-selection input [8].
+type QCS struct {
+	Rel  string
+	Cols []string
+}
+
+// QCSFromQueries extracts per-relation QCSs from a historical workload, the
+// way BlinkDB assumes "the frequency of columns used for grouping and
+// filtering does not change over time".
+func QCSFromQueries(queries []query.Expr) []QCS {
+	cols := map[string]map[string]bool{}
+	add := func(rel, col string) {
+		if cols[rel] == nil {
+			cols[rel] = map[string]bool{}
+		}
+		cols[rel][col] = true
+	}
+	for _, e := range queries {
+		for _, leaf := range query.SPCLeaves(e) {
+			aliasRel := map[string]string{}
+			for _, a := range leaf.Atoms {
+				aliasRel[a.Name()] = a.Rel
+			}
+			for _, p := range leaf.Preds {
+				if !p.Join {
+					add(aliasRel[p.Left.Rel], p.Left.Attr)
+				}
+			}
+		}
+		if g, ok := e.(*query.GroupBy); ok {
+			for _, leaf := range query.SPCLeaves(g.In) {
+				aliasRel := map[string]string{}
+				for _, a := range leaf.Atoms {
+					aliasRel[a.Name()] = a.Rel
+				}
+				for _, k := range g.Keys {
+					if rel, ok := aliasRel[k.Rel]; ok {
+						add(rel, k.Attr)
+					}
+				}
+			}
+		}
+	}
+	var out []QCS
+	var rels []string
+	for rel := range cols {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		var cs []string
+		for c := range cols[rel] {
+			cs = append(cs, c)
+		}
+		sort.Strings(cs)
+		out = append(out, QCS{Rel: rel, Cols: cs})
+	}
+	return out
+}
+
+// NewBlinkDB builds the stratified-sampling baseline: per relation with a
+// QCS, up to K rows per distinct QCS value (K sized so the total respects
+// the budget); relations without a QCS fall back to uniform samples. It
+// supports aggregate SPC queries with sum/count/avg, per the paper ("no
+// min/max").
+func NewBlinkDB(db *relation.Database, budget int, qcs []QCS, seed int64) *Method {
+	rng := rand.New(rand.NewSource(seed))
+	shares := shareBudget(db, budget)
+	qcsByRel := map[string][]string{}
+	for _, q := range qcs {
+		qcsByRel[q.Rel] = q.Cols
+	}
+	syn := relation.NewDatabase()
+	scale := make(map[string]float64)
+	for _, name := range db.Names() {
+		r := db.MustRelation(name)
+		share := shares[name]
+		out := relation.NewRelation(r.Schema)
+		cols, hasQCS := qcsByRel[name]
+		if !hasQCS || len(cols) == 0 || r.Len() == 0 || share <= 0 {
+			// Uniform fallback.
+			if share > 0 && r.Len() > 0 {
+				perm := rng.Perm(r.Len())[:share]
+				sort.Ints(perm)
+				for _, i := range perm {
+					out.Tuples = append(out.Tuples, r.Tuples[i])
+				}
+			}
+		} else {
+			groups, err := r.GroupBy(cols)
+			if err != nil {
+				groups = nil
+			}
+			k := 1
+			if len(groups) > 0 {
+				k = share / len(groups)
+				if k < 1 {
+					k = 1
+				}
+			}
+			for _, g := range groups {
+				take := k
+				if take > len(g.Tuples) {
+					take = len(g.Tuples)
+				}
+				if out.Len()+take > share {
+					take = share - out.Len()
+				}
+				out.Tuples = append(out.Tuples, g.Tuples[:take]...)
+				if out.Len() >= share {
+					break
+				}
+			}
+		}
+		if out.Len() > 0 {
+			scale[name] = float64(r.Len()) / float64(out.Len())
+		}
+		syn.MustAdd(out)
+	}
+	return &Method{
+		name:  "BlinkDB",
+		db:    syn,
+		scale: scale,
+		supports: func(e query.Expr) bool {
+			g, ok := e.(*query.GroupBy)
+			if !ok {
+				return false
+			}
+			if g.Agg == query.AggMin || g.Agg == query.AggMax {
+				return false
+			}
+			_, isSPC := g.In.(*query.SPC)
+			return isSPC
+		},
+	}
+}

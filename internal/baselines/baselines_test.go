@@ -1,0 +1,220 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func countByType() *query.GroupBy {
+	return &query.GroupBy{
+		In: &query.SPC{
+			Atoms:  []query.Atom{{Rel: "poi", Alias: "h"}},
+			Output: []query.Col{query.C("h", "type"), query.C("h", "price")},
+		},
+		Keys: []query.Col{query.C("h", "type")},
+		Agg:  query.AggCount,
+		On:   query.C("h", "price"),
+		As:   "cnt",
+	}
+}
+
+func TestSamplSynopsisWithinBudget(t *testing.T) {
+	db := fixture.Example1(3, 50, 300)
+	for _, budget := range []int{10, 50, 200} {
+		m := NewSampl(db, budget, 1)
+		// Proportional allocation guarantees at least one tuple per
+		// relation, so allow that slack.
+		if m.SynopsisSize() > budget+len(db.Names()) {
+			t.Errorf("budget %d: synopsis %d too large", budget, m.SynopsisSize())
+		}
+	}
+}
+
+func TestSamplDeterministicWithSeed(t *testing.T) {
+	db := fixture.Example1(3, 50, 300)
+	a := NewSampl(db, 40, 7)
+	b := NewSampl(db, 40, 7)
+	ra, err := a.Answer(fixture.Q1(1, 95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Answer(fixture.Q1(1, 95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Len() != rb.Len() {
+		t.Errorf("same seed must give same sample: %d vs %d", ra.Len(), rb.Len())
+	}
+}
+
+func TestSamplSupportsEverythingAndScalesCounts(t *testing.T) {
+	db := fixture.Example1(3, 50, 400)
+	m := NewSampl(db, db.Size()/2, 2)
+	if !m.Supports(fixture.Q1(1, 95)) || !m.Supports(countByType()) {
+		t.Error("Sampl must support all query classes")
+	}
+	res, err := m.Answer(countByType())
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	total := int64(0)
+	for _, tp := range res.Tuples {
+		c, _ := tp[1].AsInt()
+		total += c
+	}
+	// Scaled counts should land near |poi| = 400 (within a factor of 2
+	// for a 50% sample).
+	if total < 200 || total > 800 {
+		t.Errorf("scaled count total = %d, want near 400", total)
+	}
+}
+
+func TestHistoBuckets(t *testing.T) {
+	db := fixture.Example1(3, 50, 300)
+	m := NewHisto(db, 60)
+	if m.SynopsisSize() == 0 {
+		t.Fatal("histogram synopsis empty")
+	}
+	if m.SynopsisSize() > 60+len(db.Names()) {
+		t.Errorf("synopsis %d exceeds budget", m.SynopsisSize())
+	}
+	// Histo supports SPC and aggregate SPC, not RA.
+	if !m.Supports(fixture.Q1(1, 95)) {
+		t.Error("Histo should support SPC")
+	}
+	if !m.Supports(countByType()) {
+		t.Error("Histo should support aggregate SPC")
+	}
+	diff := &query.Diff{L: fixture.Q1(1, 200), R: fixture.Q1(1, 95)}
+	if m.Supports(diff) {
+		t.Error("Histo should not support RA with difference")
+	}
+	if _, err := m.Answer(fixture.Q1(1, 95)); err != nil {
+		t.Errorf("Histo answer: %v", err)
+	}
+}
+
+func TestHistoRepresentativesApproximatePrices(t *testing.T) {
+	db := fixture.Example1(3, 10, 500)
+	m := NewHisto(db, 100)
+	// Average price of representatives should be near the true average.
+	poi := db.MustRelation("poi")
+	trueSum, n := 0.0, 0
+	pIdx := poi.Schema.MustIndex("price")
+	for _, tp := range poi.Tuples {
+		f, _ := tp[pIdx].AsFloat()
+		trueSum += f
+		n++
+	}
+	trueAvg := trueSum / float64(n)
+	syn, _ := m.db.Relation("poi")
+	if syn.Len() == 0 {
+		t.Fatal("empty poi synopsis")
+	}
+	sum := 0.0
+	for _, tp := range syn.Tuples {
+		f, _ := tp[pIdx].AsFloat()
+		sum += f
+	}
+	avg := sum / float64(syn.Len())
+	if math.Abs(avg-trueAvg) > 80 {
+		t.Errorf("representative avg price %.1f far from true %.1f", avg, trueAvg)
+	}
+}
+
+func TestQCSExtraction(t *testing.T) {
+	queries := []query.Expr{fixture.Q1(1, 95), countByType()}
+	qcs := QCSFromQueries(queries)
+	byRel := map[string][]string{}
+	for _, q := range qcs {
+		byRel[q.Rel] = q.Cols
+	}
+	poiCols := byRel["poi"]
+	want := map[string]bool{"type": true, "price": true}
+	for _, c := range poiCols {
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Errorf("poi QCS = %v, missing %v", poiCols, want)
+	}
+	if len(byRel["friend"]) == 0 {
+		t.Error("friend filter column (pid) missing from QCS")
+	}
+}
+
+func TestBlinkDBStratifiedAndSupports(t *testing.T) {
+	db := fixture.Example1(3, 50, 400)
+	qcs := QCSFromQueries([]query.Expr{countByType()})
+	m := NewBlinkDB(db, 80, qcs, 3)
+	if m.SynopsisSize() > 80+len(db.Names()) {
+		t.Errorf("synopsis %d exceeds budget", m.SynopsisSize())
+	}
+	if m.Supports(fixture.Q1(1, 95)) {
+		t.Error("BlinkDB must not support non-aggregate queries")
+	}
+	minQ := countByType()
+	minQ.Agg = query.AggMin
+	if m.Supports(minQ) {
+		t.Error("BlinkDB must not support min/max")
+	}
+	if !m.Supports(countByType()) {
+		t.Error("BlinkDB must support count aggregates")
+	}
+	// Stratification: every poi type present in the full data should be
+	// present in the sample (that is the point of stratified sampling).
+	full, _ := db.Relation("poi")
+	syn, _ := m.db.Relation("poi")
+	tIdx := full.Schema.MustIndex("type")
+	fullTypes := map[string]bool{}
+	for _, tp := range full.Tuples {
+		s, _ := tp[tIdx].AsString()
+		fullTypes[s] = true
+	}
+	synTypes := map[string]bool{}
+	for _, tp := range syn.Tuples {
+		s, _ := tp[tIdx].AsString()
+		synTypes[s] = true
+	}
+	for ty := range fullTypes {
+		if !synTypes[ty] {
+			t.Errorf("type %q missing from stratified sample", ty)
+		}
+	}
+	res, err := m.Answer(countByType())
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Error("BlinkDB returned no groups")
+	}
+}
+
+func TestBlinkDBUniformFallback(t *testing.T) {
+	db := fixture.Example1(3, 40, 200)
+	// No QCS at all: falls back to uniform sampling but still answers.
+	m := NewBlinkDB(db, 50, nil, 9)
+	if m.SynopsisSize() == 0 {
+		t.Error("fallback sample empty")
+	}
+	if _, err := m.Answer(countByType()); err != nil {
+		t.Errorf("Answer: %v", err)
+	}
+}
+
+func TestMethodsHandleTinyBudgets(t *testing.T) {
+	db := fixture.Example1(5, 20, 100)
+	for _, m := range []*Method{
+		NewSampl(db, 1, 1),
+		NewHisto(db, 1),
+		NewBlinkDB(db, 1, QCSFromQueries([]query.Expr{countByType()}), 1),
+	} {
+		if _, err := m.Answer(countByType()); err != nil {
+			t.Errorf("%s with budget 1: %v", m.Name(), err)
+		}
+	}
+	_ = relation.Null()
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// MinBudgetExact finds the smallest budget B (number of accessible tuples)
+// at which the generated plan computes exact answers, by exponential probing
+// followed by binary search (plan exactness is monotone in the budget:
+// larger budgets make more constraints affordable and let chAT push every
+// template to resolution 0̄). It returns an error when even B = |D| does
+// not produce an exact plan.
+//
+// This powers Exp-3 (Fig. 6(j)): α_exact = MinBudgetExact / |D|.
+func (s *Scheme) MinBudgetExact(e query.Expr) (int, error) {
+	size := s.db.Size()
+	exactAt := func(b int) (bool, error) {
+		p, err := s.generateWithBudget(e, float64(b)/float64(size), b)
+		if err != nil {
+			return false, err
+		}
+		return p.Exact && p.Tariff() <= b, nil
+	}
+	hi := 1
+	for hi < size {
+		ok, err := exactAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			break
+		}
+		hi *= 2
+	}
+	if hi >= size {
+		hi = size
+		ok, err := exactAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("core: query has no exact plan even at B=|D|=%d", size)
+		}
+	}
+	lo := hi/2 + 1
+	if hi == 1 {
+		return 1, nil
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ok, err := exactAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, nil
+}
+
+// MinAlphaExact returns α_exact = MinBudgetExact / |D|.
+func (s *Scheme) MinAlphaExact(e query.Expr) (float64, error) {
+	b, err := s.MinBudgetExact(e)
+	if err != nil {
+		return 0, err
+	}
+	return float64(b) / float64(s.db.Size()), nil
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Answer is an executed plan's result: the approximate (or exact) answers
+// with the final deterministic accuracy bound.
+type Answer struct {
+	Rel *relation.Relation
+	// Eta is the accuracy lower bound: the plan's η, refined to η′ for
+	// queries with set difference (§6), and 1 for exact answers.
+	Eta float64
+	// Exact reports the answers are exactly Q(D).
+	Exact bool
+	// Stats aggregates data access over all leaf executions.
+	Stats plan.Stats
+}
+
+// leafResult caches one executed leaf.
+type leafResult struct {
+	res *plan.Result
+}
+
+// Execute runs the plan against the database (component C4), accessing at
+// most Budget tuples in total across all fetch operations.
+func (s *Scheme) Execute(p *Plan) (*Answer, error) {
+	ans := &Answer{}
+	results := make(map[*query.SPC]*leafResult, len(p.Leaves))
+	remaining := p.Budget
+	for _, l := range p.Leaves {
+		l.Bounded.Budget = remaining
+		r, err := plan.Execute(l.Bounded, s.db)
+		if err != nil {
+			return nil, err
+		}
+		remaining -= r.Stats.Accessed
+		if remaining < 0 {
+			remaining = 0
+		}
+		ans.Stats.Accessed += r.Stats.Accessed
+		ans.Stats.Truncated = ans.Stats.Truncated || r.Stats.Truncated
+		results[l.SPC] = &leafResult{res: r}
+	}
+
+	out, err := s.combine(p, p.Expr, results)
+	if err != nil {
+		return nil, err
+	}
+	ans.Rel = out
+
+	ans.Eta = p.Eta
+	if query.HasDiff(p.Expr) && !p.Exact {
+		eta, err := s.refineEtaDiff(p, results, out)
+		if err != nil {
+			return nil, err
+		}
+		ans.Eta = eta
+	}
+	ans.Exact = p.Exact && !ans.Stats.Truncated
+	if ans.Exact {
+		ans.Eta = 1
+	} else if ans.Stats.Truncated {
+		// The coverage guarantee is void once fetching is cut short.
+		ans.Eta = 0
+	}
+	return ans, nil
+}
+
+// Answer plans and executes in one call.
+func (s *Scheme) Answer(e query.Expr, alpha float64) (*Answer, *Plan, error) {
+	p, err := s.GeneratePlan(e, alpha)
+	if err != nil {
+		return nil, nil, err
+	}
+	ans, err := s.Execute(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ans, p, nil
+}
+
+// combine implements E(Q) of §6 over executed leaves: set semantics for
+// union/difference, the dangerous-distance exclusion for approximate set
+// difference, and (weighted) aggregation for group-by.
+func (s *Scheme) combine(p *Plan, e query.Expr, results map[*query.SPC]*leafResult) (*relation.Relation, error) {
+	switch q := e.(type) {
+	case *query.SPC:
+		lr, ok := results[q]
+		if !ok {
+			return nil, fmt.Errorf("core: leaf not executed")
+		}
+		return lr.res.Rel.Distinct(), nil
+	case *query.Union:
+		l, err := s.combine(p, q.L, results)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.combine(p, q.R, results)
+		if err != nil {
+			return nil, err
+		}
+		out := relation.NewRelation(l.Schema)
+		out.Tuples = append(append([]relation.Tuple{}, l.Tuples...), r.Tuples...)
+		return out.Distinct(), nil
+	case *query.Diff:
+		return s.combineDiff(p, q, results)
+	case *query.GroupBy:
+		return s.combineGroupBy(p, q, results)
+	default:
+		return nil, fmt.Errorf("core: unknown expression %T", e)
+	}
+}
+
+// combineDiff enforces Q1 − Q2. When Q2's data was fetched exactly, plain
+// set difference applies; otherwise E(Q) = E(Q1) − π σ_C (E(Q1) × E(Q̂2)):
+// answers within the "dangerous distance" δ(A) of the approximate Q̂2
+// answers are excluded, so no tuple of Q2(D) survives (Theorem 6(5)).
+func (s *Scheme) combineDiff(p *Plan, q *query.Diff, results map[*query.SPC]*leafResult) (*relation.Relation, error) {
+	l, err := s.combine(p, q.L, results)
+	if err != nil {
+		return nil, err
+	}
+	if s.sideExact(p, q.R) {
+		r, err := s.combine(p, q.R, results)
+		if err != nil {
+			return nil, err
+		}
+		drop := make(map[string]struct{}, r.Len())
+		for _, t := range r.Tuples {
+			drop[t.Key()] = struct{}{}
+		}
+		out := relation.NewRelation(l.Schema)
+		for _, t := range l.Tuples {
+			if _, gone := drop[t.Key()]; !gone {
+				out.Tuples = append(out.Tuples, t)
+			}
+		}
+		return out, nil
+	}
+	// Approximate right-hand side: evaluate the maximal induced query and
+	// exclude within the dangerous distances.
+	rHatExpr := query.MaxInduced(q.R)
+	rHat, err := s.combine(p, rHatExpr, results)
+	if err != nil {
+		return nil, err
+	}
+	delta, attrs, err := s.dangerousDistances(p, rHatExpr)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewRelation(l.Schema)
+	for _, t := range l.Tuples {
+		danger := false
+		for _, u := range rHat.Tuples {
+			if withinPerAttr(attrs, t, u, delta) {
+				danger = true
+				break
+			}
+		}
+		if !danger {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// sideExact reports whether every leaf under e fetched with resolution 0.
+func (s *Scheme) sideExact(p *Plan, e query.Expr) bool {
+	for _, leaf := range query.SPCLeaves(e) {
+		for _, lp := range p.Leaves {
+			if lp.SPC != leaf {
+				continue
+			}
+			c := lp.Bounded.Chase
+			for ai := range leaf.Atoms {
+				for _, attr := range c.UsedAttrs(ai) {
+					if c.ResolutionOf(ai, attr, lp.Bounded.Ks) != 0 {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// dangerousDistances computes δ(A) per output attribute of the expression:
+// the worst fetch resolution of that column across the leaves.
+func (s *Scheme) dangerousDistances(p *Plan, e query.Expr) ([]float64, []relation.Attribute, error) {
+	sch, err := query.OutputSchema(e, s.db)
+	if err != nil {
+		return nil, nil, err
+	}
+	delta := make([]float64, sch.Arity())
+	for _, leaf := range query.SPCLeaves(e) {
+		var lp *LeafPlan
+		for _, cand := range p.Leaves {
+			if cand.SPC == leaf {
+				lp = cand
+				break
+			}
+		}
+		if lp == nil {
+			continue
+		}
+		aliasIdx := make(map[string]int, len(leaf.Atoms))
+		for i, a := range leaf.Atoms {
+			aliasIdx[a.Name()] = i
+		}
+		outCols, err := query.OutputCols(leaf, s.db)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, col := range outCols {
+			if i >= len(delta) {
+				break
+			}
+			r := lp.Bounded.Chase.ResolutionOf(aliasIdx[col.Rel], col.Attr, lp.Bounded.Ks)
+			if r > delta[i] {
+				delta[i] = r
+			}
+		}
+	}
+	return delta, sch.Attrs, nil
+}
+
+func withinPerAttr(attrs []relation.Attribute, t, u relation.Tuple, delta []float64) bool {
+	for i, a := range attrs {
+		d := a.Dist.Between(t[i], u[i])
+		if d > delta[i] && !(math.IsInf(d, 1) && math.IsInf(delta[i], 1)) {
+			return false
+		}
+	}
+	return true
+}
+
+// combineGroupBy aggregates over the child. When the child is a single SPC
+// leaf the count annotations of the fetched samples weight the aggregate
+// (§7's extension for sum/count/avg); over union/difference results the
+// weights are no longer derivable and rows count once (documented
+// approximation).
+func (s *Scheme) combineGroupBy(p *Plan, q *query.GroupBy, results map[*query.SPC]*leafResult) (*relation.Relation, error) {
+	sch, err := query.OutputSchema(q, s.db)
+	if err != nil {
+		return nil, err
+	}
+	var rows *relation.Relation
+	var weights []int
+	if leaf, ok := q.In.(*query.SPC); ok {
+		lr := results[leaf]
+		rows = lr.res.Rel
+		weights = lr.res.Weights
+	} else {
+		set, err := s.combine(p, q.In, results)
+		if err != nil {
+			return nil, err
+		}
+		rows = set
+		weights = make([]int, set.Len())
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	childSchema := rows.Schema
+	keyIdx := make([]int, len(q.Keys))
+	for i, k := range q.Keys {
+		j, ok := childSchema.Index(k.Name())
+		if !ok {
+			return nil, fmt.Errorf("core: group-by key %s missing", k)
+		}
+		keyIdx[i] = j
+	}
+	onIdx, ok := childSchema.Index(q.On.Name())
+	if !ok {
+		return nil, fmt.Errorf("core: aggregate column %s missing", q.On)
+	}
+
+	type groupAgg struct {
+		key      relation.Tuple
+		count    int
+		sum      float64
+		min, max relation.Value
+		seen     bool
+	}
+	byKey := map[string]*groupAgg{}
+	var order []string
+	for ri, t := range rows.Tuples {
+		key := t.Project(keyIdx)
+		k := key.Key()
+		g := byKey[k]
+		if g == nil {
+			g = &groupAgg{key: key}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		w := weights[ri]
+		v := t[onIdx]
+		g.count += w
+		if f, okF := v.AsFloat(); okF {
+			g.sum += f * float64(w)
+		} else if q.Agg == query.AggSum || q.Agg == query.AggAvg {
+			return nil, fmt.Errorf("core: %v of non-numeric value %v", q.Agg, v)
+		}
+		if !g.seen {
+			g.min, g.max, g.seen = v, v, true
+		} else {
+			if v.Less(g.min) {
+				g.min = v
+			}
+			if g.max.Less(v) {
+				g.max = v
+			}
+		}
+	}
+
+	out := relation.NewRelation(sch)
+	for _, k := range order {
+		g := byKey[k]
+		var agg relation.Value
+		switch q.Agg {
+		case query.AggCount:
+			agg = relation.Int(int64(g.count))
+		case query.AggSum:
+			agg = relation.Float(g.sum)
+		case query.AggAvg:
+			agg = relation.Float(g.sum / float64(g.count))
+		case query.AggMin:
+			agg = g.min
+		default:
+			agg = g.max
+		}
+		t := make(relation.Tuple, 0, len(g.key)+1)
+		t = append(append(t, g.key...), agg)
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, nil
+}
+
+// refineEtaDiff computes η′ of §6: executing the α-bounded plan ξ̂α of the
+// maximal induced query Q̂ (its leaves are shared, so no extra fetching),
+// measuring the coverage gap d′ between Ŝ and S, and combining with the
+// triangle inequality: η′ = 1/(1 + max(drel, d′ + d̂cov)).
+func (s *Scheme) refineEtaDiff(p *Plan, results map[*query.SPC]*leafResult, out *relation.Relation) (float64, error) {
+	hatExpr := query.MaxInduced(p.Expr)
+	hat, err := s.combine(p, hatExpr, results)
+	if err != nil {
+		return 0, err
+	}
+	_, hatCov := s.bound(p, hatExpr)
+	dPrime := 0.0
+	attrs := hat.Schema.Attrs
+	for _, t := range hat.Tuples {
+		best := math.Inf(1)
+		for _, st := range out.Tuples {
+			if d := relation.TupleDistance(attrs, st, t); d < best {
+				best = d
+			}
+		}
+		if best > dPrime {
+			dPrime = best
+		}
+	}
+	if hat.Len() == 0 {
+		dPrime = 0
+	}
+	return etaOf(p.DRel, dPrime+hatCov), nil
+}

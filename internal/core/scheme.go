@@ -1,0 +1,336 @@
+// Package core implements BEAS's resource-bounded approximation schemes —
+// the paper's primary contribution (§4–§7): BEAS_SPC (chase-derived fetch
+// plans, relaxed evaluation plans and the chAT template-upgrading procedure
+// with the accuracy lower-bound function L), BEAS_RA (max-SPC decomposition
+// and set difference via maximal induced queries with a post-hoc bound η′)
+// and BEAS_agg (group-by over count-annotated fetches).
+//
+// Given a query Q, a resource ratio α and an access schema A ⊇ At, the
+// scheme produces an α-bounded plan ξα and a deterministic RC accuracy
+// lower bound η without accessing the data (Theorem 1); executing the plan
+// touches at most α|D| tuples.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/chase"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Scheme is the resource-bounded approximation scheme ΓA of §4.1,
+// instantiated for one database and one access schema.
+type Scheme struct {
+	db *relation.Database
+	as *access.Schema
+}
+
+// New builds a scheme. The access schema should subsume At (use
+// access.BuildAt plus extensions); the chase fails on queries it cannot
+// cover otherwise.
+func New(db *relation.Database, as *access.Schema) *Scheme {
+	return &Scheme{db: db, as: as}
+}
+
+// DB returns the underlying database.
+func (s *Scheme) DB() *relation.Database { return s.db }
+
+// Access returns the access schema.
+func (s *Scheme) Access() *access.Schema { return s.as }
+
+// LeafPlan is the bounded plan of one max SPC sub-query.
+type LeafPlan struct {
+	SPC     *query.SPC
+	Bounded *plan.Bounded
+}
+
+// Plan is an α-bounded plan ξα for a query, with its estimated accuracy
+// lower bound η (Theorems 5 and 6).
+type Plan struct {
+	Expr   query.Expr
+	Class  query.Class
+	Alpha  float64
+	Budget int
+	// Eta is the deterministic accuracy lower bound estimated without
+	// accessing the data. For queries with set difference the executed
+	// answer carries the refined η′ of §6.
+	Eta float64
+	// DRel and DCov decompose L's bound: Eta = 1/(1+max(DRel, DCov)).
+	DRel, DCov float64
+	// Exact reports that the plan computes exact answers (bounded
+	// evaluability within budget, or templates upgraded to resolution 0̄).
+	Exact bool
+	// Leaves are the bounded plans of the max SPC sub-queries, in
+	// query.SPCLeaves order.
+	Leaves []*LeafPlan
+	// GenTime is how long plan generation took (Exp-5).
+	GenTime time.Duration
+}
+
+// Tariff returns the plan's estimated data access.
+func (p *Plan) Tariff() int {
+	total := 0
+	for _, l := range p.Leaves {
+		total += l.Bounded.Tariff()
+	}
+	return total
+}
+
+// GeneratePlan computes an α-bounded plan for the query (component C3 of
+// the BEAS architecture, Fig. 2). Only the query, the access schema's
+// metadata and the budget α|D| are consulted — never the data itself.
+func (s *Scheme) GeneratePlan(e query.Expr, alpha float64) (*Plan, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: resource ratio alpha=%g outside (0, 1]", alpha)
+	}
+	budget := int(alpha * float64(s.db.Size()))
+	return s.generateWithBudget(e, alpha, budget)
+}
+
+func (s *Scheme) generateWithBudget(e query.Expr, alpha float64, budget int) (*Plan, error) {
+	start := time.Now()
+	if err := query.Validate(e, s.db); err != nil {
+		return nil, err
+	}
+	leaves := query.SPCLeaves(e)
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("core: query has no SPC leaves")
+	}
+	p := &Plan{Expr: e, Class: query.Classify(e), Alpha: alpha, Budget: budget}
+
+	// Step 1 (BEAS_SPC / BEAS_RA): chase every max SPC sub-query into an
+	// initial bounded plan, sharing the budget evenly for constraint
+	// affordability decisions.
+	share := budget / len(leaves)
+	for _, leaf := range leaves {
+		res, err := chase.Chase(leaf, s.as, s.db, share)
+		if err != nil {
+			return nil, err
+		}
+		p.Leaves = append(p.Leaves, &LeafPlan{SPC: leaf, Bounded: plan.NewBounded(res, budget)})
+	}
+
+	// Step 2: chAT — upgrade access-template levels to maximise accuracy
+	// while the total tariff stays within the budget.
+	s.chAT(p)
+
+	p.DRel, p.DCov = s.bound(p, e)
+	p.Eta = etaOf(p.DRel, p.DCov)
+	p.Exact = s.isExact(p)
+	if p.Exact {
+		p.Eta = 1
+	} else if g, ok := e.(*query.GroupBy); ok {
+		switch g.Agg {
+		case query.AggSum, query.AggCount, query.AggAvg:
+			// Corollary 7 extends the bounds of Theorem 6 to min and
+			// max only; for sum/count/avg the aggregate-value error
+			// depends on the data (how many base tuples each sample
+			// stands for), so no non-trivial deterministic bound can
+			// be stated from the schema alone. Report the honest 0.
+			p.Eta = 0
+		}
+	}
+	p.GenTime = time.Since(start)
+	return p, nil
+}
+
+// etaOf turns L's distance decomposition into the bound η.
+func etaOf(drel, dcov float64) float64 {
+	d := math.Max(drel, dcov)
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	return 1 / (1 + d)
+}
+
+// isExact reports whether every used attribute of every leaf resolves with
+// resolution 0 under the current level assignment.
+func (s *Scheme) isExact(p *Plan) bool {
+	for _, l := range p.Leaves {
+		c := l.Bounded.Chase
+		for ai := range l.SPC.Atoms {
+			for _, attr := range c.UsedAttrs(ai) {
+				if c.ResolutionOf(ai, attr, l.Bounded.Ks) != 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// --- chAT: choosing access templates (§5, Fig. 3) -----------------------
+
+type upgrade struct {
+	leaf, step int
+}
+
+// chAT greedily upgrades the template step whose next level yields the
+// best improvement of the lower-bound function L, while the estimated
+// tariff of the whole fetch plan stays within the budget.
+func (s *Scheme) chAT(p *Plan) {
+	for {
+		curRel, curCov := s.bound(p, p.Expr)
+		curD := math.Max(curRel, curCov)
+		curRes := s.totalResolution(p)
+
+		var best *upgrade
+		bestD, bestRes := curD, curRes
+		improved := false
+		for li, l := range p.Leaves {
+			for si := range l.Bounded.Chase.Steps {
+				st := &l.Bounded.Chase.Steps[si]
+				if st.Pinned || l.Bounded.Ks[si] >= st.Ladder.MaxK() {
+					continue
+				}
+				l.Bounded.Ks[si]++
+				if s.totalTariff(p) <= p.Budget {
+					dRel, dCov := s.bound(p, p.Expr)
+					d := math.Max(dRel, dCov)
+					res := s.totalResolution(p)
+					if betterBound(d, res, bestD, bestRes) || (!improved && best == nil) {
+						// Any affordable upgrade is acceptable; a
+						// bound-improving one is preferred.
+						if betterBound(d, res, bestD, bestRes) {
+							bestD, bestRes = d, res
+							best = &upgrade{li, si}
+							improved = true
+						} else if best == nil {
+							best = &upgrade{li, si}
+						}
+					}
+				}
+				l.Bounded.Ks[si]--
+			}
+		}
+		if best == nil {
+			return
+		}
+		p.Leaves[best.leaf].Bounded.Ks[best.step]++
+	}
+}
+
+// betterBound compares (D, total resolution) lexicographically with
+// +inf-awareness: clamped resolutions make progress visible even while the
+// headline bound is still infinite.
+func betterBound(d, res, bestD, bestRes float64) bool {
+	if d != bestD {
+		return d < bestD
+	}
+	return res < bestRes-1e-12
+}
+
+const resClamp = 1e6
+
+// totalResolution sums the (clamped) per-step maximal resolutions: a
+// secondary objective that keeps chAT spending budget on real resolution
+// gains when L's max-based bound is saturated.
+func (s *Scheme) totalResolution(p *Plan) float64 {
+	total := 0.0
+	for _, l := range p.Leaves {
+		for si, st := range l.Bounded.Chase.Steps {
+			k := st.K
+			if !st.Pinned {
+				k = l.Bounded.Ks[si]
+			}
+			r := st.Ladder.MaxResolution(k)
+			if r > resClamp {
+				r = resClamp
+			}
+			total += r
+		}
+	}
+	return total
+}
+
+func (s *Scheme) totalTariff(p *Plan) int {
+	total := 0
+	for _, l := range p.Leaves {
+		total += l.Bounded.Tariff()
+	}
+	return total
+}
+
+// --- the lower-bound function L (§5, §6, §7) ----------------------------
+
+// bound computes L's (drel, dcov) decomposition for the expression under
+// the current level assignments, inductively on the query structure:
+//
+//	leaf SPC:    dcov = max resolution over output columns;
+//	             drel = max over predicates of the relaxation the plan
+//	             applies (resolution of the attribute; half-sum for joins)
+//	union:       component-wise max
+//	difference:  the bounds of Q1 (refined post-execution into η′)
+//	group-by:    the bounds of the child (min/max inherit exactly, §7;
+//	             for sum/count/avg the value error is data-dependent and
+//	             η is an estimate on keys and relevance)
+func (s *Scheme) bound(p *Plan, e query.Expr) (drel, dcov float64) {
+	switch q := e.(type) {
+	case *query.SPC:
+		return s.leafBound(p, q)
+	case *query.Union:
+		lr, lc := s.bound(p, q.L)
+		rr, rc := s.bound(p, q.R)
+		return math.Max(lr, rr), math.Max(lc, rc)
+	case *query.Diff:
+		return s.bound(p, q.L)
+	case *query.GroupBy:
+		return s.bound(p, q.In)
+	default:
+		return math.Inf(1), math.Inf(1)
+	}
+}
+
+func (s *Scheme) leafBound(p *Plan, q *query.SPC) (drel, dcov float64) {
+	var lp *LeafPlan
+	for _, l := range p.Leaves {
+		if l.SPC == q {
+			lp = l
+			break
+		}
+	}
+	if lp == nil {
+		return math.Inf(1), math.Inf(1)
+	}
+	c := lp.Bounded.Chase
+	ks := lp.Bounded.Ks
+	aliasIdx := make(map[string]int, len(q.Atoms))
+	for i, a := range q.Atoms {
+		aliasIdx[a.Name()] = i
+	}
+	res := func(col query.Col) float64 {
+		return c.ResolutionOf(aliasIdx[col.Rel], col.Attr, ks)
+	}
+	outCols, err := query.OutputCols(q, s.db)
+	if err != nil {
+		return math.Inf(1), math.Inf(1)
+	}
+	for _, col := range outCols {
+		if r := res(col); r > dcov {
+			dcov = r
+		}
+	}
+	for _, pd := range q.Preds {
+		var r float64
+		if pd.Join {
+			r = (res(pd.Left) + res(pd.Right)) / 2
+			if math.IsInf(r, 1) {
+				// The executor enforces joins with unbounded fetch
+				// resolution exactly (no relaxation is applied), so
+				// they contribute nothing to the relevance bound.
+				r = 0
+			}
+		} else {
+			r = res(pd.Left)
+		}
+		if r > drel {
+			drel = r
+		}
+	}
+	return drel, dcov
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// The central soundness property of the whole system (Theorems 5 and 6):
+// over a realistic generated workload — SPC, RA with differences, and all
+// five aggregates — the realised RC accuracy of the answers never falls
+// below the reported deterministic bound η, at any resource ratio.
+func TestEtaSoundOverGeneratedWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload soundness sweep is slow")
+	}
+	datasets := []*workload.Dataset{
+		workload.TPCH(2, 2017),
+		workload.TFACC(1, 2017),
+	}
+	for _, d := range datasets {
+		as, err := d.AccessSchema()
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		s := New(d.DB, as)
+		qs, err := d.Workload(14, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		for qi, q := range qs {
+			ev, err := accuracy.NewEvaluator(d.DB, q)
+			if err != nil {
+				t.Fatalf("%s q%d: evaluator: %v", d.Name, qi, err)
+			}
+			for _, alpha := range []float64{0.01, 0.05, 0.3} {
+				ans, _, err := s.Answer(q, alpha)
+				if err != nil {
+					t.Fatalf("%s q%d alpha %g: %v\n%s", d.Name, qi, alpha, err, query.Render(q))
+				}
+				rep := ev.RC(ans.Rel)
+				if rep.Accuracy+1e-9 < ans.Eta {
+					t.Errorf("%s q%d alpha %g: accuracy %.4f < eta %.4f\n%s",
+						d.Name, qi, alpha, rep.Accuracy, ans.Eta, query.Render(q))
+				}
+			}
+		}
+	}
+}
+
+// Whenever MinBudgetExact finds an exact budget for a workload query, the
+// plan at that budget must really produce the exact answers. (Some queries
+// have no exact plan below the tariff cap — the estimate double-counts
+// shared scans — and are skipped, like the paper's Exp-3 averages skip
+// unbounded queries.)
+func TestExactBudgetsProduceExactAnswers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload exactness sweep is slow")
+	}
+	d := workload.TPCH(1, 7)
+	as, err := d.AccessSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(d.DB, as)
+	qs, err := d.Workload(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for qi, q := range qs {
+		alpha, err := s.MinAlphaExact(q)
+		if err != nil {
+			continue // no exact plan within |D| tariff; skip
+		}
+		ans, p, err := s.Answer(q, alpha)
+		if err != nil {
+			t.Fatalf("q%d: %v", qi, err)
+		}
+		if !p.Exact || ans.Eta != 1 {
+			t.Errorf("q%d: plan at alpha_exact=%g not exact (eta=%g)", qi, alpha, ans.Eta)
+			continue
+		}
+		var exact interface{ Len() int }
+		if _, ok := q.(*query.GroupBy); ok {
+			exact, err = query.Evaluate(d.DB, q)
+		} else {
+			exact, err = query.EvaluateSet(d.DB, q)
+		}
+		if err != nil {
+			t.Fatalf("q%d: exact: %v", qi, err)
+		}
+		if got := ans.Rel.Distinct().Len(); got != exact.Len() {
+			t.Errorf("q%d: answers %d != exact %d\n%s", qi, got, exact.Len(), query.Render(q))
+		}
+		checked++
+	}
+	if checked < len(qs)/2 {
+		t.Errorf("only %d/%d queries had exact plans — suspicious", checked, len(qs))
+	}
+}

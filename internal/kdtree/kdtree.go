@@ -1,0 +1,272 @@
+// Package kdtree implements the balanced K-D tree used to build the indices
+// of the generic access schema At (paper §4.1 "Implementation").
+//
+// Tuples of a relation are treated as m-dimensional points under the
+// per-attribute distance functions. Level k of the tree yields at most 2^k
+// representative tuples together with a per-attribute resolution
+// d̄k[B] = max over level-k nodes t of the maximum pairwise distance on B
+// among the tuples represented by t — exactly the quantity the paper assigns
+// to the access template ψk.
+//
+// The tree is bucketed: interior nodes split their tuple set positionally at
+// the median of the dimension with the largest current spread, which greedily
+// maximises the resolution gain d̄k − d̄k+1 when "zooming in" one level, as
+// §4.1 argues for K-D trees.
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Item is a weighted point: a tuple plus the number of base tuples it stands
+// for (duplicates are collapsed by callers; Count feeds the count-annotated
+// samples that sum/count/avg aggregation needs, §7).
+type Item struct {
+	Tuple relation.Tuple
+	Count int
+}
+
+// Rep is one representative at a level: an actual tuple of the indexed data,
+// the number of base tuples it represents, and the per-attribute maximum
+// pairwise distance among those tuples.
+type Rep struct {
+	Point   relation.Tuple
+	Count   int
+	MaxDist []float64
+}
+
+// Tree is an immutable K-D tree over weighted tuples.
+type Tree struct {
+	attrs    []relation.Attribute
+	root     *node
+	count    int // total base-tuple count
+	items    int // number of distinct points
+	maxDepth int
+}
+
+type node struct {
+	rep         relation.Tuple
+	count       int
+	maxDist     []float64
+	left, right *node
+}
+
+// Build constructs the tree. The attrs describe the dimensions of every
+// tuple (names, kinds and distances); all items must have that arity.
+// Build copies the item slice but not the tuples.
+func Build(attrs []relation.Attribute, items []Item) *Tree {
+	t := &Tree{attrs: attrs}
+	if len(items) == 0 {
+		return t
+	}
+	// Merge identical points so duplicates always share one leaf and their
+	// counts accumulate; this keeps ExactLevel at ceil(log2 of the number
+	// of *distinct* points).
+	byKey := make(map[string]int, len(items))
+	own := make([]Item, 0, len(items))
+	for _, it := range items {
+		k := it.Tuple.Key()
+		if i, dup := byKey[k]; dup {
+			own[i].Count += it.Count
+			continue
+		}
+		byKey[k] = len(own)
+		own = append(own, it)
+	}
+	t.items = len(own)
+	for _, it := range own {
+		t.count += it.Count
+	}
+	t.root = t.build(own, 0)
+	return t
+}
+
+func (t *Tree) build(items []Item, depth int) *node {
+	if depth > t.maxDepth {
+		t.maxDepth = depth
+	}
+	n := &node{maxDist: t.spread(items)}
+	for _, it := range items {
+		n.count += it.Count
+	}
+	n.rep = items[len(items)/2].Tuple
+	if len(items) == 1 || allZero(n.maxDist) {
+		// Leaf: a single point, or a set at pairwise distance 0 on every
+		// attribute (indistinguishable under the metric).
+		return n
+	}
+	dim := splitDim(n.maxDist)
+	sort.SliceStable(items, func(i, j int) bool {
+		return items[i].Tuple[dim].Less(items[j].Tuple[dim])
+	})
+	mid := len(items) / 2
+	n.rep = items[mid].Tuple
+	n.left = t.build(items[:mid], depth+1)
+	n.right = t.build(items[mid:], depth+1)
+	return n
+}
+
+// spread computes, per attribute, the maximum pairwise distance within items.
+func (t *Tree) spread(items []Item) []float64 {
+	out := make([]float64, len(t.attrs))
+	for a, attr := range t.attrs {
+		switch attr.Dist.Kind {
+		case relation.DistNumeric:
+			out[a] = numericSpread(items, a, attr.Dist)
+		default:
+			// Discrete / trivial: 0 if all equal, else 1 or +inf.
+			allEq := true
+			first := items[0].Tuple[a]
+			for _, it := range items[1:] {
+				if !it.Tuple[a].Equal(first) {
+					allEq = false
+					break
+				}
+			}
+			if !allEq {
+				if attr.Dist.Kind == relation.DistDiscrete {
+					out[a] = 1
+				} else {
+					out[a] = math.Inf(1)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func numericSpread(items []Item, a int, d relation.Distance) float64 {
+	var lo, hi float64
+	seen := false
+	nulls, nonNumeric := 0, 0
+	for _, it := range items {
+		v := it.Tuple[a]
+		if v.IsNull() {
+			nulls++
+			continue
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			nonNumeric++
+			continue
+		}
+		if !seen {
+			lo, hi, seen = f, f, true
+			continue
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	// Mixing nulls or non-numeric values with numbers makes the pairwise
+	// distance unbounded under the numeric distance's fallback behaviour.
+	if (nulls > 0 && (seen || nonNumeric > 0)) || (nonNumeric > 0 && seen) {
+		return math.Inf(1)
+	}
+	if nonNumeric > 1 {
+		// All non-numeric: unequal pairs are at +inf, equal all-round is 0.
+		first := items[0].Tuple[a]
+		for _, it := range items[1:] {
+			if !it.Tuple[a].Equal(first) {
+				return math.Inf(1)
+			}
+		}
+		return 0
+	}
+	if !seen {
+		return 0
+	}
+	scale := d.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	return (hi - lo) / scale
+}
+
+// splitDim picks the dimension to split: the largest *finite* spread, since
+// splitting an unbounded (trivial-distance) dimension cannot reduce its
+// resolution before the nodes become singletons, while splitting a finite
+// dimension halves its spread — the greedy resolution-gain rule of §4.1.
+// When every positive spread is unbounded, an unbounded dimension is split
+// so the tree still converges to exactness.
+func splitDim(spread []float64) int {
+	bestFinite, bestFiniteV := -1, 0.0
+	bestAny, bestAnyV := 0, math.Inf(-1)
+	for i, v := range spread {
+		if v > bestAnyV {
+			bestAny, bestAnyV = i, v
+		}
+		if !math.IsInf(v, 1) && v > bestFiniteV {
+			bestFinite, bestFiniteV = i, v
+		}
+	}
+	if bestFinite >= 0 {
+		return bestFinite
+	}
+	return bestAny
+}
+
+func allZero(xs []float64) bool {
+	for _, x := range xs {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the total base-tuple count (sum of item counts).
+func (t *Tree) Count() int { return t.count }
+
+// Items returns the number of distinct points indexed.
+func (t *Tree) Items() int { return t.items }
+
+// ExactLevel returns the smallest level k at which Level(k) represents the
+// data exactly (every representative has all-zero resolution). It equals the
+// tree depth; ceil(log2 n) for n distinct points.
+func (t *Tree) ExactLevel() int { return t.maxDepth }
+
+// Level returns the representatives at level k: the frontier of nodes at
+// depth k plus any leaves above it. len(result) <= 2^k, and every indexed
+// tuple is within Rep.MaxDist (component-wise) of exactly one representative.
+// Negative k behaves as 0; k beyond ExactLevel behaves as ExactLevel.
+func (t *Tree) Level(k int) []Rep {
+	if t.root == nil {
+		return nil
+	}
+	if k < 0 {
+		k = 0
+	}
+	var reps []Rep
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if depth == k || n.left == nil {
+			reps = append(reps, Rep{Point: n.rep, Count: n.count, MaxDist: n.maxDist})
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(t.root, 0)
+	return reps
+}
+
+// Resolution returns the per-attribute resolution d̄k at level k: the maximum
+// of Rep.MaxDist over the level's representatives (zeros for an empty tree).
+func (t *Tree) Resolution(k int) []float64 {
+	out := make([]float64, len(t.attrs))
+	for _, r := range t.Level(k) {
+		for i, d := range r.MaxDist {
+			if d > out[i] {
+				out[i] = d
+			}
+		}
+	}
+	return out
+}

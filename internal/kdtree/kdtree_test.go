@@ -1,0 +1,232 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func testAttrs() []relation.Attribute {
+	return []relation.Attribute{
+		relation.Attr("price", relation.KindFloat, relation.Numeric(100)),
+		relation.Attr("stars", relation.KindInt, relation.Numeric(5)),
+		relation.Attr("type", relation.KindString, relation.Discrete()),
+	}
+}
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	types := []string{"hotel", "bar", "cafe"}
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Tuple: relation.Tuple{
+				relation.Float(rng.Float64() * 500),
+				relation.Int(int64(rng.Intn(6))),
+				relation.String(types[rng.Intn(len(types))]),
+			},
+			Count: 1 + rng.Intn(3),
+		}
+	}
+	return items
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(testAttrs(), nil)
+	if tr.Count() != 0 || tr.Items() != 0 || tr.ExactLevel() != 0 {
+		t.Error("empty tree counters")
+	}
+	if reps := tr.Level(3); reps != nil {
+		t.Errorf("empty Level = %v", reps)
+	}
+	res := tr.Resolution(0)
+	if len(res) != 3 || !allZero(res) {
+		t.Errorf("empty Resolution = %v", res)
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	it := Item{Tuple: relation.Tuple{relation.Float(10), relation.Int(3), relation.String("bar")}, Count: 5}
+	tr := Build(testAttrs(), []Item{it})
+	if tr.Count() != 5 || tr.Items() != 1 || tr.ExactLevel() != 0 {
+		t.Errorf("counters: count=%d items=%d exact=%d", tr.Count(), tr.Items(), tr.ExactLevel())
+	}
+	reps := tr.Level(0)
+	if len(reps) != 1 || reps[0].Count != 5 || !reps[0].Point.EqualTuple(it.Tuple) {
+		t.Errorf("Level(0) = %+v", reps)
+	}
+	if !allZero(reps[0].MaxDist) {
+		t.Errorf("single-item MaxDist = %v", reps[0].MaxDist)
+	}
+}
+
+func TestLevelCountBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := Build(testAttrs(), randomItems(rng, 200))
+	for k := 0; k <= tr.ExactLevel()+1; k++ {
+		reps := tr.Level(k)
+		if len(reps) > 1<<uint(k) {
+			t.Errorf("Level(%d) has %d reps > 2^%d", k, len(reps), k)
+		}
+	}
+}
+
+func TestCountsPreservedAcrossLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randomItems(rng, 157)
+	total := 0
+	for _, it := range items {
+		total += it.Count
+	}
+	tr := Build(testAttrs(), items)
+	for k := 0; k <= tr.ExactLevel(); k++ {
+		sum := 0
+		for _, r := range tr.Level(k) {
+			sum += r.Count
+		}
+		if sum != total {
+			t.Errorf("Level(%d) count sum = %d, want %d", k, sum, total)
+		}
+	}
+}
+
+// The central invariant: at every level, every indexed tuple has a
+// representative within the level's resolution on every attribute.
+func TestRepresentationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	attrs := testAttrs()
+	items := randomItems(rng, 300)
+	tr := Build(attrs, items)
+	const eps = 1e-9
+	for k := 0; k <= tr.ExactLevel(); k++ {
+		reps := tr.Level(k)
+		res := tr.Resolution(k)
+		for _, it := range items {
+			covered := false
+			for _, r := range reps {
+				ok := true
+				for a := range attrs {
+					d := attrs[a].Dist.Between(it.Tuple[a], r.Point[a])
+					if d > res[a]+eps && !(math.IsInf(d, 1) && math.IsInf(res[a], 1)) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("level %d: tuple %v not covered within resolution %v", k, it.Tuple, res)
+			}
+		}
+	}
+}
+
+func TestResolutionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := Build(testAttrs(), randomItems(rng, 250))
+	prev := tr.Resolution(0)
+	for k := 1; k <= tr.ExactLevel(); k++ {
+		cur := tr.Resolution(k)
+		for a := range cur {
+			if cur[a] > prev[a]+1e-9 {
+				t.Fatalf("Resolution not monotone at level %d attr %d: %g > %g", k, a, cur[a], prev[a])
+			}
+		}
+		prev = cur
+	}
+	// Exact at the top.
+	if !allZero(tr.Resolution(tr.ExactLevel())) {
+		t.Errorf("Resolution(ExactLevel) = %v, want all zero", tr.Resolution(tr.ExactLevel()))
+	}
+}
+
+func TestRepsAreActualTuples(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randomItems(rng, 120)
+	keys := make(map[string]bool, len(items))
+	for _, it := range items {
+		keys[it.Tuple.Key()] = true
+	}
+	tr := Build(testAttrs(), items)
+	for k := 0; k <= tr.ExactLevel(); k++ {
+		for _, r := range tr.Level(k) {
+			if !keys[r.Point.Key()] {
+				t.Fatalf("level %d representative %v is not an indexed tuple", k, r.Point)
+			}
+		}
+	}
+}
+
+func TestTrivialAttributeSpread(t *testing.T) {
+	attrs := []relation.Attribute{
+		relation.Attr("id", relation.KindInt, relation.Trivial()),
+		relation.Attr("v", relation.KindFloat, relation.Numeric(1)),
+	}
+	items := []Item{
+		{Tuple: relation.Tuple{relation.Int(1), relation.Float(0)}, Count: 1},
+		{Tuple: relation.Tuple{relation.Int(2), relation.Float(1)}, Count: 1},
+		{Tuple: relation.Tuple{relation.Int(3), relation.Float(2)}, Count: 1},
+		{Tuple: relation.Tuple{relation.Int(4), relation.Float(3)}, Count: 1},
+	}
+	tr := Build(attrs, items)
+	res0 := tr.Resolution(0)
+	if !math.IsInf(res0[0], 1) {
+		t.Errorf("trivial attr resolution at root = %g, want +inf", res0[0])
+	}
+	// At the exact level everything is a singleton.
+	if !allZero(tr.Resolution(tr.ExactLevel())) {
+		t.Error("exact level must have zero resolution")
+	}
+}
+
+func TestDuplicatePointsCollapseToLeaf(t *testing.T) {
+	attrs := []relation.Attribute{
+		relation.Attr("v", relation.KindInt, relation.Numeric(1)),
+	}
+	items := []Item{
+		{Tuple: relation.Tuple{relation.Int(7)}, Count: 2},
+		{Tuple: relation.Tuple{relation.Int(7)}, Count: 3},
+		{Tuple: relation.Tuple{relation.Int(9)}, Count: 1},
+	}
+	tr := Build(attrs, items)
+	// Level 1 should split {7,7} from {9}; the 7-leaf must not split further.
+	if tr.ExactLevel() != 1 {
+		t.Errorf("ExactLevel = %d, want 1 (identical points form one leaf)", tr.ExactLevel())
+	}
+	reps := tr.Level(1)
+	if len(reps) != 2 {
+		t.Fatalf("Level(1) = %d reps, want 2", len(reps))
+	}
+	for _, r := range reps {
+		if v, _ := r.Point[0].AsInt(); v == 7 && r.Count != 5 {
+			t.Errorf("collapsed leaf count = %d, want 5", r.Count)
+		}
+	}
+}
+
+func TestLevelClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := Build(testAttrs(), randomItems(rng, 50))
+	if got, want := len(tr.Level(-3)), len(tr.Level(0)); got != want {
+		t.Errorf("Level(-3) = %d reps, want %d", got, want)
+	}
+	deep := tr.Level(tr.ExactLevel() + 10)
+	exact := tr.Level(tr.ExactLevel())
+	if len(deep) != len(exact) {
+		t.Errorf("Level beyond exact = %d reps, want %d", len(deep), len(exact))
+	}
+}
+
+func BenchmarkBuild1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	items := randomItems(rng, 1000)
+	attrs := testAttrs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(attrs, items)
+	}
+}

@@ -1,0 +1,598 @@
+// Package plan executes bounded query plans (paper §2.2): canonical plans
+// ξα = (ξF, ξE) where ξF is a sequence of fetch(X ∈ T, R, Y, ψ) operations
+// over the indices of an access schema and ξE evaluates the (relaxed)
+// relational operations of the query on the fetched data.
+//
+// The executor accounts every tuple returned by an index lookup against the
+// budget B = α|D| and truncates fetching if the budget would be exceeded —
+// a runtime backstop behind the planner's data-independent tariff estimate.
+// Fetched rows carry count annotations (how many base tuples a sample
+// represents), which §7's sum/count/avg aggregation consumes.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chase"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Bounded is an α-bounded plan: a chased fetch-plan skeleton plus a level
+// assignment for its template steps (chAT's output) and the budget.
+type Bounded struct {
+	Chase  *chase.Result
+	Ks     []int
+	Budget int
+}
+
+// NewBounded wraps a chase result with its initial level assignment.
+func NewBounded(c *chase.Result, budget int) *Bounded {
+	return &Bounded{Chase: c, Ks: c.Levels(), Budget: budget}
+}
+
+// ResolutionOf exposes the fetch resolution of (atom, attr) under the
+// plan's current level assignment.
+func (p *Bounded) ResolutionOf(atom int, attr string) float64 {
+	return p.Chase.ResolutionOf(atom, attr, p.Ks)
+}
+
+// Tariff estimates the plan's data access from schema metadata alone.
+func (p *Bounded) Tariff() int { return p.Chase.Tariff(p.Ks) }
+
+// Stats reports what a plan execution actually touched.
+type Stats struct {
+	// Accessed counts tuples returned by index lookups.
+	Accessed int
+	// Truncated reports whether fetching stopped early on budget
+	// exhaustion.
+	Truncated bool
+}
+
+// FetchedAtom is the data fetched for one atom of the SPC body: a relation
+// over the fetched attributes (unqualified names) with per-row count
+// annotations.
+type FetchedAtom struct {
+	Alias   string
+	Rel     *relation.Relation
+	Weights []int
+}
+
+// Result is an executed plan's output: the (bag) answers with per-row
+// weights (products of sample counts along the join) and access statistics.
+type Result struct {
+	Rel     *relation.Relation
+	Weights []int
+	Stats   Stats
+}
+
+// Execute runs the full plan: fetch then relaxed evaluation.
+func Execute(p *Bounded, db *relation.Database) (*Result, error) {
+	atoms, stats, err := ExecuteFetch(p, db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := EvaluateFetched(p, db, atoms)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = *stats
+	return res, nil
+}
+
+// ExecuteFetch runs ξF: it applies the chase steps in order against the
+// access-schema indices, materialising one relation per atom.
+func ExecuteFetch(p *Bounded, db *relation.Database) ([]*FetchedAtom, *Stats, error) {
+	q := p.Chase.Query
+	stats := &Stats{}
+	atoms := make([]*FetchedAtom, len(q.Atoms))
+
+	for si := range p.Chase.Steps {
+		s := &p.Chase.Steps[si]
+		k := s.K
+		if !s.Pinned && p.Ks != nil {
+			k = p.Ks[si]
+		}
+		if err := applyStep(p, db, atoms, s, si, k, stats); err != nil {
+			return nil, nil, err
+		}
+		if stats.Truncated {
+			break
+		}
+	}
+	// Atoms with no fetched data (possible after truncation) become empty
+	// relations over their used attributes so evaluation degrades cleanly.
+	for ai := range atoms {
+		if atoms[ai] == nil {
+			atoms[ai] = emptyAtom(db, q, p.Chase, ai)
+		}
+	}
+	return atoms, stats, nil
+}
+
+func emptyAtom(db *relation.Database, q *query.SPC, c *chase.Result, ai int) *FetchedAtom {
+	base := db.MustRelation(q.Atoms[ai].Rel)
+	attrs := c.UsedAttrs(ai)
+	as := make([]relation.Attribute, len(attrs))
+	for i, a := range attrs {
+		as[i] = base.Schema.Attrs[base.Schema.MustIndex(a)]
+	}
+	sch, err := relation.NewSchema(q.Atoms[ai].Name(), as...)
+	if err != nil {
+		// Used attrs come from the base schema; duplicates are impossible.
+		panic(err)
+	}
+	return &FetchedAtom{Alias: q.Atoms[ai].Name(), Rel: relation.NewRelation(sch)}
+}
+
+// applyStep runs one fetch operation, extending (or creating) the atom's
+// fetched relation.
+func applyStep(p *Bounded, db *relation.Database, atoms []*FetchedAtom, s *chase.Step, si, k int, stats *Stats) error {
+	q := p.Chase.Query
+	ai := s.AtomIdx
+	base := db.MustRelation(q.Atoms[ai].Rel)
+	cur := atoms[ai]
+
+	// Split X positions into own (already columns of this atom's fetched
+	// relation) and external (constants or other atoms' columns).
+	type extSrc struct {
+		pos   int
+		vals  []relation.Tuple // single-col tuples
+		joint []int            // positions sharing one source atom
+	}
+	ownPos := map[int]int{} // X position -> column index in cur
+	var extGroups [][]int   // groups of X positions fetched jointly
+	groupOf := map[string]int{}
+	var constPos []int
+	for xi := range s.Ladder.X {
+		attr := s.Ladder.X[xi]
+		if cur != nil {
+			if ci, ok := cur.Rel.Schema.Index(attr); ok {
+				ownPos[xi] = ci
+				continue
+			}
+		}
+		src := s.X[xi]
+		if src.IsConst {
+			constPos = append(constPos, xi)
+			continue
+		}
+		gk := fmt.Sprintf("atom%d", src.AtomIdx)
+		gi, ok := groupOf[gk]
+		if !ok {
+			gi = len(extGroups)
+			groupOf[gk] = gi
+			extGroups = append(extGroups, nil)
+		}
+		extGroups[gi] = append(extGroups[gi], xi)
+	}
+
+	// Materialise distinct joint valuations per external group.
+	extVals := make([][]relation.Tuple, len(extGroups))
+	for gi, positions := range extGroups {
+		srcAtom := s.X[positions[0]].AtomIdx
+		fa := atoms[srcAtom]
+		if fa == nil {
+			return fmt.Errorf("plan: step %d reads atom %d before it was fetched", si, srcAtom)
+		}
+		idx := make([]int, len(positions))
+		for i, xi := range positions {
+			ci, ok := fa.Rel.Schema.Index(s.X[xi].Attr)
+			if !ok {
+				return fmt.Errorf("plan: step %d: source column %s missing on atom %d", si, s.X[xi].Attr, srcAtom)
+			}
+			idx[i] = ci
+		}
+		seen := map[string]bool{}
+		for _, t := range fa.Rel.Tuples {
+			pt := t.Project(idx)
+			key := pt.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			extVals[gi] = append(extVals[gi], pt)
+		}
+	}
+
+	// New columns this step adds to the atom relation.
+	var newAttrs []string
+	isNew := map[string]bool{}
+	addNew := func(a string) {
+		if isNew[a] {
+			return
+		}
+		if cur != nil {
+			if _, ok := cur.Rel.Schema.Index(a); ok {
+				return
+			}
+		}
+		isNew[a] = true
+		newAttrs = append(newAttrs, a)
+	}
+	for _, xi := range constPos {
+		addNew(s.Ladder.X[xi])
+	}
+	for _, g := range extGroups {
+		for _, xi := range g {
+			addNew(s.Ladder.X[xi])
+		}
+	}
+	for _, y := range s.Ladder.Y {
+		addNew(y)
+	}
+
+	// Build the new schema.
+	var schemaAttrs []relation.Attribute
+	if cur != nil {
+		schemaAttrs = append(schemaAttrs, cur.Rel.Schema.Attrs...)
+	}
+	for _, a := range newAttrs {
+		schemaAttrs = append(schemaAttrs, base.Schema.Attrs[base.Schema.MustIndex(a)])
+	}
+	newSchema, err := relation.NewSchema(q.Atoms[ai].Name(), schemaAttrs...)
+	if err != nil {
+		return fmt.Errorf("plan: step %d schema: %w", si, err)
+	}
+	out := &FetchedAtom{Alias: q.Atoms[ai].Name(), Rel: relation.NewRelation(newSchema)}
+
+	newPos := make(map[string]int, len(newAttrs))
+	for i, a := range newAttrs {
+		off := 0
+		if cur != nil {
+			off = cur.Rel.Schema.Arity()
+		}
+		newPos[a] = off + i
+	}
+
+	// Fetch cache: one index lookup per distinct X-value per step.
+	cache := map[string][]access0{}
+	fetch := func(xt relation.Tuple) []access0 {
+		key := xt.Key()
+		if got, ok := cache[key]; ok {
+			return got
+		}
+		if stats.Truncated {
+			cache[key] = nil
+			return nil
+		}
+		samples := s.Ladder.Fetch(key, k)
+		if stats.Accessed+len(samples) > p.Budget {
+			// Budget backstop: take what fits, then stop fetching.
+			room := p.Budget - stats.Accessed
+			if room < 0 {
+				room = 0
+			}
+			samples = samples[:room]
+			stats.Truncated = true
+		}
+		stats.Accessed += len(samples)
+		conv := make([]access0, len(samples))
+		for i, smp := range samples {
+			conv[i] = access0{y: smp.Y, count: smp.Count}
+		}
+		cache[key] = conv
+		return conv
+	}
+
+	// Enumerate rows: existing rows (or one virtual row) × external
+	// valuations × samples.
+	emit := func(prefix relation.Tuple, w int, xFill map[int]relation.Value) {
+		// Assemble the X tuple in ladder order.
+		xt := make(relation.Tuple, len(s.Ladder.X))
+		for xi := range s.Ladder.X {
+			if ci, ok := ownPos[xi]; ok {
+				xt[xi] = prefix[ci]
+				continue
+			}
+			if v, ok := xFill[xi]; ok {
+				xt[xi] = v
+				continue
+			}
+			// Constant.
+			xt[xi] = s.X[xi].Const
+		}
+		for _, smp := range fetch(xt) {
+			row := make(relation.Tuple, newSchema.Arity())
+			copy(row, prefix)
+			for xi, a := range s.Ladder.X {
+				if pos, ok := newPos[a]; ok {
+					row[pos] = xt[xi]
+				}
+			}
+			for yi, a := range s.Ladder.Y {
+				if pos, ok := newPos[a]; ok {
+					row[pos] = smp.y[yi]
+				}
+			}
+			out.Rel.Tuples = append(out.Rel.Tuples, row)
+			out.Weights = append(out.Weights, w*smp.count)
+		}
+	}
+
+	// Walk the cross product of external groups.
+	var walkExt func(gi int, fill map[int]relation.Value, prefix relation.Tuple, w int)
+	walkExt = func(gi int, fill map[int]relation.Value, prefix relation.Tuple, w int) {
+		if gi == len(extGroups) {
+			emit(prefix, w, fill)
+			return
+		}
+		for _, vt := range extVals[gi] {
+			for i, xi := range extGroups[gi] {
+				fill[xi] = vt[i]
+			}
+			walkExt(gi+1, fill, prefix, w)
+		}
+	}
+
+	if cur == nil {
+		walkExt(0, map[int]relation.Value{}, relation.Tuple{}, 1)
+	} else {
+		for ri, t := range cur.Rel.Tuples {
+			walkExt(0, map[int]relation.Value{}, t, cur.Weights[ri])
+		}
+	}
+	atoms[ai] = out
+	return nil
+}
+
+type access0 struct {
+	y     relation.Tuple
+	count int
+}
+
+// EvaluateFetched runs ξE: the query's relational operations over the
+// fetched atoms, with selection and join conditions relaxed by the fetch
+// resolutions of the attributes involved (paper §5, "evaluation plan").
+func EvaluateFetched(p *Bounded, db *relation.Database, atoms []*FetchedAtom) (*Result, error) {
+	q := p.Chase.Query
+	outSchema, err := query.OutputSchema(q, db)
+	if err != nil {
+		return nil, err
+	}
+	aliasIdx := make(map[string]int, len(q.Atoms))
+	for i, a := range q.Atoms {
+		aliasIdx[a.Name()] = i
+	}
+	resOf := func(c query.Col) float64 {
+		return p.Chase.ResolutionOf(aliasIdx[c.Rel], c.Attr, p.Ks)
+	}
+	distOf := func(c query.Col) relation.Distance {
+		s := db.MustRelation(q.Atoms[aliasIdx[c.Rel]].Rel).Schema
+		return s.Attrs[s.MustIndex(c.Attr)].Dist
+	}
+
+	// Env of qualified columns across joined atoms.
+	type envT struct {
+		cols []query.Col
+		pos  map[query.Col]int
+	}
+	env := envT{pos: map[query.Col]int{}}
+	var rows []relation.Tuple
+	var weights []int
+
+	constPreds := make(map[string][]query.Pred)
+	var joinPreds []query.Pred
+	for _, p := range q.Preds {
+		if p.Join {
+			joinPreds = append(joinPreds, p)
+		} else {
+			constPreds[p.Left.Rel] = append(constPreds[p.Left.Rel], p)
+		}
+	}
+	applied := make([]bool, len(joinPreds))
+	processed := map[string]bool{}
+
+	for ai, atom := range q.Atoms {
+		alias := atom.Name()
+		fa := atoms[ai]
+
+		// Relaxed constant selection on this atom's rows.
+		var atomRows []relation.Tuple
+		var atomWs []int
+		for ri, t := range fa.Rel.Tuples {
+			ok := true
+			for _, pd := range constPreds[alias] {
+				ci, has := fa.Rel.Schema.Index(pd.Left.Attr)
+				if !has {
+					return nil, fmt.Errorf("plan: predicate column %s not fetched", pd.Left)
+				}
+				r := resOf(pd.Left)
+				if math.IsInf(r, 1) {
+					continue // unboundedly approximate: cannot filter
+				}
+				if !pd.RelaxedHolds(distOf(pd.Left), t[ci], relation.Null(), r) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				atomRows = append(atomRows, t)
+				atomWs = append(atomWs, fa.Weights[ri])
+			}
+		}
+
+		atomCols := make([]query.Col, fa.Rel.Schema.Arity())
+		for i, a := range fa.Rel.Schema.Attrs {
+			atomCols[i] = query.C(alias, a.Name)
+		}
+
+		if ai == 0 {
+			rows, weights = atomRows, atomWs
+			for i, c := range atomCols {
+				env.pos[c] = i
+				env.cols = append(env.cols, c)
+			}
+			processed[alias] = true
+			continue
+		}
+
+		// Connecting join predicates. A tolerance of +inf means the
+		// attribute was fetched with unbounded resolution: relaxation
+		// cannot meaningfully widen such a join (the accuracy bound is
+		// already 0), so it is enforced exactly — which also keeps the
+		// join from degenerating into a cross product.
+		var exactEq, relaxed []int
+		for pi, pd := range joinPreds {
+			if applied[pi] {
+				continue
+			}
+			lNew, rNew := pd.Left.Rel == alias, pd.Right.Rel == alias
+			lOld, rOld := processed[pd.Left.Rel], processed[pd.Right.Rel]
+			if !((lNew && rOld) || (rNew && lOld) || (lNew && rNew)) {
+				continue
+			}
+			tol := (resOf(pd.Left) + resOf(pd.Right)) / 2
+			if pd.Op == query.OpEq && (tol == 0 || math.IsInf(tol, 1)) && !(lNew && rNew) {
+				exactEq = append(exactEq, pi)
+			} else {
+				relaxed = append(relaxed, pi)
+			}
+		}
+
+		valOf := func(c query.Col, envRow, atomRow relation.Tuple) (relation.Value, error) {
+			if c.Rel == alias {
+				ci, ok := fa.Rel.Schema.Index(c.Attr)
+				if !ok {
+					return relation.Null(), fmt.Errorf("plan: join column %s not fetched", c)
+				}
+				return atomRow[ci], nil
+			}
+			pi, ok := env.pos[c]
+			if !ok {
+				return relation.Null(), fmt.Errorf("plan: join column %s not in scope", c)
+			}
+			return envRow[pi], nil
+		}
+
+		var joined []relation.Tuple
+		var joinedW []int
+		emit := func(envRow relation.Tuple, ew int, atomRow relation.Tuple, aw int) error {
+			for _, pi := range relaxed {
+				pd := joinPreds[pi]
+				lv, err := valOf(pd.Left, envRow, atomRow)
+				if err != nil {
+					return err
+				}
+				rv, err := valOf(pd.Right, envRow, atomRow)
+				if err != nil {
+					return err
+				}
+				tol := (resOf(pd.Left) + resOf(pd.Right)) / 2
+				if math.IsInf(tol, 1) {
+					// Unbounded resolution: enforce exactly (see above).
+					if !pd.Holds(lv, rv) {
+						return nil
+					}
+					continue
+				}
+				if !pd.RelaxedHolds(distOf(pd.Left), lv, rv, tol) {
+					return nil
+				}
+			}
+			nt := make(relation.Tuple, 0, len(envRow)+len(atomRow))
+			nt = append(append(nt, envRow...), atomRow...)
+			joined = append(joined, nt)
+			joinedW = append(joinedW, ew*aw)
+			return nil
+		}
+
+		if len(exactEq) > 0 {
+			atomKeyIdx := make([]int, len(exactEq))
+			envKeyIdx := make([]int, len(exactEq))
+			for i, pi := range exactEq {
+				pd := joinPreds[pi]
+				ac, ec := pd.Left, pd.Right
+				if ec.Rel == alias {
+					ac, ec = ec, ac
+				}
+				ci, _ := fa.Rel.Schema.Index(ac.Attr)
+				atomKeyIdx[i] = ci
+				envKeyIdx[i] = env.pos[ec]
+			}
+			ht := map[string][]int{}
+			for ri, t := range atomRows {
+				ht[t.Project(atomKeyIdx).Key()] = append(ht[t.Project(atomKeyIdx).Key()], ri)
+			}
+			for ei, et := range rows {
+				for _, ri := range ht[et.Project(envKeyIdx).Key()] {
+					if err := emit(et, weights[ei], atomRows[ri], atomWs[ri]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		} else {
+			if len(rows)*len(atomRows) > query.MaxIntermediate {
+				return nil, fmt.Errorf("plan: relaxed join of %d x %d rows exceeds limit", len(rows), len(atomRows))
+			}
+			for ei, et := range rows {
+				for ri, at := range atomRows {
+					if err := emit(et, weights[ei], at, atomWs[ri]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		for _, pi := range exactEq {
+			applied[pi] = true
+		}
+		for _, pi := range relaxed {
+			applied[pi] = true
+		}
+		rows, weights = joined, joinedW
+		for _, c := range atomCols {
+			env.pos[c] = len(env.cols)
+			env.cols = append(env.cols, c)
+		}
+		processed[alias] = true
+	}
+
+	// Residual join predicates within the final environment.
+	for pi, pd := range joinPreds {
+		if applied[pi] {
+			continue
+		}
+		tol := (resOf(pd.Left) + resOf(pd.Right)) / 2
+		li, lok := env.pos[pd.Left]
+		ri, rok := env.pos[pd.Right]
+		if !lok || !rok {
+			return nil, fmt.Errorf("plan: join predicate %s references unfetched columns", pd)
+		}
+		var kept []relation.Tuple
+		var keptW []int
+		for i, t := range rows {
+			ok := false
+			if math.IsInf(tol, 1) {
+				ok = pd.Holds(t[li], t[ri])
+			} else {
+				ok = pd.RelaxedHolds(distOf(pd.Left), t[li], t[ri], tol)
+			}
+			if ok {
+				kept = append(kept, t)
+				keptW = append(keptW, weights[i])
+			}
+		}
+		rows, weights = kept, keptW
+	}
+
+	// Project.
+	outCols, err := query.OutputCols(q, db)
+	if err != nil {
+		return nil, err
+	}
+	outIdx := make([]int, len(outCols))
+	for i, c := range outCols {
+		pos, ok := env.pos[c]
+		if !ok {
+			return nil, fmt.Errorf("plan: output column %s not fetched", c)
+		}
+		outIdx[i] = pos
+	}
+	res := &Result{Rel: relation.NewRelation(outSchema)}
+	for i, t := range rows {
+		res.Rel.Tuples = append(res.Rel.Tuples, t.Project(outIdx))
+		res.Weights = append(res.Weights, weights[i])
+	}
+	return res, nil
+}

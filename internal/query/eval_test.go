@@ -1,0 +1,324 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func mustEval(t *testing.T, db *relation.Database, e Expr) *relation.Relation {
+	t.Helper()
+	r, err := Evaluate(db, e)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return r
+}
+
+func TestEvaluateQ1(t *testing.T) {
+	db := testDB(t)
+	// Friends of p0=0 are persons 1 (NYC) and 2 (Chicago); hotels <= 95
+	// there: a1 (NYC, 90) and a3 (Chicago, 80).
+	r := mustEval(t, db, q1(0, 95))
+	if r.Len() != 2 {
+		t.Fatalf("Q1 answers = %d rows: %v", r.Len(), r.Tuples)
+	}
+	want := map[string]float64{"a1": 90, "a3": 80}
+	for _, tp := range r.Tuples {
+		addr, _ := tp[0].AsString()
+		price, _ := tp[1].AsFloat()
+		if want[addr] != price {
+			t.Errorf("unexpected answer %v", tp)
+		}
+		delete(want, addr)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing answers: %v", want)
+	}
+}
+
+func TestEvaluateQ2ExactCities(t *testing.T) {
+	db := testDB(t)
+	// Paper's Q2: cities of friends of p0.
+	q2 := &SPC{
+		Atoms: []Atom{{Rel: "friend", Alias: "f"}, {Rel: "person", Alias: "p"}},
+		Preds: []Pred{
+			EqC(C("f", "pid"), relation.Int(0)),
+			EqJ(C("f", "fid"), C("p", "pid")),
+		},
+		Output: []Col{C("p", "city")},
+	}
+	r := mustEval(t, db, q2).Distinct()
+	if r.Len() != 2 {
+		t.Fatalf("Q2 = %v", r.Tuples)
+	}
+}
+
+func TestEvaluateSelfJoinAliases(t *testing.T) {
+	db := testDB(t)
+	// Friends-of-friends: friend as f1 joined with friend as f2.
+	q := &SPC{
+		Atoms: []Atom{{Rel: "friend", Alias: "f1"}, {Rel: "friend", Alias: "f2"}},
+		Preds: []Pred{
+			EqC(C("f1", "pid"), relation.Int(0)),
+			EqJ(C("f1", "fid"), C("f2", "pid")),
+		},
+		Output: []Col{C("f2", "fid")},
+	}
+	r := mustEval(t, db, q)
+	// friend(0,1), friend(1,3) -> fid 3.
+	if r.Len() != 1 {
+		t.Fatalf("self-join = %v", r.Tuples)
+	}
+	if v, _ := r.Tuples[0][0].AsInt(); v != 3 {
+		t.Errorf("friend-of-friend = %v", r.Tuples[0])
+	}
+}
+
+func TestEvaluateCartesianAndLeJoin(t *testing.T) {
+	db := testDB(t)
+	// Pairs of hotels where the first is cheaper: a <= join predicate.
+	q := &SPC{
+		Atoms: []Atom{{Rel: "poi", Alias: "x"}, {Rel: "poi", Alias: "y"}},
+		Preds: []Pred{
+			EqC(C("x", "type"), relation.String("hotel")),
+			EqC(C("y", "type"), relation.String("hotel")),
+			LeJ(C("x", "price"), C("y", "price")),
+		},
+		Output: []Col{C("x", "address"), C("y", "address")},
+	}
+	r := mustEval(t, db, q)
+	// Hotels: 90, 99, 80, 200 -> ordered pairs with x<=y: count pairs.
+	prices := []float64{90, 99, 80, 200}
+	want := 0
+	for _, a := range prices {
+		for _, b := range prices {
+			if a <= b {
+				want++
+			}
+		}
+	}
+	if r.Len() != want {
+		t.Errorf("le-join rows = %d, want %d", r.Len(), want)
+	}
+}
+
+func TestEvaluateUnionAndDiff(t *testing.T) {
+	db := testDB(t)
+	cheap := &SPC{
+		Atoms:  []Atom{{Rel: "poi", Alias: "h"}},
+		Preds:  []Pred{LeC(C("h", "price"), relation.Float(95))},
+		Output: []Col{C("h", "address")},
+	}
+	hotels := &SPC{
+		Atoms:  []Atom{{Rel: "poi", Alias: "h"}},
+		Preds:  []Pred{EqC(C("h", "type"), relation.String("hotel"))},
+		Output: []Col{C("h", "address")},
+	}
+	u := mustEval(t, db, &Union{L: cheap, R: hotels})
+	// cheap: a1,a3,a4; hotels: a1,a2,a3,a5 -> union 5 distinct.
+	if u.Len() != 5 {
+		t.Errorf("union = %d rows: %v", u.Len(), u.Tuples)
+	}
+	d := mustEval(t, db, &Diff{L: hotels, R: cheap})
+	// hotels minus cheap: a2, a5.
+	if d.Len() != 2 {
+		t.Errorf("diff = %v", d.Tuples)
+	}
+	for _, tp := range d.Tuples {
+		a, _ := tp[0].AsString()
+		if a != "a2" && a != "a5" {
+			t.Errorf("diff contains %v", tp)
+		}
+	}
+}
+
+func TestEvaluateGroupByAll(t *testing.T) {
+	db := testDB(t)
+	hotels := &SPC{
+		Atoms:  []Atom{{Rel: "poi", Alias: "h"}},
+		Preds:  []Pred{EqC(C("h", "type"), relation.String("hotel"))},
+		Output: []Col{C("h", "city"), C("h", "price")},
+	}
+	check := func(agg AggKind, city string, want float64) {
+		t.Helper()
+		g := &GroupBy{In: hotels, Keys: []Col{C("h", "city")}, Agg: agg, On: C("h", "price")}
+		r := mustEval(t, db, g)
+		for _, tp := range r.Tuples {
+			c, _ := tp[0].AsString()
+			if c == city {
+				got, _ := tp[1].AsFloat()
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("%v(%s) = %g, want %g", agg, city, got, want)
+				}
+				return
+			}
+		}
+		t.Errorf("%v: city %s missing", agg, city)
+	}
+	// NYC hotels: 90, 99.
+	check(AggCount, "NYC", 2)
+	check(AggSum, "NYC", 189)
+	check(AggAvg, "NYC", 94.5)
+	check(AggMin, "NYC", 90)
+	check(AggMax, "NYC", 99)
+	check(AggCount, "Boston", 1)
+}
+
+func TestEvaluateGroupByOverDiff(t *testing.T) {
+	db := testDB(t)
+	hotels := &SPC{
+		Atoms:  []Atom{{Rel: "poi", Alias: "h"}},
+		Preds:  []Pred{EqC(C("h", "type"), relation.String("hotel"))},
+		Output: []Col{C("h", "city"), C("h", "price")},
+	}
+	cheap := &SPC{
+		Atoms:  []Atom{{Rel: "poi", Alias: "h"}},
+		Preds:  []Pred{LeC(C("h", "price"), relation.Float(95))},
+		Output: []Col{C("h", "city"), C("h", "price")},
+	}
+	g := &GroupBy{In: &Diff{L: hotels, R: cheap}, Keys: []Col{C("h", "city")}, Agg: AggCount, On: C("h", "price")}
+	r := mustEval(t, db, g)
+	// Expensive hotels: a2 (NYC, 99), a5 (Boston, 200).
+	if r.Len() != 2 {
+		t.Fatalf("group over diff = %v", r.Tuples)
+	}
+}
+
+func TestEvaluateSetDedupes(t *testing.T) {
+	db := testDB(t)
+	cities := &SPC{Atoms: []Atom{{Rel: "poi", Alias: "h"}}, Output: []Col{C("h", "city")}}
+	bag, _ := Evaluate(db, cities)
+	set, _ := EvaluateSet(db, cities)
+	if bag.Len() != 5 || set.Len() != 3 {
+		t.Errorf("bag = %d, set = %d; want 5 and 3", bag.Len(), set.Len())
+	}
+}
+
+func TestEvaluateTrackedSPC(t *testing.T) {
+	db := testDB(t)
+	// Hotels at most $85: only a3 (80) qualifies exactly; a1 (90) has
+	// violation 0.05, a2 (99) 0.14, a5 (200) 1.15 on price scale 100.
+	q := &SPC{
+		Atoms: []Atom{{Rel: "poi", Alias: "h"}},
+		Preds: []Pred{
+			EqC(C("h", "type"), relation.String("hotel")),
+			LeC(C("h", "price"), relation.Float(85)),
+		},
+		Output: []Col{C("h", "address"), C("h", "price")},
+	}
+	r, viols, err := EvaluateTracked(db, q)
+	if err != nil {
+		t.Fatalf("EvaluateTracked: %v", err)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("tracked candidates = %d, want all 5 POIs (type is relaxable)", r.Len())
+	}
+	got := map[string]float64{}
+	for i, tp := range r.Tuples {
+		a, _ := tp[0].AsString()
+		got[a] = viols[i]
+	}
+	want := map[string]float64{"a3": 0, "a1": 0.05, "a2": 0.14, "a5": 1.15}
+	for a, w := range want {
+		if math.Abs(got[a]-w) > 1e-9 {
+			t.Errorf("violation[%s] = %g, want %g", a, got[a], w)
+		}
+	}
+	// The discrete "type" predicate is relaxable too: bars should appear
+	// with violation >= 1. Since "type" is bounded (discrete), a4 shows up.
+	if _, ok := got["a4"]; !ok {
+		t.Error("bar a4 should be a candidate with violation 1")
+	} else if got["a4"] < 1 {
+		t.Errorf("bar violation = %g, want >= 1", got["a4"])
+	}
+	_ = relation.Null()
+}
+
+func TestEvaluateTrackedTrivialEnforced(t *testing.T) {
+	db := testDB(t)
+	// city has a trivial distance: candidates must never cross cities.
+	q := &SPC{
+		Atoms:  []Atom{{Rel: "poi", Alias: "h"}},
+		Preds:  []Pred{EqC(C("h", "city"), relation.String("NYC"))},
+		Output: []Col{C("h", "address")},
+	}
+	r, viols, err := EvaluateTracked(db, q)
+	if err != nil {
+		t.Fatalf("EvaluateTracked: %v", err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("NYC candidates = %d, want 3", r.Len())
+	}
+	for _, v := range viols {
+		if v != 0 {
+			t.Errorf("trivial-distance predicate must be enforced exactly, got violation %g", v)
+		}
+	}
+}
+
+func TestEvaluateTrackedDiff(t *testing.T) {
+	db := testDB(t)
+	hotels := &SPC{
+		Atoms:  []Atom{{Rel: "poi", Alias: "h"}},
+		Preds:  []Pred{EqC(C("h", "type"), relation.String("hotel"))},
+		Output: []Col{C("h", "address")},
+	}
+	cheap := &SPC{
+		Atoms:  []Atom{{Rel: "poi", Alias: "h"}},
+		Preds:  []Pred{LeC(C("h", "price"), relation.Float(95))},
+		Output: []Col{C("h", "address")},
+	}
+	r, viols, err := EvaluateTracked(db, &Diff{L: hotels, R: cheap})
+	if err != nil {
+		t.Fatalf("EvaluateTracked diff: %v", err)
+	}
+	got := map[string]float64{}
+	for i, tp := range r.Tuples {
+		a, _ := tp[0].AsString()
+		got[a] = viols[i]
+	}
+	// a1, a3 are excluded (in cheap at r=0 and enter hotels at r=0).
+	if _, ok := got["a1"]; ok {
+		t.Error("a1 must be excluded: it is cheap at r=0")
+	}
+	// a2 (99) enters cheap at r=0.04, but is a hotel at r=0 -> feasible.
+	if v, ok := got["a2"]; !ok || v != 0 {
+		t.Errorf("a2 violation = %v, %v; want 0", v, ok)
+	}
+	// a5 (200) stays out of cheap until r=1.05.
+	if v, ok := got["a5"]; !ok || v != 0 {
+		t.Errorf("a5 violation = %v, %v; want 0", v, ok)
+	}
+	// a4 is a bar: it enters hotels at r=1 but enters cheap at r=0 -> excluded.
+	if _, ok := got["a4"]; ok {
+		t.Error("a4 must be excluded: it is cheap before it becomes a hotel")
+	}
+}
+
+func TestEvaluateTrackedRejectsGroupBy(t *testing.T) {
+	db := testDB(t)
+	g := &GroupBy{In: q1(0, 95), Keys: []Col{C("h", "address")}, Agg: AggCount, On: C("h", "price")}
+	if _, _, err := EvaluateTracked(db, g); err == nil {
+		t.Error("group-by must be rejected")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := Evaluate(db, &SPC{Atoms: []Atom{{Rel: "nope"}}}); err == nil {
+		t.Error("unknown relation must error")
+	}
+	mismatch := &Union{L: q1(0, 95), R: &SPC{Atoms: []Atom{{Rel: "person"}}, Output: []Col{C("person", "pid")}}}
+	if _, err := Evaluate(db, mismatch); err == nil {
+		t.Error("union arity mismatch must error")
+	}
+	badSum := &GroupBy{
+		In:   &SPC{Atoms: []Atom{{Rel: "person", Alias: "p"}}, Output: []Col{C("p", "pid"), C("p", "city")}},
+		Keys: []Col{C("p", "pid")}, Agg: AggSum, On: C("p", "city"),
+	}
+	if _, err := Evaluate(db, badSum); err == nil {
+		t.Error("sum over strings must error")
+	}
+}

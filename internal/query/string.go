@@ -1,0 +1,93 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render pretty-prints the expression in a SQL-ish notation for logs, CLIs
+// and experiment reports.
+func Render(e Expr) string {
+	var b strings.Builder
+	render(&b, e, 0)
+	return b.String()
+}
+
+func render(b *strings.Builder, e Expr, depth int) {
+	switch q := e.(type) {
+	case *SPC:
+		renderSPC(b, q, nil)
+	case *Union:
+		b.WriteString("(")
+		render(b, q.L, depth+1)
+		b.WriteString(") UNION (")
+		render(b, q.R, depth+1)
+		b.WriteString(")")
+	case *Diff:
+		b.WriteString("(")
+		render(b, q.L, depth+1)
+		b.WriteString(") EXCEPT (")
+		render(b, q.R, depth+1)
+		b.WriteString(")")
+	case *GroupBy:
+		if spc, ok := q.In.(*SPC); ok {
+			renderSPC(b, spc, q)
+			return
+		}
+		fmt.Fprintf(b, "gpBy(")
+		render(b, q.In, depth+1)
+		fmt.Fprintf(b, ", {%s}, %s(%s))", colList(q.Keys), q.Agg, q.On)
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+func renderSPC(b *strings.Builder, q *SPC, g *GroupBy) {
+	b.WriteString("select ")
+	switch {
+	case g != nil:
+		as := g.As
+		if as == "" {
+			as = "agg"
+		}
+		if len(g.Keys) > 0 {
+			fmt.Fprintf(b, "%s, ", colList(g.Keys))
+		}
+		fmt.Fprintf(b, "%s(%s) as %s", g.Agg, g.On, as)
+	case len(q.Output) == 0:
+		b.WriteString("*")
+	default:
+		b.WriteString(colList(q.Output))
+	}
+	b.WriteString(" from ")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if a.Alias != "" && a.Alias != a.Rel {
+			fmt.Fprintf(b, "%s as %s", a.Rel, a.Alias)
+		} else {
+			b.WriteString(a.Rel)
+		}
+	}
+	if len(q.Preds) > 0 {
+		b.WriteString(" where ")
+		for i, p := range q.Preds {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if g != nil && len(g.Keys) > 0 {
+		fmt.Fprintf(b, " group by %s", colList(g.Keys))
+	}
+}
+
+func colList(cols []Col) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,222 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// SchemaSource resolves base relation names to schemas; *relation.Database
+// satisfies it.
+type SchemaSource interface {
+	Relation(name string) (*relation.Relation, bool)
+}
+
+// Validate checks the expression against the database schema: atoms resolve,
+// aliases are unique per SPC leaf, columns exist, set operations are
+// compatible, and group-by appears only at the root.
+func Validate(e Expr, src SchemaSource) error {
+	if g, ok := e.(*GroupBy); ok {
+		if err := validateNoAgg(g.In); err != nil {
+			return err
+		}
+		if _, err := OutputSchema(e, src); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := validateNoAgg(e); err != nil {
+		return err
+	}
+	_, err := OutputSchema(e, src)
+	return err
+}
+
+func validateNoAgg(e Expr) error {
+	switch q := e.(type) {
+	case *SPC:
+		return nil
+	case *Union:
+		if err := validateNoAgg(q.L); err != nil {
+			return err
+		}
+		return validateNoAgg(q.R)
+	case *Diff:
+		if err := validateNoAgg(q.L); err != nil {
+			return err
+		}
+		return validateNoAgg(q.R)
+	case *GroupBy:
+		return fmt.Errorf("query: group-by is only supported at the query root")
+	default:
+		return fmt.Errorf("query: unknown expression %T", e)
+	}
+}
+
+// OutputSchema computes the output relation schema RQ of the expression.
+// Attribute names are qualified column names ("alias.attr"); for group-by,
+// the aggregate column is named by GroupBy.As (default "agg").
+func OutputSchema(e Expr, src SchemaSource) (*relation.Schema, error) {
+	switch q := e.(type) {
+	case *SPC:
+		return spcOutputSchema(q, src)
+	case *Union:
+		l, err := OutputSchema(q.L, src)
+		if err != nil {
+			return nil, err
+		}
+		r, err := OutputSchema(q.R, src)
+		if err != nil {
+			return nil, err
+		}
+		if err := compatible(l, r); err != nil {
+			return nil, fmt.Errorf("query: union: %w", err)
+		}
+		return l, nil
+	case *Diff:
+		l, err := OutputSchema(q.L, src)
+		if err != nil {
+			return nil, err
+		}
+		r, err := OutputSchema(q.R, src)
+		if err != nil {
+			return nil, err
+		}
+		if err := compatible(l, r); err != nil {
+			return nil, fmt.Errorf("query: difference: %w", err)
+		}
+		return l, nil
+	case *GroupBy:
+		return groupByOutputSchema(q, src)
+	default:
+		return nil, fmt.Errorf("query: unknown expression %T", e)
+	}
+}
+
+func spcOutputSchema(q *SPC, src SchemaSource) (*relation.Schema, error) {
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("query: SPC needs at least one atom")
+	}
+	byAlias := make(map[string]*relation.Schema, len(q.Atoms))
+	for _, a := range q.Atoms {
+		r, ok := src.Relation(a.Rel)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q", a.Rel)
+		}
+		name := a.Name()
+		if _, dup := byAlias[name]; dup {
+			return nil, fmt.Errorf("query: duplicate alias %q", name)
+		}
+		byAlias[name] = r.Schema
+	}
+	resolve := func(c Col) (relation.Attribute, error) {
+		s, ok := byAlias[c.Rel]
+		if !ok {
+			return relation.Attribute{}, fmt.Errorf("query: column %s: unknown alias %q", c, c.Rel)
+		}
+		i, ok := s.Index(c.Attr)
+		if !ok {
+			return relation.Attribute{}, fmt.Errorf("query: column %s: relation %s has no attribute %q", c, s.Name, c.Attr)
+		}
+		return s.Attrs[i], nil
+	}
+	for _, p := range q.Preds {
+		if _, err := resolve(p.Left); err != nil {
+			return nil, err
+		}
+		if p.Join {
+			if _, err := resolve(p.Right); err != nil {
+				return nil, err
+			}
+			if p.Op != OpEq && p.Op != OpLe {
+				return nil, fmt.Errorf("query: join predicate %s: only = and <= are supported between columns", p)
+			}
+		} else if p.Const.IsNull() {
+			return nil, fmt.Errorf("query: predicate %s compares against NULL", p)
+		}
+	}
+	out, err := OutputCols(q, src)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]relation.Attribute, len(out))
+	for i, c := range out {
+		a, err := resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		attrs[i] = relation.Attr(c.Name(), a.Type, a.Dist)
+	}
+	return relation.NewSchema("q", attrs...)
+}
+
+// OutputCols returns the effective projection list of an SPC leaf (its
+// Output, or all columns of all atoms when Output is empty).
+func OutputCols(q *SPC, src SchemaSource) ([]Col, error) {
+	if len(q.Output) > 0 {
+		return q.Output, nil
+	}
+	var out []Col
+	for _, a := range q.Atoms {
+		r, ok := src.Relation(a.Rel)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q", a.Rel)
+		}
+		for _, attr := range r.Schema.Attrs {
+			out = append(out, C(a.Name(), attr.Name))
+		}
+	}
+	return out, nil
+}
+
+func groupByOutputSchema(q *GroupBy, src SchemaSource) (*relation.Schema, error) {
+	in, err := OutputSchema(q.In, src)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]relation.Attribute, 0, len(q.Keys)+1)
+	for _, k := range q.Keys {
+		i, ok := in.Index(k.Name())
+		if !ok {
+			return nil, fmt.Errorf("query: group-by key %s is not an output column", k)
+		}
+		attrs = append(attrs, in.Attrs[i])
+	}
+	i, ok := in.Index(q.On.Name())
+	if !ok {
+		return nil, fmt.Errorf("query: aggregate column %s is not an output column", q.On)
+	}
+	onAttr := in.Attrs[i]
+	name := q.As
+	if name == "" {
+		name = "agg"
+	}
+	scale := q.DistScale
+	if scale <= 0 {
+		if q.Agg == AggCount {
+			scale = 1
+		} else if onAttr.Dist.Kind == relation.DistNumeric && onAttr.Dist.Scale > 0 {
+			scale = onAttr.Dist.Scale
+		} else {
+			scale = 1
+		}
+	}
+	var typ relation.Kind
+	switch q.Agg {
+	case AggCount:
+		typ = relation.KindInt
+	case AggSum, AggAvg:
+		typ = relation.KindFloat
+	default:
+		typ = onAttr.Type
+	}
+	attrs = append(attrs, relation.Attr(name, typ, relation.Numeric(scale)))
+	return relation.NewSchema("q", attrs...)
+}
+
+func compatible(l, r *relation.Schema) error {
+	if l.Arity() != r.Arity() {
+		return fmt.Errorf("operands have arity %d and %d", l.Arity(), r.Arity())
+	}
+	return nil
+}

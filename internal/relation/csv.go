@@ -1,0 +1,66 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes the relation as CSV with a header row of attribute names.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema.AttrNames()); err != nil {
+		return fmt.Errorf("relation: write csv header: %w", err)
+	}
+	row := make([]string, r.Schema.Arity())
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			if v.IsNull() {
+				row[i] = ""
+			} else {
+				row[i] = v.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("relation: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation from CSV produced by WriteCSV. The header must
+// match the schema's attribute names exactly (same order).
+func ReadCSV(rd io.Reader, s *Schema) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = s.Arity()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read csv header: %w", err)
+	}
+	for i, name := range s.AttrNames() {
+		if header[i] != name {
+			return nil, fmt.Errorf("relation: csv header %q does not match schema attribute %q", header[i], name)
+		}
+	}
+	out := NewRelation(s)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: read csv row: %w", err)
+		}
+		t := make(Tuple, len(rec))
+		for i, field := range rec {
+			v, err := ParseValue(s.Attrs[i].Type, field)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, nil
+}

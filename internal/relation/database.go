@@ -1,0 +1,87 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Database is an instance D of a database schema R: a set of named relation
+// instances. |D| (the paper's resource-budget denominator) is the total
+// number of tuples across relations.
+type Database struct {
+	relations map[string]*Relation
+	order     []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{relations: make(map[string]*Relation)}
+}
+
+// Add registers a relation under its schema name. Adding a duplicate name is
+// an error.
+func (db *Database) Add(r *Relation) error {
+	name := r.Schema.Name
+	if _, dup := db.relations[name]; dup {
+		return fmt.Errorf("relation: database already has relation %q", name)
+	}
+	db.relations[name] = r
+	db.order = append(db.order, name)
+	return nil
+}
+
+// MustAdd is Add that panics on duplicates; for generators and tests.
+func (db *Database) MustAdd(r *Relation) {
+	if err := db.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Relation returns the named relation instance.
+func (db *Database) Relation(name string) (*Relation, bool) {
+	r, ok := db.relations[name]
+	return r, ok
+}
+
+// MustRelation is Relation that panics when the name is unknown.
+func (db *Database) MustRelation(name string) *Relation {
+	r, ok := db.relations[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: database has no relation %q", name))
+	}
+	return r
+}
+
+// Names returns the relation names in insertion order.
+func (db *Database) Names() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// Size returns |D|: the total number of tuples across all relations.
+func (db *Database) Size() int {
+	n := 0
+	for _, r := range db.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// Stats returns per-relation tuple counts, sorted by relation name, for
+// reporting.
+func (db *Database) Stats() []RelStat {
+	stats := make([]RelStat, 0, len(db.relations))
+	for name, r := range db.relations {
+		stats = append(stats, RelStat{Name: name, Tuples: r.Len(), Arity: r.Schema.Arity()})
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
+	return stats
+}
+
+// RelStat summarises one relation for reporting.
+type RelStat struct {
+	Name   string
+	Tuples int
+	Arity  int
+}

@@ -1,0 +1,60 @@
+package relation
+
+import "testing"
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase()
+	poi := samplePOI(t)
+	if err := db.Add(poi); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := db.Add(poi); err == nil {
+		t.Error("duplicate Add must error")
+	}
+	friend := NewRelation(MustSchema("friend",
+		Attr("pid", KindInt, Trivial()),
+		Attr("fid", KindInt, Trivial()),
+	))
+	friend.MustAppend(Tuple{Int(1), Int(2)}, Tuple{Int(1), Int(3)})
+	db.MustAdd(friend)
+
+	if got, ok := db.Relation("poi"); !ok || got != poi {
+		t.Error("Relation lookup failed")
+	}
+	if _, ok := db.Relation("nope"); ok {
+		t.Error("Relation(nope) should fail")
+	}
+	if db.MustRelation("friend") != friend {
+		t.Error("MustRelation")
+	}
+	if db.Size() != 7 {
+		t.Errorf("Size = %d, want 7", db.Size())
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "poi" || names[1] != "friend" {
+		t.Errorf("Names = %v", names)
+	}
+	stats := db.Stats()
+	if len(stats) != 2 || stats[0].Name != "friend" || stats[0].Tuples != 2 || stats[1].Arity != 4 {
+		t.Errorf("Stats = %+v", stats)
+	}
+}
+
+func TestDatabasePanics(t *testing.T) {
+	db := NewDatabase()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustRelation should panic on unknown name")
+			}
+		}()
+		db.MustRelation("nope")
+	}()
+	db.MustAdd(samplePOI(t))
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd should panic on duplicate")
+		}
+	}()
+	db.MustAdd(samplePOI(t))
+}

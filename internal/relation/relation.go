@@ -1,0 +1,131 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is an in-memory relation instance: a schema plus a bag of tuples.
+// BEAS itself works under set semantics for RA and bag semantics for
+// aggregates; Relation stores a bag and provides Distinct for the former.
+type Relation struct {
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// NewRelation returns an empty relation over the schema.
+func NewRelation(s *Schema) *Relation {
+	return &Relation{Schema: s}
+}
+
+// Len returns the number of tuples (bag cardinality).
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Append adds tuples after validating their arity against the schema.
+func (r *Relation) Append(ts ...Tuple) error {
+	for _, t := range ts {
+		if len(t) != r.Schema.Arity() {
+			return fmt.Errorf("relation: %s expects arity %d, got %d", r.Schema.Name, r.Schema.Arity(), len(t))
+		}
+	}
+	r.Tuples = append(r.Tuples, ts...)
+	return nil
+}
+
+// MustAppend is Append that panics on arity errors; for generators and tests.
+func (r *Relation) MustAppend(ts ...Tuple) {
+	if err := r.Append(ts...); err != nil {
+		panic(err)
+	}
+}
+
+// Distinct returns a new relation with duplicate tuples removed, preserving
+// first-occurrence order.
+func (r *Relation) Distinct() *Relation {
+	out := NewRelation(r.Schema)
+	seen := make(map[string]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out
+}
+
+// Project returns a new relation containing the named attributes only
+// (bag semantics: duplicates are kept).
+func (r *Relation) Project(attrs []string) (*Relation, error) {
+	idx, err := r.Schema.Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := r.Schema.Project(r.Schema.Name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(sch)
+	out.Tuples = make([]Tuple, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		out.Tuples = append(out.Tuples, t.Project(idx))
+	}
+	return out, nil
+}
+
+// Contains reports whether the relation contains a tuple equal to t.
+func (r *Relation) Contains(t Tuple) bool {
+	for _, u := range r.Tuples {
+		if u.EqualTuple(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// SortByKey orders tuples by their canonical key, for deterministic output.
+func (r *Relation) SortByKey() {
+	sort.Slice(r.Tuples, func(i, j int) bool {
+		return r.Tuples[i].Key() < r.Tuples[j].Key()
+	})
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Schema)
+	out.Tuples = make([]Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// GroupBy partitions tuples by the key attributes and returns the groups in
+// first-occurrence order of their keys.
+func (r *Relation) GroupBy(attrs []string) ([]Group, error) {
+	idx, err := r.Schema.Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	byKey := make(map[string]int)
+	var groups []Group
+	for _, t := range r.Tuples {
+		key := t.Project(idx)
+		k := key.Key()
+		gi, ok := byKey[k]
+		if !ok {
+			gi = len(groups)
+			byKey[k] = gi
+			groups = append(groups, Group{Key: key})
+		}
+		groups[gi].Tuples = append(groups[gi].Tuples, t)
+	}
+	return groups, nil
+}
+
+// Group is one group-by partition: the grouping key and the member tuples.
+type Group struct {
+	Key    Tuple
+	Tuples []Tuple
+}

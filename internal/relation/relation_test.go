@@ -1,0 +1,167 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func samplePOI(t testing.TB) *Relation {
+	t.Helper()
+	r := NewRelation(poiSchema(t))
+	r.MustAppend(
+		Tuple{String("1 Main St"), String("hotel"), String("NYC"), Float(95)},
+		Tuple{String("2 Oak Ave"), String("hotel"), String("NYC"), Float(120)},
+		Tuple{String("3 Elm Rd"), String("bar"), String("NYC"), Float(15)},
+		Tuple{String("4 Pine Ln"), String("hotel"), String("Chicago"), Float(85)},
+		Tuple{String("1 Main St"), String("hotel"), String("NYC"), Float(95)}, // dup
+	)
+	return r
+}
+
+func TestRelationAppendValidation(t *testing.T) {
+	r := NewRelation(poiSchema(t))
+	if err := r.Append(Tuple{Int(1)}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	if err := r.Append(Tuple{String("a"), String("b"), String("c"), Float(1)}); err != nil {
+		t.Errorf("valid append: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend should panic on arity error")
+		}
+	}()
+	r.MustAppend(Tuple{Int(1)})
+}
+
+func TestRelationDistinct(t *testing.T) {
+	r := samplePOI(t)
+	d := r.Distinct()
+	if d.Len() != 4 {
+		t.Errorf("Distinct len = %d, want 4", d.Len())
+	}
+	if r.Len() != 5 {
+		t.Error("Distinct must not mutate the receiver")
+	}
+	// First-occurrence order preserved.
+	if v, _ := d.Tuples[0][0].AsString(); v != "1 Main St" {
+		t.Error("order not preserved")
+	}
+}
+
+func TestRelationProject(t *testing.T) {
+	r := samplePOI(t)
+	p, err := r.Project([]string{"city", "price"})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.Len() != 5 || p.Schema.Arity() != 2 {
+		t.Fatalf("Project shape: %d rows, arity %d", p.Len(), p.Schema.Arity())
+	}
+	if s, _ := p.Tuples[3][0].AsString(); s != "Chicago" {
+		t.Errorf("Project content: %v", p.Tuples[3])
+	}
+	if _, err := r.Project([]string{"nope"}); err != nil == false {
+		t.Error("Project bad attr should fail")
+	}
+}
+
+func TestRelationContains(t *testing.T) {
+	r := samplePOI(t)
+	if !r.Contains(Tuple{String("3 Elm Rd"), String("bar"), String("NYC"), Float(15)}) {
+		t.Error("Contains should find tuple")
+	}
+	if r.Contains(Tuple{String("x"), String("bar"), String("NYC"), Float(15)}) {
+		t.Error("Contains false positive")
+	}
+}
+
+func TestRelationSortAndClone(t *testing.T) {
+	r := samplePOI(t)
+	c := r.Clone()
+	c.Tuples[0][3] = Float(999)
+	if f, _ := r.Tuples[0][3].AsFloat(); f != 95 {
+		t.Error("Clone must deep-copy tuples")
+	}
+	r.SortByKey()
+	for i := 1; i < r.Len(); i++ {
+		if r.Tuples[i-1].Key() > r.Tuples[i].Key() {
+			t.Fatal("SortByKey not sorted")
+		}
+	}
+}
+
+func TestRelationGroupBy(t *testing.T) {
+	r := samplePOI(t)
+	groups, err := r.GroupBy([]string{"type", "city"})
+	if err != nil {
+		t.Fatalf("GroupBy: %v", err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("GroupBy groups = %d, want 3", len(groups))
+	}
+	// (hotel, NYC) has 3 members (including dup).
+	found := false
+	for _, g := range groups {
+		ty, _ := g.Key[0].AsString()
+		ci, _ := g.Key[1].AsString()
+		if ty == "hotel" && ci == "NYC" {
+			found = true
+			if len(g.Tuples) != 3 {
+				t.Errorf("(hotel,NYC) group size = %d, want 3", len(g.Tuples))
+			}
+		}
+	}
+	if !found {
+		t.Error("missing (hotel, NYC) group")
+	}
+	if _, err := r.GroupBy([]string{"nope"}); err == nil {
+		t.Error("GroupBy bad attr should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := samplePOI(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, r.Schema)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Len() != r.Len() {
+		t.Fatalf("roundtrip len = %d, want %d", got.Len(), r.Len())
+	}
+	for i := range r.Tuples {
+		if !got.Tuples[i].EqualTuple(r.Tuples[i]) {
+			t.Errorf("row %d: %v != %v", i, got.Tuples[i], r.Tuples[i])
+		}
+	}
+}
+
+func TestCSVHeaderMismatch(t *testing.T) {
+	in := strings.NewReader("a,b\n1,2\n")
+	s := MustSchema("r", Attr("x", KindInt, Trivial()), Attr("y", KindInt, Trivial()))
+	if _, err := ReadCSV(in, s); err == nil {
+		t.Error("header mismatch must error")
+	}
+}
+
+func TestCSVNulls(t *testing.T) {
+	s := MustSchema("r", Attr("x", KindInt, Trivial()), Attr("y", KindString, Trivial()))
+	r := NewRelation(s)
+	r.MustAppend(Tuple{Null(), String("a")}, Tuple{Int(2), Null()})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, s)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !got.Tuples[0][0].IsNull() || !got.Tuples[1][1].IsNull() {
+		t.Error("nulls must survive the roundtrip")
+	}
+}

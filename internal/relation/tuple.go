@@ -1,0 +1,83 @@
+package relation
+
+import (
+	"math"
+	"strings"
+)
+
+// Tuple is one row of a relation: a slice of values aligned with a schema's
+// attributes.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Project returns the sub-tuple at the given positions.
+func (t Tuple) Project(idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// EqualTuple reports component-wise equality (numeric kinds unified).
+func (t Tuple) EqualTuple(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string encoding of the tuple, unique per distinct
+// tuple, for use as a map key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f') // unit separator: cannot occur in Key encodings of ints/floats
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+// String renders the tuple for display, e.g. "(1, hotel, 95)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// TupleDistance computes the paper's tuple distance
+// d(t, t') = max_A dis_A(t[A], t'[A]) (§3.1) with respect to the given
+// attribute list. Tuples of mismatched arity are at distance +inf.
+func TupleDistance(attrs []Attribute, t, o Tuple) float64 {
+	if len(t) != len(o) || len(t) != len(attrs) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i, a := range attrs {
+		d := a.Dist.Between(t[i], o[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,109 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleCloneProject(t *testing.T) {
+	tp := Tuple{Int(1), String("a"), Float(2.5)}
+	c := tp.Clone()
+	c[0] = Int(99)
+	if v, _ := tp[0].AsInt(); v != 1 {
+		t.Error("Clone must not alias")
+	}
+	p := tp.Project([]int{2, 0})
+	if len(p) != 2 || !p[0].Equal(Float(2.5)) || !p[1].Equal(Int(1)) {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestTupleEqual(t *testing.T) {
+	a := Tuple{Int(1), String("x")}
+	b := Tuple{Float(1), String("x")}
+	if !a.EqualTuple(b) {
+		t.Error("numeric-unified tuple equality")
+	}
+	if a.EqualTuple(Tuple{Int(1)}) {
+		t.Error("arity mismatch should be unequal")
+	}
+	if a.EqualTuple(Tuple{Int(1), String("y")}) {
+		t.Error("different values should be unequal")
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	f := func(a, b int32, s1, s2 string) bool {
+		t1 := Tuple{Int(int64(a)), String(s1)}
+		t2 := Tuple{Int(int64(b)), String(s2)}
+		return (t1.Key() == t2.Key()) == t1.EqualTuple(t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleKeySeparator(t *testing.T) {
+	// ("ab", "c") must not collide with ("a", "bc").
+	t1 := Tuple{String("ab"), String("c")}
+	t2 := Tuple{String("a"), String("bc")}
+	if t1.Key() == t2.Key() {
+		t.Error("tuple key concat collision")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := Tuple{Int(1), String("a")}
+	if got := tp.String(); got != "(1, a)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTupleDistance(t *testing.T) {
+	attrs := []Attribute{
+		Attr("city", KindString, Trivial()),
+		Attr("price", KindFloat, Numeric(10)),
+		Attr("type", KindString, Discrete()),
+	}
+	a := Tuple{String("NYC"), Float(95), String("hotel")}
+	b := Tuple{String("NYC"), Float(99), String("hotel")}
+	if got := TupleDistance(attrs, a, b); got != 0.4 {
+		t.Errorf("distance = %g, want 0.4 (price dominates)", got)
+	}
+	c := Tuple{String("NYC"), Float(95), String("bar")}
+	if got := TupleDistance(attrs, a, c); got != 1 {
+		t.Errorf("distance = %g, want 1 (discrete dominates)", got)
+	}
+	d := Tuple{String("LA"), Float(95), String("hotel")}
+	if got := TupleDistance(attrs, a, d); !math.IsInf(got, 1) {
+		t.Errorf("distance = %g, want +inf (trivial city)", got)
+	}
+	if got := TupleDistance(attrs, a, a); got != 0 {
+		t.Errorf("self distance = %g", got)
+	}
+	if got := TupleDistance(attrs, a, Tuple{Int(1)}); !math.IsInf(got, 1) {
+		t.Error("arity mismatch must be +inf")
+	}
+}
+
+// Property: tuple distance is a metric given metric attribute distances.
+func TestTupleDistanceTriangle(t *testing.T) {
+	attrs := []Attribute{
+		Attr("x", KindInt, Numeric(3)),
+		Attr("y", KindInt, Discrete()),
+	}
+	f := func(a1, a2, b1, b2, c1, c2 int8) bool {
+		ta := Tuple{Int(int64(a1)), Int(int64(a2))}
+		tb := Tuple{Int(int64(b1)), Int(int64(b2))}
+		tc := Tuple{Int(int64(c1)), Int(int64(c2))}
+		ab := TupleDistance(attrs, ta, tb)
+		ac := TupleDistance(attrs, ta, tc)
+		cb := TupleDistance(attrs, tc, tb)
+		const eps = 1e-9 // float rounding slack
+		return ab <= ac+cb+eps && ab == TupleDistance(attrs, tb, ta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

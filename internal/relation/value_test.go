@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(7), KindInt},
+		{Float(2.5), KindFloat},
+		{String("x"), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind(%v) = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if i, ok := Int(42).AsInt(); !ok || i != 42 {
+		t.Errorf("Int(42).AsInt() = %d, %v", i, ok)
+	}
+	if f, ok := Int(42).AsFloat(); !ok || f != 42 {
+		t.Errorf("Int(42).AsFloat() = %g, %v", f, ok)
+	}
+	if f, ok := Float(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Errorf("Float(1.5).AsFloat() = %g, %v", f, ok)
+	}
+	if i, ok := Float(1.9).AsInt(); !ok || i != 1 {
+		t.Errorf("Float(1.9).AsInt() = %d, %v (want truncation)", i, ok)
+	}
+	if _, ok := String("a").AsFloat(); ok {
+		t.Error("String.AsFloat should fail")
+	}
+	if s, ok := String("a").AsString(); !ok || s != "a" {
+		t.Errorf("String(a).AsString() = %q, %v", s, ok)
+	}
+	if _, ok := Int(1).AsString(); ok {
+		t.Error("Int.AsString should fail")
+	}
+}
+
+func TestValueCompareCrossKind(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("Int(3) should equal Float(3)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) should not equal Float(3.5)")
+	}
+	if Int(2).Compare(Float(2.5)) != -1 {
+		t.Error("Int(2) < Float(2.5)")
+	}
+	if Null().Compare(Int(-100)) != -1 {
+		t.Error("Null sorts before numerics")
+	}
+	if Int(5).Compare(String("0")) != -1 {
+		t.Error("numerics sort before strings")
+	}
+	if String("a").Compare(String("b")) != -1 {
+		t.Error("string compare")
+	}
+	if String("b").Compare(String("a")) != 1 {
+		t.Error("string compare reversed")
+	}
+}
+
+func TestValueCompareIsTotalOrder(t *testing.T) {
+	// Antisymmetry and consistency of Compare with Less on random ints.
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		c := va.Compare(vb)
+		switch {
+		case a < b:
+			return c == -1 && va.Less(vb)
+		case a > b:
+			return c == 1 && !va.Less(vb)
+		default:
+			return c == 0 && va.Equal(vb)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueKeyUniqueness(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(1), Int(-1), Float(0.5), Float(-0.5),
+		String(""), String("0"), String("i0"), String("n"),
+	}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("Key collision: %v and %v both map to %q", prev, v, k)
+		}
+		seen[k] = v
+	}
+	// Int/Float unification is intentional.
+	if Int(3).Key() != Float(3).Key() {
+		t.Error("Int(3) and Float(3) should share a key")
+	}
+	if Float(3.5).Key() == Int(3).Key() {
+		t.Error("Float(3.5) must not collide with Int(3)")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(KindInt, "42")
+	if err != nil || !v.Equal(Int(42)) {
+		t.Errorf("ParseValue int: %v, %v", v, err)
+	}
+	v, err = ParseValue(KindFloat, "2.5")
+	if err != nil || !v.Equal(Float(2.5)) {
+		t.Errorf("ParseValue float: %v, %v", v, err)
+	}
+	v, err = ParseValue(KindString, "abc")
+	if err != nil || !v.Equal(String("abc")) {
+		t.Errorf("ParseValue string: %v, %v", v, err)
+	}
+	v, err = ParseValue(KindInt, "")
+	if err != nil || !v.IsNull() {
+		t.Errorf("ParseValue empty should be null: %v, %v", v, err)
+	}
+	if _, err := ParseValue(KindInt, "xyz"); err == nil {
+		t.Error("ParseValue should reject non-numeric int")
+	}
+	if _, err := ParseValue(KindNull, "x"); err == nil {
+		t.Error("ParseValue should reject KindNull target")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": Null(),
+		"7":    Int(7),
+		"2.5":  Float(2.5),
+		"hey":  String("hey"),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFloatKeyLargeMagnitude(t *testing.T) {
+	// Very large floats must not be unified with int keys incorrectly.
+	big := Float(1e18)
+	if big.Key() == Int(int64(1e18)).Key() {
+		// acceptable only if the encodings agree exactly; verify roundtrip
+		f, _ := big.AsFloat()
+		if f != 1e18 {
+			t.Error("key unification corrupted large float")
+		}
+	}
+	if math.IsInf(1e18, 0) {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,396 @@
+// Package sqlparser parses a small SQL subset into the query AST: the
+// fragment the paper's evaluation exercises — select / from / where with
+// conjunctive predicates, aliases, group-by with a single aggregate, and
+// UNION / EXCEPT between select statements.
+//
+// Grammar (case-insensitive keywords):
+//
+//	query  := select (("union" | "except") select)*
+//	select := "select" items "from" tables ["where" pred ("and" pred)*]
+//	          ["group by" cols]
+//	items  := item ("," item)*
+//	item   := col | agg "(" col ")" ["as" ident]
+//	tables := table ("," table)* ; table := ident ["as" ident]
+//	pred   := col op (const | col) ; op := "=" | "<=" | ">=" | "<" | ">"
+//	col    := ident "." ident
+//	const  := number | "'" chars "'"
+//
+// Column references must be alias-qualified; UNION/EXCEPT associate left.
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Parse parses the SQL text into a query expression.
+func Parse(sql string) (query.Expr, error) {
+	p := &parser{toks: lex(sql)}
+	e, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("sqlparser: unexpected %q after query", p.peek().text)
+	}
+	return e, nil
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokSymbol
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			toks = append(toks, token{tokString, s[i+1 : min(j, len(s))]})
+			i = j + 1
+		case unicode.IsDigit(c) || c == '-' && i+1 < len(s) && unicode.IsDigit(rune(s[i+1])):
+			j := i + 1
+			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		case c == '<' || c == '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokSymbol, s[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, string(c)})
+				i++
+			}
+		case strings.ContainsRune("=,().*", c):
+			toks = append(toks, token{tokSymbol, string(c)})
+			i++
+		default:
+			toks = append(toks, token{tokSymbol, string(c)})
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool     { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) reset(pos int) { p.pos = pos }
+
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sqlparser: expected %q, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlparser: expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parseQuery() (query.Expr, error) {
+	left, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.keyword("union"):
+			right, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			left = &query.Union{L: left, R: right}
+		case p.keyword("except"):
+			right, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			left = &query.Diff{L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+var aggNames = map[string]query.AggKind{
+	"min": query.AggMin, "max": query.AggMax,
+	"sum": query.AggSum, "count": query.AggCount, "avg": query.AggAvg,
+}
+
+type selectItem struct {
+	col   query.Col
+	isAgg bool
+	agg   query.AggKind
+	as    string
+}
+
+func (p *parser) parseSelect() (query.Expr, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	var items []selectItem
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	spc := &query.SPC{}
+	for {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		alias := rel
+		if p.keyword("as") {
+			alias, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		}
+		spc.Atoms = append(spc.Atoms, query.Atom{Rel: rel, Alias: alias})
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		for {
+			pd, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			spc.Preds = append(spc.Preds, pd)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	var groupCols []query.Col
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseCol()
+			if err != nil {
+				return nil, err
+			}
+			groupCols = append(groupCols, c)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	return assemble(spc, items, groupCols)
+}
+
+func assemble(spc *query.SPC, items []selectItem, groupCols []query.Col) (query.Expr, error) {
+	var aggItem *selectItem
+	var plain []query.Col
+	for i := range items {
+		if items[i].isAgg {
+			if aggItem != nil {
+				return nil, fmt.Errorf("sqlparser: at most one aggregate per select")
+			}
+			aggItem = &items[i]
+		} else {
+			plain = append(plain, items[i].col)
+		}
+	}
+	if aggItem == nil {
+		if len(groupCols) > 0 {
+			return nil, fmt.Errorf("sqlparser: group by requires an aggregate")
+		}
+		spc.Output = plain
+		return spc, nil
+	}
+	keys := groupCols
+	if keys == nil {
+		keys = plain
+	}
+	spc.Output = append(append([]query.Col{}, keys...), aggItem.col)
+	as := aggItem.as
+	if as == "" {
+		as = aggItem.agg.String()
+	}
+	return &query.GroupBy{In: spc, Keys: keys, Agg: aggItem.agg, On: aggItem.col, As: as}, nil
+}
+
+func (p *parser) parseItem() (selectItem, error) {
+	start := p.save()
+	if t := p.peek(); t.kind == tokIdent {
+		if agg, ok := aggNames[strings.ToLower(t.text)]; ok {
+			p.pos++
+			if p.symbol("(") {
+				col, err := p.parseCol()
+				if err != nil {
+					return selectItem{}, err
+				}
+				if !p.symbol(")") {
+					return selectItem{}, fmt.Errorf("sqlparser: expected ) after aggregate")
+				}
+				item := selectItem{col: col, isAgg: true, agg: agg}
+				if p.keyword("as") {
+					as, err := p.ident()
+					if err != nil {
+						return selectItem{}, err
+					}
+					item.as = as
+				}
+				return item, nil
+			}
+			p.reset(start) // an identifier that happens to be named like an aggregate
+		}
+	}
+	col, err := p.parseCol()
+	if err != nil {
+		return selectItem{}, err
+	}
+	return selectItem{col: col}, nil
+}
+
+func (p *parser) parseCol() (query.Col, error) {
+	rel, err := p.ident()
+	if err != nil {
+		return query.Col{}, err
+	}
+	if !p.symbol(".") {
+		return query.Col{}, fmt.Errorf("sqlparser: column reference %q must be alias-qualified (alias.attr)", rel)
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return query.Col{}, err
+	}
+	return query.C(rel, attr), nil
+}
+
+func (p *parser) parsePred() (query.Pred, error) {
+	left, err := p.parseCol()
+	if err != nil {
+		return query.Pred{}, err
+	}
+	opTok := p.next()
+	var op query.CmpOp
+	switch opTok.text {
+	case "=":
+		op = query.OpEq
+	case "<=":
+		op = query.OpLe
+	case ">=":
+		op = query.OpGe
+	case "<":
+		op = query.OpLt
+	case ">":
+		op = query.OpGt
+	default:
+		return query.Pred{}, fmt.Errorf("sqlparser: unknown operator %q", opTok.text)
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return query.Pred{}, fmt.Errorf("sqlparser: bad number %q: %w", t.text, err)
+			}
+			return query.Pred{Op: op, Left: left, Const: relation.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return query.Pred{}, fmt.Errorf("sqlparser: bad number %q: %w", t.text, err)
+		}
+		return query.Pred{Op: op, Left: left, Const: relation.Int(n)}, nil
+	case tokString:
+		p.pos++
+		return query.Pred{Op: op, Left: left, Const: relation.String(t.text)}, nil
+	case tokIdent:
+		right, err := p.parseCol()
+		if err != nil {
+			return query.Pred{}, err
+		}
+		if op != query.OpEq && op != query.OpLe {
+			return query.Pred{}, fmt.Errorf("sqlparser: only = and <= are supported between columns")
+		}
+		return query.Pred{Op: op, Left: left, Join: true, Right: right}, nil
+	default:
+		return query.Pred{}, fmt.Errorf("sqlparser: expected constant or column after operator, got %q", t.text)
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// AIRCA generates the AIRCA-like dataset: a synthetic analogue of the US
+// flight on-time performance and carrier statistics data integrated by the
+// paper (7 tables, keys and foreign keys over carriers, airports, aircraft,
+// flights, delays, routes and monthly stats). |D| ≈ 2400·scale + 800.
+func AIRCA(scale int, seed int64) *Dataset {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	db := relation.NewDatabase()
+
+	regions := []string{"NE", "SE", "MW", "SW", "W"}
+	carriers := relation.NewRelation(relation.MustSchema("carriers",
+		relation.Attr("cid", relation.KindInt, relation.Trivial()),
+		relation.Attr("cname", relation.KindString, relation.Discrete()),
+		relation.Attr("cregion", relation.KindString, relation.Discrete()),
+	))
+	const nCarriers = 30
+	for i := 0; i < nCarriers; i++ {
+		carriers.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("CARRIER%02d", i)),
+			relation.String(regions[i%len(regions)]),
+		})
+	}
+
+	states := []string{"CA", "TX", "NY", "FL", "IL", "WA", "CO", "GA"}
+	airports := relation.NewRelation(relation.MustSchema("airports",
+		relation.Attr("aid", relation.KindInt, relation.Trivial()),
+		relation.Attr("acity", relation.KindString, relation.Discrete()),
+		relation.Attr("astate", relation.KindString, relation.Discrete()),
+		relation.Attr("asize", relation.KindInt, relation.Numeric(4)),
+	))
+	const nAirports = 400
+	for i := 0; i < nAirports; i++ {
+		airports.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("CITY%03d", i%180)),
+			relation.String(states[skewPick(rng, len(states))]),
+			relation.Int(int64(1 + rng.Intn(5))),
+		})
+	}
+
+	models := []string{"B737", "B747", "A320", "A330", "E190", "CRJ9"}
+	aircraft := relation.NewRelation(relation.MustSchema("aircraft",
+		relation.Attr("acid", relation.KindInt, relation.Trivial()),
+		relation.Attr("cid", relation.KindInt, relation.Trivial()),
+		relation.Attr("model", relation.KindString, relation.Discrete()),
+		relation.Attr("capacity", relation.KindInt, relation.Numeric(350)),
+		relation.Attr("year", relation.KindInt, relation.Numeric(35)),
+	))
+	nAircraft := 40 * scale
+	for i := 0; i < nAircraft; i++ {
+		aircraft.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(nCarriers))),
+			relation.String(models[skewPick(rng, len(models))]),
+			relation.Int(int64(50 + rng.Intn(351))),
+			relation.Int(int64(1980 + rng.Intn(36))),
+		})
+	}
+
+	flights := relation.NewRelation(relation.MustSchema("flights",
+		relation.Attr("fid", relation.KindInt, relation.Trivial()),
+		relation.Attr("cid", relation.KindInt, relation.Trivial()),
+		relation.Attr("orig", relation.KindInt, relation.Trivial()),
+		relation.Attr("dest", relation.KindInt, relation.Trivial()),
+		relation.Attr("dep", relation.KindInt, relation.Numeric(1440)),
+		relation.Attr("distance", relation.KindInt, relation.Numeric(4900)),
+		relation.Attr("delay", relation.KindInt, relation.Numeric(320)),
+	))
+	nFlights := 1500 * scale
+	for i := 0; i < nFlights; i++ {
+		delay := rng.Intn(45) - 20
+		if rng.Float64() < 0.15 { // long-delay tail
+			delay = 25 + rng.Intn(275)
+		}
+		flights.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(skewPick(rng, nCarriers))),
+			relation.Int(int64(rng.Intn(nAirports))),
+			relation.Int(int64(rng.Intn(nAirports))),
+			relation.Int(int64(rng.Intn(1440))),
+			relation.Int(int64(100 + rng.Intn(4901))),
+			relation.Int(int64(delay)),
+		})
+	}
+
+	causes := []string{"WEATHER", "CARRIER", "NAS", "SECURITY", "LATE_AIRCRAFT"}
+	delays := relation.NewRelation(relation.MustSchema("delays",
+		relation.Attr("fid", relation.KindInt, relation.Trivial()),
+		relation.Attr("cause", relation.KindString, relation.Discrete()),
+		relation.Attr("mins", relation.KindInt, relation.Numeric(300)),
+	))
+	nDelays := 700 * scale
+	for i := 0; i < nDelays; i++ {
+		delays.MustAppend(relation.Tuple{
+			relation.Int(int64(rng.Intn(nFlights))),
+			relation.String(causes[skewPick(rng, len(causes))]),
+			relation.Int(int64(rng.Intn(301))),
+		})
+	}
+
+	routes := relation.NewRelation(relation.MustSchema("routes",
+		relation.Attr("rid", relation.KindInt, relation.Trivial()),
+		relation.Attr("orig", relation.KindInt, relation.Trivial()),
+		relation.Attr("dest", relation.KindInt, relation.Trivial()),
+		relation.Attr("cnt", relation.KindInt, relation.Numeric(5000)),
+	))
+	nRoutes := 150 * scale
+	for i := 0; i < nRoutes; i++ {
+		routes.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(nAirports))),
+			relation.Int(int64(rng.Intn(nAirports))),
+			relation.Int(int64(10 + rng.Intn(5000))),
+		})
+	}
+
+	stats := relation.NewRelation(relation.MustSchema("stats",
+		relation.Attr("cid", relation.KindInt, relation.Trivial()),
+		relation.Attr("month", relation.KindInt, relation.Numeric(11)),
+		relation.Attr("ontime", relation.KindFloat, relation.Numeric(0.6)),
+		relation.Attr("volume", relation.KindInt, relation.Numeric(100000)),
+	))
+	for c := 0; c < nCarriers; c++ {
+		for m := 0; m < 12; m++ {
+			stats.MustAppend(relation.Tuple{
+				relation.Int(int64(c)),
+				relation.Int(int64(m)),
+				relation.Float(0.4 + rng.Float64()*0.6),
+				relation.Int(int64(100 + rng.Intn(100000))),
+			})
+		}
+	}
+
+	db.MustAdd(carriers)
+	db.MustAdd(airports)
+	db.MustAdd(aircraft)
+	db.MustAdd(flights)
+	db.MustAdd(delays)
+	db.MustAdd(routes)
+	db.MustAdd(stats)
+
+	return &Dataset{
+		Name: "AIRCA",
+		DB:   db,
+		Joins: []Join{
+			{"flights", "cid", "carriers", "cid"},
+			{"flights", "orig", "airports", "aid"},
+			{"delays", "fid", "flights", "fid"},
+			{"aircraft", "cid", "carriers", "cid"},
+			{"routes", "orig", "airports", "aid"},
+			{"stats", "cid", "carriers", "cid"},
+		},
+		Sel: []SelAttr{
+			{"carriers", "cname", false}, {"carriers", "cregion", false},
+			{"airports", "astate", false}, {"airports", "asize", true},
+			{"aircraft", "model", false}, {"aircraft", "capacity", true}, {"aircraft", "year", true},
+			{"flights", "dep", true}, {"flights", "distance", true}, {"flights", "delay", true},
+			{"delays", "cause", false}, {"delays", "mins", true},
+			{"routes", "cnt", true},
+			{"stats", "month", true}, {"stats", "ontime", true},
+		},
+		Anchors: []SelAttr{
+			{"flights", "cid", false}, {"flights", "orig", false},
+			{"aircraft", "cid", false}, {"stats", "cid", false},
+			{"carriers", "cid", false},
+		},
+		AggKeys: []SelAttr{
+			{"carriers", "cname", false}, {"carriers", "cregion", false},
+			{"airports", "astate", false}, {"aircraft", "model", false},
+			{"delays", "cause", false},
+		},
+		AggVals: []SelAttr{
+			{"flights", "delay", true}, {"flights", "distance", true},
+			{"delays", "mins", true}, {"aircraft", "capacity", true},
+			{"stats", "volume", true}, {"stats", "ontime", true},
+		},
+		Ladders: []LadderSpec{
+			{"carriers", []string{"cid"}, []string{"cname", "cregion"}},
+			{"airports", []string{"aid"}, []string{"acity", "astate", "asize"}},
+			{"flights", []string{"fid"}, []string{"cid", "orig", "dest", "dep", "distance", "delay"}},
+			{"flights", []string{"cid"}, []string{"fid", "orig", "dest", "dep", "distance", "delay"}},
+			{"flights", []string{"orig"}, []string{"fid", "cid", "dest", "dep", "distance", "delay"}},
+			{"delays", []string{"fid"}, []string{"cause", "mins"}},
+			{"delays", []string{"cause"}, []string{"fid", "mins"}},
+			{"aircraft", []string{"cid"}, []string{"model", "capacity", "year"}},
+			{"aircraft", []string{"model"}, []string{"acid", "cid", "capacity", "year"}},
+			{"airports", []string{"astate"}, []string{"aid", "acity", "asize"}},
+			{"stats", []string{"cid"}, []string{"month", "ontime", "volume"}},
+		},
+		Facts: []string{"flights", "delays"},
+	}
+}

@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// TFACC generates the TFACC-like dataset: a synthetic analogue of the UK
+// road-accident data plus transport access nodes used by the paper (here 7
+// tables: districts, roads, accidents, vehicles, casualties, conditions and
+// nodes, joined by keys and foreign keys). |D| ≈ 3450·scale + 80.
+func TFACC(scale int, seed int64) *Dataset {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	db := relation.NewDatabase()
+
+	districts := relation.NewRelation(relation.MustSchema("districts",
+		relation.Attr("did", relation.KindInt, relation.Trivial()),
+		relation.Attr("dname", relation.KindString, relation.Discrete()),
+		relation.Attr("pop", relation.KindInt, relation.Numeric(1000000)),
+	))
+	const nDistricts = 80
+	for i := 0; i < nDistricts; i++ {
+		districts.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("DISTRICT%02d", i)),
+			relation.Int(int64(20000 + rng.Intn(1000001))),
+		})
+	}
+
+	classes := []string{"MOTORWAY", "A", "B", "C", "UNCLASSIFIED"}
+	roads := relation.NewRelation(relation.MustSchema("roads",
+		relation.Attr("rid", relation.KindInt, relation.Trivial()),
+		relation.Attr("did", relation.KindInt, relation.Trivial()),
+		relation.Attr("rclass", relation.KindString, relation.Discrete()),
+		relation.Attr("speed", relation.KindInt, relation.Numeric(50)),
+	))
+	nRoads := 250 * scale
+	for i := 0; i < nRoads; i++ {
+		roads.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(nDistricts))),
+			relation.String(classes[skewPick(rng, len(classes))]),
+			relation.Int(int64(20 + 10*rng.Intn(6))),
+		})
+	}
+
+	accidents := relation.NewRelation(relation.MustSchema("accidents",
+		relation.Attr("accid", relation.KindInt, relation.Trivial()),
+		relation.Attr("rid", relation.KindInt, relation.Trivial()),
+		relation.Attr("did", relation.KindInt, relation.Trivial()),
+		relation.Attr("severity", relation.KindInt, relation.Numeric(2)),
+		relation.Attr("day", relation.KindInt, relation.Numeric(9855)),
+		relation.Attr("nveh", relation.KindInt, relation.Numeric(5)),
+		relation.Attr("ncas", relation.KindInt, relation.Numeric(8)),
+	))
+	nAcc := 1000 * scale
+	for i := 0; i < nAcc; i++ {
+		sev := 3 // slight
+		if r := rng.Float64(); r < 0.015 {
+			sev = 1 // fatal
+		} else if r < 0.15 {
+			sev = 2 // serious
+		}
+		accidents.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(nRoads))),
+			relation.Int(int64(rng.Intn(nDistricts))),
+			relation.Int(int64(sev)),
+			relation.Int(int64(rng.Intn(9856))),
+			relation.Int(int64(1 + rng.Intn(6))),
+			relation.Int(int64(rng.Intn(9))),
+		})
+	}
+
+	vtypes := []string{"CAR", "MOTORCYCLE", "HGV", "BUS", "BICYCLE", "VAN"}
+	vehicles := relation.NewRelation(relation.MustSchema("vehicles",
+		relation.Attr("vid", relation.KindInt, relation.Trivial()),
+		relation.Attr("accid", relation.KindInt, relation.Trivial()),
+		relation.Attr("vtype", relation.KindString, relation.Discrete()),
+		relation.Attr("vage", relation.KindInt, relation.Numeric(30)),
+	))
+	nVeh := 800 * scale
+	for i := 0; i < nVeh; i++ {
+		vehicles.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(nAcc))),
+			relation.String(vtypes[skewPick(rng, len(vtypes))]),
+			relation.Int(int64(rng.Intn(31))),
+		})
+	}
+
+	cclasses := []string{"DRIVER", "PASSENGER", "PEDESTRIAN"}
+	casualties := relation.NewRelation(relation.MustSchema("casualties",
+		relation.Attr("caid", relation.KindInt, relation.Trivial()),
+		relation.Attr("accid", relation.KindInt, relation.Trivial()),
+		relation.Attr("cclass", relation.KindString, relation.Discrete()),
+		relation.Attr("csev", relation.KindInt, relation.Numeric(2)),
+		relation.Attr("cage", relation.KindInt, relation.Numeric(95)),
+	))
+	nCas := 600 * scale
+	for i := 0; i < nCas; i++ {
+		casualties.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(nAcc))),
+			relation.String(cclasses[skewPick(rng, len(cclasses))]),
+			relation.Int(int64(1 + rng.Intn(3))),
+			relation.Int(int64(rng.Intn(96))),
+		})
+	}
+
+	weathers := []string{"FINE", "RAIN", "SNOW", "FOG"}
+	lights := []string{"DAYLIGHT", "DARK_LIT", "DARK_UNLIT"}
+	surfaces := []string{"DRY", "WET", "ICE"}
+	conditions := relation.NewRelation(relation.MustSchema("conditions",
+		relation.Attr("accid", relation.KindInt, relation.Trivial()),
+		relation.Attr("weather", relation.KindString, relation.Discrete()),
+		relation.Attr("light", relation.KindString, relation.Discrete()),
+		relation.Attr("surface", relation.KindString, relation.Discrete()),
+	))
+	nCond := 500 * scale
+	for i := 0; i < nCond; i++ {
+		conditions.MustAppend(relation.Tuple{
+			relation.Int(int64(rng.Intn(nAcc))),
+			relation.String(weathers[skewPick(rng, len(weathers))]),
+			relation.String(lights[skewPick(rng, len(lights))]),
+			relation.String(surfaces[skewPick(rng, len(surfaces))]),
+		})
+	}
+
+	ntypes := []string{"BUS_STOP", "RAIL", "TRAM", "FERRY"}
+	nodes := relation.NewRelation(relation.MustSchema("nodes",
+		relation.Attr("nid", relation.KindInt, relation.Trivial()),
+		relation.Attr("did", relation.KindInt, relation.Trivial()),
+		relation.Attr("ntype", relation.KindString, relation.Discrete()),
+		relation.Attr("easting", relation.KindInt, relation.Numeric(700000)),
+		relation.Attr("northing", relation.KindInt, relation.Numeric(1300000)),
+	))
+	nNodes := 300 * scale
+	for i := 0; i < nNodes; i++ {
+		nodes.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(nDistricts))),
+			relation.String(ntypes[skewPick(rng, len(ntypes))]),
+			relation.Int(int64(rng.Intn(700001))),
+			relation.Int(int64(rng.Intn(1300001))),
+		})
+	}
+
+	db.MustAdd(districts)
+	db.MustAdd(roads)
+	db.MustAdd(accidents)
+	db.MustAdd(vehicles)
+	db.MustAdd(casualties)
+	db.MustAdd(conditions)
+	db.MustAdd(nodes)
+
+	return &Dataset{
+		Name: "TFACC",
+		DB:   db,
+		Joins: []Join{
+			{"roads", "did", "districts", "did"},
+			{"accidents", "rid", "roads", "rid"},
+			{"accidents", "did", "districts", "did"},
+			{"vehicles", "accid", "accidents", "accid"},
+			{"casualties", "accid", "accidents", "accid"},
+			{"conditions", "accid", "accidents", "accid"},
+			{"nodes", "did", "districts", "did"},
+		},
+		Sel: []SelAttr{
+			{"districts", "dname", false}, {"districts", "pop", true},
+			{"roads", "rclass", false}, {"roads", "speed", true},
+			{"accidents", "severity", true}, {"accidents", "day", true},
+			{"accidents", "nveh", true}, {"accidents", "ncas", true},
+			{"vehicles", "vtype", false}, {"vehicles", "vage", true},
+			{"casualties", "cclass", false}, {"casualties", "csev", true}, {"casualties", "cage", true},
+			{"conditions", "weather", false}, {"conditions", "light", false}, {"conditions", "surface", false},
+			{"nodes", "ntype", false},
+		},
+		Anchors: []SelAttr{
+			{"accidents", "did", false}, {"roads", "did", false},
+			{"nodes", "did", false}, {"districts", "did", false},
+		},
+		AggKeys: []SelAttr{
+			{"roads", "rclass", false}, {"vehicles", "vtype", false},
+			{"casualties", "cclass", false}, {"conditions", "weather", false},
+			{"districts", "dname", false}, {"nodes", "ntype", false},
+		},
+		AggVals: []SelAttr{
+			{"accidents", "ncas", true}, {"accidents", "nveh", true},
+			{"casualties", "cage", true}, {"vehicles", "vage", true},
+			{"roads", "speed", true}, {"districts", "pop", true},
+		},
+		Ladders: []LadderSpec{
+			{"districts", []string{"did"}, []string{"dname", "pop"}},
+			{"roads", []string{"rid"}, []string{"did", "rclass", "speed"}},
+			{"roads", []string{"rclass"}, []string{"rid", "did", "speed"}},
+			{"roads", []string{"did"}, []string{"rid", "rclass", "speed"}},
+			{"accidents", []string{"accid"}, []string{"rid", "did", "severity", "day", "nveh", "ncas"}},
+			{"accidents", []string{"did"}, []string{"accid", "rid", "severity", "day", "nveh", "ncas"}},
+			{"vehicles", []string{"accid"}, []string{"vtype", "vage"}},
+			{"vehicles", []string{"vtype"}, []string{"accid", "vage"}},
+			{"casualties", []string{"accid"}, []string{"cclass", "csev", "cage"}},
+			{"casualties", []string{"cclass"}, []string{"accid", "csev", "cage"}},
+			{"conditions", []string{"accid"}, []string{"weather", "light", "surface"}},
+			{"nodes", []string{"did"}, []string{"ntype", "easting", "northing"}},
+		},
+		Facts: []string{"accidents", "vehicles", "casualties"},
+	}
+}

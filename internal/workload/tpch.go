@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// TPCH generates the TPC-H-like dataset at scale factor sf: the familiar
+// region/nation/customer/supplier/part/orders/lineitem star schema with
+// key/foreign-key joins and skewed categorical columns. |D| ≈ 2600·sf + 30
+// tuples (the paper's 200M-row σ=25 instance, shrunk ~3000× to laptop
+// scale; trends over σ are what the experiments measure).
+func TPCH(sf int, seed int64) *Dataset {
+	if sf < 1 {
+		sf = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	db := relation.NewDatabase()
+
+	regionNames := []string{"AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDDLE EAST"}
+	region := relation.NewRelation(relation.MustSchema("region",
+		relation.Attr("rk", relation.KindInt, relation.Trivial()),
+		relation.Attr("rname", relation.KindString, relation.Discrete()),
+	))
+	for i, n := range regionNames {
+		region.MustAppend(relation.Tuple{relation.Int(int64(i)), relation.String(n)})
+	}
+
+	nation := relation.NewRelation(relation.MustSchema("nation",
+		relation.Attr("nk", relation.KindInt, relation.Trivial()),
+		relation.Attr("nname", relation.KindString, relation.Discrete()),
+		relation.Attr("rk", relation.KindInt, relation.Trivial()),
+	))
+	for i := 0; i < 25; i++ {
+		nation.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("NATION%02d", i)),
+			relation.Int(int64(i % 5)),
+		})
+	}
+
+	nSupp, nCust, nPart, nOrd, nLine := 12*sf, 40*sf, 60*sf, 500*sf, 2000*sf
+
+	supplier := relation.NewRelation(relation.MustSchema("supplier",
+		relation.Attr("sk", relation.KindInt, relation.Trivial()),
+		relation.Attr("nk", relation.KindInt, relation.Trivial()),
+		relation.Attr("sbalance", relation.KindFloat, relation.Numeric(11000)),
+	))
+	for i := 0; i < nSupp; i++ {
+		supplier.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(25))),
+			relation.Float(-999 + rng.Float64()*10998),
+		})
+	}
+
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	customer := relation.NewRelation(relation.MustSchema("customer",
+		relation.Attr("ck", relation.KindInt, relation.Trivial()),
+		relation.Attr("nk", relation.KindInt, relation.Trivial()),
+		relation.Attr("segment", relation.KindString, relation.Discrete()),
+		relation.Attr("cbalance", relation.KindFloat, relation.Numeric(11000)),
+	))
+	for i := 0; i < nCust; i++ {
+		customer.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(25))),
+			relation.String(segments[skewPick(rng, len(segments))]),
+			relation.Float(-999 + rng.Float64()*10998),
+		})
+	}
+
+	brands := []string{"Brand#11", "Brand#12", "Brand#21", "Brand#31", "Brand#45"}
+	ptypes := []string{"STEEL", "COPPER", "BRASS", "TIN", "NICKEL"}
+	part := relation.NewRelation(relation.MustSchema("part",
+		relation.Attr("pk", relation.KindInt, relation.Trivial()),
+		relation.Attr("brand", relation.KindString, relation.Discrete()),
+		relation.Attr("ptype", relation.KindString, relation.Discrete()),
+		relation.Attr("size", relation.KindInt, relation.Numeric(49)),
+		relation.Attr("pprice", relation.KindFloat, relation.Numeric(2000)),
+	))
+	for i := 0; i < nPart; i++ {
+		part.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(brands[skewPick(rng, len(brands))]),
+			relation.String(ptypes[skewPick(rng, len(ptypes))]),
+			relation.Int(int64(1 + rng.Intn(50))),
+			relation.Float(100 + rng.Float64()*2000),
+		})
+	}
+
+	statuses := []string{"F", "O", "P"}
+	priorities := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	orders := relation.NewRelation(relation.MustSchema("orders",
+		relation.Attr("ok", relation.KindInt, relation.Trivial()),
+		relation.Attr("ck", relation.KindInt, relation.Trivial()),
+		relation.Attr("status", relation.KindString, relation.Discrete()),
+		relation.Attr("totalprice", relation.KindFloat, relation.Numeric(199000)),
+		relation.Attr("odate", relation.KindInt, relation.Numeric(2555)),
+		relation.Attr("priority", relation.KindString, relation.Discrete()),
+	))
+	for i := 0; i < nOrd; i++ {
+		orders.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(nCust))),
+			relation.String(statuses[skewPick(rng, len(statuses))]),
+			relation.Float(1000 + rng.Float64()*199000),
+			relation.Int(int64(rng.Intn(2556))),
+			relation.String(priorities[skewPick(rng, len(priorities))]),
+		})
+	}
+
+	lineitem := relation.NewRelation(relation.MustSchema("lineitem",
+		relation.Attr("ok", relation.KindInt, relation.Trivial()),
+		relation.Attr("pk", relation.KindInt, relation.Trivial()),
+		relation.Attr("sk", relation.KindInt, relation.Trivial()),
+		relation.Attr("qty", relation.KindInt, relation.Numeric(49)),
+		relation.Attr("extprice", relation.KindFloat, relation.Numeric(100000)),
+		relation.Attr("discount", relation.KindFloat, relation.Numeric(0.1)),
+		relation.Attr("ship", relation.KindInt, relation.Numeric(2555)),
+	))
+	for i := 0; i < nLine; i++ {
+		lineitem.MustAppend(relation.Tuple{
+			relation.Int(int64(rng.Intn(nOrd))),
+			relation.Int(int64(rng.Intn(nPart))),
+			relation.Int(int64(rng.Intn(nSupp))),
+			relation.Int(int64(1 + rng.Intn(50))),
+			relation.Float(100 + rng.Float64()*100000),
+			relation.Float(rng.Float64() * 0.1),
+			relation.Int(int64(rng.Intn(2556))),
+		})
+	}
+
+	db.MustAdd(region)
+	db.MustAdd(nation)
+	db.MustAdd(supplier)
+	db.MustAdd(customer)
+	db.MustAdd(part)
+	db.MustAdd(orders)
+	db.MustAdd(lineitem)
+
+	return &Dataset{
+		Name: "TPCH",
+		DB:   db,
+		Joins: []Join{
+			{"lineitem", "ok", "orders", "ok"},
+			{"lineitem", "pk", "part", "pk"},
+			{"lineitem", "sk", "supplier", "sk"},
+			{"orders", "ck", "customer", "ck"},
+			{"customer", "nk", "nation", "nk"},
+			{"nation", "rk", "region", "rk"},
+		},
+		Sel: []SelAttr{
+			{"part", "brand", false}, {"part", "ptype", false},
+			{"part", "size", true}, {"part", "pprice", true},
+			{"orders", "status", false}, {"orders", "priority", false},
+			{"orders", "totalprice", true}, {"orders", "odate", true},
+			{"lineitem", "qty", true}, {"lineitem", "extprice", true},
+			{"lineitem", "discount", true}, {"lineitem", "ship", true},
+			{"customer", "segment", false}, {"customer", "cbalance", true},
+			{"nation", "nname", false},
+		},
+		Anchors: []SelAttr{
+			{"lineitem", "pk", false}, {"lineitem", "sk", false},
+			{"orders", "ck", false}, {"part", "pk", false},
+			{"supplier", "sk", false},
+		},
+		AggKeys: []SelAttr{
+			{"orders", "status", false}, {"orders", "priority", false},
+			{"customer", "segment", false}, {"part", "brand", false},
+			{"part", "ptype", false}, {"nation", "nname", false},
+		},
+		AggVals: []SelAttr{
+			{"orders", "totalprice", true}, {"customer", "cbalance", true},
+			{"lineitem", "qty", true}, {"lineitem", "extprice", true},
+			{"part", "size", true}, {"part", "pprice", true},
+		},
+		Ladders: []LadderSpec{
+			{"orders", []string{"ok"}, []string{"ck", "status", "totalprice", "odate", "priority"}},
+			{"customer", []string{"ck"}, []string{"nk", "segment", "cbalance"}},
+			{"part", []string{"pk"}, []string{"brand", "ptype", "size", "pprice"}},
+			{"supplier", []string{"sk"}, []string{"nk", "sbalance"}},
+			{"nation", []string{"nk"}, []string{"nname", "rk"}},
+			{"region", []string{"rk"}, []string{"rname"}},
+			{"lineitem", []string{"ok"}, []string{"pk", "sk", "qty", "extprice", "discount", "ship"}},
+			{"lineitem", []string{"pk"}, []string{"ok", "sk", "qty", "extprice", "discount", "ship"}},
+			{"lineitem", []string{"sk"}, []string{"ok", "pk", "qty", "extprice", "discount", "ship"}},
+			{"orders", []string{"ck"}, []string{"ok", "status", "totalprice", "odate", "priority"}},
+			{"part", []string{"brand", "ptype"}, []string{"pk", "size", "pprice"}},
+			{"orders", []string{"status", "priority"}, []string{"ok", "ck", "totalprice", "odate"}},
+			{"customer", []string{"segment"}, []string{"ck", "nk", "cbalance"}},
+		},
+		Facts: []string{"lineitem", "orders"},
+	}
+}
+
+// skewPick draws an index in [0, n) with a mild geometric skew, giving the
+// categorical columns the non-uniform frequencies real data has.
+func skewPick(rng *rand.Rand, n int) int {
+	for i := 0; i < n-1; i++ {
+		if rng.Float64() < 0.4 {
+			return i
+		}
+	}
+	return n - 1
+}
