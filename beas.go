@@ -30,6 +30,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/accuracy"
 	"repro/internal/core"
+	"repro/internal/plancache"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/sqlparser"
@@ -154,9 +155,21 @@ func BuildAt(db *Database) (*AccessSchema, error) { return access.BuildAt(db) }
 // System is a BEAS instance bound to one database and one access schema
 // (the architecture of Fig. 2: offline index construction has happened;
 // Query performs the online plan generation and execution).
+//
+// A System is safe for concurrent use: the database and indices are
+// immutable after Open, plans are immutable once generated, and every
+// query execution keeps its own state. One System can therefore serve any
+// number of goroutines (see cmd/beasd for an HTTP server doing exactly
+// that). Multi-leaf plans execute their leaves on a bounded worker pool
+// with the α·|D| access budget partitioned across the leaves up front, and
+// repeated (query, α) pairs are served from a size-bounded LRU plan cache.
+// Do not mutate the Database after Open.
 type System struct {
 	scheme *core.Scheme
 }
+
+// PlanCacheStats is a snapshot of plan-cache effectiveness counters.
+type PlanCacheStats = plancache.Stats
 
 // Open builds a System from a database and a prebuilt access schema.
 // The schema should subsume At; see BuildAt and (*AccessSchema).Extend.
@@ -190,6 +203,11 @@ func OpenDiscovered(db *Database) (*System, error) {
 // Scheme exposes the underlying resource-bounded approximation scheme for
 // advanced use (experiments, custom execution).
 func (s *System) Scheme() *core.Scheme { return s.scheme }
+
+// PlanCacheStats reports how the plan cache is performing: Query and
+// QuerySQL serve repeated (query, α) pairs from an LRU of generated plans,
+// skipping the chase + chAT work.
+func (s *System) PlanCacheStats() PlanCacheStats { return s.scheme.CacheStats() }
 
 // Plan generates an α-bounded plan for the query without touching the data
 // (component C3): at most α·|D| tuples will be accessed on execution, and

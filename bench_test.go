@@ -191,3 +191,39 @@ func BenchmarkQueryRender(b *testing.B) {
 	}
 	sinkExpr = q
 }
+
+// BenchmarkConcurrentQuery measures serving throughput of one shared
+// System under parallel mixed traffic — the online path of the Fig. 2
+// architecture under load. Repeated (query, α) pairs must be served from
+// the plan cache; the benchmark fails if no hits are recorded.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	db := fixture.Example1(5, 200, 150)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := beas.Open(db, as)
+	queries := make([]beas.Query, 8)
+	for i := range queries {
+		queries[i] = fixture.Q1(int64(i), 95)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := queries[i%len(queries)]
+			if _, _, err := sys.Query(q, 0.2); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	st := sys.PlanCacheStats()
+	if b.N > 2*len(queries) && st.Hits == 0 {
+		b.Fatalf("no plan-cache hits under repeated workload: %+v", st)
+	}
+	b.ReportMetric(st.HitRate()*100, "cache-hit-%")
+}

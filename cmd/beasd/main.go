@@ -1,0 +1,275 @@
+// Command beasd serves resource-bounded approximate query answering over
+// HTTP: the online half of the BEAS architecture (paper Fig. 2) as a
+// long-running daemon. At startup it loads a dataset, builds the access
+// schema offline, and then serves any number of concurrent clients from
+// one shared System — parallel leaf execution, plan caching and all.
+//
+// Usage:
+//
+//	beasd -addr :8080 -dataset tpch -scale 2 -alpha 0.01
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "select ...", "alpha": 0.05}
+//	               → answers + eta + access stats (alpha optional,
+//	                 defaults to -alpha)
+//	GET  /healthz  → liveness + dataset summary
+//	GET  /stats    → query counters, latency, plan-cache effectiveness
+//
+// Example:
+//
+//	curl -s localhost:8080/query -d \
+//	  '{"sql":"select o.status, count(o.ok) from orders as o group by o.status"}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	beas "repro"
+	"repro/internal/fixture"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataset  = flag.String("dataset", "tpch", "dataset: tpch | airca | tfacc | example1")
+		scale    = flag.Int("scale", 1, "dataset scale factor")
+		seed     = flag.Int64("seed", 2017, "generator seed")
+		alpha    = flag.Float64("alpha", 0.01, "default resource ratio in (0, 1]")
+		maxTuple = flag.Int("rows", 1000, "max answer rows returned per query")
+	)
+	flag.Parse()
+
+	sys, size, rels, err := open(*dataset, *scale, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
+		os.Exit(2)
+	}
+	log.Printf("beasd: dataset %s ready: |D| = %d tuples, %d relations", *dataset, size, rels)
+
+	srv := &server{
+		sys:          sys,
+		defaultAlpha: *alpha,
+		maxRows:      *maxTuple,
+		dataset:      *dataset,
+		dbSize:       size,
+		relations:    rels,
+		started:      time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", srv.handleQuery)
+	mux.HandleFunc("/healthz", srv.handleHealthz)
+	mux.HandleFunc("/stats", srv.handleStats)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		log.Printf("beasd: listening on %s (default alpha %g)", *addr, *alpha)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("beasd: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("beasd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("beasd: shutdown: %v", err)
+	}
+}
+
+func open(dataset string, scale int, seed int64) (*beas.System, int, int, error) {
+	if strings.EqualFold(dataset, "example1") {
+		db := fixture.Example1(seed, 200*scale, 150*scale)
+		as, err := fixture.SchemaA0(db)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return beas.Open(db, as), db.Size(), len(db.Names()), nil
+	}
+	var d *workload.Dataset
+	switch strings.ToLower(dataset) {
+	case "tpch":
+		d = workload.TPCH(scale, seed)
+	case "airca":
+		d = workload.AIRCA(scale, seed)
+	case "tfacc":
+		d = workload.TFACC(scale, seed)
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	as, err := d.AccessSchema()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return beas.Open(d.DB, as), d.DB.Size(), len(d.DB.Names()), nil
+}
+
+// server holds the shared System plus serving counters. All handler state
+// is either immutable or atomic; the System itself is concurrency-safe.
+type server struct {
+	sys          *beas.System
+	defaultAlpha float64
+	maxRows      int
+	dataset      string
+	dbSize       int
+	relations    int
+	started      time.Time
+
+	queries  atomic.Int64 // successful /query calls
+	failures atomic.Int64 // rejected or failed /query calls
+	totalNS  atomic.Int64 // cumulative serving time of successful calls
+}
+
+// maxRequestBytes caps a /query body; a SQL statement has no business
+// being bigger, and the bound keeps a hostile POST from ballooning memory.
+const maxRequestBytes = 1 << 20
+
+type queryRequest struct {
+	SQL   string  `json:"sql"`
+	Alpha float64 `json:"alpha"`
+}
+
+type queryResponse struct {
+	Columns   []string   `json:"columns"`
+	Tuples    [][]string `json:"tuples"`
+	Rows      int        `json:"rows"`
+	Truncated bool       `json:"rowsTruncated,omitempty"` // response capped at -rows
+	Eta       float64    `json:"eta"`
+	Exact     bool       `json:"exact"`
+	Alpha     float64    `json:"alpha"`
+	Accessed  int        `json:"accessed"`
+	Budget    int        `json:"budget"`
+	CacheHit  bool       `json:"cacheHit"`
+	PlanGenMS float64    `json:"planGenMs"`
+	ServedMS  float64    `json:"servedMs"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req queryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failures.Add(1)
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.SQL == "" {
+		s.failures.Add(1)
+		httpError(w, http.StatusBadRequest, "missing \"sql\"")
+		return
+	}
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = s.defaultAlpha
+	}
+	if alpha <= 0 || alpha > 1 {
+		s.failures.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("alpha %g outside (0, 1]", alpha))
+		return
+	}
+
+	start := time.Now()
+	ans, plan, err := s.sys.QuerySQL(req.SQL, alpha)
+	if err != nil {
+		s.failures.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	served := time.Since(start)
+	s.queries.Add(1)
+	s.totalNS.Add(served.Nanoseconds())
+
+	resp := queryResponse{
+		Rows:      ans.Rel.Len(),
+		Eta:       ans.Eta,
+		Exact:     ans.Exact,
+		Alpha:     alpha,
+		Accessed:  ans.Stats.Accessed,
+		Budget:    plan.Budget,
+		CacheHit:  plan.CacheHit,
+		PlanGenMS: float64(plan.GenTime.Microseconds()) / 1e3,
+		ServedMS:  float64(served.Microseconds()) / 1e3,
+	}
+	for _, a := range ans.Rel.Schema.Attrs {
+		resp.Columns = append(resp.Columns, a.Name)
+	}
+	for i, t := range ans.Rel.Tuples {
+		if i >= s.maxRows {
+			resp.Truncated = true
+			break
+		}
+		row := make([]string, len(t))
+		for j, v := range t {
+			row[j] = v.String()
+		}
+		resp.Tuples = append(resp.Tuples, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"dataset":   s.dataset,
+		"size":      s.dbSize,
+		"relations": s.relations,
+		"uptimeSec": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ok := s.queries.Load()
+	var avgMS float64
+	if ok > 0 {
+		avgMS = float64(s.totalNS.Load()) / float64(ok) / 1e6
+	}
+	cache := s.sys.PlanCacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries":      ok,
+		"failures":     s.failures.Load(),
+		"avgLatencyMs": avgMS,
+		"planCache": map[string]any{
+			"hits":      cache.Hits,
+			"misses":    cache.Misses,
+			"evictions": cache.Evictions,
+			"len":       cache.Len,
+			"cap":       cache.Cap,
+			"hitRate":   cache.HitRate(),
+		},
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("beasd: encode response: %v", err)
+	}
+}

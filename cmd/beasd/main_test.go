@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fixture"
+
+	beas "repro"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	db := fixture.Example1(11, 120, 80)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{
+		sys:          beas.Open(db, as),
+		defaultAlpha: 0.1,
+		maxRows:      50,
+		dataset:      "example1",
+		dbSize:       db.Size(),
+		relations:    len(db.Names()),
+		started:      time.Now(),
+	}
+}
+
+func postQuery(t *testing.T, s *server, body string) (*httptest.ResponseRecorder, queryResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, req)
+	var resp queryResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response JSON: %v\n%s", err, rec.Body)
+		}
+	}
+	return rec, resp
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, resp := postQuery(t, s,
+		`{"sql": "select p.city from person as p where p.pid = 3", "alpha": 0.5}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Columns) != 1 || resp.Columns[0] != "p.city" {
+		t.Errorf("columns = %v", resp.Columns)
+	}
+	if resp.Eta <= 0 || resp.Eta > 1 {
+		t.Errorf("eta = %g", resp.Eta)
+	}
+	if resp.Accessed > resp.Budget {
+		t.Errorf("accessed %d > budget %d", resp.Accessed, resp.Budget)
+	}
+	if resp.Alpha != 0.5 {
+		t.Errorf("alpha = %g", resp.Alpha)
+	}
+
+	// Same query again: must be a plan-cache hit.
+	_, resp = postQuery(t, s,
+		`{"sql": "select p.city from person as p where p.pid = 3", "alpha": 0.5}`)
+	if !resp.CacheHit {
+		t.Error("repeat query missed the plan cache")
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"sql": "select x from", "alpha": 0.1}`, http.StatusUnprocessableEntity},
+		{`{"sql": "select p.city from person as p", "alpha": 7}`, http.StatusBadRequest},
+		{`{"sql": "select p.city from person as p", "alpha": -0.2}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec, _ := postQuery(t, s, c.body)
+		if rec.Code != c.code {
+			t.Errorf("body %q: status %d, want %d (%s)", c.body, rec.Code, c.code, rec.Body)
+		}
+	}
+	// GET is rejected.
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", rec.Code)
+	}
+	if got := s.failures.Load(); got != int64(len(cases)) {
+		t.Errorf("failures = %d, want %d", got, len(cases))
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var health map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["size"].(float64) <= 0 {
+		t.Errorf("health = %v", health)
+	}
+
+	postQuery(t, s, `{"sql": "select p.city from person as p"}`)
+	postQuery(t, s, `{"sql": "select p.city from person as p"}`)
+
+	rec = httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["queries"].(float64) != 2 {
+		t.Errorf("queries = %v", stats["queries"])
+	}
+	cache := stats["planCache"].(map[string]any)
+	if cache["hits"].(float64) < 1 {
+		t.Errorf("cache stats = %v", cache)
+	}
+}
+
+// TestConcurrentRequests drives the handler from many goroutines — the
+// serving-layer face of the System concurrency guarantee (run with -race).
+func TestConcurrentRequests(t *testing.T) {
+	s := testServer(t)
+	bodies := []string{
+		`{"sql": "select p.city from person as p where p.pid = 1", "alpha": 0.3}`,
+		`{"sql": "select h.address from poi as h where h.type = 'hotel'", "alpha": 0.2}`,
+		`{"sql": "select h.city, count(h.address) as c from poi as h group by h.city", "alpha": 0.4}`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/query",
+					strings.NewReader(bodies[(g+i)%len(bodies)]))
+				rec := httptest.NewRecorder()
+				s.handleQuery(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- rec.Body.String()
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if s.sys.PlanCacheStats().Hits == 0 {
+		t.Error("no cache hits under concurrent repeated traffic")
+	}
+}

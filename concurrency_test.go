@@ -1,0 +1,111 @@
+package beas_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	beas "repro"
+	"repro/internal/fixture"
+)
+
+// concurrencySQL is a small mixed workload over the Example 1 fixture:
+// SPC, aggregate, union and difference shapes, so concurrent callers hit
+// single- and multi-leaf plans, the plan cache, and both executors.
+var concurrencySQL = []string{
+	`select h.address, h.price from poi as h, friend as f, person as p
+		where f.pid = %d and f.fid = p.pid and p.city = h.city
+		and h.type = 'hotel' and h.price <= 95.0`,
+	`select p.city from friend as f, person as p
+		where f.pid = %d and f.fid = p.pid`,
+	`select h.city, count(h.address) as cnt from poi as h
+		where h.price <= 2%d0.0 group by h.city`,
+	`select h.address from poi as h where h.type = 'bar' and h.price >= 5%d.0
+		union select h.address from poi as h where h.city = 'NYC'`,
+	`select h.address from poi as h where h.price <= 30%d.0
+		except select h.address from poi as h where h.type = 'cafe'`,
+}
+
+// TestSystemConcurrentQuery fires 32 goroutines of mixed Query / QuerySQL /
+// MinAlphaExact traffic at one shared System. Run under -race it is the
+// thread-safety gate for the whole online path: shared indices, plan cache,
+// parallel leaf execution. Results must also be deterministic: every
+// goroutine issuing the same (query, α) must see the same answer.
+func TestSystemConcurrentQuery(t *testing.T) {
+	db := fixture.Example1(3, 150, 100)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := beas.Open(db, as)
+
+	const goroutines = 32
+	const iters = 8
+
+	// Reference answers, computed single-threaded first.
+	type ref struct {
+		tuples int
+		eta    float64
+	}
+	refs := make(map[string]ref)
+	for i, tmpl := range concurrencySQL {
+		sql := fmt.Sprintf(tmpl, i%5)
+		ans, _, err := sys.QuerySQL(sql, 0.2)
+		if err != nil {
+			t.Fatalf("reference %d: %v", i, err)
+		}
+		refs[sql] = ref{tuples: ans.Rel.Len(), eta: ans.Eta}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 3 {
+				case 0: // QuerySQL against the reference answers
+					sql := fmt.Sprintf(concurrencySQL[(g+i)%len(concurrencySQL)], (g+i)%5)
+					ans, plan, err := sys.QuerySQL(sql, 0.2)
+					if err != nil {
+						errs <- fmt.Errorf("goroutine %d: QuerySQL: %w", g, err)
+						return
+					}
+					if want, ok := refs[sql]; ok {
+						if ans.Rel.Len() != want.tuples || ans.Eta != want.eta {
+							errs <- fmt.Errorf("goroutine %d: non-deterministic answer for %q: (%d, %g) != (%d, %g)",
+								g, sql, ans.Rel.Len(), ans.Eta, want.tuples, want.eta)
+							return
+						}
+					}
+					_ = plan.Eta
+				case 1: // structured Query at varying α
+					q := fixture.Q1(int64(g%7), 95)
+					alpha := []float64{0.05, 0.2, 0.8}[i%3]
+					if _, _, err := sys.Query(q, alpha); err != nil {
+						errs <- fmt.Errorf("goroutine %d: Query: %w", g, err)
+						return
+					}
+				default: // plan-only probing
+					q := fixture.Q2(int64(g % 11))
+					if _, err := sys.MinAlphaExact(q); err != nil {
+						errs <- fmt.Errorf("goroutine %d: MinAlphaExact: %w", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := sys.PlanCacheStats()
+	if st.Hits == 0 {
+		t.Errorf("no plan-cache hits under repeated workload: %+v", st)
+	}
+	t.Logf("plan cache after concurrent run: %+v (hit rate %.0f%%)", st, 100*st.HitRate())
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -27,27 +28,141 @@ type leafResult struct {
 	res *plan.Result
 }
 
-// Execute runs the plan against the database (component C4), accessing at
-// most Budget tuples in total across all fetch operations.
+// Execute runs the plan against the database (component C4): the answers
+// derive from at most Budget tuple accesses. The plan is not mutated, so
+// one (possibly cached) *Plan may be executed concurrently.
+//
+// Affordable multi-leaf plans (total tariff within budget) run their
+// leaves on a bounded worker pool, the global budget partitioned across
+// the leaves up front from the planner's tariff estimates — each share
+// covers its leaf's data-independent access bound, so no leaf truncates
+// and the α·|D| guarantee holds without threading a shared "remaining"
+// counter through the leaves. Unaffordable plans take the sequential
+// reference path directly. Should a tariff estimate ever under-shoot the
+// data (the runtime backstop's reason to exist), the truncated parallel
+// pass is discarded and re-run sequentially so truncation semantics match
+// the reference path exactly; that rare double pass costs up to Budget
+// extra physical accesses but the answers and reported Stats remain those
+// of a single ≤ Budget run.
 func (s *Scheme) Execute(p *Plan) (*Answer, error) {
-	ans := &Answer{}
-	results := make(map[*query.SPC]*leafResult, len(p.Leaves))
-	remaining := p.Budget
-	for _, l := range p.Leaves {
-		l.Bounded.Budget = remaining
-		r, err := plan.Execute(l.Bounded, s.db)
+	if s.workers > 1 && len(p.Leaves) > 1 && s.totalTariff(p) <= p.Budget {
+		results, stats, err := s.executeLeavesParallel(p)
 		if err != nil {
 			return nil, err
+		}
+		if !stats.Truncated {
+			return s.assemble(p, results, stats)
+		}
+		// A leaf overran its partition; re-run sequentially so truncation
+		// semantics match the reference path exactly.
+	}
+	results, stats, err := s.executeLeavesSequential(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.assemble(p, results, stats)
+}
+
+// ExecuteSequential runs the plan with the reference single-threaded
+// executor: leaves run in order, each seeing the budget left over by its
+// predecessors. Exposed for tests and experiments comparing the executors.
+func (s *Scheme) ExecuteSequential(p *Plan) (*Answer, error) {
+	results, stats, err := s.executeLeavesSequential(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.assemble(p, results, stats)
+}
+
+func (s *Scheme) executeLeavesSequential(p *Plan) (map[*query.SPC]*leafResult, plan.Stats, error) {
+	results := make(map[*query.SPC]*leafResult, len(p.Leaves))
+	var stats plan.Stats
+	remaining := p.Budget
+	for _, l := range p.Leaves {
+		r, err := plan.ExecuteWithBudget(l.Bounded, s.db, remaining)
+		if err != nil {
+			return nil, stats, err
 		}
 		remaining -= r.Stats.Accessed
 		if remaining < 0 {
 			remaining = 0
 		}
-		ans.Stats.Accessed += r.Stats.Accessed
-		ans.Stats.Truncated = ans.Stats.Truncated || r.Stats.Truncated
+		stats.Accessed += r.Stats.Accessed
+		stats.Truncated = stats.Truncated || r.Stats.Truncated
 		results[l.SPC] = &leafResult{res: r}
 	}
+	return results, stats, nil
+}
 
+// executeLeavesParallel fans the leaves out over at most s.workers
+// goroutines, each leaf holding a disjoint share of the global budget.
+func (s *Scheme) executeLeavesParallel(p *Plan) (map[*query.SPC]*leafResult, plan.Stats, error) {
+	shares := partitionBudget(p)
+	resList := make([]*plan.Result, len(p.Leaves))
+	errList := make([]error, len(p.Leaves))
+
+	workers := s.workers
+	if workers > len(p.Leaves) {
+		workers = len(p.Leaves)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for li := range jobs {
+				resList[li], errList[li] = plan.ExecuteWithBudget(p.Leaves[li].Bounded, s.db, shares[li])
+			}
+		}()
+	}
+	for li := range p.Leaves {
+		jobs <- li
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errList {
+		if err != nil {
+			return nil, plan.Stats{}, err
+		}
+	}
+	results := make(map[*query.SPC]*leafResult, len(p.Leaves))
+	var stats plan.Stats
+	for li, l := range p.Leaves {
+		stats.Accessed += resList[li].Stats.Accessed
+		stats.Truncated = stats.Truncated || resList[li].Stats.Truncated
+		results[l.SPC] = &leafResult{res: resList[li]}
+	}
+	return results, stats, nil
+}
+
+// partitionBudget splits the plan's global budget across its leaves ahead
+// of execution: each leaf gets its tariff estimate — Execute only takes
+// the parallel path for affordable plans (total tariff ≤ budget) — with
+// the slack spread evenly. Shares sum to exactly p.Budget, which is what
+// preserves the α·|D| bound under parallel execution.
+func partitionBudget(p *Plan) []int {
+	n := len(p.Leaves)
+	shares := make([]int, n)
+	total := 0
+	for li, l := range p.Leaves {
+		shares[li] = l.Bounded.Tariff()
+		total += shares[li]
+	}
+	slack := p.Budget - total
+	for li := range shares {
+		shares[li] += slack / n
+	}
+	for li := 0; li < slack%n; li++ {
+		shares[li]++
+	}
+	return shares
+}
+
+// assemble combines executed leaves into the final Answer.
+func (s *Scheme) assemble(p *Plan, results map[*query.SPC]*leafResult, stats plan.Stats) (*Answer, error) {
+	ans := &Answer{Stats: stats}
 	out, err := s.combine(p, p.Expr, results)
 	if err != nil {
 		return nil, err
@@ -72,9 +187,12 @@ func (s *Scheme) Execute(p *Plan) (*Answer, error) {
 	return ans, nil
 }
 
-// Answer plans and executes in one call.
+// Answer plans and executes in one call, consulting the plan cache: a
+// repeated (normalized query, α) pair skips the chase + chAT generation
+// work entirely. The returned plan is a per-call copy whose CacheHit field
+// reports where it came from.
 func (s *Scheme) Answer(e query.Expr, alpha float64) (*Answer, *Plan, error) {
-	p, err := s.GeneratePlan(e, alpha)
+	p, err := s.cachedPlan(e, alpha)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -83,6 +201,57 @@ func (s *Scheme) Answer(e query.Expr, alpha float64) (*Answer, *Plan, error) {
 		return nil, nil, err
 	}
 	return ans, p, nil
+}
+
+// cachedPlan returns a plan for (e, alpha), serving repeats from the LRU.
+// Concurrent misses on one key are coalesced: the first caller generates,
+// the rest wait and share the result (as cache hits).
+func (s *Scheme) cachedPlan(e query.Expr, alpha float64) (*Plan, error) {
+	if s.cache == nil {
+		return s.GeneratePlan(e, alpha)
+	}
+	key := planKey(e, alpha)
+	if v, ok := s.cache.Get(key); ok {
+		hit := *v.(*Plan) // shallow copy: leaves are shared and immutable
+		hit.CacheHit = true
+		return &hit, nil
+	}
+
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		hit := *f.p
+		hit.CacheHit = true
+		return &hit, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	// Deregister and wake waiters even if generation panics — a wedged
+	// flight would park every future caller of this key forever.
+	defer func() {
+		if f.p == nil && f.err == nil {
+			f.err = fmt.Errorf("core: plan generation aborted")
+		}
+		close(f.done)
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+	}()
+	f.p, f.err = s.GeneratePlan(e, alpha)
+	if f.err != nil {
+		return nil, f.err
+	}
+	s.cache.Put(key, f.p)
+	// Callers always get a private copy; the cached plan stays immutable
+	// even if the caller tweaks the returned header.
+	ret := *f.p
+	return &ret, nil
 }
 
 // combine implements E(Q) of §6 over executed leaves: set semantics for

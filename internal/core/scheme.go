@@ -14,27 +14,98 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/access"
 	"repro/internal/chase"
 	"repro/internal/plan"
+	"repro/internal/plancache"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
 
 // Scheme is the resource-bounded approximation scheme ΓA of §4.1,
 // instantiated for one database and one access schema.
+//
+// A Scheme is safe for concurrent use: the database and access-schema
+// indices are treated as immutable after New, generated plans are immutable
+// after GeneratePlan returns, and every execution builds its own per-call
+// state. The online path (GeneratePlan / Execute / Answer) may therefore be
+// shared by any number of goroutines serving queries over one prepared
+// database — the serving architecture of Fig. 2.
 type Scheme struct {
 	db *relation.Database
 	as *access.Schema
+	// workers bounds the leaf-execution worker pool (set once in New).
+	workers int
+	// cache memoises generated plans by (normalized query, α).
+	cache *plancache.Cache
+	// flights coalesces concurrent cache misses on one key so a stampede
+	// of identical queries pays for a single plan generation.
+	flightMu sync.Mutex
+	flights  map[string]*flight
 }
 
-// New builds a scheme. The access schema should subsume At (use
-// access.BuildAt plus extensions); the chase fails on queries it cannot
-// cover otherwise.
+// flight is one in-progress plan generation awaited by late arrivals.
+type flight struct {
+	done chan struct{}
+	p    *Plan
+	err  error
+}
+
+// Options tunes a Scheme beyond the defaults of New.
+type Options struct {
+	// Workers bounds the parallel leaf-execution pool; 0 means GOMAXPROCS,
+	// 1 forces sequential execution.
+	Workers int
+	// PlanCacheSize bounds the plan LRU; 0 means
+	// plancache.DefaultCapacity, negative disables caching.
+	PlanCacheSize int
+}
+
+// New builds a scheme with default options. The access schema should
+// subsume At (use access.BuildAt plus extensions); the chase fails on
+// queries it cannot cover otherwise.
 func New(db *relation.Database, as *access.Schema) *Scheme {
-	return &Scheme{db: db, as: as}
+	return NewWithOptions(db, as, Options{})
+}
+
+// NewWithOptions builds a scheme with explicit concurrency/caching options.
+func NewWithOptions(db *relation.Database, as *access.Schema, opt Options) *Scheme {
+	s := &Scheme{db: db, as: as, workers: opt.Workers}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.PlanCacheSize >= 0 {
+		s.cache = plancache.New(opt.PlanCacheSize)
+		s.flights = make(map[string]*flight)
+	}
+	return s
+}
+
+// CacheStats returns the plan cache's effectiveness counters (zero stats
+// when caching is disabled).
+func (s *Scheme) CacheStats() plancache.Stats {
+	if s.cache == nil {
+		return plancache.Stats{}
+	}
+	return s.cache.Stats()
+}
+
+// planKey normalizes a (query, α) pair into a plan-cache key. Rendering is
+// deterministic and injective for a given expression tree, so structurally
+// equal queries share one cached plan regardless of how they were
+// constructed. GroupBy.DistScale is the one semantic field Render omits
+// (it is presentation-free), so it is appended explicitly.
+func planKey(e query.Expr, alpha float64) string {
+	key := strconv.FormatFloat(alpha, 'g', -1, 64) + "|" + query.Render(e)
+	if g, ok := e.(*query.GroupBy); ok && g.DistScale > 0 {
+		key += "|ds=" + strconv.FormatFloat(g.DistScale, 'g', -1, 64)
+	}
+	return key
 }
 
 // DB returns the underlying database.
@@ -70,15 +141,32 @@ type Plan struct {
 	Leaves []*LeafPlan
 	// GenTime is how long plan generation took (Exp-5).
 	GenTime time.Duration
+	// CacheHit reports that Answer served this plan from the scheme's plan
+	// cache instead of regenerating it. It is set on a per-call copy of the
+	// plan header, so cached plans stay immutable under concurrency.
+	CacheHit bool
 }
 
-// Tariff returns the plan's estimated data access.
+// Tariff returns the plan's estimated data access. Per-leaf tariffs
+// saturate near MaxInt (chase caps them rather than overflow), so the sum
+// saturates too.
 func (p *Plan) Tariff() int {
 	total := 0
 	for _, l := range p.Leaves {
-		total += l.Bounded.Tariff()
+		total = satAddTariff(total, l.Bounded.Tariff())
 	}
 	return total
+}
+
+// satAddTariff adds tariff estimates without wrapping: chase saturates
+// individual tariffs at MaxInt/4, so a handful of saturated leaves would
+// otherwise overflow negative and sneak past budget gates.
+func satAddTariff(a, b int) int {
+	const limit = math.MaxInt / 2
+	if a > limit-b {
+		return limit
+	}
+	return a + b
 }
 
 // GeneratePlan computes an α-bounded plan for the query (component C3 of
@@ -248,13 +336,7 @@ func (s *Scheme) totalResolution(p *Plan) float64 {
 	return total
 }
 
-func (s *Scheme) totalTariff(p *Plan) int {
-	total := 0
-	for _, l := range p.Leaves {
-		total += l.Bounded.Tariff()
-	}
-	return total
-}
+func (s *Scheme) totalTariff(p *Plan) int { return p.Tariff() }
 
 // --- the lower-bound function L (§5, §6, §7) ----------------------------
 

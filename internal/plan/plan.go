@@ -67,9 +67,19 @@ type Result struct {
 	Stats   Stats
 }
 
-// Execute runs the full plan: fetch then relaxed evaluation.
+// Execute runs the full plan: fetch then relaxed evaluation, accounting
+// accesses against p.Budget.
 func Execute(p *Bounded, db *relation.Database) (*Result, error) {
-	atoms, stats, err := ExecuteFetch(p, db)
+	return ExecuteWithBudget(p, db, p.Budget)
+}
+
+// ExecuteWithBudget runs the full plan against an explicit access budget,
+// leaving the plan itself untouched. Plans are immutable once generated, so
+// the same *Bounded may be executed concurrently from many goroutines (each
+// call builds its own fetch state); the budget is per-call because callers
+// partition one global α|D| budget across the leaves of a larger plan.
+func ExecuteWithBudget(p *Bounded, db *relation.Database, budget int) (*Result, error) {
+	atoms, stats, err := executeFetch(p, db, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -81,9 +91,14 @@ func Execute(p *Bounded, db *relation.Database) (*Result, error) {
 	return res, nil
 }
 
-// ExecuteFetch runs ξF: it applies the chase steps in order against the
-// access-schema indices, materialising one relation per atom.
+// ExecuteFetch runs ξF with the plan's own budget.
 func ExecuteFetch(p *Bounded, db *relation.Database) ([]*FetchedAtom, *Stats, error) {
+	return executeFetch(p, db, p.Budget)
+}
+
+// executeFetch runs ξF: it applies the chase steps in order against the
+// access-schema indices, materialising one relation per atom.
+func executeFetch(p *Bounded, db *relation.Database, budget int) ([]*FetchedAtom, *Stats, error) {
 	q := p.Chase.Query
 	stats := &Stats{}
 	atoms := make([]*FetchedAtom, len(q.Atoms))
@@ -94,7 +109,7 @@ func ExecuteFetch(p *Bounded, db *relation.Database) ([]*FetchedAtom, *Stats, er
 		if !s.Pinned && p.Ks != nil {
 			k = p.Ks[si]
 		}
-		if err := applyStep(p, db, atoms, s, si, k, stats); err != nil {
+		if err := applyStep(p, db, atoms, s, si, k, budget, stats); err != nil {
 			return nil, nil, err
 		}
 		if stats.Truncated {
@@ -128,7 +143,7 @@ func emptyAtom(db *relation.Database, q *query.SPC, c *chase.Result, ai int) *Fe
 
 // applyStep runs one fetch operation, extending (or creating) the atom's
 // fetched relation.
-func applyStep(p *Bounded, db *relation.Database, atoms []*FetchedAtom, s *chase.Step, si, k int, stats *Stats) error {
+func applyStep(p *Bounded, db *relation.Database, atoms []*FetchedAtom, s *chase.Step, si, k, budget int, stats *Stats) error {
 	q := p.Chase.Query
 	ai := s.AtomIdx
 	base := db.MustRelation(q.Atoms[ai].Rel)
@@ -258,9 +273,9 @@ func applyStep(p *Bounded, db *relation.Database, atoms []*FetchedAtom, s *chase
 			return nil
 		}
 		samples := s.Ladder.Fetch(key, k)
-		if stats.Accessed+len(samples) > p.Budget {
+		if stats.Accessed+len(samples) > budget {
 			// Budget backstop: take what fits, then stop fetching.
-			room := p.Budget - stats.Accessed
+			room := budget - stats.Accessed
 			if room < 0 {
 				room = 0
 			}

@@ -243,7 +243,7 @@ func TestPredViolation(t *testing.T) {
 func TestRender(t *testing.T) {
 	q := q1(0, 95)
 	s := Render(q)
-	want := "select h.address, h.price from poi as h, friend as f, person as p where f.pid = 0 and f.fid = p.pid and p.city = h.city and h.type = hotel and h.price <= 95"
+	want := "select h.address, h.price from poi as h, friend as f, person as p where f.pid = 0 and f.fid = p.pid and p.city = h.city and h.type = 'hotel' and h.price <= 95.0"
 	if s != want {
 		t.Errorf("Render =\n%q\nwant\n%q", s, want)
 	}
@@ -256,5 +256,28 @@ func TestRender(t *testing.T) {
 	d := Render(&Diff{L: q, R: q})
 	if u == "" || d == "" || u == d {
 		t.Error("union/diff render")
+	}
+}
+
+// Render doubles as the plan-cache key, so it must distinguish group-by
+// queries whose inner projections differ even when the SQL-shaped select
+// list would look identical.
+func TestRenderGroupByInjective(t *testing.T) {
+	mk := func(extra bool) *GroupBy {
+		spc := &SPC{
+			Atoms:  []Atom{{Rel: "poi", Alias: "h"}},
+			Output: []Col{C("h", "city"), C("h", "price")},
+		}
+		if extra {
+			spc.Output = append(spc.Output, C("h", "address"))
+		}
+		return &GroupBy{In: spc, Keys: []Col{C("h", "city")}, Agg: AggMax, On: C("h", "price"), As: "agg"}
+	}
+	r1, r2 := Render(mk(false)), Render(mk(true))
+	if r1 == r2 {
+		t.Fatalf("distinct group-by queries render identically: %q", r1)
+	}
+	if r1 != "select h.city, max(h.price) as agg from poi as h group by h.city" {
+		t.Errorf("SQL-shaped render = %q", r1)
 	}
 }

@@ -30,7 +30,12 @@ func render(b *strings.Builder, e Expr, depth int) {
 		render(b, q.R, depth+1)
 		b.WriteString(")")
 	case *GroupBy:
-		if spc, ok := q.In.(*SPC); ok {
+		// SQL form only when it loses nothing: the inner SPC's projection
+		// must be exactly keys + aggregate column (what the parser builds).
+		// Anything else uses the explicit form, which renders the child in
+		// full — Render must stay injective, it doubles as the plan-cache
+		// key.
+		if spc, ok := q.In.(*SPC); ok && sqlRenderable(spc, q) {
 			renderSPC(b, spc, q)
 			return
 		}
@@ -82,6 +87,20 @@ func renderSPC(b *strings.Builder, q *SPC, g *GroupBy) {
 	if g != nil && len(g.Keys) > 0 {
 		fmt.Fprintf(b, " group by %s", colList(g.Keys))
 	}
+}
+
+// sqlRenderable reports whether the group-by's inner projection is exactly
+// Keys + On, i.e. fully implied by the SQL select list.
+func sqlRenderable(spc *SPC, g *GroupBy) bool {
+	if len(spc.Output) != len(g.Keys)+1 {
+		return false
+	}
+	for i, k := range g.Keys {
+		if spc.Output[i] != k {
+			return false
+		}
+	}
+	return spc.Output[len(spc.Output)-1] == g.On
 }
 
 func colList(cols []Col) string {

@@ -1,0 +1,91 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+// fuzzSeeds is the seed corpus: the valid queries of the unit tests, the
+// paper's examples, render-style output (quoted strings, parenthesized
+// set operations) and a handful of near-miss inputs that exercise error
+// paths in the lexer and parser.
+var fuzzSeeds = []string{
+	// Valid queries from the test suite and the paper.
+	`select h.address, h.price
+		from poi as h, friend as f, person as p
+		where f.pid = 0 and f.fid = p.pid and p.city = h.city
+		and h.type = 'hotel' and h.price <= 95`,
+	`select h.city, count(h.address) as cnt
+		from poi as h where h.type = 'hotel' group by h.city`,
+	`select h.city, sum(h.price) from poi as h`,
+	`select h.address from poi as h where h.price <= 95
+		union select h.address from poi as h where h.type = 'bar'
+		except select h.address from poi as h where h.city = 'NYC'`,
+	`select l.qty from lineitem as l where l.discount <= 0.05`,
+	`select r.count from routes as r`,
+	`select p.city from person as p where p.pid >= -3`,
+	// Render-shaped input: explicit parens and quoted constants.
+	`(select h.address from poi as h) UNION ((select h.address from poi as h
+		where h.city = 'NYC') EXCEPT (select h.address from poi as h))`,
+	`select h.price from poi as h where h.price <= 95.0`,
+	`select min(h.price) as agg from poi as h`,
+	`select a.b from x where a.b = 'it''s'`,
+	// Error paths.
+	"",
+	"select from x",
+	"select a.b from x where a.b ~ 3",
+	"select a.b from x where a.b < c.d",
+	"select a.b, count(a.c), sum(a.d) from x",
+	"select a.b from x group by a.b",
+	"((select a.b from x)",
+	"select a.b from x union",
+	"select a.b from x where a.b = 'unterminated",
+	"select a.b from x where a.b = 99999999999999999999",
+}
+
+// FuzzParseSQL checks that the parser never panics on arbitrary input, and
+// that parsing is a retraction of rendering: whenever Parse succeeds, the
+// rendered text re-parses, and rendering the re-parse reproduces the text
+// exactly (so Render output is a canonical form and safe to use as a
+// plan-cache key).
+func FuzzParseSQL(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		e, err := Parse(sql)
+		if err != nil {
+			return // invalid input is fine; panics are not
+		}
+		r1 := query.Render(e)
+		e2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("rendered query does not re-parse: %v\ninput:    %q\nrendered: %q", err, sql, r1)
+		}
+		if r2 := query.Render(e2); r2 != r1 {
+			t.Fatalf("render not canonical:\ninput:  %q\nfirst:  %q\nsecond: %q", sql, r1, r2)
+		}
+	})
+}
+
+// TestEscapedQuoteRoundTrip pins the SQL quote escaping: Render must stay
+// injective (it doubles as the plan-cache key), so a string constant
+// containing a quote may not render identically to a two-predicate query.
+func TestEscapedQuoteRoundTrip(t *testing.T) {
+	e, err := Parse(`select a.b from x where a.b = 'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := query.Render(e)
+	if want := `select a.b from x where a.b = 'it''s'`; r != want {
+		t.Fatalf("render = %q, want %q", r, want)
+	}
+	e2, err := Parse(r)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if r2 := query.Render(e2); r2 != r {
+		t.Fatalf("unstable render: %q != %q", r2, r)
+	}
+}

@@ -5,7 +5,8 @@
 //
 // Grammar (case-insensitive keywords):
 //
-//	query  := select (("union" | "except") select)*
+//	query  := unit (("union" | "except") unit)*
+//	unit   := select | "(" query ")"
 //	select := "select" items "from" tables ["where" pred ("and" pred)*]
 //	          ["group by" cols]
 //	items  := item ("," item)*
@@ -65,11 +66,23 @@ func lex(s string) []token {
 		case unicode.IsSpace(c):
 			i++
 		case c == '\'':
+			// A doubled quote inside a string literal is an escaped quote
+			// ('it''s' → it's), as in standard SQL.
+			var sb strings.Builder
 			j := i + 1
-			for j < len(s) && s[j] != '\'' {
+			for j < len(s) {
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(s[j])
 				j++
 			}
-			toks = append(toks, token{tokString, s[i+1 : min(j, len(s))]})
+			toks = append(toks, token{tokString, sb.String()})
 			i = j + 1
 		case unicode.IsDigit(c) || c == '-' && i+1 < len(s) && unicode.IsDigit(rune(s[i+1])):
 			j := i + 1
@@ -103,13 +116,6 @@ func lex(s string) []token {
 	}
 	toks = append(toks, token{tokEOF, ""})
 	return toks
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 type parser struct {
@@ -158,20 +164,20 @@ func (p *parser) ident() (string, error) {
 }
 
 func (p *parser) parseQuery() (query.Expr, error) {
-	left, err := p.parseSelect()
+	left, err := p.parseUnit()
 	if err != nil {
 		return nil, err
 	}
 	for {
 		switch {
 		case p.keyword("union"):
-			right, err := p.parseSelect()
+			right, err := p.parseUnit()
 			if err != nil {
 				return nil, err
 			}
 			left = &query.Union{L: left, R: right}
 		case p.keyword("except"):
-			right, err := p.parseSelect()
+			right, err := p.parseUnit()
 			if err != nil {
 				return nil, err
 			}
@@ -180,6 +186,23 @@ func (p *parser) parseQuery() (query.Expr, error) {
 			return left, nil
 		}
 	}
+}
+
+// parseUnit parses one operand of a UNION/EXCEPT chain: a plain select or a
+// parenthesized query. Parentheses make any association expressible (and
+// let query.Render's explicitly parenthesized output parse back).
+func (p *parser) parseUnit() (query.Expr, error) {
+	if p.symbol("(") {
+		e, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if !p.symbol(")") {
+			return nil, fmt.Errorf("sqlparser: expected ) to close subquery, got %q", p.peek().text)
+		}
+		return e, nil
+	}
+	return p.parseSelect()
 }
 
 var aggNames = map[string]query.AggKind{
