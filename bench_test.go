@@ -105,6 +105,27 @@ func BenchmarkPlanExecution(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiLeafJoin measures executing a two-leaf plan — a union of
+// two 3-atom join queries — end to end: fetch, hash join, distinct and
+// union combination. This is the allocation benchmark tracked in
+// BENCH_*.json across PRs; the workload is shared with the harness's
+// multi_leaf_join entry (bench.MultiLeafJoinQuery) so both numbers measure
+// the same query.
+func BenchmarkMultiLeafJoin(b *testing.B) {
+	sys, _, _ := benchSystem(b)
+	p, err := sys.Plan(bench.MultiLeafJoinQuery(), 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Execute(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExactEvaluation measures the full-scan comparator (the paper's
 // PostgreSQL/MySQL stand-in) on the same query, for the Exp-5 contrast.
 func BenchmarkExactEvaluation(b *testing.B) {

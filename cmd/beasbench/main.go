@@ -1,17 +1,24 @@
 // Command beasbench regenerates the paper's evaluation (Figure 6, panels
-// (a)–(l)) on the synthetic datasets, printing one table per panel.
+// (a)–(l)) on the synthetic datasets, printing one table per panel, and runs
+// the tracked performance harness that emits the checked-in BENCH_*.json
+// perf trajectory.
 //
 // Usage:
 //
-//	beasbench             # every figure at the default scale
-//	beasbench -fig 6a,6d  # selected figures
-//	beasbench -tiny       # fast smoke run
+//	beasbench                      # every figure at the default scale
+//	beasbench -fig 6a,6d           # selected figures
+//	beasbench -tiny                # fast smoke run
+//	beasbench -perf -out B.json    # run the perf harness, write/append JSON
+//	beasbench -perf -label after   # label the run inside the report
+//	beasbench -cpuprofile cpu.out  # profile any of the above
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,30 +34,125 @@ var figures = map[string]func(bench.Config) (*bench.Table, error){
 var order = []string{"6a", "6b", "6c", "6d", "6e", "6f", "6g", "6h", "6i", "6j", "6k", "6l"}
 
 func main() {
+	// Exit via a return code so deferred profile writers always flush —
+	// os.Exit inside the work would discard an in-flight CPU profile.
+	os.Exit(run())
+}
+
+func run() (code int) {
 	var (
 		fig     = flag.String("fig", "all", "comma-separated figure ids (6a..6l) or 'all'")
 		tiny    = flag.Bool("tiny", false, "use the tiny smoke-test configuration")
 		queries = flag.Int("queries", 0, "override the number of workload queries")
+
+		perf    = flag.Bool("perf", false, "run the tracked perf harness instead of the figures")
+		out     = flag.String("out", "", "with -perf: write (or append the run to) this JSON report")
+		label   = flag.String("label", "current", "with -perf: label of the run inside the report")
+		pr      = flag.Int("pr", 2, "with -perf -out: PR number recorded in a fresh report")
+		smoke   = flag.Bool("smoke", false, "with -perf: shrink the latency section to a correctness smoke")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return errorf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return errorf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// Runs after the work: on failure, surface a non-zero exit (unless
+		// the run itself already failed with one).
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				if c := errorf("memprofile: %v", err); code == 0 {
+					code = c
+				}
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				if c := errorf("memprofile: %v", err); code == 0 {
+					code = c
+				}
+			}
+		}()
+	}
+
+	if *perf {
+		return runPerf(*out, *label, *pr, *smoke)
+	}
+	return runFigures(*fig, *tiny, *queries)
+}
+
+func runPerf(out, label string, pr int, smoke bool) int {
+	run, err := bench.RunPerf(label, smoke)
+	if err != nil {
+		return errorf("perf: %v", err)
+	}
+	for _, b := range run.Benchmarks {
+		fmt.Printf("%-24s %12.0f ns/op %10d allocs/op %12d B/op %10.0f tuples/op\n",
+			b.Name, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp, b.TuplesPerOp)
+	}
+	for _, l := range run.Latency {
+		fmt.Printf("%-24s p50 %8.1fus  p99 %8.1fus  mean %8.1fus  (%d queries, %d workers, %.0f%% cache hits)\n",
+			l.Name, l.P50Micros, l.P99Micros, l.MeanMicros, l.Queries, l.Workers, l.CacheHitRate*100)
+	}
+	if out == "" {
+		return 0
+	}
+	rep, err := bench.ReadPerfReport(out)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return errorf("perf: read %s: %v", out, err)
+		}
+		rep = &bench.PerfReport{
+			SchemaVersion: 1,
+			PR:            pr,
+			Description:   "Tracked execution-core performance: plan execution, offline index build, serving latency.",
+		}
+	}
+	// Replace a same-labelled run so re-runs stay idempotent.
+	kept := rep.Runs[:0]
+	for _, r := range rep.Runs {
+		if r.Label != run.Label {
+			kept = append(kept, r)
+		}
+	}
+	rep.Runs = append(kept, *run)
+	if err := bench.WritePerfReport(out, rep); err != nil {
+		return errorf("perf: write %s: %v", out, err)
+	}
+	fmt.Printf("wrote run %q to %s\n", run.Label, out)
+	return 0
+}
+
+func runFigures(fig string, tiny bool, queries int) int {
 	cfg := bench.Default
-	if *tiny {
+	if tiny {
 		cfg = bench.Tiny
 	}
-	if *queries > 0 {
-		cfg.Queries = *queries
+	if queries > 0 {
+		cfg.Queries = queries
 	}
 
 	var ids []string
-	if *fig == "all" {
+	if fig == "all" {
 		ids = order
 	} else {
-		for _, id := range strings.Split(*fig, ",") {
+		for _, id := range strings.Split(fig, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := figures[id]; !ok {
 				fmt.Fprintf(os.Stderr, "beasbench: unknown figure %q\n", id)
-				os.Exit(2)
+				return 2
 			}
 			ids = append(ids, id)
 		}
@@ -60,10 +162,15 @@ func main() {
 		start := time.Now()
 		tbl, err := figures[id](cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "beasbench: figure %s: %v\n", id, err)
-			os.Exit(1)
+			return errorf("figure %s: %v", id, err)
 		}
 		fmt.Println(tbl.Format())
 		fmt.Printf("(figure %s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+func errorf(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "beasbench: "+format+"\n", args...)
+	return 1
 }

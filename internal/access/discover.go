@@ -1,6 +1,7 @@
 package access
 
 import (
+	"runtime"
 	"sort"
 
 	"repro/internal/relation"
@@ -63,21 +64,28 @@ type Candidate struct {
 
 // Discover mines candidate ladders from the data. Results are ordered per
 // relation from most to least selective (smallest max fanout first for
-// constraint-like, fewest groups first for template-like).
+// constraint-like, fewest groups first for template-like). Relations are
+// mined concurrently — each is independent and mining is deterministic, so
+// the output matches a sequential pass exactly (db.Names order).
 func Discover(db *relation.Database, opts DiscoverOptions) []Candidate {
 	opts = opts.withDefaults()
+	names := db.Names()
+	perRel := make([][]Candidate, len(names))
+	parallelFor(len(names), runtime.GOMAXPROCS(0), func(i int) {
+		perRel[i] = discoverRelation(db.MustRelation(names[i]), opts)
+	})
+
 	var out []Candidate
-	for _, name := range db.Names() {
-		r := db.MustRelation(name)
-		if r.Len() == 0 {
-			continue
-		}
-		out = append(out, discoverRelation(r, opts)...)
+	for _, cands := range perRel {
+		out = append(out, cands...)
 	}
 	return out
 }
 
 func discoverRelation(r *relation.Relation, opts DiscoverOptions) []Candidate {
+	if r.Len() == 0 {
+		return nil
+	}
 	attrs := r.Schema.AttrNames()
 	var xSets [][]string
 	for i, a := range attrs {
@@ -100,31 +108,32 @@ func discoverRelation(r *relation.Relation, opts DiscoverOptions) []Candidate {
 			continue
 		}
 		yIdx, _ := r.Schema.Indices(y)
-		groups := map[string]map[string]struct{}{}
+		groups := relation.NewTupleMap[*relation.TupleSet](0)
 		for _, t := range r.Tuples {
-			k := t.Project(xIdx).Key()
-			g := groups[k]
-			if g == nil {
-				g = map[string]struct{}{}
-				groups[k] = g
+			xv := t.Project(xIdx)
+			g, ok := groups.Get(xv)
+			if !ok {
+				g = relation.NewTupleSet(0)
+				groups.Put(xv, g)
 			}
-			g[t.Project(yIdx).Key()] = struct{}{}
+			g.Add(t.Project(yIdx))
 		}
 		maxFanout := 0
-		for _, g := range groups {
-			if len(g) > maxFanout {
-				maxFanout = len(g)
+		groups.Range(func(_ relation.Tuple, g *relation.TupleSet) bool {
+			if g.Len() > maxFanout {
+				maxFanout = g.Len()
 			}
-		}
-		c := Candidate{Rel: r.Schema.Name, X: x, Y: y, Groups: len(groups), MaxFanout: maxFanout}
+			return true
+		})
+		c := Candidate{Rel: r.Schema.Name, X: x, Y: y, Groups: groups.Len(), MaxFanout: maxFanout}
 		switch {
-		case len(groups) == 1:
+		case groups.Len() == 1:
 			// X is constant (or empty-equivalent): At already covers it.
 			continue
 		case maxFanout <= opts.MaxFanout:
 			c.ConstraintLike = true
 			cands = append(cands, c)
-		case len(groups) <= opts.MaxGroups:
+		case groups.Len() <= opts.MaxGroups:
 			cands = append(cands, c)
 		}
 	}

@@ -3,6 +3,8 @@ package access
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/kdtree"
 	"repro/internal/relation"
@@ -20,6 +22,9 @@ type Sample struct {
 // k = 0..MaxK over a shared index: one K-D tree per distinct X-value. Level
 // MaxK has d̄ = 0̄ and doubles as the access constraint R(X → Y, N, 0̄) with
 // N the largest group's distinct-Y count.
+//
+// Groups are keyed by the X-value tuple itself (hash-bucketed, equality
+// verified), so the online fetch path never materialises string keys.
 type Ladder struct {
 	RelName string
 	X, Y    []string
@@ -28,14 +33,22 @@ type Ladder struct {
 	maxK        int
 	resolutions [][]float64 // [k][|Y|]; max over groups of per-group level-k resolution
 	maxDistinct int         // largest distinct-Y count of any group
-	groups      map[string]*kdtree.Tree
+	groups      *relation.TupleMap[*kdtree.Tree]
 	indexSize   int // total representatives stored across all groups and levels
 }
 
 // BuildLadder scans the relation once and builds the shared index for the
 // template family R(X → Y, 2^k, d̄k). X may be empty (the whole relation is
-// one group, as in the generic schema At).
+// one group, as in the generic schema At). Per-group K-D tree construction
+// fans out over GOMAXPROCS workers; the result is identical to a sequential
+// build (groups are independent and each build is deterministic).
 func BuildLadder(db *relation.Database, rel string, x, y []string) (*Ladder, error) {
+	return buildLadderWorkers(db, rel, x, y, runtime.GOMAXPROCS(0))
+}
+
+// buildLadderWorkers is BuildLadder with an explicit worker count; tests
+// pin it to 1 to assert the parallel build changes nothing.
+func buildLadderWorkers(db *relation.Database, rel string, x, y []string, workers int) (*Ladder, error) {
 	r, ok := db.Relation(rel)
 	if !ok {
 		return nil, fmt.Errorf("access: unknown relation %q", rel)
@@ -55,29 +68,43 @@ func BuildLadder(db *relation.Database, rel string, x, y []string) (*Ladder, err
 		RelName: rel,
 		X:       append([]string(nil), x...),
 		Y:       append([]string(nil), y...),
-		groups:  make(map[string]*kdtree.Tree),
+		groups:  relation.NewTupleMap[*kdtree.Tree](0),
 	}
 	l.yAttrs = make([]relation.Attribute, len(yIdx))
 	for i, j := range yIdx {
 		l.yAttrs[i] = r.Schema.Attrs[j]
 	}
 
-	// Group Y-projections by X-value.
-	type bucket struct{ items []kdtree.Item }
-	buckets := make(map[string]*bucket)
+	// Group Y-projections by X-value, keeping first-occurrence group order
+	// so the parallel build can write results into a stable slice.
+	type bucket struct {
+		key   relation.Tuple
+		items []kdtree.Item
+	}
+	byX := relation.NewTupleMap[int](0)
+	var buckets []*bucket
 	for _, t := range r.Tuples {
-		key := t.Project(xIdx).Key()
-		b := buckets[key]
-		if b == nil {
-			b = &bucket{}
-			buckets[key] = b
+		key := t.Project(xIdx)
+		bi, ok := byX.Get(key)
+		if !ok {
+			bi = len(buckets)
+			byX.Put(key, bi)
+			buckets = append(buckets, &bucket{key: key})
 		}
-		b.items = append(b.items, kdtree.Item{Tuple: t.Project(yIdx), Count: 1})
+		buckets[bi].items = append(buckets[bi].items, kdtree.Item{Tuple: t.Project(yIdx), Count: 1})
 	}
 
-	for key, b := range buckets {
-		tree := kdtree.Build(l.yAttrs, b.items)
-		l.groups[key] = tree
+	// Build one tree per group, in parallel. Each group is independent and
+	// kdtree.Build is deterministic in its item order, so worker count does
+	// not affect the result.
+	trees := make([]*kdtree.Tree, len(buckets))
+	parallelFor(len(buckets), workers, func(bi int) {
+		trees[bi] = kdtree.Build(l.yAttrs, buckets[bi].items)
+	})
+
+	for bi, b := range buckets {
+		tree := trees[bi]
+		l.groups.Put(b.key, tree)
 		if tree.ExactLevel() > l.maxK {
 			l.maxK = tree.ExactLevel()
 		}
@@ -90,7 +117,7 @@ func BuildLadder(db *relation.Database, rel string, x, y []string) (*Ladder, err
 	l.resolutions = make([][]float64, l.maxK+1)
 	for k := 0; k <= l.maxK; k++ {
 		res := make([]float64, len(y))
-		for _, tree := range l.groups {
+		for _, tree := range trees {
 			for i, d := range tree.Resolution(k) {
 				if d > res[i] {
 					res[i] = d
@@ -102,7 +129,7 @@ func BuildLadder(db *relation.Database, rel string, x, y []string) (*Ladder, err
 
 	// Index size: representatives materialised per level, summed (the
 	// paper stores all MR levels in one table TR keyed by level).
-	for _, tree := range l.groups {
+	for _, tree := range trees {
 		for k := 0; k <= tree.ExactLevel(); k++ {
 			l.indexSize += len(tree.Level(k))
 		}
@@ -110,11 +137,43 @@ func BuildLadder(db *relation.Database, rel string, x, y []string) (*Ladder, err
 	return l, nil
 }
 
+// parallelFor runs f(i) for i in [0, n) over at most `workers` goroutines
+// (clamped to [1, n]; workers ≤ 1 runs inline). Each index is processed
+// exactly once; f must only write state owned by its index, which keeps
+// results independent of the worker count.
+func parallelFor(n, workers int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // MaxK returns the top level; Template(MaxK) is exact.
 func (l *Ladder) MaxK() int { return l.maxK }
 
 // NumGroups returns the number of distinct X-values indexed.
-func (l *Ladder) NumGroups() int { return len(l.groups) }
+func (l *Ladder) NumGroups() int { return l.groups.Len() }
 
 // MaxGroupDistinct returns the largest group's distinct-Y count: the N of
 // the ladder's access-constraint view, and the per-X-value fetch bound that
@@ -199,10 +258,11 @@ func (l *Ladder) FetchBound(k int) int {
 	return n
 }
 
-// Fetch returns the level-k samples for one X-value (by its canonical tuple
-// key). A missing X-value yields no samples — the data has no tuples for it.
-func (l *Ladder) Fetch(xKey string, k int) []Sample {
-	tree, ok := l.groups[xKey]
+// Fetch returns the level-k samples for one X-value tuple. A missing
+// X-value yields no samples — the data has no tuples for it. The lookup is
+// hash-bucketed on the tuple; no string key is built.
+func (l *Ladder) Fetch(x relation.Tuple, k int) []Sample {
+	tree, ok := l.groups.Get(x)
 	if !ok {
 		return nil
 	}
@@ -214,20 +274,21 @@ func (l *Ladder) Fetch(xKey string, k int) []Sample {
 	return out
 }
 
-// GroupKeys returns the canonical keys of all indexed X-values. For X = ∅
-// this is the single empty key.
-func (l *Ladder) GroupKeys() []string {
-	keys := make([]string, 0, len(l.groups))
-	for k := range l.groups {
-		keys = append(keys, k)
-	}
-	return keys
+// GroupXs returns the X-value tuples of all indexed groups, in unspecified
+// order. For X = ∅ this is the single empty tuple.
+func (l *Ladder) GroupXs() []relation.Tuple {
+	xs := make([]relation.Tuple, 0, l.groups.Len())
+	l.groups.Range(func(t relation.Tuple, _ *kdtree.Tree) bool {
+		xs = append(xs, t)
+		return true
+	})
+	return xs
 }
 
-// ExactLevelFor returns the level at which the group of xKey is represented
+// ExactLevelFor returns the level at which the group of x is represented
 // exactly; 0 when the group does not exist.
-func (l *Ladder) ExactLevelFor(xKey string) int {
-	tree, ok := l.groups[xKey]
+func (l *Ladder) ExactLevelFor(x relation.Tuple) int {
+	tree, ok := l.groups.Get(x)
 	if !ok {
 		return 0
 	}
@@ -255,10 +316,10 @@ func (l *Ladder) Verify(db *relation.Database) error {
 	for k := 0; k <= l.maxK; k++ {
 		res := l.Resolution(k)
 		for _, t := range r.Tuples {
-			xKey := t.Project(xIdx).Key()
+			xVal := t.Project(xIdx)
 			yVal := t.Project(yIdx)
 			covered := false
-			for _, s := range l.Fetch(xKey, k) {
+			for _, s := range l.Fetch(xVal, k) {
 				ok := true
 				for a := range l.yAttrs {
 					d := l.yAttrs[a].Dist.Between(yVal[a], s.Y[a])

@@ -87,7 +87,7 @@ func TestLadderConstraintSemantics(t *testing.T) {
 		t.Errorf("Constraint() = %v", c)
 	}
 	// Fetch returns the exact city.
-	key := relation.Tuple{relation.Int(3)}.Key()
+	key := relation.Tuple{relation.Int(3)}
 	samples := l.Fetch(key, 0)
 	if len(samples) != 1 {
 		t.Fatalf("Fetch = %d samples, want 1", len(samples))
@@ -96,7 +96,7 @@ func TestLadderConstraintSemantics(t *testing.T) {
 		t.Errorf("person 3 city = %q, want Austin", s)
 	}
 	// Missing X-value yields nothing.
-	if got := l.Fetch(relation.Tuple{relation.Int(9999)}.Key(), 0); got != nil {
+	if got := l.Fetch(relation.Tuple{relation.Int(9999)}, 0); got != nil {
 		t.Errorf("Fetch missing key = %v", got)
 	}
 }
@@ -165,7 +165,7 @@ func TestLadderFetchBound(t *testing.T) {
 	}
 	for k := 0; k <= l.MaxK()+1; k++ {
 		bound := l.FetchBound(k)
-		for _, key := range l.GroupKeys() {
+		for _, key := range l.GroupXs() {
 			if got := len(l.Fetch(key, k)); got > bound {
 				t.Errorf("level %d: fetched %d > bound %d", k, got, bound)
 			}
@@ -181,20 +181,21 @@ func TestLadderCountAnnotations(t *testing.T) {
 		t.Fatalf("BuildLadder: %v", err)
 	}
 	friend := db.MustRelation("friend")
-	sizes := map[string]int{}
+	sizes := relation.NewTupleMap[int](0)
 	pidIdx := friend.Schema.MustIndex("pid")
 	for _, tp := range friend.Tuples {
-		sizes[relation.Tuple{tp[pidIdx]}.Key()]++
+		*sizes.GetOrInsert(relation.Tuple{tp[pidIdx]})++
 	}
-	for key, want := range sizes {
+	sizes.Range(func(key relation.Tuple, want int) bool {
 		got := 0
 		for _, s := range l.Fetch(key, 0) {
 			got += s.Count
 		}
 		if got != want {
-			t.Errorf("group %q count sum = %d, want %d", key, got, want)
+			t.Errorf("group %v count sum = %d, want %d", key, got, want)
 		}
-	}
+		return true
+	})
 }
 
 func TestLadderVerify(t *testing.T) {

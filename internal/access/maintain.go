@@ -73,35 +73,47 @@ func (l *Ladder) refreshGroupOf(db *relation.Database, t relation.Tuple) error {
 	if err != nil {
 		return err
 	}
-	key := t.Project(xIdx).Key()
+	key := t.Project(xIdx)
 
 	// Re-scan the group's tuples. This is a scan of the relation; a
 	// production system would keep a per-group tuple list — the asymptotic
 	// point (work independent of other groups' indices) is preserved.
 	var items []kdtree.Item
 	for _, u := range r.Tuples {
-		if u.Project(xIdx).Key() != key {
+		if !projectedEqual(u, xIdx, key) {
 			continue
 		}
 		items = append(items, kdtree.Item{Tuple: u.Project(yIdx), Count: 1})
 	}
 
-	old, existed := l.groups[key]
+	old, existed := l.groups.Get(key)
 	if len(items) == 0 {
 		if existed {
 			l.indexSize -= treeIndexSize(old)
-			delete(l.groups, key)
+			l.groups.Delete(key)
 		}
 	} else {
 		tree := kdtree.Build(l.yAttrs, items)
 		if existed {
 			l.indexSize -= treeIndexSize(old)
 		}
-		l.groups[key] = tree
+		l.groups.Put(key, tree)
 		l.indexSize += treeIndexSize(tree)
 	}
 	l.recomputeMeta()
 	return nil
+}
+
+// projectedEqual reports whether t's projection on idx has the same
+// canonical encoding as key — the grouping equality of the ladder's tuple
+// map — without building the projection.
+func projectedEqual(t relation.Tuple, idx []int, key relation.Tuple) bool {
+	for i, j := range idx {
+		if !t[j].KeyEqual(key[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func treeIndexSize(t *kdtree.Tree) int {
@@ -116,24 +128,26 @@ func treeIndexSize(t *kdtree.Tree) int {
 // resolutions after a group changed.
 func (l *Ladder) recomputeMeta() {
 	l.maxK, l.maxDistinct = 0, 0
-	for _, tree := range l.groups {
+	l.groups.Range(func(_ relation.Tuple, tree *kdtree.Tree) bool {
 		if tree.ExactLevel() > l.maxK {
 			l.maxK = tree.ExactLevel()
 		}
 		if tree.Items() > l.maxDistinct {
 			l.maxDistinct = tree.Items()
 		}
-	}
+		return true
+	})
 	l.resolutions = make([][]float64, l.maxK+1)
 	for k := 0; k <= l.maxK; k++ {
 		res := make([]float64, len(l.Y))
-		for _, tree := range l.groups {
+		l.groups.Range(func(_ relation.Tuple, tree *kdtree.Tree) bool {
 			for i, d := range tree.Resolution(k) {
 				if d > res[i] {
 					res[i] = d
 				}
 			}
-		}
+			return true
+		})
 		l.resolutions[k] = res
 	}
 }

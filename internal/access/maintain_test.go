@@ -42,7 +42,7 @@ func TestInsertMaintainsConformance(t *testing.T) {
 	}
 	// The new tuple is fetchable through the template's index.
 	l := s.Find("poi", []string{"type", "city"}, []string{"price", "address"})
-	key := relation.Tuple{relation.String("hotel"), relation.String("NYC")}.Key()
+	key := relation.Tuple{relation.String("hotel"), relation.String("NYC")}
 	found := false
 	for _, smp := range l.Fetch(key, l.MaxK()) {
 		if a, _ := smp.Y[1].AsString(); a == "addr-new" {
@@ -69,7 +69,7 @@ func TestInsertNewGroup(t *testing.T) {
 	if l.NumGroups() != groupsBefore+1 {
 		t.Errorf("groups = %d, want %d", l.NumGroups(), groupsBefore+1)
 	}
-	key := relation.Tuple{relation.String("observatory"), relation.String("NYC")}.Key()
+	key := relation.Tuple{relation.String("observatory"), relation.String("NYC")}
 	if got := l.Fetch(key, 0); len(got) != 1 {
 		t.Errorf("new group fetch = %d samples, want 1", len(got))
 	}
@@ -123,7 +123,7 @@ func TestDeleteEmptiesGroup(t *testing.T) {
 	if l.NumGroups() != 1 {
 		t.Errorf("groups = %d, want 1 after emptying", l.NumGroups())
 	}
-	if got := l.Fetch(relation.Tuple{relation.Int(1)}.Key(), 0); got != nil {
+	if got := l.Fetch(relation.Tuple{relation.Int(1)}, 0); got != nil {
 		t.Errorf("emptied group still fetches %v", got)
 	}
 	if err := s.Verify(db); err != nil {

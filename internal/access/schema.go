@@ -93,8 +93,8 @@ func (s *Schema) IndexSize() int {
 func (s *Schema) ConstraintIndexSize() int {
 	n := 0
 	for _, l := range s.Ladders {
-		for _, key := range l.GroupKeys() {
-			n += len(l.Fetch(key, l.MaxK()))
+		for _, x := range l.GroupXs() {
+			n += len(l.Fetch(x, l.MaxK()))
 		}
 	}
 	return n

@@ -1,0 +1,298 @@
+// Perf harness: machine-readable performance tracking across PRs.
+//
+// Unlike the Figure-6 runners (which reproduce the paper's accuracy
+// evaluation), this file measures the *implementation*: ns/op, allocs/op and
+// tuples accessed on the hot execution paths, plus p50/p99 latency of the
+// serving path under concurrent mixed traffic. `beasbench -perf -out
+// BENCH_N.json` emits the report; checked-in BENCH_*.json files form the
+// perf trajectory that future PRs extend.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// PerfBenchmark is one measured operation.
+type PerfBenchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// TuplesPerOp is the mean data access (plan.Stats.Accessed) per
+	// operation, for benchmarks that execute bounded plans; 0 otherwise.
+	TuplesPerOp float64 `json:"tuples_per_op,omitempty"`
+}
+
+// PerfLatency is one serving-path latency measurement.
+type PerfLatency struct {
+	Name         string  `json:"name"`
+	Queries      int     `json:"queries"`
+	Workers      int     `json:"workers"`
+	P50Micros    float64 `json:"p50_us"`
+	P99Micros    float64 `json:"p99_us"`
+	MeanMicros   float64 `json:"mean_us"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// PerfRun is the result of one invocation of the harness.
+type PerfRun struct {
+	Label      string          `json:"label"`
+	Generated  string          `json:"generated"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Benchmarks []PerfBenchmark `json:"benchmarks"`
+	Latency    []PerfLatency   `json:"latency"`
+}
+
+// PerfReport is the checked-in BENCH_N.json shape: the same harness run
+// before and after a PR's changes, so deltas are apples to apples.
+type PerfReport struct {
+	SchemaVersion int       `json:"schema_version"`
+	PR            int       `json:"pr"`
+	Description   string    `json:"description"`
+	Runs          []PerfRun `json:"runs"`
+}
+
+// MultiLeafJoinQuery is the workload of the tracked multi-leaf join
+// benchmark: a union of two 3-atom join SPC queries, so the plan has two
+// leaves and the executor exercises fetch, hash join, distinct and union
+// combination on every operation. BenchmarkMultiLeafJoin (go test) and the
+// harness's multi_leaf_join entry both run this exact query, so the two
+// tracked numbers stay comparable.
+func MultiLeafJoinQuery() query.Expr {
+	return &query.Union{L: fixture.Q1(1, 95), R: fixture.Q1(2, 250)}
+}
+
+// perfSystem builds the fixture scheme the perf benchmarks run against.
+func perfSystem() (*core.Scheme, *relation.Database, error) {
+	db := fixture.Example1(5, 300, 2500)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.New(db, as), db, nil
+}
+
+// runPlanBenchmark measures repeated execution of the plan for q at alpha,
+// reporting mean tuples accessed per op alongside the allocation counters.
+func runPlanBenchmark(name string, s *core.Scheme, q query.Expr, alpha float64) (PerfBenchmark, error) {
+	p, err := s.GeneratePlan(q, alpha)
+	if err != nil {
+		return PerfBenchmark{}, fmt.Errorf("bench: %s: plan: %w", name, err)
+	}
+	var accessed, ops int64
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		accessed, ops = 0, 0
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ans, err := s.Execute(p)
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			accessed += int64(ans.Stats.Accessed)
+			ops++
+		}
+	})
+	if benchErr != nil {
+		return PerfBenchmark{}, fmt.Errorf("bench: %s: %w", name, benchErr)
+	}
+	out := PerfBenchmark{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if ops > 0 {
+		out.TuplesPerOp = float64(accessed) / float64(ops)
+	}
+	return out, nil
+}
+
+// RunPerf executes the whole tracked benchmark suite once and returns the
+// run. smoke shrinks the latency section to a handful of queries so CI can
+// exercise the harness end to end without timing anything meaningful.
+func RunPerf(label string, smoke bool) (*PerfRun, error) {
+	run := &PerfRun{
+		Label:      label,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	s, db, err := perfSystem()
+	if err != nil {
+		return nil, err
+	}
+
+	// Tracked plan-execution benchmarks.
+	cases := []struct {
+		name  string
+		q     query.Expr
+		alpha float64
+	}{
+		{"multi_leaf_join", MultiLeafJoinQuery(), 0.2},
+		{"single_leaf_join_q1", fixture.Q1(3, 95), 0.1},
+		{"diff_combine", &query.Diff{L: fixture.Q1(1, 300), R: fixture.Q1(1, 120)}, 0.2},
+		{"group_by_agg", &query.GroupBy{
+			In: &query.SPC{
+				Atoms:  []query.Atom{{Rel: "poi", Alias: "h"}},
+				Preds:  []query.Pred{query.EqC(query.C("h", "type"), relation.String("hotel"))},
+				Output: []query.Col{query.C("h", "city"), query.C("h", "price")},
+			},
+			Keys: []query.Col{query.C("h", "city")},
+			Agg:  query.AggAvg,
+			On:   query.C("h", "price"),
+			As:   "avg_price",
+		}, 0.3},
+	}
+	for _, c := range cases {
+		pb, err := runPlanBenchmark(c.name, s, c.q, c.alpha)
+		if err != nil {
+			return nil, err
+		}
+		run.Benchmarks = append(run.Benchmarks, pb)
+	}
+
+	// Offline phase: access-schema (ladder/kd-tree) construction.
+	var buildErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fixture.SchemaA0(db); err != nil {
+				buildErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if buildErr != nil {
+		return nil, fmt.Errorf("bench: access_schema_build: %w", buildErr)
+	}
+	run.Benchmarks = append(run.Benchmarks, PerfBenchmark{
+		Name:        "access_schema_build",
+		Iterations:  br.N,
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	})
+
+	// Serving-path latency: the beasd request path minus HTTP — concurrent
+	// mixed traffic through Scheme.Answer with the plan cache warm-capable.
+	nq, workers := 4000, runtime.GOMAXPROCS(0)
+	if smoke {
+		nq, workers = 64, 2
+	}
+	lat, err := measureServingLatency(s, nq, workers)
+	if err != nil {
+		return nil, err
+	}
+	run.Latency = append(run.Latency, *lat)
+	return run, nil
+}
+
+// measureServingLatency fires n mixed queries from `workers` goroutines at
+// one shared scheme and reports the per-query latency distribution.
+func measureServingLatency(s *core.Scheme, n, workers int) (*PerfLatency, error) {
+	queries := make([]query.Expr, 8)
+	for i := range queries {
+		queries[i] = fixture.Q1(int64(i), 95)
+	}
+	durs := make([]time.Duration, n)
+	errs := make([]error, workers)
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(n) {
+			return -1
+		}
+		next++
+		return int(next - 1)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				q := queries[i%len(queries)]
+				start := time.Now()
+				if _, _, err := s.Answer(q, 0.2); err != nil {
+					errs[w] = err
+					return
+				}
+				durs[i] = time.Since(start)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("bench: serving latency: %w", err)
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var total time.Duration
+	for _, d := range durs {
+		total += d
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(durs)-1))
+		return float64(durs[i].Nanoseconds()) / 1e3
+	}
+	st := s.CacheStats()
+	return &PerfLatency{
+		Name:         "serving_mixed_q1",
+		Queries:      n,
+		Workers:      workers,
+		P50Micros:    pct(0.50),
+		P99Micros:    pct(0.99),
+		MeanMicros:   float64(total.Nanoseconds()) / float64(len(durs)) / 1e3,
+		CacheHitRate: st.HitRate(),
+	}, nil
+}
+
+// WritePerfReport marshals the report to path, indented for diffability.
+func WritePerfReport(path string, rep *PerfReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadPerfReport loads an existing report so a run can be appended to it.
+func ReadPerfReport(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

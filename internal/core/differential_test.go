@@ -1,0 +1,97 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/query"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/exec_digests.json from the current executor")
+
+// TestExecutorMatchesStringKeyReference is the differential guard for the
+// allocation-light execution core: over the same 200-case randomized corpus
+// as TestSoundnessRandomQueries, every Answer (Rel, Eta, Exact, Stats) must
+// be bit-identical to the digests recorded from the pre-rewrite executor,
+// whose hot paths were keyed by canonical Tuple.Key strings. Any behavioural
+// drift introduced by the hashed tuple maps, precompiled step layouts or
+// kd-tree diff pruning shows up as a digest mismatch pinpointing the case.
+//
+// Regenerate (only when an intentional semantic change is made) with:
+//
+//	go test ./internal/core -run ExecutorMatchesStringKeyReference -update-golden
+func TestExecutorMatchesStringKeyReference(t *testing.T) {
+	const cases = 200
+	db := fixture.Example1(7, 120, 80)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, as)
+	g := &qgen{rng: rand.New(rand.NewSource(42))}
+	alphas := []float64{0.01, 0.1, 0.6}
+
+	digests := make([]string, cases)
+	for ci := 0; ci < cases; ci++ {
+		q := g.randQuery()
+		alpha := alphas[ci%len(alphas)]
+		h := sha256.New()
+		fmt.Fprintf(h, "q=%s\nalpha=%g\n", query.Render(q), alpha)
+		ans, _, err := s.Answer(q, alpha)
+		if err != nil {
+			// Deterministic failures (e.g. the relaxed-join blowup guard)
+			// are part of the contract too.
+			fmt.Fprintf(h, "err=%v\n", err)
+		} else {
+			for _, k := range relKeys(ans.Rel) {
+				h.Write([]byte(k))
+				h.Write([]byte{0})
+			}
+			fmt.Fprintf(h, "eta=%.12g\nexact=%v\naccessed=%d\ntruncated=%v\n",
+				ans.Eta, ans.Exact, ans.Stats.Accessed, ans.Stats.Truncated)
+		}
+		digests[ci] = hex.EncodeToString(h.Sum(nil))
+	}
+
+	path := filepath.Join("testdata", "exec_digests.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(digests, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(digests), path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	var want []string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != cases {
+		t.Fatalf("golden has %d digests, corpus has %d", len(want), cases)
+	}
+	for ci := range digests {
+		if digests[ci] != want[ci] {
+			t.Errorf("case %d: answer diverged from the string-key reference executor (digest %s != %s)",
+				ci, digests[ci][:12], want[ci][:12])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/kdtree"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -300,13 +301,13 @@ func (s *Scheme) combineDiff(p *Plan, q *query.Diff, results map[*query.SPC]*lea
 		if err != nil {
 			return nil, err
 		}
-		drop := make(map[string]struct{}, r.Len())
+		drop := relation.NewTupleSet(r.Len())
 		for _, t := range r.Tuples {
-			drop[t.Key()] = struct{}{}
+			drop.Add(t)
 		}
 		out := relation.NewRelation(l.Schema)
 		for _, t := range l.Tuples {
-			if _, gone := drop[t.Key()]; !gone {
+			if !drop.Has(t) {
 				out.Tuples = append(out.Tuples, t)
 			}
 		}
@@ -324,6 +325,18 @@ func (s *Scheme) combineDiff(p *Plan, q *query.Diff, results map[*query.SPC]*lea
 		return nil, err
 	}
 	out := relation.NewRelation(l.Schema)
+	if useDiffIndex(l.Len(), rHat.Len()) {
+		// Large inputs: probe a K-D tree over the approximate answers
+		// instead of scanning them per left tuple (§4.1's tree structures,
+		// reused online). AnyWithin matches withinPerAttr exactly.
+		tree := kdtree.Build(attrs, treeItems(rHat))
+		for _, t := range l.Tuples {
+			if !tree.AnyWithin(t, delta) {
+				out.Tuples = append(out.Tuples, t)
+			}
+		}
+		return out, nil
+	}
 	for _, t := range l.Tuples {
 		danger := false
 		for _, u := range rHat.Tuples {
@@ -337,6 +350,27 @@ func (s *Scheme) combineDiff(p *Plan, q *query.Diff, results map[*query.SPC]*lea
 		}
 	}
 	return out, nil
+}
+
+// diffIndexMinWork is the probes×points product above which the dangerous-
+// distance exclusion and the η′ coverage-gap search index one side in a
+// K-D tree instead of scanning (tests lower/raise it to force either path).
+var diffIndexMinWork = 4096
+
+// useDiffIndex decides whether to build a K-D tree over `points` before
+// probing it `probes` times: worthwhile once the quadratic scan clearly
+// dominates the O(n log² n) build.
+func useDiffIndex(probes, points int) bool {
+	return points >= 8 && probes*points >= diffIndexMinWork
+}
+
+// treeItems wraps a relation's tuples as unit-count K-D tree items.
+func treeItems(r *relation.Relation) []kdtree.Item {
+	items := make([]kdtree.Item, len(r.Tuples))
+	for i, t := range r.Tuples {
+		items[i] = kdtree.Item{Tuple: t, Count: 1}
+	}
+	return items
 }
 
 // sideExact reports whether every leaf under e fetched with resolution 0.
@@ -457,16 +491,15 @@ func (s *Scheme) combineGroupBy(p *Plan, q *query.GroupBy, results map[*query.SP
 		min, max relation.Value
 		seen     bool
 	}
-	byKey := map[string]*groupAgg{}
-	var order []string
+	byKey := relation.NewTupleMap[*groupAgg](0)
+	var order []*groupAgg
 	for ri, t := range rows.Tuples {
 		key := t.Project(keyIdx)
-		k := key.Key()
-		g := byKey[k]
-		if g == nil {
+		g, ok := byKey.Get(key)
+		if !ok {
 			g = &groupAgg{key: key}
-			byKey[k] = g
-			order = append(order, k)
+			byKey.Put(key, g)
+			order = append(order, g)
 		}
 		w := weights[ri]
 		v := t[onIdx]
@@ -489,8 +522,7 @@ func (s *Scheme) combineGroupBy(p *Plan, q *query.GroupBy, results map[*query.SP
 	}
 
 	out := relation.NewRelation(sch)
-	for _, k := range order {
-		g := byKey[k]
+	for _, g := range order {
 		var agg relation.Value
 		switch q.Agg {
 		case query.AggCount:
@@ -524,15 +556,28 @@ func (s *Scheme) refineEtaDiff(p *Plan, results map[*query.SPC]*leafResult, out 
 	_, hatCov := s.bound(p, hatExpr)
 	dPrime := 0.0
 	attrs := hat.Schema.Attrs
-	for _, t := range hat.Tuples {
-		best := math.Inf(1)
-		for _, st := range out.Tuples {
-			if d := relation.TupleDistance(attrs, st, t); d < best {
-				best = d
+	if useDiffIndex(hat.Len(), out.Len()) {
+		// Large answer sets: nearest-answer search through a K-D tree over
+		// the answers instead of the O(|Ŝ|·|S|) scan. The attribute
+		// distances are symmetric metrics, so MinMaxDistance(t) equals the
+		// scan's min over answers of TupleDistance.
+		tree := kdtree.Build(attrs, treeItems(out))
+		for _, t := range hat.Tuples {
+			if best := tree.MinMaxDistance(t); best > dPrime {
+				dPrime = best
 			}
 		}
-		if best > dPrime {
-			dPrime = best
+	} else {
+		for _, t := range hat.Tuples {
+			best := math.Inf(1)
+			for _, st := range out.Tuples {
+				if d := relation.TupleDistance(attrs, st, t); d < best {
+					best = d
+				}
+			}
+			if best > dPrime {
+				dPrime = best
+			}
 		}
 	}
 	if hat.Len() == 0 {

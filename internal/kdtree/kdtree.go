@@ -65,15 +65,14 @@ func Build(attrs []relation.Attribute, items []Item) *Tree {
 	// Merge identical points so duplicates always share one leaf and their
 	// counts accumulate; this keeps ExactLevel at ceil(log2 of the number
 	// of *distinct* points).
-	byKey := make(map[string]int, len(items))
+	byKey := relation.NewTupleMap[int](len(items))
 	own := make([]Item, 0, len(items))
 	for _, it := range items {
-		k := it.Tuple.Key()
-		if i, dup := byKey[k]; dup {
+		if i, dup := byKey.Get(it.Tuple); dup {
 			own[i].Count += it.Count
 			continue
 		}
-		byKey[k] = len(own)
+		byKey.Put(it.Tuple, len(own))
 		own = append(own, it)
 	}
 	t.items = len(own)
@@ -255,6 +254,101 @@ func (t *Tree) Level(k int) []Rep {
 	}
 	walk(t.root, 0)
 	return reps
+}
+
+// pruneSlack over-approximates the floating-point rounding of the triangle
+// lower bound da − maxDist: the bound holds exactly in real arithmetic, but
+// each distance carries relative rounding error, so pruning compares
+// against the tolerance with this slack added. Slack only makes pruning
+// more conservative (extra node visits), never changes results.
+func pruneSlack(da, maxDist float64) float64 {
+	s := 1 + math.Abs(da)
+	if !math.IsInf(maxDist, 1) {
+		s += maxDist
+	}
+	return 1e-9 * s
+}
+
+// AnyWithin reports whether some indexed point u is within delta of point
+// on every attribute: dis_A(point[A], u[A]) ≤ delta[A], with two +inf
+// distances counting as within (matching the dangerous-distance exclusion
+// of §6). point must have the tree's arity.
+//
+// Subtrees are pruned with the triangle inequality: every subtree point u
+// satisfies dis(point, u) ≥ dis(point, rep) − maxDist on each attribute
+// (rep belongs to the subtree and maxDist bounds its pairwise diameter), so
+// a subtree whose lower bound exceeds a finite delta[A] cannot contain a
+// match. The attribute distances are metrics by the package contract.
+func (t *Tree) AnyWithin(point relation.Tuple, delta []float64) bool {
+	if t.root == nil {
+		return false
+	}
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		within := true
+		for a, attr := range t.attrs {
+			da := attr.Dist.Between(point[a], n.rep[a])
+			// Prune: the best achievable distance on this attribute
+			// exceeds a finite tolerance. (inf − inf is NaN, and NaN
+			// comparisons are false, so fully unbounded attributes never
+			// prune — exactly the conservative choice.)
+			if !math.IsInf(delta[a], 1) && da-n.maxDist[a] > delta[a]+pruneSlack(da, n.maxDist[a]) {
+				return false
+			}
+			if within && da > delta[a] && !(math.IsInf(da, 1) && math.IsInf(delta[a], 1)) {
+				within = false
+			}
+		}
+		if within {
+			// The representative is an indexed point; for multi-point
+			// leaves the members are at pairwise distance 0 from it, so
+			// checking rep decides the whole leaf.
+			return true
+		}
+		if n.left == nil {
+			return false
+		}
+		return walk(n.left) || walk(n.right)
+	}
+	return walk(t.root)
+}
+
+// MinMaxDistance returns the minimum over indexed points u of the tuple
+// distance max_A dis_A(point[A], u[A]) (paper §3.1), or +inf for an empty
+// tree. point must have the tree's arity. Subtrees whose triangle-
+// inequality lower bound cannot beat the current best are pruned.
+func (t *Tree) MinMaxDistance(point relation.Tuple) float64 {
+	best := math.Inf(1)
+	var walk func(n *node)
+	walk = func(n *node) {
+		repD, lb := 0.0, 0.0
+		for a, attr := range t.attrs {
+			da := attr.Dist.Between(point[a], n.rep[a])
+			if da > repD {
+				repD = da
+			}
+			// da − maxDist lower-bounds every subtree point's distance on
+			// this attribute (rounding slack keeps pruning conservative);
+			// NaN (inf − inf) never raises the bound.
+			if l := da - n.maxDist[a] - pruneSlack(da, n.maxDist[a]); l > lb {
+				lb = l
+			}
+		}
+		if lb > best {
+			return
+		}
+		if repD < best {
+			best = repD
+		}
+		if n.left != nil {
+			walk(n.left)
+			walk(n.right)
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	return best
 }
 
 // Resolution returns the per-attribute resolution d̄k at level k: the maximum

@@ -230,3 +230,109 @@ func BenchmarkBuild1000(b *testing.B) {
 		Build(attrs, items)
 	}
 }
+
+// mixedAttrs includes a trivial (0/+inf) distance so the query tests cover
+// unbounded attributes too.
+func mixedAttrs() []relation.Attribute {
+	return []relation.Attribute{
+		relation.Attr("price", relation.KindFloat, relation.Numeric(100)),
+		relation.Attr("type", relation.KindString, relation.Discrete()),
+		relation.Attr("city", relation.KindString, relation.Trivial()),
+	}
+}
+
+func randomMixedItems(rng *rand.Rand, n int) []Item {
+	types := []string{"hotel", "bar", "cafe"}
+	cities := []string{"NYC", "Boston"}
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Tuple: relation.Tuple{
+				relation.Float(float64(rng.Intn(50)) * 10),
+				relation.String(types[rng.Intn(len(types))]),
+				relation.String(cities[rng.Intn(len(cities))]),
+			},
+			Count: 1,
+		}
+	}
+	return items
+}
+
+// withinScan is the naive reference for AnyWithin, mirroring the
+// dangerous-distance exclusion's withinPerAttr semantics.
+func withinScan(attrs []relation.Attribute, items []Item, point relation.Tuple, delta []float64) bool {
+	for _, it := range items {
+		ok := true
+		for a := range attrs {
+			d := attrs[a].Dist.Between(point[a], it.Tuple[a])
+			if d > delta[a] && !(math.IsInf(d, 1) && math.IsInf(delta[a], 1)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnyWithinMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	attrs := mixedAttrs()
+	for trial := 0; trial < 40; trial++ {
+		items := randomMixedItems(rng, 1+rng.Intn(120))
+		tr := Build(attrs, items)
+		deltas := [][]float64{
+			{0, 0, 0},
+			{0.2, 0, 0},
+			{0.5, 1, 0},
+			{math.Inf(1), 1, math.Inf(1)},
+			{0.05, 0, math.Inf(1)},
+		}
+		for probe := 0; probe < 25; probe++ {
+			pt := randomMixedItems(rng, 1)[0].Tuple
+			for di, delta := range deltas {
+				got := tr.AnyWithin(pt, delta)
+				want := withinScan(attrs, items, pt, delta)
+				if got != want {
+					t.Fatalf("trial %d probe %v delta %d (%v): AnyWithin = %v, scan = %v",
+						trial, pt, di, delta, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMinMaxDistanceMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	attrs := mixedAttrs()
+	for trial := 0; trial < 40; trial++ {
+		items := randomMixedItems(rng, 1+rng.Intn(120))
+		tr := Build(attrs, items)
+		for probe := 0; probe < 25; probe++ {
+			pt := randomMixedItems(rng, 1)[0].Tuple
+			want := math.Inf(1)
+			for _, it := range items {
+				if d := relation.TupleDistance(attrs, it.Tuple, pt); d < want {
+					want = d
+				}
+			}
+			got := tr.MinMaxDistance(pt)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("trial %d probe %v: MinMaxDistance = %g, scan = %g", trial, pt, got, want)
+			}
+		}
+	}
+}
+
+func TestQueriesOnEmptyTree(t *testing.T) {
+	tr := Build(mixedAttrs(), nil)
+	pt := relation.Tuple{relation.Float(1), relation.String("bar"), relation.String("NYC")}
+	if tr.AnyWithin(pt, []float64{1, 1, 1}) {
+		t.Error("AnyWithin on empty tree")
+	}
+	if !math.IsInf(tr.MinMaxDistance(pt), 1) {
+		t.Error("MinMaxDistance on empty tree must be +inf")
+	}
+}

@@ -1,0 +1,383 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// This file precompiles the per-step and per-plan execution layouts.
+//
+// Plans are immutable after generation and executed many times (the plan
+// cache serves repeated queries), yet the original executor re-derived on
+// every execution — per step and partly per row — which X positions come
+// from the current atom relation, which are constants or external columns,
+// what the extended schema looks like, and where each fetched value lands
+// (map[string]int and map[int]Value fills, Schema.Index calls, fmt.Sprintf
+// group keys). All of that is a pure function of the chase result, so it is
+// computed once per plan here and the executor runs over flat int slices.
+//
+// The schema evolution is simulated step by step: steps execute in order
+// and each one only sees atoms built by earlier steps, so the simulated
+// schemas match the runtime schemas exactly for every step that runs. The
+// precompiled relation.Schema objects are reused by every execution (they
+// are immutable), which also lets the evaluator detect with a pointer
+// comparison whether a fetched atom was fully built (fast path) or left
+// incomplete by budget truncation (dynamic fallback path).
+
+// xRoute says where one X position of a step's ladder gets its value.
+type xRoute uint8
+
+const (
+	// xOwn copies from the atom's existing row (prefix).
+	xOwn xRoute = iota
+	// xConst uses a constant from the chase step.
+	xConst
+	// xExt takes the current external-group valuation.
+	xExt
+)
+
+// stepLayout is the precompiled form of one fetch step.
+type stepLayout struct {
+	atom   int
+	route  []xRoute
+	ownCol []int            // xOwn: column in the incoming prefix row
+	consts []relation.Value // xConst: the constant
+
+	// External groups in first-occurrence order of their source atoms:
+	// X positions per group and the source columns they project.
+	extGroups  [][]int
+	extSrcAtom []int
+	extSrcCols [][]int
+
+	// Output: the extended schema and, per ladder X/Y position, the output
+	// column it fills (-1 when the attribute already existed).
+	schema      *relation.Schema
+	prefixArity int
+	outX        []int
+	outY        []int
+}
+
+// planLayout is the precompiled execution layout of one Bounded plan.
+type planLayout struct {
+	steps []stepLayout
+	// finalSchema[ai] is the fetched schema of atom ai after all its steps
+	// (the empty-atom schema when it has none); emptySchema[ai] is the
+	// schema emptyAtom uses for atoms the (possibly truncated) fetch never
+	// built.
+	finalSchema []*relation.Schema
+	emptySchema []*relation.Schema
+	// eval is the precompiled evaluation layout, or nil when static
+	// precompilation is impossible (e.g. a predicate column is never
+	// fetched) — the dynamic evaluator then preserves the original
+	// behaviour, including its lazily-raised errors.
+	eval *evalLayout
+}
+
+// constSel is one precompiled constant-selection predicate on an atom
+// (constSels is indexed by atom).
+type constSel struct {
+	pred query.Pred
+	col  int
+	dist relation.Distance
+}
+
+// joinSel is one precompiled join predicate: both sides resolved to
+// (atom, column) against the final fetched schemas.
+type joinSel struct {
+	pred         query.Pred
+	lAtom, rAtom int
+	lCol, rCol   int
+	lDist        relation.Distance
+	// joinAt is the atom whose arrival makes both sides available:
+	// max(lAtom, rAtom). Predicates entirely within atom 0 are enforced on
+	// the final environment (residual), matching the dynamic evaluator.
+	joinAt int
+}
+
+type evalLayout struct {
+	outSchema *relation.Schema
+	// envOffset[ai] is where atom ai's columns start in the joined
+	// environment row; envWidth is the final arity.
+	envOffset []int
+	envWidth  int
+	// constSels[ai] are the constant selections on atom ai.
+	constSels [][]constSel
+	joins     []joinSel
+	// connecting[ai] indexes into joins: predicates applied when atom ai
+	// joins the environment (ai ≥ 1). residual predicates apply at the end.
+	connecting [][]int
+	residual   []int
+	outIdx     []int
+}
+
+// layout returns the plan's precompiled layout, building it on first use.
+// Layouts depend only on the chase result (never on Ks or the budget), so
+// one layout serves every execution of the plan, concurrent ones included.
+func (p *Bounded) layoutFor(db *relation.Database) (*planLayout, error) {
+	p.layoutOnce.Do(func() {
+		p.layout, p.layoutErr = buildLayout(p, db)
+	})
+	return p.layout, p.layoutErr
+}
+
+func buildLayout(p *Bounded, db *relation.Database) (*planLayout, error) {
+	q := p.Chase.Query
+	lay := &planLayout{
+		finalSchema: make([]*relation.Schema, len(q.Atoms)),
+		emptySchema: make([]*relation.Schema, len(q.Atoms)),
+	}
+	cur := make([]*relation.Schema, len(q.Atoms))
+	for si := range p.Chase.Steps {
+		s := &p.Chase.Steps[si]
+		sl, err := buildStepLayout(q, db, cur, s, si)
+		if err != nil {
+			return nil, err
+		}
+		cur[s.AtomIdx] = sl.schema
+		lay.steps = append(lay.steps, *sl)
+	}
+	for ai := range q.Atoms {
+		es, err := emptySchemaFor(db, q, p.Chase, ai)
+		if err != nil {
+			return nil, err
+		}
+		lay.emptySchema[ai] = es
+		if cur[ai] != nil {
+			lay.finalSchema[ai] = cur[ai]
+		} else {
+			lay.finalSchema[ai] = es
+		}
+	}
+	// Evaluation layout is best-effort: when a column the query needs is
+	// not statically fetched, leave eval nil and let the dynamic evaluator
+	// reproduce the original (possibly row-dependent) behaviour.
+	lay.eval = buildEvalLayout(q, db, lay.finalSchema)
+	return lay, nil
+}
+
+func emptySchemaFor(db *relation.Database, q *query.SPC, c *chase.Result, ai int) (*relation.Schema, error) {
+	base := db.MustRelation(q.Atoms[ai].Rel)
+	attrs := c.UsedAttrs(ai)
+	as := make([]relation.Attribute, len(attrs))
+	for i, a := range attrs {
+		as[i] = base.Schema.Attrs[base.Schema.MustIndex(a)]
+	}
+	return relation.NewSchema(q.Atoms[ai].Name(), as...)
+}
+
+// buildStepLayout simulates one fetch step against the current schemas.
+func buildStepLayout(q *query.SPC, db *relation.Database, cur []*relation.Schema, s *chase.Step, si int) (*stepLayout, error) {
+	ai := s.AtomIdx
+	base := db.MustRelation(q.Atoms[ai].Rel)
+	curS := cur[ai]
+	ladderX, ladderY := s.Ladder.X, s.Ladder.Y
+
+	sl := &stepLayout{
+		atom:   ai,
+		route:  make([]xRoute, len(ladderX)),
+		ownCol: make([]int, len(ladderX)),
+		consts: make([]relation.Value, len(ladderX)),
+	}
+	groupOf := map[int]int{}
+	for xi, attr := range ladderX {
+		if curS != nil {
+			if ci, ok := curS.Index(attr); ok {
+				sl.route[xi] = xOwn
+				sl.ownCol[xi] = ci
+				continue
+			}
+		}
+		src := s.X[xi]
+		if src.IsConst {
+			sl.route[xi] = xConst
+			sl.consts[xi] = src.Const
+			continue
+		}
+		sl.route[xi] = xExt
+		gi, ok := groupOf[src.AtomIdx]
+		if !ok {
+			gi = len(sl.extGroups)
+			groupOf[src.AtomIdx] = gi
+			sl.extGroups = append(sl.extGroups, nil)
+			sl.extSrcAtom = append(sl.extSrcAtom, src.AtomIdx)
+			sl.extSrcCols = append(sl.extSrcCols, nil)
+		}
+		sl.extGroups[gi] = append(sl.extGroups[gi], xi)
+	}
+	for gi, positions := range sl.extGroups {
+		srcAtom := sl.extSrcAtom[gi]
+		srcS := cur[srcAtom]
+		if srcS == nil {
+			return nil, fmt.Errorf("plan: step %d reads atom %d before it was fetched", si, srcAtom)
+		}
+		for _, xi := range positions {
+			ci, ok := srcS.Index(s.X[xi].Attr)
+			if !ok {
+				return nil, fmt.Errorf("plan: step %d: source column %s missing on atom %d", si, s.X[xi].Attr, srcAtom)
+			}
+			sl.extSrcCols[gi] = append(sl.extSrcCols[gi], ci)
+		}
+	}
+
+	// New columns this step adds, in the original emission order:
+	// constants (X order), external groups (group order), then Y.
+	var newAttrs []string
+	isNew := map[string]bool{}
+	addNew := func(a string) {
+		if isNew[a] {
+			return
+		}
+		if curS != nil {
+			if _, ok := curS.Index(a); ok {
+				return
+			}
+		}
+		isNew[a] = true
+		newAttrs = append(newAttrs, a)
+	}
+	for xi, r := range sl.route {
+		if r == xConst {
+			addNew(ladderX[xi])
+		}
+	}
+	for _, g := range sl.extGroups {
+		for _, xi := range g {
+			addNew(ladderX[xi])
+		}
+	}
+	for _, y := range ladderY {
+		addNew(y)
+	}
+
+	var schemaAttrs []relation.Attribute
+	if curS != nil {
+		schemaAttrs = append(schemaAttrs, curS.Attrs...)
+		sl.prefixArity = curS.Arity()
+	}
+	for _, a := range newAttrs {
+		schemaAttrs = append(schemaAttrs, base.Schema.Attrs[base.Schema.MustIndex(a)])
+	}
+	schema, err := relation.NewSchema(q.Atoms[ai].Name(), schemaAttrs...)
+	if err != nil {
+		return nil, fmt.Errorf("plan: step %d schema: %w", si, err)
+	}
+	sl.schema = schema
+
+	newPos := make(map[string]int, len(newAttrs))
+	for i, a := range newAttrs {
+		newPos[a] = sl.prefixArity + i
+	}
+	sl.outX = make([]int, len(ladderX))
+	for xi, a := range ladderX {
+		if pos, ok := newPos[a]; ok {
+			sl.outX[xi] = pos
+		} else {
+			sl.outX[xi] = -1
+		}
+	}
+	sl.outY = make([]int, len(ladderY))
+	for yi, a := range ladderY {
+		if pos, ok := newPos[a]; ok {
+			sl.outY[yi] = pos
+		} else {
+			sl.outY[yi] = -1
+		}
+	}
+	return sl, nil
+}
+
+// buildEvalLayout precompiles the evaluation plan over the final fetched
+// schemas. It returns nil when any required column is not statically
+// present — those plans take the dynamic path.
+func buildEvalLayout(q *query.SPC, db *relation.Database, finalSchema []*relation.Schema) *evalLayout {
+	outSchema, err := query.OutputSchema(q, db)
+	if err != nil {
+		return nil
+	}
+	aliasIdx := make(map[string]int, len(q.Atoms))
+	for i, a := range q.Atoms {
+		aliasIdx[a.Name()] = i
+	}
+	baseDist := func(ai int, attr string) relation.Distance {
+		s := db.MustRelation(q.Atoms[ai].Rel).Schema
+		return s.Attrs[s.MustIndex(attr)].Dist
+	}
+
+	ev := &evalLayout{
+		outSchema: outSchema,
+		envOffset: make([]int, len(q.Atoms)),
+		constSels: make([][]constSel, len(q.Atoms)),
+	}
+	off := 0
+	for ai, s := range finalSchema {
+		ev.envOffset[ai] = off
+		off += s.Arity()
+	}
+	ev.envWidth = off
+
+	ev.connecting = make([][]int, len(q.Atoms))
+	for _, pd := range q.Preds {
+		if !pd.Join {
+			ai, ok := aliasIdx[pd.Left.Rel]
+			if !ok {
+				return nil
+			}
+			ci, ok := finalSchema[ai].Index(pd.Left.Attr)
+			if !ok {
+				return nil
+			}
+			ev.constSels[ai] = append(ev.constSels[ai], constSel{
+				pred: pd, col: ci, dist: baseDist(ai, pd.Left.Attr),
+			})
+			continue
+		}
+		lA, lok := aliasIdx[pd.Left.Rel]
+		rA, rok := aliasIdx[pd.Right.Rel]
+		if !lok || !rok {
+			return nil
+		}
+		lC, lok := finalSchema[lA].Index(pd.Left.Attr)
+		rC, rok := finalSchema[rA].Index(pd.Right.Attr)
+		if !lok || !rok {
+			return nil
+		}
+		j := joinSel{
+			pred:  pd,
+			lAtom: lA, rAtom: rA,
+			lCol: lC, rCol: rC,
+			lDist:  baseDist(lA, pd.Left.Attr),
+			joinAt: lA,
+		}
+		if rA > j.joinAt {
+			j.joinAt = rA
+		}
+		ji := len(ev.joins)
+		ev.joins = append(ev.joins, j)
+		if j.joinAt == 0 {
+			ev.residual = append(ev.residual, ji)
+		} else {
+			ev.connecting[j.joinAt] = append(ev.connecting[j.joinAt], ji)
+		}
+	}
+
+	outCols, err := query.OutputCols(q, db)
+	if err != nil {
+		return nil
+	}
+	ev.outIdx = make([]int, len(outCols))
+	for i, c := range outCols {
+		ai, ok := aliasIdx[c.Rel]
+		if !ok {
+			return nil
+		}
+		ci, ok := finalSchema[ai].Index(c.Attr)
+		if !ok {
+			return nil
+		}
+		ev.outIdx[i] = ev.envOffset[ai] + ci
+	}
+	return ev
+}

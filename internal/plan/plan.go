@@ -8,11 +8,18 @@
 // a runtime backstop behind the planner's data-independent tariff estimate.
 // Fetched rows carry count annotations (how many base tuples a sample
 // represents), which §7's sum/count/avg aggregation consumes.
+//
+// Execution is allocation-light: per-plan layouts are precompiled once (see
+// layout.go) and the hot loops run over flat int slices and hash-bucketed
+// tuple maps instead of string-keyed maps. Budget-truncated executions can
+// leave atoms with partially built schemas; evaluation falls back to the
+// dynamic reference path for those, so semantics are identical.
 package plan
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/chase"
 	"repro/internal/query"
@@ -25,6 +32,13 @@ type Bounded struct {
 	Chase  *chase.Result
 	Ks     []int
 	Budget int
+
+	// The execution layout is precompiled lazily on first execution and
+	// shared by all (concurrent) executions; it depends only on Chase,
+	// never on Ks or Budget.
+	layoutOnce sync.Once
+	layout     *planLayout
+	layoutErr  error
 }
 
 // NewBounded wraps a chase result with its initial level assignment.
@@ -99,6 +113,10 @@ func ExecuteFetch(p *Bounded, db *relation.Database) ([]*FetchedAtom, *Stats, er
 // executeFetch runs ξF: it applies the chase steps in order against the
 // access-schema indices, materialising one relation per atom.
 func executeFetch(p *Bounded, db *relation.Database, budget int) ([]*FetchedAtom, *Stats, error) {
+	lay, err := p.layoutFor(db)
+	if err != nil {
+		return nil, nil, err
+	}
 	q := p.Chase.Query
 	stats := &Stats{}
 	atoms := make([]*FetchedAtom, len(q.Atoms))
@@ -109,7 +127,7 @@ func executeFetch(p *Bounded, db *relation.Database, budget int) ([]*FetchedAtom
 		if !s.Pinned && p.Ks != nil {
 			k = p.Ks[si]
 		}
-		if err := applyStep(p, db, atoms, s, si, k, budget, stats); err != nil {
+		if err := applyStep(p, atoms, &lay.steps[si], s, si, k, budget, stats); err != nil {
 			return nil, nil, err
 		}
 		if stats.Truncated {
@@ -120,159 +138,52 @@ func executeFetch(p *Bounded, db *relation.Database, budget int) ([]*FetchedAtom
 	// relations over their used attributes so evaluation degrades cleanly.
 	for ai := range atoms {
 		if atoms[ai] == nil {
-			atoms[ai] = emptyAtom(db, q, p.Chase, ai)
+			atoms[ai] = &FetchedAtom{
+				Alias: q.Atoms[ai].Name(),
+				Rel:   relation.NewRelation(lay.emptySchema[ai]),
+			}
 		}
 	}
 	return atoms, stats, nil
 }
 
-func emptyAtom(db *relation.Database, q *query.SPC, c *chase.Result, ai int) *FetchedAtom {
-	base := db.MustRelation(q.Atoms[ai].Rel)
-	attrs := c.UsedAttrs(ai)
-	as := make([]relation.Attribute, len(attrs))
-	for i, a := range attrs {
-		as[i] = base.Schema.Attrs[base.Schema.MustIndex(a)]
-	}
-	sch, err := relation.NewSchema(q.Atoms[ai].Name(), as...)
-	if err != nil {
-		// Used attrs come from the base schema; duplicates are impossible.
-		panic(err)
-	}
-	return &FetchedAtom{Alias: q.Atoms[ai].Name(), Rel: relation.NewRelation(sch)}
-}
-
-// applyStep runs one fetch operation, extending (or creating) the atom's
-// fetched relation.
-func applyStep(p *Bounded, db *relation.Database, atoms []*FetchedAtom, s *chase.Step, si, k, budget int, stats *Stats) error {
-	q := p.Chase.Query
-	ai := s.AtomIdx
-	base := db.MustRelation(q.Atoms[ai].Rel)
+// applyStep runs one fetch operation over its precompiled layout, extending
+// (or creating) the atom's fetched relation. The hot loops only index flat
+// slices; the single map in sight is the hash-bucketed fetch cache.
+func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, si, k, budget int, stats *Stats) error {
+	ai := sl.atom
 	cur := atoms[ai]
 
-	// Split X positions into own (already columns of this atom's fetched
-	// relation) and external (constants or other atoms' columns).
-	type extSrc struct {
-		pos   int
-		vals  []relation.Tuple // single-col tuples
-		joint []int            // positions sharing one source atom
-	}
-	ownPos := map[int]int{} // X position -> column index in cur
-	var extGroups [][]int   // groups of X positions fetched jointly
-	groupOf := map[string]int{}
-	var constPos []int
-	for xi := range s.Ladder.X {
-		attr := s.Ladder.X[xi]
-		if cur != nil {
-			if ci, ok := cur.Rel.Schema.Index(attr); ok {
-				ownPos[xi] = ci
-				continue
-			}
-		}
-		src := s.X[xi]
-		if src.IsConst {
-			constPos = append(constPos, xi)
-			continue
-		}
-		gk := fmt.Sprintf("atom%d", src.AtomIdx)
-		gi, ok := groupOf[gk]
-		if !ok {
-			gi = len(extGroups)
-			groupOf[gk] = gi
-			extGroups = append(extGroups, nil)
-		}
-		extGroups[gi] = append(extGroups[gi], xi)
-	}
-
 	// Materialise distinct joint valuations per external group.
-	extVals := make([][]relation.Tuple, len(extGroups))
-	for gi, positions := range extGroups {
-		srcAtom := s.X[positions[0]].AtomIdx
-		fa := atoms[srcAtom]
+	extVals := make([][]relation.Tuple, len(sl.extGroups))
+	for gi := range sl.extGroups {
+		fa := atoms[sl.extSrcAtom[gi]]
 		if fa == nil {
-			return fmt.Errorf("plan: step %d reads atom %d before it was fetched", si, srcAtom)
+			return fmt.Errorf("plan: step %d reads atom %d before it was fetched", si, sl.extSrcAtom[gi])
 		}
-		idx := make([]int, len(positions))
-		for i, xi := range positions {
-			ci, ok := fa.Rel.Schema.Index(s.X[xi].Attr)
-			if !ok {
-				return fmt.Errorf("plan: step %d: source column %s missing on atom %d", si, s.X[xi].Attr, srcAtom)
-			}
-			idx[i] = ci
-		}
-		seen := map[string]bool{}
+		idx := sl.extSrcCols[gi]
+		seen := relation.NewTupleSet(len(fa.Rel.Tuples))
 		for _, t := range fa.Rel.Tuples {
 			pt := t.Project(idx)
-			key := pt.Key()
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			extVals[gi] = append(extVals[gi], pt)
-		}
-	}
-
-	// New columns this step adds to the atom relation.
-	var newAttrs []string
-	isNew := map[string]bool{}
-	addNew := func(a string) {
-		if isNew[a] {
-			return
-		}
-		if cur != nil {
-			if _, ok := cur.Rel.Schema.Index(a); ok {
-				return
+			if seen.Add(pt) {
+				extVals[gi] = append(extVals[gi], pt)
 			}
 		}
-		isNew[a] = true
-		newAttrs = append(newAttrs, a)
-	}
-	for _, xi := range constPos {
-		addNew(s.Ladder.X[xi])
-	}
-	for _, g := range extGroups {
-		for _, xi := range g {
-			addNew(s.Ladder.X[xi])
-		}
-	}
-	for _, y := range s.Ladder.Y {
-		addNew(y)
 	}
 
-	// Build the new schema.
-	var schemaAttrs []relation.Attribute
-	if cur != nil {
-		schemaAttrs = append(schemaAttrs, cur.Rel.Schema.Attrs...)
-	}
-	for _, a := range newAttrs {
-		schemaAttrs = append(schemaAttrs, base.Schema.Attrs[base.Schema.MustIndex(a)])
-	}
-	newSchema, err := relation.NewSchema(q.Atoms[ai].Name(), schemaAttrs...)
-	if err != nil {
-		return fmt.Errorf("plan: step %d schema: %w", si, err)
-	}
-	out := &FetchedAtom{Alias: q.Atoms[ai].Name(), Rel: relation.NewRelation(newSchema)}
-
-	newPos := make(map[string]int, len(newAttrs))
-	for i, a := range newAttrs {
-		off := 0
-		if cur != nil {
-			off = cur.Rel.Schema.Arity()
-		}
-		newPos[a] = off + i
-	}
+	out := &FetchedAtom{Alias: atomAlias(p, ai), Rel: relation.NewRelation(sl.schema)}
 
 	// Fetch cache: one index lookup per distinct X-value per step.
-	cache := map[string][]access0{}
+	cache := relation.NewTupleMap[[]access0](0)
 	fetch := func(xt relation.Tuple) []access0 {
-		key := xt.Key()
-		if got, ok := cache[key]; ok {
+		if got, ok := cache.Get(xt); ok {
 			return got
 		}
 		if stats.Truncated {
-			cache[key] = nil
+			cache.Put(xt, nil)
 			return nil
 		}
-		samples := s.Ladder.Fetch(key, k)
+		samples := s.Ladder.Fetch(xt, k)
 		if stats.Accessed+len(samples) > budget {
 			// Budget backstop: take what fits, then stop fetching.
 			room := budget - stats.Accessed
@@ -287,37 +198,38 @@ func applyStep(p *Bounded, db *relation.Database, atoms []*FetchedAtom, s *chase
 		for i, smp := range samples {
 			conv[i] = access0{y: smp.Y, count: smp.Count}
 		}
-		cache[key] = conv
+		cache.Put(xt, conv)
 		return conv
 	}
 
 	// Enumerate rows: existing rows (or one virtual row) × external
-	// valuations × samples.
-	emit := func(prefix relation.Tuple, w int, xFill map[int]relation.Value) {
+	// valuations × samples. fill holds the current external valuation,
+	// indexed by X position.
+	fill := make([]relation.Value, len(sl.route))
+	arity := sl.schema.Arity()
+	emit := func(prefix relation.Tuple, w int) {
 		// Assemble the X tuple in ladder order.
-		xt := make(relation.Tuple, len(s.Ladder.X))
-		for xi := range s.Ladder.X {
-			if ci, ok := ownPos[xi]; ok {
-				xt[xi] = prefix[ci]
-				continue
+		xt := make(relation.Tuple, len(sl.route))
+		for xi, r := range sl.route {
+			switch r {
+			case xOwn:
+				xt[xi] = prefix[sl.ownCol[xi]]
+			case xConst:
+				xt[xi] = sl.consts[xi]
+			default:
+				xt[xi] = fill[xi]
 			}
-			if v, ok := xFill[xi]; ok {
-				xt[xi] = v
-				continue
-			}
-			// Constant.
-			xt[xi] = s.X[xi].Const
 		}
 		for _, smp := range fetch(xt) {
-			row := make(relation.Tuple, newSchema.Arity())
+			row := make(relation.Tuple, arity)
 			copy(row, prefix)
-			for xi, a := range s.Ladder.X {
-				if pos, ok := newPos[a]; ok {
+			for xi, pos := range sl.outX {
+				if pos >= 0 {
 					row[pos] = xt[xi]
 				}
 			}
-			for yi, a := range s.Ladder.Y {
-				if pos, ok := newPos[a]; ok {
+			for yi, pos := range sl.outY {
+				if pos >= 0 {
 					row[pos] = smp.y[yi]
 				}
 			}
@@ -327,30 +239,32 @@ func applyStep(p *Bounded, db *relation.Database, atoms []*FetchedAtom, s *chase
 	}
 
 	// Walk the cross product of external groups.
-	var walkExt func(gi int, fill map[int]relation.Value, prefix relation.Tuple, w int)
-	walkExt = func(gi int, fill map[int]relation.Value, prefix relation.Tuple, w int) {
-		if gi == len(extGroups) {
-			emit(prefix, w, fill)
+	var walkExt func(gi int, prefix relation.Tuple, w int)
+	walkExt = func(gi int, prefix relation.Tuple, w int) {
+		if gi == len(sl.extGroups) {
+			emit(prefix, w)
 			return
 		}
 		for _, vt := range extVals[gi] {
-			for i, xi := range extGroups[gi] {
+			for i, xi := range sl.extGroups[gi] {
 				fill[xi] = vt[i]
 			}
-			walkExt(gi+1, fill, prefix, w)
+			walkExt(gi+1, prefix, w)
 		}
 	}
 
 	if cur == nil {
-		walkExt(0, map[int]relation.Value{}, relation.Tuple{}, 1)
+		walkExt(0, nil, 1)
 	} else {
 		for ri, t := range cur.Rel.Tuples {
-			walkExt(0, map[int]relation.Value{}, t, cur.Weights[ri])
+			walkExt(0, t, cur.Weights[ri])
 		}
 	}
 	atoms[ai] = out
 	return nil
 }
+
+func atomAlias(p *Bounded, ai int) string { return p.Chase.Query.Atoms[ai].Name() }
 
 type access0 struct {
 	y     relation.Tuple
@@ -360,7 +274,222 @@ type access0 struct {
 // EvaluateFetched runs ξE: the query's relational operations over the
 // fetched atoms, with selection and join conditions relaxed by the fetch
 // resolutions of the attributes involved (paper §5, "evaluation plan").
+//
+// When every atom carries its fully built (precompiled) schema, the fast
+// evaluator runs over the plan's precompiled layout; budget-truncated
+// fetches with partially built atoms take the dynamic reference path, which
+// resolves columns at runtime exactly as the original executor did.
 func EvaluateFetched(p *Bounded, db *relation.Database, atoms []*FetchedAtom) (*Result, error) {
+	if lay, err := p.layoutFor(db); err == nil && lay.eval != nil && layoutMatches(lay, atoms) {
+		return evaluateFast(p, lay, atoms)
+	}
+	return evaluateDynamic(p, db, atoms)
+}
+
+// layoutMatches reports whether every fetched atom carries the precompiled
+// final schema (pointer identity: executeFetch builds atoms from the
+// layout's schema objects, so any truncation-induced deviation differs).
+func layoutMatches(lay *planLayout, atoms []*FetchedAtom) bool {
+	if len(atoms) != len(lay.finalSchema) {
+		return false
+	}
+	for ai, fa := range atoms {
+		if fa == nil || fa.Rel.Schema != lay.finalSchema[ai] {
+			return false
+		}
+	}
+	return true
+}
+
+// evaluateFast is the precompiled evaluation path.
+func evaluateFast(p *Bounded, lay *planLayout, atoms []*FetchedAtom) (*Result, error) {
+	q := p.Chase.Query
+	ev := lay.eval
+	resOf := func(ai int, attr string) float64 {
+		return p.Chase.ResolutionOf(ai, attr, p.Ks)
+	}
+
+	var rows []relation.Tuple
+	var weights []int
+
+	for ai := range q.Atoms {
+		fa := atoms[ai]
+
+		// Relaxed constant selection: tolerances are fixed per call, so
+		// hoist them out of the row loop. Unboundedly approximate columns
+		// (+inf resolution) cannot be filtered at all.
+		type activeSel struct {
+			col  int
+			tol  float64
+			dist relation.Distance
+			pred query.Pred
+		}
+		var active []activeSel
+		for _, cs := range ev.constSels[ai] {
+			r := resOf(ai, cs.pred.Left.Attr)
+			if math.IsInf(r, 1) {
+				continue
+			}
+			active = append(active, activeSel{col: cs.col, tol: r, dist: cs.dist, pred: cs.pred})
+		}
+		var atomRows []relation.Tuple
+		var atomWs []int
+		for ri, t := range fa.Rel.Tuples {
+			ok := true
+			for _, cs := range active {
+				if !cs.pred.RelaxedHolds(cs.dist, t[cs.col], relation.Null(), cs.tol) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				atomRows = append(atomRows, t)
+				atomWs = append(atomWs, fa.Weights[ri])
+			}
+		}
+
+		if ai == 0 {
+			rows, weights = atomRows, atomWs
+			continue
+		}
+
+		// Classify connecting join predicates. A tolerance of +inf means
+		// the attribute was fetched with unbounded resolution: relaxation
+		// cannot meaningfully widen such a join (the accuracy bound is
+		// already 0), so it is enforced exactly — which also keeps the
+		// join from degenerating into a cross product.
+		type activeJoin struct {
+			j     *joinSel
+			tol   float64
+			exact bool // enforce pred.Holds (unbounded resolution)
+		}
+		var exactEq []*joinSel
+		var relaxed []activeJoin
+		for _, ji := range ev.connecting[ai] {
+			j := &ev.joins[ji]
+			tol := (resOf(j.lAtom, j.pred.Left.Attr) + resOf(j.rAtom, j.pred.Right.Attr)) / 2
+			bothNew := j.lAtom == ai && j.rAtom == ai
+			if j.pred.Op == query.OpEq && (tol == 0 || math.IsInf(tol, 1)) && !bothNew {
+				exactEq = append(exactEq, j)
+			} else {
+				relaxed = append(relaxed, activeJoin{j: j, tol: tol, exact: math.IsInf(tol, 1)})
+			}
+		}
+
+		valOf := func(side int, j *joinSel, envRow, atomRow relation.Tuple) relation.Value {
+			a, c := j.lAtom, j.lCol
+			if side == 1 {
+				a, c = j.rAtom, j.rCol
+			}
+			if a == ai {
+				return atomRow[c]
+			}
+			return envRow[ev.envOffset[a]+c]
+		}
+
+		var joined []relation.Tuple
+		var joinedW []int
+		emit := func(envRow relation.Tuple, ew int, atomRow relation.Tuple, aw int) {
+			for _, aj := range relaxed {
+				lv := valOf(0, aj.j, envRow, atomRow)
+				rv := valOf(1, aj.j, envRow, atomRow)
+				if aj.exact {
+					if !aj.j.pred.Holds(lv, rv) {
+						return
+					}
+					continue
+				}
+				if !aj.j.pred.RelaxedHolds(aj.j.lDist, lv, rv, aj.tol) {
+					return
+				}
+			}
+			nt := make(relation.Tuple, 0, len(envRow)+len(atomRow))
+			nt = append(append(nt, envRow...), atomRow...)
+			joined = append(joined, nt)
+			joinedW = append(joinedW, ew*aw)
+		}
+
+		if len(exactEq) > 0 {
+			// Hash join on the exact-equality keys: build side projects
+			// each key once; the probe side reuses one scratch tuple, so
+			// probing allocates nothing.
+			atomKeyIdx := make([]int, len(exactEq))
+			envKeyIdx := make([]int, len(exactEq))
+			for i, j := range exactEq {
+				if j.lAtom == ai {
+					atomKeyIdx[i] = j.lCol
+					envKeyIdx[i] = ev.envOffset[j.rAtom] + j.rCol
+				} else {
+					atomKeyIdx[i] = j.rCol
+					envKeyIdx[i] = ev.envOffset[j.lAtom] + j.lCol
+				}
+			}
+			ht := relation.NewTupleMap[[]int](len(atomRows))
+			for ri, t := range atomRows {
+				lst := ht.GetOrInsert(t.Project(atomKeyIdx))
+				*lst = append(*lst, ri)
+			}
+			probe := make(relation.Tuple, len(envKeyIdx))
+			for ei, et := range rows {
+				for i, ci := range envKeyIdx {
+					probe[i] = et[ci]
+				}
+				if lst, ok := ht.Get(probe); ok {
+					for _, ri := range lst {
+						emit(et, weights[ei], atomRows[ri], atomWs[ri])
+					}
+				}
+			}
+		} else {
+			if len(rows)*len(atomRows) > query.MaxIntermediate {
+				return nil, fmt.Errorf("plan: relaxed join of %d x %d rows exceeds limit", len(rows), len(atomRows))
+			}
+			for ei, et := range rows {
+				for ri, at := range atomRows {
+					emit(et, weights[ei], at, atomWs[ri])
+				}
+			}
+		}
+		rows, weights = joined, joinedW
+	}
+
+	// Residual join predicates within the final environment.
+	for _, ji := range ev.residual {
+		j := &ev.joins[ji]
+		tol := (resOf(j.lAtom, j.pred.Left.Attr) + resOf(j.rAtom, j.pred.Right.Attr)) / 2
+		li := ev.envOffset[j.lAtom] + j.lCol
+		ri := ev.envOffset[j.rAtom] + j.rCol
+		var kept []relation.Tuple
+		var keptW []int
+		for i, t := range rows {
+			ok := false
+			if math.IsInf(tol, 1) {
+				ok = j.pred.Holds(t[li], t[ri])
+			} else {
+				ok = j.pred.RelaxedHolds(j.lDist, t[li], t[ri], tol)
+			}
+			if ok {
+				kept = append(kept, t)
+				keptW = append(keptW, weights[i])
+			}
+		}
+		rows, weights = kept, keptW
+	}
+
+	// Project.
+	res := &Result{Rel: relation.NewRelation(ev.outSchema)}
+	for i, t := range rows {
+		res.Rel.Tuples = append(res.Rel.Tuples, t.Project(ev.outIdx))
+		res.Weights = append(res.Weights, weights[i])
+	}
+	return res, nil
+}
+
+// evaluateDynamic is the reference evaluation path: columns are resolved at
+// runtime against whatever schemas the (possibly truncated) fetch produced.
+// It is retained verbatim from the pre-layout executor so truncated
+// executions behave exactly as before.
+func evaluateDynamic(p *Bounded, db *relation.Database, atoms []*FetchedAtom) (*Result, error) {
 	q := p.Chase.Query
 	outSchema, err := query.OutputSchema(q, db)
 	if err != nil {
@@ -528,7 +657,8 @@ func EvaluateFetched(p *Bounded, db *relation.Database, atoms []*FetchedAtom) (*
 			}
 			ht := map[string][]int{}
 			for ri, t := range atomRows {
-				ht[t.Project(atomKeyIdx).Key()] = append(ht[t.Project(atomKeyIdx).Key()], ri)
+				k := t.Project(atomKeyIdx).Key()
+				ht[k] = append(ht[k], ri)
 			}
 			for ei, et := range rows {
 				for _, ri := range ht[et.Project(envKeyIdx).Key()] {

@@ -1,0 +1,220 @@
+package relation
+
+import "math"
+
+// This file provides the allocation-free 64-bit tuple hashing that the hot
+// execution paths key their maps by. Tuple.Key builds a canonical string
+// (one allocation per row); Hash folds the same canonical encoding into an
+// FNV-1a hash without materialising it. TupleMap/TupleSet bucket entries by
+// that hash and verify candidates with the canonical-encoding equality
+// (KeyEqual per component), so hash collisions cost a comparison, never a
+// wrong answer, and the maps key exactly like maps of Tuple.Key() strings.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash returns a 64-bit hash of the tuple's canonical encoding (FNV-1a).
+// It is consistent with Key: tuples with equal canonical encodings
+// (Int/Float unified when integral, below Key's 1e15 cutoff) hash equally;
+// distinct tuples may collide and callers must verify with keyEqualTuple.
+func (t Tuple) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range t {
+		h = v.hashInto(h)
+		h = (h ^ 0x1f) * fnvPrime64 // component separator
+	}
+	return h
+}
+
+// hashInto folds the value's canonical encoding into h, mirroring Key: a
+// kind tag, then the payload, with integral floats unified with ints.
+func (v Value) hashInto(h uint64) uint64 {
+	switch v.kind {
+	case KindNull:
+		return (h ^ 'n') * fnvPrime64
+	case KindInt:
+		return hashUint64((h^'i')*fnvPrime64, uint64(v.i))
+	case KindFloat:
+		if i, ok := v.canonInt(); ok {
+			return hashUint64((h^'i')*fnvPrime64, uint64(i))
+		}
+		bits := math.Float64bits(v.f)
+		if math.IsNaN(v.f) {
+			// All NaNs share one canonical Key ("fNaN"); hash them alike.
+			bits = math.Float64bits(math.NaN())
+		}
+		return hashUint64((h^'f')*fnvPrime64, bits)
+	default:
+		h = (h ^ 's') * fnvPrime64
+		for i := 0; i < len(v.s); i++ {
+			h = (h ^ uint64(v.s[i])) * fnvPrime64
+		}
+		return h
+	}
+}
+
+func hashUint64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// tupleEntry is one key/value pair in a hash bucket.
+type tupleEntry[V any] struct {
+	key Tuple
+	val V
+}
+
+// keyEqualTuple reports component-wise canonical-encoding equality: the
+// same relation Tuple.Key strings would express, without building them.
+func keyEqualTuple(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].KeyEqual(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TupleMap is a map keyed by a tuple's canonical encoding (KeyEqual per
+// component: Int/Float unified when integral, exactly as Tuple.Key) that
+// never materialises string keys: entries live in buckets keyed by
+// Tuple.Hash and are verified by keyEqualTuple on collision. The zero
+// value is not usable; call NewTupleMap. Not safe for concurrent mutation.
+type TupleMap[V any] struct {
+	hash    func(Tuple) uint64
+	buckets map[uint64][]tupleEntry[V]
+	n       int
+}
+
+// NewTupleMap returns an empty map sized for n entries (0 is fine).
+func NewTupleMap[V any](n int) *TupleMap[V] {
+	return newTupleMapHash[V](n, func(t Tuple) uint64 { return t.Hash() })
+}
+
+// newTupleMapHash injects the hash function, so tests can force collisions.
+func newTupleMapHash[V any](n int, hash func(Tuple) uint64) *TupleMap[V] {
+	return &TupleMap[V]{hash: hash, buckets: make(map[uint64][]tupleEntry[V], n)}
+}
+
+// Len returns the number of entries.
+func (m *TupleMap[V]) Len() int { return m.n }
+
+// Get returns the value stored under a tuple equal to t.
+func (m *TupleMap[V]) Get(t Tuple) (V, bool) {
+	for _, e := range m.buckets[m.hash(t)] {
+		if keyEqualTuple(e.key, t) {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores v under t, replacing any existing entry for an equal tuple.
+// The tuple is retained by reference; callers must not mutate it afterwards.
+func (m *TupleMap[V]) Put(t Tuple, v V) {
+	h := m.hash(t)
+	b := m.buckets[h]
+	for i := range b {
+		if keyEqualTuple(b[i].key, t) {
+			b[i].val = v
+			return
+		}
+	}
+	m.buckets[h] = append(b, tupleEntry[V]{key: t, val: v})
+	m.n++
+}
+
+// GetOrInsert returns a pointer to the value stored under t, inserting the
+// zero value first when absent. The pointer is only valid until the next
+// mutation of the map; callers use it to update in place immediately (e.g.
+// appending to a slice value) without a second bucket scan.
+func (m *TupleMap[V]) GetOrInsert(t Tuple) *V {
+	h := m.hash(t)
+	b := m.buckets[h]
+	for i := range b {
+		if keyEqualTuple(b[i].key, t) {
+			return &b[i].val
+		}
+	}
+	b = append(b, tupleEntry[V]{key: t})
+	m.buckets[h] = b
+	m.n++
+	return &b[len(b)-1].val
+}
+
+// Delete removes the entry for t, reporting whether one existed.
+func (m *TupleMap[V]) Delete(t Tuple) bool {
+	h := m.hash(t)
+	b := m.buckets[h]
+	for i := range b {
+		if keyEqualTuple(b[i].key, t) {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			if len(b) == 0 {
+				delete(m.buckets, h)
+			} else {
+				m.buckets[h] = b
+			}
+			m.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Range calls f for every entry until f returns false. Iteration order is
+// unspecified (bucket map order); callers needing determinism keep their own
+// ordered key slice.
+func (m *TupleMap[V]) Range(f func(Tuple, V) bool) {
+	for _, b := range m.buckets {
+		for _, e := range b {
+			if !f(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
+// TupleSet is a set of tuples under canonical-encoding (KeyEqual) semantics
+// with hashed membership tests. The zero value is not usable; call
+// NewTupleSet.
+type TupleSet struct {
+	m *TupleMap[struct{}]
+}
+
+// NewTupleSet returns an empty set sized for n entries (0 is fine).
+func NewTupleSet(n int) *TupleSet {
+	return &TupleSet{m: NewTupleMap[struct{}](n)}
+}
+
+// Add inserts t and reports whether it was absent (i.e. newly added).
+func (s *TupleSet) Add(t Tuple) bool {
+	h := s.m.hash(t)
+	b := s.m.buckets[h]
+	for i := range b {
+		if keyEqualTuple(b[i].key, t) {
+			return false
+		}
+	}
+	s.m.buckets[h] = append(b, tupleEntry[struct{}]{key: t})
+	s.m.n++
+	return true
+}
+
+// Has reports membership.
+func (s *TupleSet) Has(t Tuple) bool {
+	_, ok := s.m.Get(t)
+	return ok
+}
+
+// Len returns the number of members.
+func (s *TupleSet) Len() int { return s.m.Len() }

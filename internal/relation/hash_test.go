@@ -1,0 +1,179 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Equal tuples must hash equally — including across Int/Float unification,
+// mirroring Key's canonical encoding.
+func TestHashConsistentWithEqual(t *testing.T) {
+	if (Tuple{Int(3)}).Hash() != (Tuple{Float(3)}).Hash() {
+		t.Error("Int(3) and Float(3) must hash equally")
+	}
+	if (Tuple{Float(3.5)}).Hash() == (Tuple{Int(3)}).Hash() {
+		t.Error("Float(3.5) should not collide with Int(3) in practice")
+	}
+	f := func(a int32, s string, useFloat bool) bool {
+		t1 := Tuple{Int(int64(a)), String(s)}
+		var first Value = Int(int64(a))
+		if useFloat {
+			first = Float(float64(a))
+		}
+		t2 := Tuple{first, String(s)}
+		return t1.Hash() == t2.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Hash must not depend on tuple concatenation boundaries any more than Key
+// does: distinct tuples should (essentially always) hash apart.
+func TestHashSeparatesComponents(t *testing.T) {
+	pairs := [][2]Tuple{
+		{{String("ab"), String("c")}, {String("a"), String("bc")}},
+		{{String("a\x1fb")}, {String("a"), String("b")}},
+		{{Int(1), Int(2)}, {Int(12)}},
+		{{Null(), String("")}, {String(""), Null()}},
+	}
+	for i, p := range pairs {
+		if p[0].Hash() == p[1].Hash() {
+			t.Errorf("pair %d: %v and %v collide", i, p[0], p[1])
+		}
+	}
+}
+
+// KeyEqual and Hash must follow the canonical Key string exactly —
+// including the awkward corners: the 1e15 Int/Float unification cutoff,
+// signed zero, and NaN.
+func TestKeyEqualMatchesKeyString(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(3), Float(3), Float(3.5), Float(math.Copysign(0, -1)),
+		Float(1e16), Int(10000000000000000), Int(int64(1e15)), Float(1e15),
+		Float(math.NaN()), String("a"), String(""), String("3"), String("NaN"),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got, want := a.KeyEqual(b), a.Key() == b.Key(); got != want {
+				t.Errorf("KeyEqual(%v, %v) = %v, Key equality = %v", a, b, got, want)
+			}
+			if a.Key() == b.Key() && (Tuple{a}).Hash() != (Tuple{b}).Hash() {
+				t.Errorf("%v and %v share a Key but hash apart", a, b)
+			}
+		}
+	}
+}
+
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(int64(rng.Intn(20) - 10))
+	case 2:
+		return Float(float64(rng.Intn(20)-10) + float64(rng.Intn(2))*0.5)
+	case 3:
+		return Float(math.Trunc(float64(rng.Intn(20) - 10))) // unifies with Int
+	default:
+		letters := []string{"", "a", "b", "ab", "a\x1fb", "x\x1e"}
+		return String(letters[rng.Intn(len(letters))])
+	}
+}
+
+// Differential property: TupleMap behaves exactly like a map keyed by the
+// canonical Key string, over a workload of colliding-ish random tuples.
+func TestTupleMapMatchesStringKeyedMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewTupleMap[int](0)
+	ref := map[string]int{}
+	for op := 0; op < 5000; op++ {
+		n := 1 + rng.Intn(3)
+		tp := make(Tuple, n)
+		for i := range tp {
+			tp[i] = randValue(rng)
+		}
+		switch rng.Intn(4) {
+		case 0, 1:
+			m.Put(tp, op)
+			ref[tp.Key()] = op
+		case 2:
+			got, ok := m.Get(tp)
+			want, wok := ref[tp.Key()]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("op %d: Get(%v) = %d,%v; string map has %d,%v", op, tp, got, ok, want, wok)
+			}
+		default:
+			if got, want := m.Delete(tp), false; true {
+				_, want = ref[tp.Key()]
+				delete(ref, tp.Key())
+				if got != want {
+					t.Fatalf("op %d: Delete(%v) = %v, want %v", op, tp, got, want)
+				}
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len %d != %d", op, m.Len(), len(ref))
+		}
+	}
+	// Range must visit exactly the reference entries.
+	seen := 0
+	m.Range(func(tp Tuple, v int) bool {
+		seen++
+		if want, ok := ref[tp.Key()]; !ok || want != v {
+			t.Errorf("Range visited %v=%d not in reference", tp, v)
+		}
+		return true
+	})
+	if seen != len(ref) {
+		t.Errorf("Range visited %d entries, want %d", seen, len(ref))
+	}
+}
+
+// Collision injection: with a constant hash function every entry lands in
+// one bucket, so correctness rests entirely on the EqualTuple fallback.
+func TestTupleMapCollisionFallback(t *testing.T) {
+	m := newTupleMapHash[string](0, func(Tuple) uint64 { return 0xdead })
+	tuples := []Tuple{
+		{Int(1)},
+		{Int(2)},
+		{Float(1)}, // equal to {Int(1)} under EqualTuple
+		{String("1")},
+		{Null()},
+		{Int(1), Int(2)},
+	}
+	m.Put(tuples[0], "one")
+	m.Put(tuples[1], "two")
+	m.Put(tuples[3], "s1")
+	m.Put(tuples[4], "null")
+	m.Put(tuples[5], "pair")
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", m.Len())
+	}
+	if v, ok := m.Get(tuples[2]); !ok || v != "one" {
+		t.Errorf("Get(Float(1)) = %q,%v; want one (unified with Int(1))", v, ok)
+	}
+	m.Put(tuples[2], "uno") // overwrites the Int(1) entry
+	if m.Len() != 5 {
+		t.Errorf("numeric-unified Put must overwrite, Len = %d", m.Len())
+	}
+	if v, _ := m.Get(tuples[0]); v != "uno" {
+		t.Errorf("Get(Int(1)) = %q after unified overwrite", v)
+	}
+	if !m.Delete(tuples[1]) || m.Delete(tuples[1]) {
+		t.Error("Delete must remove exactly once under collisions")
+	}
+	if v, ok := m.Get(tuples[5]); !ok || v != "pair" {
+		t.Errorf("sibling entry lost after delete: %q,%v", v, ok)
+	}
+
+	s := &TupleSet{m: newTupleMapHash[struct{}](0, func(Tuple) uint64 { return 1 })}
+	if !s.Add(Tuple{Int(7)}) || s.Add(Tuple{Float(7)}) {
+		t.Error("TupleSet.Add must dedup across kinds under full collision")
+	}
+	if !s.Has(Tuple{Int(7)}) || s.Has(Tuple{Int(8)}) {
+		t.Error("TupleSet.Has wrong under full collision")
+	}
+}

@@ -43,14 +43,11 @@ func (r *Relation) MustAppend(ts ...Tuple) {
 // first-occurrence order.
 func (r *Relation) Distinct() *Relation {
 	out := NewRelation(r.Schema)
-	seen := make(map[string]struct{}, len(r.Tuples))
+	seen := NewTupleSet(len(r.Tuples))
 	for _, t := range r.Tuples {
-		k := t.Key()
-		if _, dup := seen[k]; dup {
-			continue
+		if seen.Add(t) {
+			out.Tuples = append(out.Tuples, t)
 		}
-		seen[k] = struct{}{}
-		out.Tuples = append(out.Tuples, t)
 	}
 	return out
 }
@@ -108,15 +105,14 @@ func (r *Relation) GroupBy(attrs []string) ([]Group, error) {
 	if err != nil {
 		return nil, err
 	}
-	byKey := make(map[string]int)
+	byKey := NewTupleMap[int](0)
 	var groups []Group
 	for _, t := range r.Tuples {
 		key := t.Project(idx)
-		k := key.Key()
-		gi, ok := byKey[k]
+		gi, ok := byKey.Get(key)
 		if !ok {
 			gi = len(groups)
-			byKey[k] = gi
+			byKey.Put(key, gi)
 			groups = append(groups, Group{Key: key})
 		}
 		groups[gi].Tuples = append(groups[gi].Tuples, t)

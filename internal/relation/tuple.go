@@ -44,7 +44,7 @@ func (t Tuple) Key() string {
 	var b strings.Builder
 	for i, v := range t {
 		if i > 0 {
-			b.WriteByte('\x1f') // unit separator: cannot occur in Key encodings of ints/floats
+			b.WriteByte('\x1f') // unit separator: Value.Key escapes it out of string encodings
 		}
 		b.WriteString(v.Key())
 	}

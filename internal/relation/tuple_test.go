@@ -53,6 +53,28 @@ func TestTupleKeySeparator(t *testing.T) {
 	}
 }
 
+// Regression: a string value containing the \x1f component separator (or
+// the \x1e escape) must not make distinct tuples share a key — Value.Key
+// escapes both out of string encodings.
+func TestTupleKeySeparatorInString(t *testing.T) {
+	pairs := [][2]Tuple{
+		{{String("a\x1fb")}, {String("a"), String("b")}},
+		{{String("a"), String("\x1fb")}, {String("a\x1f"), String("b")}},
+		{{String("a\x1e")}, {String("a\x1e\x1e")}},
+		{{String("a\x1e"), String("b")}, {String("a"), String("\x1eb")}},
+		{{String("\x1e\x1f")}, {String("\x1e"), String("")}},
+	}
+	for i, p := range pairs {
+		if p[0].Key() == p[1].Key() {
+			t.Errorf("pair %d: distinct tuples %q and %q share key %q", i, p[0], p[1], p[0].Key())
+		}
+	}
+	// Equal tuples still share a key after escaping.
+	if (Tuple{String("a\x1fb")}).Key() != (Tuple{String("a\x1fb")}).Key() {
+		t.Error("escaping broke key determinism")
+	}
+}
+
 func TestTupleString(t *testing.T) {
 	tp := Tuple{Int(1), String("a")}
 	if got := tp.String(); got != "(1, a)" {

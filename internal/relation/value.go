@@ -179,9 +179,16 @@ func (v Value) String() string {
 	}
 }
 
+// keyEscaper escapes the characters that have structural meaning in
+// composite keys: \x1f separates tuple components (Tuple.Key) and \x1e is
+// the escape character itself. Escaping keeps Key injective even for string
+// values that contain the separator.
+var keyEscaper = strings.NewReplacer("\x1e", "\x1e\x1e", "\x1f", "\x1e\x1f")
+
 // Key returns a canonical encoding of the value that is unique per distinct
 // value (with Int/Float unified when integral), suitable for use in
-// composite map keys.
+// composite map keys. The encoding never contains a bare \x1f, so joining
+// component keys with \x1f stays injective.
 func (v Value) Key() string {
 	switch v.kind {
 	case KindNull:
@@ -195,7 +202,53 @@ func (v Value) Key() string {
 		}
 		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)
 	default:
+		if strings.ContainsAny(v.s, "\x1e\x1f") {
+			return "s" + keyEscaper.Replace(v.s)
+		}
 		return "s" + v.s
+	}
+}
+
+// canonInt reports whether v's canonical Key encoding is the integer form,
+// and that integer: true for ints and for integral floats below the 1e15
+// unification cutoff (see Key).
+func (v Value) canonInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			return int64(v.f), true
+		}
+	}
+	return 0, false
+}
+
+// KeyEqual reports whether two values share the same canonical Key encoding
+// — Int/Float unified when integral and below the 1e15 cutoff, kinds
+// distinct otherwise — without building the strings. This is the equality
+// the hashed tuple maps use, so they key exactly like maps of Tuple.Key()
+// strings. (It is deliberately narrower than Equal, which unifies numeric
+// kinds at any magnitude where float comparison is lossy.)
+func (v Value) KeyEqual(o Value) bool {
+	vi, vInt := v.canonInt()
+	oi, oInt := o.canonInt()
+	if vInt || oInt {
+		return vInt && oInt && vi == oi
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindFloat:
+		// All NaNs render to one Key ("fNaN"); ±0 never reaches here
+		// (integral, unified by canonInt).
+		return math.Float64bits(v.f) == math.Float64bits(o.f) ||
+			(math.IsNaN(v.f) && math.IsNaN(o.f))
+	default:
+		return v.s == o.s
 	}
 }
 

@@ -287,9 +287,12 @@ func (d *Dataset) genSPC(rng *rand.Rand, nSel, nProd int, forAgg bool) (*query.S
 	// Categorical attributes get at most one equality predicate; numeric
 	// attributes may carry several <= / >= predicates with distinct
 	// data-drawn constants, so any #-sel is reachable.
+	// Iterate relations in atom order, not map order: a seeded generator
+	// must be deterministic, and map iteration here used to reshuffle the
+	// candidate pools (and thus the whole workload) between runs.
 	var pool []SelAttr
-	for rel := range inQuery {
-		pool = append(pool, d.selAttrsOf(rel)...)
+	for _, a := range q.Atoms {
+		pool = append(pool, d.selAttrsOf(a.Rel)...)
 	}
 	if len(pool) == 0 {
 		return nil, fmt.Errorf("workload: no selection attributes on %v", q.Atoms)
@@ -303,9 +306,9 @@ func (d *Dataset) genSPC(rng *rand.Rand, nSel, nProd int, forAgg bool) (*query.S
 	// exactly via constraints, like Q1's p0 anchor.
 	if nSel > 0 && rng.Intn(5) != 0 {
 		var anchors []SelAttr
-		for rel := range inQuery {
+		for _, atom := range q.Atoms {
 			for _, a := range d.Anchors {
-				if a.Rel == rel {
+				if a.Rel == atom.Rel {
 					anchors = append(anchors, a)
 				}
 			}
@@ -402,10 +405,11 @@ func (d *Dataset) chooseOutput(rng *rand.Rand, q *query.SPC, aliasOf map[string]
 		}
 	}
 	if len(out) == 0 {
-		// Fall back to any selection attribute in scope.
-		for rel := range inQuery {
-			if sel := d.selAttrsOf(rel); len(sel) > 0 {
-				out = append(out, query.C(aliasOf[rel], sel[0].Attr))
+		// Fall back to any selection attribute in scope (atom order, so
+		// the seeded generation stays deterministic).
+		for _, a := range q.Atoms {
+			if sel := d.selAttrsOf(a.Rel); len(sel) > 0 {
+				out = append(out, query.C(aliasOf[a.Rel], sel[0].Attr))
 				break
 			}
 		}
