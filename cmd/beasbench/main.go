@@ -46,10 +46,11 @@ func run() (code int) {
 		queries = flag.Int("queries", 0, "override the number of workload queries")
 
 		perf    = flag.Bool("perf", false, "run the tracked perf harness instead of the figures")
-		out     = flag.String("out", "", "with -perf: write (or append the run to) this JSON report")
-		label   = flag.String("label", "current", "with -perf: label of the run inside the report")
-		pr      = flag.Int("pr", 2, "with -perf -out: PR number recorded in a fresh report")
-		smoke   = flag.Bool("smoke", false, "with -perf: shrink the latency section to a correctness smoke")
+		httpB   = flag.Bool("http", false, "run the end-to-end HTTP latency harness (shard counts 1/2/4/8 + legacy)")
+		out     = flag.String("out", "", "with -perf/-http: write (or append the run to) this JSON report")
+		label   = flag.String("label", "current", "with -perf/-http: label of the run inside the report")
+		pr      = flag.Int("pr", 3, "with -perf/-http -out: PR number recorded in a fresh report")
+		smoke   = flag.Bool("smoke", false, "with -perf/-http: shrink to a fast correctness smoke")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -87,14 +88,20 @@ func run() (code int) {
 		}()
 	}
 
-	if *perf {
-		return runPerf(*out, *label, *pr, *smoke)
+	if *perf || *httpB {
+		return runPerf(*out, *label, *pr, *smoke, *httpB)
 	}
 	return runFigures(*fig, *tiny, *queries)
 }
 
-func runPerf(out, label string, pr int, smoke bool) int {
-	run, err := bench.RunPerf(label, smoke)
+func runPerf(out, label string, pr int, smoke, httpB bool) int {
+	var run *bench.PerfRun
+	var err error
+	if httpB {
+		run, err = bench.RunHTTPPerf(label, smoke, nil)
+	} else {
+		run, err = bench.RunPerf(label, smoke)
+	}
 	if err != nil {
 		return errorf("perf: %v", err)
 	}

@@ -1,20 +1,26 @@
 // Command beasd serves resource-bounded approximate query answering over
 // HTTP: the online half of the BEAS architecture (paper Fig. 2) as a
 // long-running daemon. At startup it loads a dataset, builds the access
-// schema offline, and then serves any number of concurrent clients from
-// one shared System — parallel leaf execution, plan caching and all.
+// schema offline (partitioned across -shards goroutine-owned shards), and
+// then serves any number of concurrent clients from one shared System —
+// parallel leaf execution, scatter-gather fetches, plan caching and all.
+// The handlers live in internal/serve; this command only wires flags,
+// dataset loading and process lifecycle.
 //
 // Usage:
 //
-//	beasd -addr :8080 -dataset tpch -scale 2 -alpha 0.01
+//	beasd -addr :8080 -dataset tpch -scale 2 -alpha 0.01 -shards 4
 //
-// Endpoints:
+// Endpoints (see internal/serve and the README "Serving" section):
 //
 //	POST /query    {"sql": "select ...", "alpha": 0.05}
 //	               → answers + eta + access stats (alpha optional,
 //	                 defaults to -alpha)
+//	POST /batch    {"queries": [{"sql": ...}, ...], "deadlineMs": 500}
+//	               → pipelined execution through a bounded request queue
+//	                 with backpressure and per-request deadlines
 //	GET  /healthz  → liveness + dataset summary
-//	GET  /stats    → query counters, latency, plan-cache effectiveness
+//	GET  /stats    → query/batch counters, latency, plan-cache stats
 //
 // Example:
 //
@@ -24,7 +30,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,12 +38,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	beas "repro"
+	"repro/internal/access"
 	"repro/internal/fixture"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -50,33 +56,41 @@ func main() {
 		seed     = flag.Int64("seed", 2017, "generator seed")
 		alpha    = flag.Float64("alpha", 0.01, "default resource ratio in (0, 1]")
 		maxTuple = flag.Int("rows", 1000, "max answer rows returned per query")
+		shards   = flag.Int("shards", 0, "ladder partitions (0 = min(GOMAXPROCS, 8))")
+		queue    = flag.Int("queue", 256, "batch request queue depth (backpressure bound)")
+		workers  = flag.Int("batch-workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", 256, "max queries per /batch call")
 	)
 	flag.Parse()
 
+	if *shards > 0 {
+		access.DefaultShards = *shards
+	}
 	sys, size, rels, err := open(*dataset, *scale, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
 		os.Exit(2)
 	}
-	log.Printf("beasd: dataset %s ready: |D| = %d tuples, %d relations", *dataset, size, rels)
+	log.Printf("beasd: dataset %s ready: |D| = %d tuples, %d relations, %d-way sharded ladders",
+		*dataset, size, rels, effectiveShards(sys))
 
-	srv := &server{
-		sys:          sys,
-		defaultAlpha: *alpha,
-		maxRows:      *maxTuple,
-		dataset:      *dataset,
-		dbSize:       size,
-		relations:    rels,
-		started:      time.Now(),
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", srv.handleQuery)
-	mux.HandleFunc("/healthz", srv.handleHealthz)
-	mux.HandleFunc("/stats", srv.handleStats)
+	srv := serve.New(serve.Config{
+		System:       sys,
+		DefaultAlpha: *alpha,
+		MaxRows:      *maxTuple,
+		Dataset:      *dataset,
+		DBSize:       size,
+		Relations:    rels,
+		Shards:       effectiveShards(sys),
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+	})
+	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -95,6 +109,15 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("beasd: shutdown: %v", err)
 	}
+}
+
+// effectiveShards reports the partition count of the system's ladders (they
+// are uniform: every ladder is built with the same resolved count).
+func effectiveShards(sys *beas.System) int {
+	for _, l := range sys.Scheme().Access().Ladders {
+		return l.Shards()
+	}
+	return 1
 }
 
 func open(dataset string, scale int, seed int64) (*beas.System, int, int, error) {
@@ -122,154 +145,4 @@ func open(dataset string, scale int, seed int64) (*beas.System, int, int, error)
 		return nil, 0, 0, err
 	}
 	return beas.Open(d.DB, as), d.DB.Size(), len(d.DB.Names()), nil
-}
-
-// server holds the shared System plus serving counters. All handler state
-// is either immutable or atomic; the System itself is concurrency-safe.
-type server struct {
-	sys          *beas.System
-	defaultAlpha float64
-	maxRows      int
-	dataset      string
-	dbSize       int
-	relations    int
-	started      time.Time
-
-	queries  atomic.Int64 // successful /query calls
-	failures atomic.Int64 // rejected or failed /query calls
-	totalNS  atomic.Int64 // cumulative serving time of successful calls
-}
-
-// maxRequestBytes caps a /query body; a SQL statement has no business
-// being bigger, and the bound keeps a hostile POST from ballooning memory.
-const maxRequestBytes = 1 << 20
-
-type queryRequest struct {
-	SQL   string  `json:"sql"`
-	Alpha float64 `json:"alpha"`
-}
-
-type queryResponse struct {
-	Columns   []string   `json:"columns"`
-	Tuples    [][]string `json:"tuples"`
-	Rows      int        `json:"rows"`
-	Truncated bool       `json:"rowsTruncated,omitempty"` // response capped at -rows
-	Eta       float64    `json:"eta"`
-	Exact     bool       `json:"exact"`
-	Alpha     float64    `json:"alpha"`
-	Accessed  int        `json:"accessed"`
-	Budget    int        `json:"budget"`
-	CacheHit  bool       `json:"cacheHit"`
-	PlanGenMS float64    `json:"planGenMs"`
-	ServedMS  float64    `json:"servedMs"`
-}
-
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req queryRequest
-	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.failures.Add(1)
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	if req.SQL == "" {
-		s.failures.Add(1)
-		httpError(w, http.StatusBadRequest, "missing \"sql\"")
-		return
-	}
-	alpha := req.Alpha
-	if alpha == 0 {
-		alpha = s.defaultAlpha
-	}
-	if alpha <= 0 || alpha > 1 {
-		s.failures.Add(1)
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("alpha %g outside (0, 1]", alpha))
-		return
-	}
-
-	start := time.Now()
-	ans, plan, err := s.sys.QuerySQL(req.SQL, alpha)
-	if err != nil {
-		s.failures.Add(1)
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
-		return
-	}
-	served := time.Since(start)
-	s.queries.Add(1)
-	s.totalNS.Add(served.Nanoseconds())
-
-	resp := queryResponse{
-		Rows:      ans.Rel.Len(),
-		Eta:       ans.Eta,
-		Exact:     ans.Exact,
-		Alpha:     alpha,
-		Accessed:  ans.Stats.Accessed,
-		Budget:    plan.Budget,
-		CacheHit:  plan.CacheHit,
-		PlanGenMS: float64(plan.GenTime.Microseconds()) / 1e3,
-		ServedMS:  float64(served.Microseconds()) / 1e3,
-	}
-	for _, a := range ans.Rel.Schema.Attrs {
-		resp.Columns = append(resp.Columns, a.Name)
-	}
-	for i, t := range ans.Rel.Tuples {
-		if i >= s.maxRows {
-			resp.Truncated = true
-			break
-		}
-		row := make([]string, len(t))
-		for j, v := range t {
-			row[j] = v.String()
-		}
-		resp.Tuples = append(resp.Tuples, row)
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"dataset":   s.dataset,
-		"size":      s.dbSize,
-		"relations": s.relations,
-		"uptimeSec": time.Since(s.started).Seconds(),
-	})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	ok := s.queries.Load()
-	var avgMS float64
-	if ok > 0 {
-		avgMS = float64(s.totalNS.Load()) / float64(ok) / 1e6
-	}
-	cache := s.sys.PlanCacheStats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"queries":      ok,
-		"failures":     s.failures.Load(),
-		"avgLatencyMs": avgMS,
-		"planCache": map[string]any{
-			"hits":      cache.Hits,
-			"misses":    cache.Misses,
-			"evictions": cache.Evictions,
-			"len":       cache.Len,
-			"cap":       cache.Cap,
-			"hitRate":   cache.HitRate(),
-		},
-	})
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("beasd: encode response: %v", err)
-	}
 }

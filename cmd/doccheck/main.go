@@ -1,0 +1,190 @@
+// Command doccheck is the repository's godoc gate: a dependency-free,
+// revive/golint-style check that every package has a package comment and
+// every exported identifier — types, functions, methods, consts, vars —
+// carries a doc comment. CI runs it next to go vet; it exits non-zero and
+// prints file:line findings when documentation is missing.
+//
+// Usage:
+//
+//	doccheck [root]   # default root: .
+//
+// Test files, testdata directories and generated files are skipped. A doc
+// comment on a const/var/type group covers the whole group, matching godoc
+// rendering.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := check(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers lack doc comments\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// check walks every non-test Go file under root and returns one finding
+// per undocumented exported identifier, sorted by position.
+func check(root string) ([]string, error) {
+	fset := token.NewFileSet()
+	// pkgDoc[dir] reports whether some file of the directory's package
+	// carries a package comment.
+	pkgDoc := map[string]bool{}
+	pkgFirst := map[string]token.Pos{}
+	var findings []string
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if isGenerated(file) {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if file.Doc != nil {
+			pkgDoc[dir] = true
+		}
+		if _, ok := pkgFirst[dir]; !ok {
+			pkgFirst[dir] = file.Package
+		}
+		findings = append(findings, checkFile(fset, file)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for dir, pos := range pkgFirst {
+		if !pkgDoc[dir] {
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package comment",
+				fset.Position(pos), dir))
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// generatedRe is the standard generated-code marker (go.dev convention):
+// a line-comment before the package clause reading
+// "// Code generated ... DO NOT EDIT.".
+var generatedRe = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGenerated reports whether the file carries the generated-code marker
+// before its package clause.
+func isGenerated(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if generatedRe.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkFile returns findings for the file's exported declarations.
+func checkFile(fset *token.FileSet, file *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		out = append(out, fmt.Sprintf("%s: exported %s %s has no doc comment", fset.Position(pos), what, name))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			what := "function"
+			name := d.Name.Name
+			if d.Recv != nil {
+				what = "method"
+				name = recvName(d.Recv) + "." + name
+			}
+			report(d.Pos(), what, name)
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A group doc (or a per-spec doc or trailing comment)
+					// covers its names, as godoc renders it.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// recvName renders a method receiver's base type name.
+func recvName(fl *ast.FieldList) string {
+	if len(fl.List) == 0 {
+		return "?"
+	}
+	t := fl.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return "?"
+		}
+	}
+}

@@ -24,7 +24,10 @@ type Sample struct {
 // N the largest group's distinct-Y count.
 //
 // Groups are keyed by the X-value tuple itself (hash-bucketed, equality
-// verified), so the online fetch path never materialises string keys.
+// verified) and hash-partitioned across the shards of a ShardedLadder, so
+// the online fetch path never materialises string keys and batch fetches
+// can scatter-gather across partitions. Fetch results are materialised once
+// per level at build time and handed out as shared read-only views.
 type Ladder struct {
 	RelName string
 	X, Y    []string
@@ -33,22 +36,30 @@ type Ladder struct {
 	maxK        int
 	resolutions [][]float64 // [k][|Y|]; max over groups of per-group level-k resolution
 	maxDistinct int         // largest distinct-Y count of any group
-	groups      *relation.TupleMap[*kdtree.Tree]
+	store       *ShardedLadder
 	indexSize   int // total representatives stored across all groups and levels
 }
 
 // BuildLadder scans the relation once and builds the shared index for the
-// template family R(X → Y, 2^k, d̄k). X may be empty (the whole relation is
-// one group, as in the generic schema At). Per-group K-D tree construction
-// fans out over GOMAXPROCS workers; the result is identical to a sequential
+// template family R(X → Y, 2^k, d̄k), partitioned across DefaultShards
+// shards. X may be empty (the whole relation is one group, as in the
+// generic schema At). Per-group K-D tree construction fans out over
+// GOMAXPROCS workers; the result is identical to a sequential, single-shard
 // build (groups are independent and each build is deterministic).
 func BuildLadder(db *relation.Database, rel string, x, y []string) (*Ladder, error) {
-	return buildLadderWorkers(db, rel, x, y, runtime.GOMAXPROCS(0))
+	return buildLadderWorkers(db, rel, x, y, runtime.GOMAXPROCS(0), resolveShards(0))
 }
 
-// buildLadderWorkers is BuildLadder with an explicit worker count; tests
-// pin it to 1 to assert the parallel build changes nothing.
-func buildLadderWorkers(db *relation.Database, rel string, x, y []string, workers int) (*Ladder, error) {
+// BuildLadderSharded is BuildLadder with an explicit partition count,
+// overriding DefaultShards. The shard count changes how fetch work spreads
+// over cores, never what a fetch returns.
+func BuildLadderSharded(db *relation.Database, rel string, x, y []string, shards int) (*Ladder, error) {
+	return buildLadderWorkers(db, rel, x, y, runtime.GOMAXPROCS(0), resolveShards(shards))
+}
+
+// buildLadderWorkers is BuildLadder with explicit worker and shard counts;
+// tests pin workers to 1 to assert the parallel build changes nothing.
+func buildLadderWorkers(db *relation.Database, rel string, x, y []string, workers, shards int) (*Ladder, error) {
 	r, ok := db.Relation(rel)
 	if !ok {
 		return nil, fmt.Errorf("access: unknown relation %q", rel)
@@ -68,7 +79,7 @@ func buildLadderWorkers(db *relation.Database, rel string, x, y []string, worker
 		RelName: rel,
 		X:       append([]string(nil), x...),
 		Y:       append([]string(nil), y...),
-		groups:  relation.NewTupleMap[*kdtree.Tree](0),
+		store:   newShardedLadder(shards),
 	}
 	l.yAttrs = make([]relation.Attribute, len(yIdx))
 	for i, j := range yIdx {
@@ -94,46 +105,17 @@ func buildLadderWorkers(db *relation.Database, rel string, x, y []string, worker
 		buckets[bi].items = append(buckets[bi].items, kdtree.Item{Tuple: t.Project(yIdx), Count: 1})
 	}
 
-	// Build one tree per group, in parallel. Each group is independent and
-	// kdtree.Build is deterministic in its item order, so worker count does
-	// not affect the result.
-	trees := make([]*kdtree.Tree, len(buckets))
+	// Build one group (tree + materialised level views) per bucket, in
+	// parallel. Each group is independent and kdtree.Build is deterministic
+	// in its item order, so worker count does not affect the result.
+	groups := make([]*ladderGroup, len(buckets))
 	parallelFor(len(buckets), workers, func(bi int) {
-		trees[bi] = kdtree.Build(l.yAttrs, buckets[bi].items)
+		groups[bi] = newLadderGroup(buckets[bi].key, l.yAttrs, buckets[bi].items)
 	})
-
-	for bi, b := range buckets {
-		tree := trees[bi]
-		l.groups.Put(b.key, tree)
-		if tree.ExactLevel() > l.maxK {
-			l.maxK = tree.ExactLevel()
-		}
-		if tree.Items() > l.maxDistinct {
-			l.maxDistinct = tree.Items()
-		}
+	for _, g := range groups {
+		l.store.put(g)
 	}
-
-	// Resolutions per level: max over groups.
-	l.resolutions = make([][]float64, l.maxK+1)
-	for k := 0; k <= l.maxK; k++ {
-		res := make([]float64, len(y))
-		for _, tree := range trees {
-			for i, d := range tree.Resolution(k) {
-				if d > res[i] {
-					res[i] = d
-				}
-			}
-		}
-		l.resolutions[k] = res
-	}
-
-	// Index size: representatives materialised per level, summed (the
-	// paper stores all MR levels in one table TR keyed by level).
-	for _, tree := range trees {
-		for k := 0; k <= tree.ExactLevel(); k++ {
-			l.indexSize += len(tree.Level(k))
-		}
-	}
+	l.recomputeMeta()
 	return l, nil
 }
 
@@ -173,7 +155,10 @@ func parallelFor(n, workers int, f func(int)) {
 func (l *Ladder) MaxK() int { return l.maxK }
 
 // NumGroups returns the number of distinct X-values indexed.
-func (l *Ladder) NumGroups() int { return l.groups.Len() }
+func (l *Ladder) NumGroups() int { return l.store.numGroups() }
+
+// Shards returns the partition count of the group store.
+func (l *Ladder) Shards() int { return l.store.NumShards() }
 
 // MaxGroupDistinct returns the largest group's distinct-Y count: the N of
 // the ladder's access-constraint view, and the per-X-value fetch bound that
@@ -181,7 +166,8 @@ func (l *Ladder) NumGroups() int { return l.groups.Len() }
 func (l *Ladder) MaxGroupDistinct() int { return l.maxDistinct }
 
 // IndexSize returns the number of representative tuples stored across all
-// groups and levels (the paper's Exp-4 metric).
+// groups and levels (the paper's Exp-4 metric; with materialised level
+// views this is literally the number of Sample entries held in memory).
 func (l *Ladder) IndexSize() int { return l.indexSize }
 
 // YAttrs returns the attribute descriptors of Y, in Y order.
@@ -260,26 +246,25 @@ func (l *Ladder) FetchBound(k int) int {
 
 // Fetch returns the level-k samples for one X-value tuple. A missing
 // X-value yields no samples — the data has no tuples for it. The lookup is
-// hash-bucketed on the tuple; no string key is built.
+// hash-bucketed on the tuple, routed to the owning shard; the returned
+// slice is a shared materialised view and must not be mutated.
 func (l *Ladder) Fetch(x relation.Tuple, k int) []Sample {
-	tree, ok := l.groups.Get(x)
-	if !ok {
-		return nil
-	}
-	reps := tree.Level(k)
-	out := make([]Sample, len(reps))
-	for i, r := range reps {
-		out[i] = Sample{Y: r.Point, Count: r.Count}
-	}
-	return out
+	return l.store.Fetch(x, k)
+}
+
+// FetchBatch resolves many X-values at once, scatter-gathering across the
+// store's shards on up to `workers` goroutines; out[i] corresponds to x[i].
+// Results are the same shared read-only views Fetch returns.
+func (l *Ladder) FetchBatch(xs []relation.Tuple, k, workers int) [][]Sample {
+	return l.store.FetchBatch(xs, k, workers)
 }
 
 // GroupXs returns the X-value tuples of all indexed groups, in unspecified
 // order. For X = ∅ this is the single empty tuple.
 func (l *Ladder) GroupXs() []relation.Tuple {
-	xs := make([]relation.Tuple, 0, l.groups.Len())
-	l.groups.Range(func(t relation.Tuple, _ *kdtree.Tree) bool {
-		xs = append(xs, t)
+	xs := make([]relation.Tuple, 0, l.store.numGroups())
+	l.store.rangeGroups(func(g *ladderGroup) bool {
+		xs = append(xs, g.key)
 		return true
 	})
 	return xs
@@ -288,11 +273,11 @@ func (l *Ladder) GroupXs() []relation.Tuple {
 // ExactLevelFor returns the level at which the group of x is represented
 // exactly; 0 when the group does not exist.
 func (l *Ladder) ExactLevelFor(x relation.Tuple) int {
-	tree, ok := l.groups.Get(x)
+	g, ok := l.store.group(x)
 	if !ok {
 		return 0
 	}
-	return tree.ExactLevel()
+	return g.tree.ExactLevel()
 }
 
 // Verify checks the conformance invariant D |= ψk for every level of the

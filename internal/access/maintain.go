@@ -9,9 +9,12 @@ import (
 
 // This file implements component C2 of the BEAS architecture (Fig. 2):
 // maintaining the access-schema indices in response to updates to D.
-// Updates are localised: inserting or deleting a tuple only affects the
-// K-D tree of its own X-group in each ladder, which is rebuilt from the
-// group's tuples — O(g log² g) for a group of size g, independent of |D|.
+// Updates are localised twice over: a tuple only affects the group of its
+// own X-value in each ladder, and that group lives in exactly one shard,
+// which owns the group's tuple list. The group is rebuilt from that list —
+// O(g log² g) for a group of size g — without ever rescanning the relation
+// (the pre-shard implementation rescanned all of R per update), and no
+// other partition is touched.
 
 // Insert appends the tuple to the relation in db and incrementally updates
 // every ladder of the schema that indexes that relation.
@@ -24,7 +27,7 @@ func (s *Schema) Insert(db *relation.Database, rel string, t relation.Tuple) err
 		return err
 	}
 	for _, l := range s.LaddersFor(rel) {
-		if err := l.refreshGroupOf(db, t); err != nil {
+		if err := l.insertTuple(r, t); err != nil {
 			return err
 		}
 	}
@@ -49,99 +52,118 @@ func (s *Schema) Delete(db *relation.Database, rel string, t relation.Tuple) (bo
 	if found < 0 {
 		return false, nil
 	}
+	// Update the ladders with the tuple actually removed, not the query
+	// tuple: EqualTuple unifies e.g. Int/Float values that the indices
+	// (keyed by canonical encoding) keep distinct.
+	removed := r.Tuples[found]
 	r.Tuples = append(r.Tuples[:found], r.Tuples[found+1:]...)
 	for _, l := range s.LaddersFor(rel) {
-		if err := l.refreshGroupOf(db, t); err != nil {
+		if err := l.deleteTuple(r, removed); err != nil {
 			return false, err
 		}
 	}
 	return true, nil
 }
 
-// refreshGroupOf rebuilds the index of the X-group the tuple belongs to,
-// and refreshes the ladder's derived metadata (levels, resolutions, sizes).
-func (l *Ladder) refreshGroupOf(db *relation.Database, t relation.Tuple) error {
-	r, ok := db.Relation(l.RelName)
-	if !ok {
-		return fmt.Errorf("access: ladder refresh: unknown relation %q", l.RelName)
-	}
+// projections resolves the tuple's X-key and Y-projection under the
+// ladder's attribute sets.
+func (l *Ladder) projections(r *relation.Relation, t relation.Tuple) (key, y relation.Tuple, err error) {
 	xIdx, err := r.Schema.Indices(l.X)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	yIdx, err := r.Schema.Indices(l.Y)
 	if err != nil {
+		return nil, nil, err
+	}
+	return t.Project(xIdx), t.Project(yIdx), nil
+}
+
+// insertTuple adds the tuple's Y-projection to its X-group's tuple list and
+// rebuilds that group alone, inside its owning shard.
+func (l *Ladder) insertTuple(r *relation.Relation, t relation.Tuple) error {
+	key, y, err := l.projections(r, t)
+	if err != nil {
 		return err
 	}
-	key := t.Project(xIdx)
-
-	// Re-scan the group's tuples. This is a scan of the relation; a
-	// production system would keep a per-group tuple list — the asymptotic
-	// point (work independent of other groups' indices) is preserved.
-	var items []kdtree.Item
-	for _, u := range r.Tuples {
-		if !projectedEqual(u, xIdx, key) {
-			continue
-		}
-		items = append(items, kdtree.Item{Tuple: u.Project(yIdx), Count: 1})
-	}
-
-	old, existed := l.groups.Get(key)
-	if len(items) == 0 {
-		if existed {
-			l.indexSize -= treeIndexSize(old)
-			l.groups.Delete(key)
-		}
+	if g, ok := l.store.group(key); ok {
+		g.items = append(g.items, kdtree.Item{Tuple: y, Count: 1})
+		g.rebuild(l.yAttrs)
 	} else {
-		tree := kdtree.Build(l.yAttrs, items)
-		if existed {
-			l.indexSize -= treeIndexSize(old)
-		}
-		l.groups.Put(key, tree)
-		l.indexSize += treeIndexSize(tree)
+		l.store.put(newLadderGroup(key, l.yAttrs, []kdtree.Item{{Tuple: y, Count: 1}}))
 	}
 	l.recomputeMeta()
 	return nil
 }
 
-// projectedEqual reports whether t's projection on idx has the same
-// canonical encoding as key — the grouping equality of the ladder's tuple
-// map — without building the projection.
-func projectedEqual(t relation.Tuple, idx []int, key relation.Tuple) bool {
-	for i, j := range idx {
-		if !t[j].KeyEqual(key[i]) {
+// deleteTuple removes one occurrence of the tuple's Y-projection from its
+// X-group's list and rebuilds (or drops) that group alone.
+func (l *Ladder) deleteTuple(r *relation.Relation, t relation.Tuple) error {
+	key, y, err := l.projections(r, t)
+	if err != nil {
+		return err
+	}
+	g, ok := l.store.group(key)
+	if !ok {
+		return nil
+	}
+	// Match by canonical encoding (KeyEqual) — the equality the group's
+	// index dedups and fetches by — so exactly the removed tuple's
+	// projection leaves the list, as a from-scratch rebuild would.
+	found := -1
+	for i, it := range g.items {
+		if keyEqualTuple(it.Tuple, y) {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return nil
+	}
+	g.items = append(g.items[:found], g.items[found+1:]...)
+	if len(g.items) == 0 {
+		l.store.remove(key)
+	} else {
+		g.rebuild(l.yAttrs)
+	}
+	l.recomputeMeta()
+	return nil
+}
+
+// keyEqualTuple reports component-wise canonical-encoding equality — the
+// grouping/dedup equality of the ladder's indices.
+func keyEqualTuple(a, b relation.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].KeyEqual(b[i]) {
 			return false
 		}
 	}
 	return true
 }
 
-func treeIndexSize(t *kdtree.Tree) int {
-	n := 0
-	for k := 0; k <= t.ExactLevel(); k++ {
-		n += len(t.Level(k))
-	}
-	return n
-}
-
-// recomputeMeta refreshes MaxK, MaxGroupDistinct and the per-level
-// resolutions after a group changed.
+// recomputeMeta refreshes MaxK, MaxGroupDistinct, IndexSize and the
+// per-level resolutions from the current groups. It touches metadata only —
+// never group indices or the relation — so it is O(groups × levels).
 func (l *Ladder) recomputeMeta() {
-	l.maxK, l.maxDistinct = 0, 0
-	l.groups.Range(func(_ relation.Tuple, tree *kdtree.Tree) bool {
-		if tree.ExactLevel() > l.maxK {
-			l.maxK = tree.ExactLevel()
+	l.maxK, l.maxDistinct, l.indexSize = 0, 0, 0
+	l.store.rangeGroups(func(g *ladderGroup) bool {
+		if g.tree.ExactLevel() > l.maxK {
+			l.maxK = g.tree.ExactLevel()
 		}
-		if tree.Items() > l.maxDistinct {
-			l.maxDistinct = tree.Items()
+		if g.tree.Items() > l.maxDistinct {
+			l.maxDistinct = g.tree.Items()
 		}
+		l.indexSize += g.indexSize()
 		return true
 	})
 	l.resolutions = make([][]float64, l.maxK+1)
 	for k := 0; k <= l.maxK; k++ {
 		res := make([]float64, len(l.Y))
-		l.groups.Range(func(_ relation.Tuple, tree *kdtree.Tree) bool {
-			for i, d := range tree.Resolution(k) {
+		l.store.rangeGroups(func(g *ladderGroup) bool {
+			for i, d := range g.tree.Resolution(k) {
 				if d > res[i] {
 					res[i] = d
 				}

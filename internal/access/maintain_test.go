@@ -131,6 +131,42 @@ func TestDeleteEmptiesGroup(t *testing.T) {
 	}
 }
 
+// Deleting through a value spelling that is Equal but canonically distinct
+// (Int(1e16) vs Float(1e16): numerically equal, different index keys above
+// the canonInt cutoff) must update the group of the tuple actually removed
+// from the relation, not the group the query spelling hashes to.
+func TestDeleteCanonicalKeyMismatch(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.NewRelation(relation.MustSchema("kv",
+		relation.Attr("k", relation.KindFloat, relation.Trivial()),
+		relation.Attr("v", relation.KindFloat, relation.Numeric(10)),
+	))
+	r.MustAppend(
+		relation.Tuple{relation.Float(1e16), relation.Float(5)},
+		relation.Tuple{relation.Int(2), relation.Float(7)},
+	)
+	db.MustAdd(r)
+	s := &Schema{}
+	l, err := s.Extend(db, "kv", []string{"k"}, []string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EqualTuple matches the Float(1e16) tuple; its group must empty.
+	ok, err := s.Delete(db, "kv", relation.Tuple{relation.Int(1e16), relation.Float(5)})
+	if err != nil || !ok {
+		t.Fatalf("Delete: %v, %v", ok, err)
+	}
+	if got := l.Fetch(relation.Tuple{relation.Float(1e16)}, 0); got != nil {
+		t.Errorf("stale group still fetches %v after delete", got)
+	}
+	if l.NumGroups() != 1 {
+		t.Errorf("groups = %d, want 1", l.NumGroups())
+	}
+	if err := s.Verify(db); err != nil {
+		t.Errorf("conformance: %v", err)
+	}
+}
+
 func TestMaintainErrors(t *testing.T) {
 	db := exampleDB(t)
 	s := maintSchema(t, db)

@@ -15,15 +15,22 @@ type Schema struct {
 
 // BuildAt constructs the generic access schema At of Theorem 1(1): for every
 // relation R, the ladder R(∅ → attr(R), 2^k, d̄k) for k = 0..⌈log2 |DR|⌉.
-// Every instance conforms to its own At by construction.
+// Every instance conforms to its own At by construction. Ladders are
+// partitioned across DefaultShards shards.
 func BuildAt(db *relation.Database) (*Schema, error) {
+	return BuildAtSharded(db, 0)
+}
+
+// BuildAtSharded is BuildAt with an explicit per-ladder partition count
+// (0 falls back to DefaultShards).
+func BuildAtSharded(db *relation.Database, shards int) (*Schema, error) {
 	s := &Schema{}
 	for _, name := range db.Names() {
 		r := db.MustRelation(name)
 		if r.Len() == 0 {
 			continue
 		}
-		l, err := BuildLadder(db, name, nil, r.Schema.AttrNames())
+		l, err := BuildLadderSharded(db, name, nil, r.Schema.AttrNames(), shards)
 		if err != nil {
 			return nil, err
 		}
@@ -36,7 +43,13 @@ func BuildAt(db *relation.Database) (*Schema, error) {
 // practice of enriching At with discovered or user-defined access templates
 // and constraints.
 func (s *Schema) Extend(db *relation.Database, rel string, x, y []string) (*Ladder, error) {
-	l, err := BuildLadder(db, rel, x, y)
+	return s.ExtendSharded(db, rel, x, y, 0)
+}
+
+// ExtendSharded is Extend with an explicit partition count (0 falls back to
+// DefaultShards).
+func (s *Schema) ExtendSharded(db *relation.Database, rel string, x, y []string, shards int) (*Ladder, error) {
+	l, err := BuildLadderSharded(db, rel, x, y, shards)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,244 @@
+package access
+
+import (
+	"runtime"
+
+	"repro/internal/kdtree"
+	"repro/internal/relation"
+)
+
+// This file implements the partition-owned storage engine behind a Ladder.
+// Groups (one per distinct X-value) are hash-partitioned across N shards;
+// each shard exclusively owns its groups' K-D trees, per-group tuple lists
+// (so incremental maintenance never rescans the relation) and materialised
+// per-level sample views (so the online fetch path hands out shared
+// read-only slices instead of rebuilding them per fetch). Scatter-gather
+// batch fetches fan the distinct X-values of one query out across the
+// shards, which is what lets a single query use multiple cores on the
+// fetch side (ROADMAP "shard the database/ladders").
+//
+// Sharding is a pure storage concern: the partition of a group is a
+// deterministic function of its X-value hash, every group lives in exactly
+// one shard, and all ladder-level metadata (resolutions, MaxK, sizes) is
+// aggregated over all shards. The shard count therefore never affects
+// fetch results — asserted by TestShardCountInvariance against the
+// single-shard ladder on the golden corpus.
+
+// DefaultShards is the partition count ladders are built with when the
+// caller does not choose one explicitly (BuildLadder, BuildAt, Extend).
+// Zero means min(GOMAXPROCS, 8). It is read at build time only; set it
+// before constructing access schemas (cmd/beasd does, from -shards).
+var DefaultShards = 0
+
+// maxDefaultShards caps the automatic shard count: beyond a handful of
+// partitions the scatter-gather fan-out costs more than it buys.
+const maxDefaultShards = 8
+
+// resolveShards maps a requested shard count to an effective one.
+func resolveShards(n int) int {
+	if n > 0 {
+		return n
+	}
+	if DefaultShards > 0 {
+		return DefaultShards
+	}
+	n = runtime.GOMAXPROCS(0)
+	if n > maxDefaultShards {
+		n = maxDefaultShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ladderGroup is the storage of one X-group, exclusively owned by one shard:
+// the group's K-D tree, the raw per-group tuple list (Y-projections of the
+// base tuples, duplicates kept) that incremental maintenance rebuilds from,
+// and the materialised per-level sample views handed out by Fetch.
+type ladderGroup struct {
+	key   relation.Tuple
+	items []kdtree.Item
+	tree  *kdtree.Tree
+	// levels[k] is the level-k fetch result, materialised once; the slices
+	// and their tuples are shared and must be treated as read-only.
+	levels [][]Sample
+}
+
+// newLadderGroup builds a group from its tuple list. items are retained by
+// reference (the group owns them from then on).
+func newLadderGroup(key relation.Tuple, yAttrs []relation.Attribute, items []kdtree.Item) *ladderGroup {
+	g := &ladderGroup{key: key, items: items}
+	g.rebuild(yAttrs)
+	return g
+}
+
+// rebuild reconstructs the tree and level views from the tuple list —
+// O(g log² g) for a group of size g, independent of |D| and of every other
+// group.
+func (g *ladderGroup) rebuild(yAttrs []relation.Attribute) {
+	g.tree = kdtree.Build(yAttrs, g.items)
+	g.levels = make([][]Sample, g.tree.ExactLevel()+1)
+	for k := range g.levels {
+		reps := g.tree.Level(k)
+		lvl := make([]Sample, len(reps))
+		for i, r := range reps {
+			lvl[i] = Sample{Y: r.Point, Count: r.Count}
+		}
+		g.levels[k] = lvl
+	}
+}
+
+// fetch returns the group's level-k samples as a shared read-only view.
+// k is clamped to [0, exact level], matching kdtree.Tree.Level.
+func (g *ladderGroup) fetch(k int) []Sample {
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(g.levels) {
+		k = len(g.levels) - 1
+	}
+	return g.levels[k]
+}
+
+// indexSize is the number of representatives materialised across all levels
+// (the paper's Exp-4 storage metric, which the level views now literally are).
+func (g *ladderGroup) indexSize() int {
+	n := 0
+	for _, lvl := range g.levels {
+		n += len(lvl)
+	}
+	return n
+}
+
+// ladderShard owns a disjoint subset of a ladder's groups.
+type ladderShard struct {
+	groups *relation.TupleMap[*ladderGroup]
+}
+
+// ShardedLadder is the partition-owned group store of a Ladder: groups are
+// hash-partitioned by X-value across a fixed set of shards created at build
+// time. Reads (Fetch, FetchBatch) are safe for concurrent use once built;
+// mutation (put/remove, used by incremental maintenance) follows the same
+// single-writer discipline as the rest of the access schema.
+type ShardedLadder struct {
+	shards []ladderShard
+}
+
+// newShardedLadder creates an empty store with n partitions (n ≥ 1 after
+// resolveShards).
+func newShardedLadder(n int) *ShardedLadder {
+	s := &ShardedLadder{shards: make([]ladderShard, n)}
+	for i := range s.shards {
+		s.shards[i].groups = relation.NewTupleMap[*ladderGroup](0)
+	}
+	return s
+}
+
+// NumShards returns the partition count.
+func (s *ShardedLadder) NumShards() int { return len(s.shards) }
+
+// shardOf routes an X-value to its owning partition. The route depends only
+// on the tuple's canonical hash, so it is stable across processes and
+// independent of insertion order.
+func (s *ShardedLadder) shardOf(x relation.Tuple) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int(x.Hash() % uint64(len(s.shards)))
+}
+
+// group returns the group stored for x, if any.
+func (s *ShardedLadder) group(x relation.Tuple) (*ladderGroup, bool) {
+	return s.shards[s.shardOf(x)].groups.Get(x)
+}
+
+// put stores g in its owning shard.
+func (s *ShardedLadder) put(g *ladderGroup) {
+	s.shards[s.shardOf(g.key)].groups.Put(g.key, g)
+}
+
+// remove deletes the group for key, reporting whether one existed.
+func (s *ShardedLadder) remove(key relation.Tuple) bool {
+	return s.shards[s.shardOf(key)].groups.Delete(key)
+}
+
+// numGroups returns the total group count across shards.
+func (s *ShardedLadder) numGroups() int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].groups.Len()
+	}
+	return n
+}
+
+// rangeGroups calls f for every group until f returns false. Iteration
+// order is unspecified, as with TupleMap.Range.
+func (s *ShardedLadder) rangeGroups(f func(*ladderGroup) bool) {
+	for i := range s.shards {
+		stop := false
+		s.shards[i].groups.Range(func(_ relation.Tuple, g *ladderGroup) bool {
+			if !f(g) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Fetch returns the level-k samples of the group of x as a shared read-only
+// view; nil when the group does not exist.
+func (s *ShardedLadder) Fetch(x relation.Tuple, k int) []Sample {
+	g, ok := s.group(x)
+	if !ok {
+		return nil
+	}
+	return g.fetch(k)
+}
+
+// FetchBatch is the scatter-gather fetch: it resolves the level-k samples
+// for every X-value of xs, fanning the lookups out across the owning shards
+// on up to `workers` goroutines, and gathers the results in input order
+// (out[i] corresponds to xs[i]; nil for missing groups). Results are shared
+// read-only views, exactly as Fetch returns. workers ≤ 1, a single shard,
+// or a small batch all degrade to an inline loop with identical results.
+func (s *ShardedLadder) FetchBatch(xs []relation.Tuple, k, workers int) [][]Sample {
+	out := make([][]Sample, len(xs))
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	if workers <= 1 || len(s.shards) == 1 || len(xs) < 2 {
+		for i, x := range xs {
+			out[i] = s.Fetch(x, k)
+		}
+		return out
+	}
+	// Scatter: partition the input indices by owning shard.
+	byShard := make([][]int, len(s.shards))
+	for i, x := range xs {
+		si := s.shardOf(x)
+		byShard[si] = append(byShard[si], i)
+	}
+	// Gather: one worker per non-empty shard (bounded), each writing only
+	// its own output slots, so the result is independent of scheduling.
+	var busy []int
+	for si := range byShard {
+		if len(byShard[si]) > 0 {
+			busy = append(busy, si)
+		}
+	}
+	parallelFor(len(busy), workers, func(bi int) {
+		si := busy[bi]
+		groups := s.shards[si].groups
+		for _, i := range byShard[si] {
+			if g, ok := groups.Get(xs[i]); ok {
+				out[i] = g.fetch(k)
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,217 @@
+package access
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// Sharded builds must be indistinguishable from the single-shard build:
+// same metadata, same resolutions, identical samples for every group at
+// every level — the storage-level half of the shard-invariance guarantee.
+func TestShardedBuildIdentical(t *testing.T) {
+	db := exampleDB(t)
+	specs := []struct {
+		rel  string
+		x, y []string
+	}{
+		{"poi", []string{"type", "city"}, []string{"price", "address"}},
+		{"poi", nil, []string{"address", "type", "city", "price"}},
+		{"friend", []string{"pid"}, []string{"fid"}},
+		{"person", []string{"pid"}, []string{"city"}},
+	}
+	for _, spec := range specs {
+		ref, err := BuildLadderSharded(db, spec.rel, spec.x, spec.y, 1)
+		if err != nil {
+			t.Fatalf("%s single shard: %v", spec.rel, err)
+		}
+		for _, n := range []int{2, 4, 8} {
+			l, err := BuildLadderSharded(db, spec.rel, spec.x, spec.y, n)
+			if err != nil {
+				t.Fatalf("%s %d shards: %v", spec.rel, n, err)
+			}
+			if l.Shards() != n {
+				t.Fatalf("%s: Shards() = %d, want %d", spec.rel, l.Shards(), n)
+			}
+			if ref.MaxK() != l.MaxK() || ref.NumGroups() != l.NumGroups() ||
+				ref.MaxGroupDistinct() != l.MaxGroupDistinct() || ref.IndexSize() != l.IndexSize() {
+				t.Fatalf("%s %d shards: metadata differs", spec.rel, n)
+			}
+			for k := 0; k <= ref.MaxK(); k++ {
+				if !reflect.DeepEqual(ref.Resolution(k), l.Resolution(k)) {
+					t.Fatalf("%s %d shards level %d: resolutions differ", spec.rel, n, k)
+				}
+			}
+			for _, x := range ref.GroupXs() {
+				for k := 0; k <= ref.ExactLevelFor(x); k++ {
+					if !reflect.DeepEqual(ref.Fetch(x, k), l.Fetch(x, k)) {
+						t.Fatalf("%s %d shards group %v level %d: samples differ", spec.rel, n, x, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FetchBatch must gather exactly what per-X Fetch returns, in input order,
+// for any worker count — including missing groups (nil) and duplicate Xs.
+func TestFetchBatchMatchesFetch(t *testing.T) {
+	db := exampleDB(t)
+	l, err := BuildLadderSharded(db, "friend", []string{"pid"}, []string{"fid"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := l.GroupXs()
+	// Missing group and a duplicate, interleaved.
+	xs = append(xs, relation.Tuple{relation.Int(1 << 40)})
+	if len(xs) > 1 {
+		xs = append(xs, xs[0])
+	}
+	for k := 0; k <= l.MaxK(); k++ {
+		want := make([][]Sample, len(xs))
+		for i, x := range xs {
+			want[i] = l.Fetch(x, k)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got := l.FetchBatch(xs, k, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("level %d workers %d: FetchBatch diverged from Fetch", k, workers)
+			}
+		}
+	}
+}
+
+// Fetch hands out the materialised per-level view itself — repeated calls
+// must alias one backing array, not rebuild a slice per fetch.
+func TestFetchReturnsSharedView(t *testing.T) {
+	db := exampleDB(t)
+	l, err := BuildLadderSharded(db, "poi", []string{"type", "city"}, []string{"price", "address"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range l.GroupXs() {
+		a := l.Fetch(x, 0)
+		b := l.Fetch(x, 0)
+		if len(a) == 0 {
+			t.Fatalf("group %v: empty fetch", x)
+		}
+		if &a[0] != &b[0] {
+			t.Fatalf("group %v: fetch rebuilt the sample slice instead of sharing the view", x)
+		}
+	}
+}
+
+// Incremental maintenance must touch only the partition owning the updated
+// group: every other group's materialised views stay the exact same slices.
+func TestMaintenanceIsPartitionLocal(t *testing.T) {
+	db := exampleDB(t)
+	s := maintSchema(t, db)
+	l := s.Find("poi", []string{"type", "city"}, []string{"price", "address"})
+
+	target := relation.Tuple{relation.String("hotel"), relation.String("NYC")}
+	before := map[*ladderGroup][]Sample{}
+	l.store.rangeGroups(func(g *ladderGroup) bool {
+		if !g.key.EqualTuple(target) {
+			before[g] = g.levels[0]
+		}
+		return true
+	})
+	if len(before) == 0 {
+		t.Fatal("fixture has no other groups")
+	}
+
+	tup := relation.Tuple{
+		relation.String("addr-local"), relation.String("hotel"),
+		relation.String("NYC"), relation.Float(42),
+	}
+	if err := s.Insert(db, "poi", tup); err != nil {
+		t.Fatal(err)
+	}
+	for g, lvl := range before {
+		if len(g.levels[0]) != len(lvl) || (len(lvl) > 0 && &g.levels[0][0] != &lvl[0]) {
+			t.Fatalf("group %v was rebuilt by an insert into %v", g.key, target)
+		}
+	}
+}
+
+// After interleaved inserts and deletes, the incrementally maintained
+// ladder must be indistinguishable from one rebuilt from scratch — the
+// regression guard for the per-group tuple lists replacing the old
+// relation rescan.
+func TestIncrementalMaintenanceMatchesRebuild(t *testing.T) {
+	db := exampleDB(t)
+	s := maintSchema(t, db)
+
+	ops := []struct {
+		del bool
+		t   relation.Tuple
+	}{
+		{false, relation.Tuple{relation.String("a1"), relation.String("hotel"), relation.String("NYC"), relation.Float(50)}},
+		{false, relation.Tuple{relation.String("a2"), relation.String("zoo"), relation.String("Oslo"), relation.Float(9)}},
+		{true, db.MustRelation("poi").Tuples[0].Clone()},
+		{false, relation.Tuple{relation.String("a3"), relation.String("zoo"), relation.String("Oslo"), relation.Float(11)}},
+		{true, relation.Tuple{relation.String("a2"), relation.String("zoo"), relation.String("Oslo"), relation.Float(9)}},
+		{false, relation.Tuple{relation.String("a1"), relation.String("hotel"), relation.String("NYC"), relation.Float(50)}}, // duplicate content
+	}
+	for oi, op := range ops {
+		if op.del {
+			if _, err := s.Delete(db, "poi", op.t); err != nil {
+				t.Fatalf("op %d: %v", oi, err)
+			}
+		} else {
+			if err := s.Insert(db, "poi", op.t); err != nil {
+				t.Fatalf("op %d: %v", oi, err)
+			}
+		}
+		inc := s.Find("poi", []string{"type", "city"}, []string{"price", "address"})
+		ref, err := BuildLadderSharded(db, "poi", []string{"type", "city"}, []string{"price", "address"}, inc.Shards())
+		if err != nil {
+			t.Fatalf("op %d rebuild: %v", oi, err)
+		}
+		if inc.MaxK() != ref.MaxK() || inc.NumGroups() != ref.NumGroups() ||
+			inc.MaxGroupDistinct() != ref.MaxGroupDistinct() || inc.IndexSize() != ref.IndexSize() {
+			t.Fatalf("op %d: metadata diverged from rebuild (K %d/%d, groups %d/%d, N %d/%d, size %d/%d)",
+				oi, inc.MaxK(), ref.MaxK(), inc.NumGroups(), ref.NumGroups(),
+				inc.MaxGroupDistinct(), ref.MaxGroupDistinct(), inc.IndexSize(), ref.IndexSize())
+		}
+		for k := 0; k <= ref.MaxK(); k++ {
+			if !reflect.DeepEqual(inc.Resolution(k), ref.Resolution(k)) {
+				t.Fatalf("op %d level %d: resolutions diverged", oi, k)
+			}
+		}
+		for _, x := range ref.GroupXs() {
+			for k := 0; k <= ref.ExactLevelFor(x); k++ {
+				if !sameSampleSet(inc.Fetch(x, k), ref.Fetch(x, k)) {
+					t.Fatalf("op %d group %v level %d: samples diverged", oi, x, k)
+				}
+			}
+		}
+		if err := s.Verify(db); err != nil {
+			t.Fatalf("op %d: conformance: %v", oi, err)
+		}
+	}
+}
+
+// sameSampleSet compares fetch results as weighted sets: incremental
+// maintenance appends to a group's tuple list, so the K-D build may order
+// equal-distance representatives differently from a from-scratch scan of
+// the relation — the set of (Y, Count) samples is the contract.
+func sameSampleSet(a, b []Sample) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+outer:
+	for _, s := range a {
+		for i, u := range b {
+			if used[i] || s.Count != u.Count || !s.Y.EqualTuple(u.Y) {
+				continue
+			}
+			used[i] = true
+			continue outer
+		}
+		return false
+	}
+	return true
+}

@@ -44,7 +44,10 @@ type PerfLatency struct {
 	P50Micros    float64 `json:"p50_us"`
 	P99Micros    float64 `json:"p99_us"`
 	MeanMicros   float64 `json:"mean_us"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	// Shards is the ladder partition count of the measured system, for the
+	// HTTP harness entries; 0 when not applicable.
+	Shards int `json:"shards,omitempty"`
 }
 
 // PerfRun is the result of one invocation of the harness.
@@ -126,18 +129,24 @@ func runPlanBenchmark(name string, s *core.Scheme, q query.Expr, alpha float64) 
 	return out, nil
 }
 
-// RunPerf executes the whole tracked benchmark suite once and returns the
-// run. smoke shrinks the latency section to a handful of queries so CI can
-// exercise the harness end to end without timing anything meaningful.
-func RunPerf(label string, smoke bool) (*PerfRun, error) {
-	run := &PerfRun{
-		Label:      label,
+// RunPerfEnv returns a PerfRun with only the environment fields stamped
+// (generation time, Go version, platform); harnesses fill in the rest.
+func RunPerfEnv() *PerfRun {
+	return &PerfRun{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+}
+
+// RunPerf executes the whole tracked benchmark suite once and returns the
+// run. smoke shrinks the latency section to a handful of queries so CI can
+// exercise the harness end to end without timing anything meaningful.
+func RunPerf(label string, smoke bool) (*PerfRun, error) {
+	run := RunPerfEnv()
+	run.Label = label
 	s, db, err := perfSystem()
 	if err != nil {
 		return nil, err

@@ -57,7 +57,7 @@ func (s *Scheme) Execute(p *Plan) (*Answer, error) {
 		// A leaf overran its partition; re-run sequentially so truncation
 		// semantics match the reference path exactly.
 	}
-	results, stats, err := s.executeLeavesSequential(p)
+	results, stats, err := s.executeLeavesSequential(p, s.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -66,21 +66,26 @@ func (s *Scheme) Execute(p *Plan) (*Answer, error) {
 
 // ExecuteSequential runs the plan with the reference single-threaded
 // executor: leaves run in order, each seeing the budget left over by its
-// predecessors. Exposed for tests and experiments comparing the executors.
+// predecessors, fetches resolved lazily with no partition fan-out. Exposed
+// for tests and experiments comparing the executors.
 func (s *Scheme) ExecuteSequential(p *Plan) (*Answer, error) {
-	results, stats, err := s.executeLeavesSequential(p)
+	results, stats, err := s.executeLeavesSequential(p, 1)
 	if err != nil {
 		return nil, err
 	}
 	return s.assemble(p, results, stats)
 }
 
-func (s *Scheme) executeLeavesSequential(p *Plan) (map[*query.SPC]*leafResult, plan.Stats, error) {
+// executeLeavesSequential runs the leaves in order, each seeing the budget
+// left over by its predecessors. fetchWorkers > 1 enables the partition-
+// aware batched fetch inside each leaf (identical results; see
+// plan.ExecuteWithBudgetWorkers).
+func (s *Scheme) executeLeavesSequential(p *Plan, fetchWorkers int) (map[*query.SPC]*leafResult, plan.Stats, error) {
 	results := make(map[*query.SPC]*leafResult, len(p.Leaves))
 	var stats plan.Stats
 	remaining := p.Budget
 	for _, l := range p.Leaves {
-		r, err := plan.ExecuteWithBudget(l.Bounded, s.db, remaining)
+		r, err := plan.ExecuteWithBudgetWorkers(l.Bounded, s.db, remaining, fetchWorkers)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -96,7 +101,8 @@ func (s *Scheme) executeLeavesSequential(p *Plan) (map[*query.SPC]*leafResult, p
 }
 
 // executeLeavesParallel fans the leaves out over at most s.workers
-// goroutines, each leaf holding a disjoint share of the global budget.
+// goroutines, each leaf holding a disjoint share of the global budget and a
+// proportional share of the fetch-side worker pool.
 func (s *Scheme) executeLeavesParallel(p *Plan) (map[*query.SPC]*leafResult, plan.Stats, error) {
 	shares := partitionBudget(p)
 	resList := make([]*plan.Result, len(p.Leaves))
@@ -106,6 +112,10 @@ func (s *Scheme) executeLeavesParallel(p *Plan) (map[*query.SPC]*leafResult, pla
 	if workers > len(p.Leaves) {
 		workers = len(p.Leaves)
 	}
+	fetchWorkers := s.workers / len(p.Leaves)
+	if fetchWorkers < 1 {
+		fetchWorkers = 1
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -113,7 +123,7 @@ func (s *Scheme) executeLeavesParallel(p *Plan) (map[*query.SPC]*leafResult, pla
 		go func() {
 			defer wg.Done()
 			for li := range jobs {
-				resList[li], errList[li] = plan.ExecuteWithBudget(p.Leaves[li].Bounded, s.db, shares[li])
+				resList[li], errList[li] = plan.ExecuteWithBudgetWorkers(p.Leaves[li].Bounded, s.db, shares[li], fetchWorkers)
 			}
 		}()
 	}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// TestShardCountInvariance is the tentpole differential guard of the
+// partition-parallel storage layer: over the same 200-case randomized
+// corpus as the golden digest suite, systems whose ladders are partitioned
+// N ∈ {1, 2, 4, 8} ways — executing through the partition-aware batched
+// fetch with a forced multi-worker pool and a lowered parallel-emit gate —
+// must produce answers, η, exactness, budget consumption and truncation
+// byte-identical to a single-shard system running the legacy lazy-fetch
+// reference path. Sharding may only change which core resolves a fetch,
+// never what it returns or what it costs against α·|D|.
+func TestShardCountInvariance(t *testing.T) {
+	const cases = 200
+	db := fixture.Example1(7, 120, 80)
+
+	defer func(old int) { plan.MinParallelEmitRows = old }(plan.MinParallelEmitRows)
+	plan.MinParallelEmitRows = 4 // force the chunked emit on this small corpus
+
+	// Reference: single shard, strictly sequential lazy execution.
+	refAS, err := fixture.SchemaA0Sharded(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewWithOptions(db, refAS, Options{Workers: 1})
+
+	type sys struct {
+		n int
+		s *Scheme
+	}
+	var systems []sys
+	for _, n := range []int{1, 2, 4, 8} {
+		as, err := fixture.SchemaA0Sharded(db, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, sys{n, NewWithOptions(db, as, Options{Workers: 8})})
+	}
+
+	g := &qgen{rng: rand.New(rand.NewSource(42))}
+	alphas := []float64{0.01, 0.1, 0.6}
+	for ci := 0; ci < cases; ci++ {
+		q := g.randQuery()
+		alpha := alphas[ci%len(alphas)]
+		wantAns, _, wantErr := ref.Answer(q, alpha)
+		for _, sc := range systems {
+			gotAns, _, gotErr := sc.s.Answer(q, alpha)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("case %d shards=%d: error mismatch: ref %v, got %v\n%s",
+					ci, sc.n, wantErr, gotErr, query.Render(q))
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("case %d shards=%d: error text diverged: %q vs %q", ci, sc.n, wantErr, gotErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(relKeys(wantAns.Rel), relKeys(gotAns.Rel)) {
+				t.Fatalf("case %d shards=%d: answers diverged\n%s", ci, sc.n, query.Render(q))
+			}
+			if wantAns.Eta != gotAns.Eta || wantAns.Exact != gotAns.Exact {
+				t.Fatalf("case %d shards=%d: eta/exact diverged: (%v, %v) vs (%v, %v)",
+					ci, sc.n, wantAns.Eta, wantAns.Exact, gotAns.Eta, gotAns.Exact)
+			}
+			if wantAns.Stats.Accessed != gotAns.Stats.Accessed || wantAns.Stats.Truncated != gotAns.Stats.Truncated {
+				t.Fatalf("case %d shards=%d: budget consumption diverged: accessed %d/%v vs %d/%v\n%s",
+					ci, sc.n, wantAns.Stats.Accessed, wantAns.Stats.Truncated,
+					gotAns.Stats.Accessed, gotAns.Stats.Truncated, query.Render(q))
+			}
+		}
+	}
+}
+
+// TestPartitionAwareFetchToggleIdentical pins the legacy knob: with the
+// scatter-gather path globally disabled, a multi-worker system must still
+// produce the same answers (the toggle is a measurement aid, not a
+// semantic switch).
+func TestPartitionAwareFetchToggleIdentical(t *testing.T) {
+	db := fixture.Example1(3, 90, 70)
+	as, err := fixture.SchemaA0Sharded(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithOptions(db, as, Options{Workers: 8, PlanCacheSize: -1})
+
+	g := &qgen{rng: rand.New(rand.NewSource(7))}
+	for ci := 0; ci < 40; ci++ {
+		q := g.randQuery()
+		plan.PartitionAwareFetch = true
+		onAns, _, onErr := s.Answer(q, 0.2)
+		plan.PartitionAwareFetch = false
+		offAns, _, offErr := s.Answer(q, 0.2)
+		plan.PartitionAwareFetch = true
+		if (onErr == nil) != (offErr == nil) {
+			t.Fatalf("case %d: error mismatch: %v vs %v", ci, onErr, offErr)
+		}
+		if onErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(relKeys(onAns.Rel), relKeys(offAns.Rel)) ||
+			onAns.Stats.Accessed != offAns.Stats.Accessed {
+			t.Fatalf("case %d: toggle changed the answer\n%s", ci, query.Render(q))
+		}
+	}
+}

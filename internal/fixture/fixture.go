@@ -71,17 +71,24 @@ func Example1(seed int64, nPersons, nPOI int) *relation.Database {
 // template ladder ψ = poi({type, city} → {price, address}), on top of the
 // generic At ladders.
 func SchemaA0(db *relation.Database) (*access.Schema, error) {
-	s, err := access.BuildAt(db)
+	return SchemaA0Sharded(db, 0)
+}
+
+// SchemaA0Sharded is SchemaA0 with an explicit ladder partition count
+// (0 falls back to access.DefaultShards), for shard-sensitive tests and
+// the perf harness.
+func SchemaA0Sharded(db *relation.Database, shards int) (*access.Schema, error) {
+	s, err := access.BuildAtSharded(db, shards)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := s.Extend(db, "friend", []string{"pid"}, []string{"fid"}); err != nil {
+	if _, err := s.ExtendSharded(db, "friend", []string{"pid"}, []string{"fid"}, shards); err != nil {
 		return nil, err
 	}
-	if _, err := s.Extend(db, "person", []string{"pid"}, []string{"city"}); err != nil {
+	if _, err := s.ExtendSharded(db, "person", []string{"pid"}, []string{"city"}, shards); err != nil {
 		return nil, err
 	}
-	if _, err := s.Extend(db, "poi", []string{"type", "city"}, []string{"price", "address"}); err != nil {
+	if _, err := s.ExtendSharded(db, "poi", []string{"type", "city"}, []string{"price", "address"}, shards); err != nil {
 		return nil, err
 	}
 	return s, nil

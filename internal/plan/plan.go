@@ -21,6 +21,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/access"
 	"repro/internal/chase"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -92,8 +93,29 @@ func Execute(p *Bounded, db *relation.Database) (*Result, error) {
 // the same *Bounded may be executed concurrently from many goroutines (each
 // call builds its own fetch state); the budget is per-call because callers
 // partition one global α|D| budget across the leaves of a larger plan.
+// This is the single-threaded reference path; see ExecuteWithBudgetWorkers.
 func ExecuteWithBudget(p *Bounded, db *relation.Database, budget int) (*Result, error) {
-	atoms, stats, err := executeFetch(p, db, budget)
+	return ExecuteWithBudgetWorkers(p, db, budget, 1)
+}
+
+// PartitionAwareFetch gates the batched scatter-gather fetch path globally.
+// It exists for apples-to-apples measurement (the perf harness turns it off
+// to time the legacy lazy-fetch serving path) and must only be toggled
+// while no queries are in flight. Answers are identical either way.
+var PartitionAwareFetch = true
+
+// ExecuteWithBudgetWorkers is ExecuteWithBudget with fetch-side parallelism:
+// with workers > 1 each fetch step first resolves its distinct X-values with
+// a scatter-gather batch across the ladder's shards and then materialises
+// the fetched rows over a bounded worker pool. Budget accounting stays
+// sequential in first-seen X order, so answers, Stats and truncation points
+// are byte-identical to the workers = 1 reference path (asserted by
+// TestShardCountInvariance and the golden digest suite).
+func ExecuteWithBudgetWorkers(p *Bounded, db *relation.Database, budget, workers int) (*Result, error) {
+	if !PartitionAwareFetch {
+		workers = 1
+	}
+	atoms, stats, err := executeFetch(p, db, budget, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -107,12 +129,12 @@ func ExecuteWithBudget(p *Bounded, db *relation.Database, budget int) (*Result, 
 
 // ExecuteFetch runs ξF with the plan's own budget.
 func ExecuteFetch(p *Bounded, db *relation.Database) ([]*FetchedAtom, *Stats, error) {
-	return executeFetch(p, db, p.Budget)
+	return executeFetch(p, db, p.Budget, 1)
 }
 
 // executeFetch runs ξF: it applies the chase steps in order against the
 // access-schema indices, materialising one relation per atom.
-func executeFetch(p *Bounded, db *relation.Database, budget int) ([]*FetchedAtom, *Stats, error) {
+func executeFetch(p *Bounded, db *relation.Database, budget, workers int) ([]*FetchedAtom, *Stats, error) {
 	lay, err := p.layoutFor(db)
 	if err != nil {
 		return nil, nil, err
@@ -127,7 +149,7 @@ func executeFetch(p *Bounded, db *relation.Database, budget int) ([]*FetchedAtom
 		if !s.Pinned && p.Ks != nil {
 			k = p.Ks[si]
 		}
-		if err := applyStep(p, atoms, &lay.steps[si], s, si, k, budget, stats); err != nil {
+		if err := applyStep(p, atoms, &lay.steps[si], s, si, k, budget, stats, workers); err != nil {
 			return nil, nil, err
 		}
 		if stats.Truncated {
@@ -147,10 +169,85 @@ func executeFetch(p *Bounded, db *relation.Database, budget int) ([]*FetchedAtom
 	return atoms, stats, nil
 }
 
+// MinParallelEmitRows gates the chunked parallel row materialisation: below
+// this many existing rows the goroutine fan-out costs more than the row
+// assembly it spreads. Tests lower it to force the parallel path; output is
+// identical at any value.
+var MinParallelEmitRows = 64
+
+// assembleX writes the step's ladder-order X tuple for the current
+// enumeration state into dst (len(sl.route)). fill holds the current
+// external valuation by X position.
+func assembleX(sl *stepLayout, fill []relation.Value, prefix, dst relation.Tuple) {
+	for xi, r := range sl.route {
+		switch r {
+		case xOwn:
+			dst[xi] = prefix[sl.ownCol[xi]]
+		case xConst:
+			dst[xi] = sl.consts[xi]
+		default:
+			dst[xi] = fill[xi]
+		}
+	}
+}
+
+// forEachEnum enumerates a step's fetch enumeration — existing rows (or one
+// virtual row when rows is nil and virtual is set) × the cross product of
+// external valuations — in deterministic order, calling visit once per
+// combination with the current prefix row and weight. fill (len(sl.route))
+// is updated in place with the current external valuation before each visit.
+func forEachEnum(rows []relation.Tuple, weights []int, virtual bool, extVals [][]relation.Tuple, sl *stepLayout, fill []relation.Value, visit func(prefix relation.Tuple, w int)) {
+	var walkExt func(gi int, prefix relation.Tuple, w int)
+	walkExt = func(gi int, prefix relation.Tuple, w int) {
+		if gi == len(sl.extGroups) {
+			visit(prefix, w)
+			return
+		}
+		for _, vt := range extVals[gi] {
+			for i, xi := range sl.extGroups[gi] {
+				fill[xi] = vt[i]
+			}
+			walkExt(gi+1, prefix, w)
+		}
+	}
+	if virtual {
+		walkExt(0, nil, 1)
+		return
+	}
+	for ri, t := range rows {
+		walkExt(0, t, weights[ri])
+	}
+}
+
+// buildRow assembles one output row: the prefix columns, the new X columns
+// and the sample's Y columns, per the step layout's output positions.
+func buildRow(sl *stepLayout, arity int, prefix, xt, y relation.Tuple) relation.Tuple {
+	row := make(relation.Tuple, arity)
+	copy(row, prefix)
+	for xi, pos := range sl.outX {
+		if pos >= 0 {
+			row[pos] = xt[xi]
+		}
+	}
+	for yi, pos := range sl.outY {
+		if pos >= 0 {
+			row[pos] = y[yi]
+		}
+	}
+	return row
+}
+
 // applyStep runs one fetch operation over its precompiled layout, extending
 // (or creating) the atom's fetched relation. The hot loops only index flat
 // slices; the single map in sight is the hash-bucketed fetch cache.
-func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, si, k, budget int, stats *Stats) error {
+//
+// With workers > 1 the step takes the partition-aware path: the distinct
+// X-values of the enumeration are collected first (in the same first-seen
+// order the lazy path discovers them), resolved with one scatter-gather
+// batch across the ladder's shards, budget-accounted sequentially in that
+// order, and the row materialisation then fans out over contiguous row
+// chunks whose concatenation reproduces the sequential output exactly.
+func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, si, k, budget int, stats *Stats, workers int) error {
 	ai := sl.atom
 	cur := atoms[ai]
 
@@ -172,15 +269,42 @@ func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, 
 	}
 
 	out := &FetchedAtom{Alias: atomAlias(p, ai), Rel: relation.NewRelation(sl.schema)}
+	arity := sl.schema.Arity()
 
-	// Fetch cache: one index lookup per distinct X-value per step.
-	cache := relation.NewTupleMap[[]access0](0)
-	fetch := func(xt relation.Tuple) []access0 {
+	// Fetch cache: one budget-accounted sample view per distinct X-value.
+	// Views are shared read-only slices of the ladder's materialised levels.
+	cache := relation.NewTupleMap[[]access.Sample](0)
+
+	// The scatter-gather path costs an extra enumeration pass (collecting
+	// the distinct X-values), so take it only when the enumeration is big
+	// enough for the fan-out to pay for it; small steps keep the
+	// single-pass lazy fetch. Results are identical either way.
+	enumCount := 1
+	if cur != nil {
+		enumCount = len(cur.Rel.Tuples)
+	}
+	for gi := range extVals {
+		if enumCount >= MinParallelEmitRows {
+			break // saturated: the gate already passes
+		}
+		enumCount *= len(extVals[gi])
+	}
+	prefetched := workers > 1 && enumCount >= MinParallelEmitRows
+	if prefetched {
+		prefetchStep(cur, extVals, sl, s, k, budget, stats, cache, workers)
+	}
+
+	// fetch resolves one X-value with budget accounting; after a prefetch
+	// every enumerated X is already cached, so this never mutates state.
+	// Callers probe with a reused scratch tuple, and the cache retains keys
+	// by reference, so inserts store a private copy.
+	fetch := func(xt relation.Tuple) []access.Sample {
 		if got, ok := cache.Get(xt); ok {
 			return got
 		}
+		key := append(relation.Tuple(nil), xt...)
 		if stats.Truncated {
-			cache.Put(xt, nil)
+			cache.Put(key, nil)
 			return nil
 		}
 		samples := s.Ladder.Fetch(xt, k)
@@ -194,82 +318,118 @@ func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, 
 			stats.Truncated = true
 		}
 		stats.Accessed += len(samples)
-		conv := make([]access0, len(samples))
-		for i, smp := range samples {
-			conv[i] = access0{y: smp.Y, count: smp.Count}
-		}
-		cache.Put(xt, conv)
-		return conv
+		cache.Put(key, samples)
+		return samples
 	}
 
-	// Enumerate rows: existing rows (or one virtual row) × external
-	// valuations × samples. fill holds the current external valuation,
-	// indexed by X position.
-	fill := make([]relation.Value, len(sl.route))
-	arity := sl.schema.Arity()
-	emit := func(prefix relation.Tuple, w int) {
-		// Assemble the X tuple in ladder order.
-		xt := make(relation.Tuple, len(sl.route))
-		for xi, r := range sl.route {
-			switch r {
-			case xOwn:
-				xt[xi] = prefix[sl.ownCol[xi]]
-			case xConst:
-				xt[xi] = sl.consts[xi]
-			default:
-				xt[xi] = fill[xi]
-			}
+	if prefetched && cur != nil && len(cur.Rel.Tuples) >= MinParallelEmitRows {
+		// Parallel row materialisation: contiguous chunks of the existing
+		// rows, each worker reading the prefilled cache only and writing its
+		// own output slices; chunk concatenation preserves row order.
+		rows, weights := cur.Rel.Tuples, cur.Weights
+		n := len(rows)
+		nw := workers
+		if nw > n {
+			nw = n
 		}
-		for _, smp := range fetch(xt) {
-			row := make(relation.Tuple, arity)
-			copy(row, prefix)
-			for xi, pos := range sl.outX {
-				if pos >= 0 {
-					row[pos] = xt[xi]
-				}
-			}
-			for yi, pos := range sl.outY {
-				if pos >= 0 {
-					row[pos] = smp.y[yi]
-				}
-			}
-			out.Rel.Tuples = append(out.Rel.Tuples, row)
-			out.Weights = append(out.Weights, w*smp.count)
+		type part struct {
+			rows []relation.Tuple
+			ws   []int
 		}
-	}
-
-	// Walk the cross product of external groups.
-	var walkExt func(gi int, prefix relation.Tuple, w int)
-	walkExt = func(gi int, prefix relation.Tuple, w int) {
-		if gi == len(sl.extGroups) {
-			emit(prefix, w)
-			return
+		parts := make([]part, nw)
+		var wg sync.WaitGroup
+		for pi := 0; pi < nw; pi++ {
+			lo, hi := pi*n/nw, (pi+1)*n/nw
+			wg.Add(1)
+			go func(pi, lo, hi int) {
+				defer wg.Done()
+				fill := make([]relation.Value, len(sl.route))
+				xt := make(relation.Tuple, len(sl.route))
+				var pr []relation.Tuple
+				var pw []int
+				forEachEnum(rows[lo:hi], weights[lo:hi], false, extVals, sl, fill, func(prefix relation.Tuple, w int) {
+					assembleX(sl, fill, prefix, xt)
+					got, _ := cache.Get(xt) // read-only: prefetch covered every X
+					for _, smp := range got {
+						pr = append(pr, buildRow(sl, arity, prefix, xt, smp.Y))
+						pw = append(pw, w*smp.Count)
+					}
+				})
+				parts[pi] = part{pr, pw}
+			}(pi, lo, hi)
 		}
-		for _, vt := range extVals[gi] {
-			for i, xi := range sl.extGroups[gi] {
-				fill[xi] = vt[i]
-			}
-			walkExt(gi+1, prefix, w)
+		wg.Wait()
+		for _, pt := range parts {
+			out.Rel.Tuples = append(out.Rel.Tuples, pt.rows...)
+			out.Weights = append(out.Weights, pt.ws...)
 		}
-	}
-
-	if cur == nil {
-		walkExt(0, nil, 1)
 	} else {
-		for ri, t := range cur.Rel.Tuples {
-			walkExt(0, t, cur.Weights[ri])
+		fill := make([]relation.Value, len(sl.route))
+		xt := make(relation.Tuple, len(sl.route))
+		visit := func(prefix relation.Tuple, w int) {
+			assembleX(sl, fill, prefix, xt)
+			for _, smp := range fetch(xt) {
+				out.Rel.Tuples = append(out.Rel.Tuples, buildRow(sl, arity, prefix, xt, smp.Y))
+				out.Weights = append(out.Weights, w*smp.Count)
+			}
+		}
+		if cur == nil {
+			forEachEnum(nil, nil, true, extVals, sl, fill, visit)
+		} else {
+			forEachEnum(cur.Rel.Tuples, cur.Weights, false, extVals, sl, fill, visit)
 		}
 	}
 	atoms[ai] = out
 	return nil
 }
 
-func atomAlias(p *Bounded, ai int) string { return p.Chase.Query.Atoms[ai].Name() }
+// prefetchStep is the scatter-gather half of the partition-aware fetch: it
+// collects the step's distinct X-values in first-seen enumeration order,
+// resolves them with one batched fan-out across the ladder's shards, and
+// accounts them against the budget sequentially in exactly that order —
+// the same tuples the lazy path would charge, truncated at the same point.
+func prefetchStep(cur *FetchedAtom, extVals [][]relation.Tuple, sl *stepLayout, s *chase.Step, k, budget int, stats *Stats, cache *relation.TupleMap[[]access.Sample], workers int) {
+	fill := make([]relation.Value, len(sl.route))
+	scratch := make(relation.Tuple, len(sl.route))
+	seen := relation.NewTupleSet(0)
+	var xs []relation.Tuple
+	collect := func(prefix relation.Tuple, w int) {
+		assembleX(sl, fill, prefix, scratch)
+		if seen.Has(scratch) {
+			return
+		}
+		xt := append(relation.Tuple(nil), scratch...)
+		seen.Add(xt)
+		xs = append(xs, xt)
+	}
+	if cur == nil {
+		forEachEnum(nil, nil, true, extVals, sl, fill, collect)
+	} else {
+		forEachEnum(cur.Rel.Tuples, cur.Weights, false, extVals, sl, fill, collect)
+	}
 
-type access0 struct {
-	y     relation.Tuple
-	count int
+	raw := s.Ladder.FetchBatch(xs, k, workers)
+
+	for i, xt := range xs {
+		samples := raw[i]
+		if stats.Truncated {
+			cache.Put(xt, nil)
+			continue
+		}
+		if stats.Accessed+len(samples) > budget {
+			room := budget - stats.Accessed
+			if room < 0 {
+				room = 0
+			}
+			samples = samples[:room]
+			stats.Truncated = true
+		}
+		stats.Accessed += len(samples)
+		cache.Put(xt, samples)
+	}
 }
+
+func atomAlias(p *Bounded, ai int) string { return p.Chase.Query.Atoms[ai].Name() }
 
 // EvaluateFetched runs ξE: the query's relational operations over the
 // fetched atoms, with selection and join conditions relaxed by the fetch

@@ -1,0 +1,417 @@
+// Package serve implements the HTTP serving layer of the BEAS daemon: the
+// online half of the paper's Fig. 2 architecture as reusable handlers, so
+// cmd/beasd (the production daemon) and internal/bench (the end-to-end HTTP
+// latency harness) drive the exact same code.
+//
+// Two request paths share one concurrency-safe System:
+//
+//   - POST /query answers a single query synchronously on the caller's
+//     connection goroutine — the lowest-latency path.
+//   - POST /batch pipelines many queries through a bounded request queue
+//     drained by a fixed worker pool. The queue gives backpressure (jobs
+//     that do not fit are rejected immediately, never buffered without
+//     bound) and every request carries a deadline: jobs whose deadline
+//     passes while queued are failed without executing, so a stalled
+//     client cannot wedge the pool.
+//
+// GET /healthz reports liveness plus dataset shape; GET /stats reports
+// serving counters, queue pressure and plan-cache effectiveness.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	beas "repro"
+)
+
+// Config assembles a Server. System is required; zero values elsewhere get
+// the documented defaults.
+type Config struct {
+	// System is the shared query engine (immutable database + indices).
+	System *beas.System
+	// DefaultAlpha is used when a request omits alpha (default 0.01).
+	DefaultAlpha float64
+	// MaxRows caps answer rows returned per query (default 1000).
+	MaxRows int
+	// Dataset, DBSize, Relations and Shards describe the loaded data for
+	// /healthz; informational only.
+	Dataset   string
+	DBSize    int
+	Relations int
+	Shards    int
+
+	// QueueDepth bounds the /batch request queue; enqueue attempts beyond
+	// it are rejected with a per-request error (default 256).
+	QueueDepth int
+	// Workers is the batch worker-pool size (default GOMAXPROCS).
+	Workers int
+	// MaxBatch caps queries per /batch call (default 256).
+	MaxBatch int
+	// DefaultDeadline applies to batch requests that set no deadlineMs
+	// (default 30s).
+	DefaultDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultAlpha <= 0 {
+		c.DefaultAlpha = 0.01
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 1000
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	return c
+}
+
+// QueryRequest is the body of one /query call and one element of a /batch
+// call's queries array.
+type QueryRequest struct {
+	SQL   string  `json:"sql"`
+	Alpha float64 `json:"alpha"`
+}
+
+// QueryResponse is the answer payload of one query.
+type QueryResponse struct {
+	Columns   []string   `json:"columns"`
+	Tuples    [][]string `json:"tuples"`
+	Rows      int        `json:"rows"`
+	Truncated bool       `json:"rowsTruncated,omitempty"` // response capped at MaxRows
+	Eta       float64    `json:"eta"`
+	Exact     bool       `json:"exact"`
+	Alpha     float64    `json:"alpha"`
+	Accessed  int        `json:"accessed"`
+	Budget    int        `json:"budget"`
+	CacheHit  bool       `json:"cacheHit"`
+	PlanGenMS float64    `json:"planGenMs"`
+	ServedMS  float64    `json:"servedMs"`
+}
+
+// BatchRequest is the body of a /batch call: queries to pipeline through
+// the request queue, with an optional per-request deadline in milliseconds
+// (counted from arrival; Config.DefaultDeadline when omitted).
+type BatchRequest struct {
+	Queries    []QueryRequest `json:"queries"`
+	DeadlineMS int            `json:"deadlineMs"`
+}
+
+// BatchEntry is the outcome of one query of a batch: either a result or an
+// error, with TimedOut marking deadline expiry and Rejected marking queue
+// backpressure.
+type BatchEntry struct {
+	QueryResponse
+	Error    string `json:"error,omitempty"`
+	TimedOut bool   `json:"timedOut,omitempty"`
+	Rejected bool   `json:"rejected,omitempty"`
+}
+
+// BatchResponse is the body of a /batch reply. Entries are in request
+// order. Rejected counts entries refused by queue backpressure.
+type BatchResponse struct {
+	Results  []BatchEntry `json:"results"`
+	Rejected int          `json:"rejected,omitempty"`
+	ServedMS float64      `json:"servedMs"`
+}
+
+// job is one queued batch query awaiting a worker.
+type job struct {
+	req      QueryRequest
+	deadline time.Time
+	entry    *BatchEntry
+	wg       *sync.WaitGroup
+}
+
+// Server hosts the HTTP handlers and the batch worker pool over one shared
+// System. Create with New, release with Close.
+type Server struct {
+	cfg     Config
+	started time.Time
+
+	queue chan *job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	queries   atomic.Int64 // successful query executions (both paths)
+	failures  atomic.Int64 // rejected or failed query executions
+	totalNS   atomic.Int64 // cumulative serving time of successful executions
+	batches   atomic.Int64 // /batch calls accepted
+	timeouts  atomic.Int64 // batch jobs expired before execution
+	rejected  atomic.Int64 // batch jobs refused by backpressure
+	enqueued  atomic.Int64 // batch jobs admitted to the queue
+	completed atomic.Int64 // batch jobs finished by workers
+}
+
+// New builds a Server and starts its batch worker pool.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+	}
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case j := <-s.queue:
+					s.runJob(j)
+				case <-s.stop:
+					return
+				}
+			}
+		}()
+	}
+	return s
+}
+
+// Close stops the batch workers. In-flight jobs finish; queued jobs are
+// drained and failed. Handlers must not be invoked after Close.
+func (s *Server) Close() {
+	close(s.stop)
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			j.entry.Error = "server shutting down"
+			s.failures.Add(1)
+			j.wg.Done()
+		default:
+			return
+		}
+	}
+}
+
+// Handler returns the route mux: /query, /batch, /healthz, /stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// maxRequestBytes caps a request body; a SQL statement (or a few hundred)
+// has no business being bigger, and the bound keeps a hostile POST from
+// ballooning memory.
+const maxRequestBytes = 1 << 20
+
+// execute answers one request against the shared System, returning an HTTP
+// status for the error cases.
+func (s *Server) execute(req QueryRequest) (*QueryResponse, int, error) {
+	if req.SQL == "" {
+		s.failures.Add(1)
+		return nil, http.StatusBadRequest, fmt.Errorf("missing \"sql\"")
+	}
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = s.cfg.DefaultAlpha
+	}
+	if alpha <= 0 || alpha > 1 {
+		s.failures.Add(1)
+		return nil, http.StatusBadRequest, fmt.Errorf("alpha %g outside (0, 1]", alpha)
+	}
+
+	start := time.Now()
+	ans, plan, err := s.cfg.System.QuerySQL(req.SQL, alpha)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	served := time.Since(start)
+	s.queries.Add(1)
+	s.totalNS.Add(served.Nanoseconds())
+
+	resp := &QueryResponse{
+		Rows:      ans.Rel.Len(),
+		Eta:       ans.Eta,
+		Exact:     ans.Exact,
+		Alpha:     alpha,
+		Accessed:  ans.Stats.Accessed,
+		Budget:    plan.Budget,
+		CacheHit:  plan.CacheHit,
+		PlanGenMS: float64(plan.GenTime.Microseconds()) / 1e3,
+		ServedMS:  float64(served.Microseconds()) / 1e3,
+	}
+	for _, a := range ans.Rel.Schema.Attrs {
+		resp.Columns = append(resp.Columns, a.Name)
+	}
+	for i, t := range ans.Rel.Tuples {
+		if i >= s.cfg.MaxRows {
+			resp.Truncated = true
+			break
+		}
+		row := make([]string, len(t))
+		for j, v := range t {
+			row[j] = v.String()
+		}
+		resp.Tuples = append(resp.Tuples, row)
+	}
+	return resp, http.StatusOK, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failures.Add(1)
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	resp, code, err := s.execute(req)
+	if err != nil {
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runJob executes one queued batch query, or fails it when its deadline
+// passed while it waited.
+func (s *Server) runJob(j *job) {
+	defer s.completed.Add(1)
+	defer j.wg.Done()
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		j.entry.TimedOut = true
+		j.entry.Error = "deadline exceeded before execution"
+		s.timeouts.Add(1)
+		s.failures.Add(1)
+		return
+	}
+	resp, _, err := s.execute(j.req)
+	if err != nil {
+		j.entry.Error = err.Error()
+		return
+	}
+	j.entry.QueryResponse = *resp
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BatchRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "empty \"queries\"")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	deadline := time.Now().Add(s.cfg.DefaultDeadline)
+	if req.DeadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	s.batches.Add(1)
+
+	start := time.Now()
+	resp := &BatchResponse{Results: make([]BatchEntry, len(req.Queries))}
+	var wg sync.WaitGroup
+	for i, q := range req.Queries {
+		entry := &resp.Results[i]
+		wg.Add(1)
+		j := &job{req: q, deadline: deadline, entry: entry, wg: &wg}
+		select {
+		case s.queue <- j:
+			s.enqueued.Add(1)
+		default:
+			// Backpressure: the queue is full; fail fast instead of
+			// buffering without bound.
+			entry.Rejected = true
+			entry.Error = "request queue full"
+			resp.Rejected++
+			s.rejected.Add(1)
+			s.failures.Add(1)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	resp.ServedMS = float64(time.Since(start).Microseconds()) / 1e3
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"dataset":   s.cfg.Dataset,
+		"size":      s.cfg.DBSize,
+		"relations": s.cfg.Relations,
+		"shards":    s.cfg.Shards,
+		"uptimeSec": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ok := s.queries.Load()
+	var avgMS float64
+	if ok > 0 {
+		avgMS = float64(s.totalNS.Load()) / float64(ok) / 1e6
+	}
+	cache := s.cfg.System.PlanCacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries":      ok,
+		"failures":     s.failures.Load(),
+		"avgLatencyMs": avgMS,
+		"batch": map[string]any{
+			"batches":    s.batches.Load(),
+			"enqueued":   s.enqueued.Load(),
+			"completed":  s.completed.Load(),
+			"rejected":   s.rejected.Load(),
+			"timeouts":   s.timeouts.Load(),
+			"queueDepth": len(s.queue),
+			"queueCap":   cap(s.queue),
+			"workers":    s.cfg.Workers,
+		},
+		"planCache": map[string]any{
+			"hits":      cache.Hits,
+			"misses":    cache.Misses,
+			"evictions": cache.Evictions,
+			"len":       cache.Len,
+			"cap":       cache.Cap,
+			"hitRate":   cache.HitRate(),
+		},
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encode response: %v", err)
+	}
+}

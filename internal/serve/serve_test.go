@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fixture"
+
+	beas "repro"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	db := fixture.Example1(11, 120, 80)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		System:       beas.Open(db, as),
+		DefaultAlpha: 0.1,
+		MaxRows:      50,
+		Dataset:      "example1",
+		DBSize:       db.Size(),
+		Relations:    len(db.Names()),
+	})
+	t.Cleanup(s.Close)
+	return s
+}
+
+func postQuery(t *testing.T, s *Server, body string) (*httptest.ResponseRecorder, QueryResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, req)
+	var resp QueryResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response JSON: %v\n%s", err, rec.Body)
+		}
+	}
+	return rec, resp
+}
+
+func postBatch(t *testing.T, s *Server, body string) (*httptest.ResponseRecorder, BatchResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.handleBatch(rec, req)
+	var resp BatchResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad batch JSON: %v\n%s", err, rec.Body)
+		}
+	}
+	return rec, resp
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, resp := postQuery(t, s,
+		`{"sql": "select p.city from person as p where p.pid = 3", "alpha": 0.5}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Columns) != 1 || resp.Columns[0] != "p.city" {
+		t.Errorf("columns = %v", resp.Columns)
+	}
+	if resp.Eta <= 0 || resp.Eta > 1 {
+		t.Errorf("eta = %g", resp.Eta)
+	}
+	if resp.Accessed > resp.Budget {
+		t.Errorf("accessed %d > budget %d", resp.Accessed, resp.Budget)
+	}
+	if resp.Alpha != 0.5 {
+		t.Errorf("alpha = %g", resp.Alpha)
+	}
+
+	// Same query again: must be a plan-cache hit.
+	_, resp = postQuery(t, s,
+		`{"sql": "select p.city from person as p where p.pid = 3", "alpha": 0.5}`)
+	if !resp.CacheHit {
+		t.Error("repeat query missed the plan cache")
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"sql": "select x from", "alpha": 0.1}`, http.StatusUnprocessableEntity},
+		{`{"sql": "select p.city from person as p", "alpha": 7}`, http.StatusBadRequest},
+		{`{"sql": "select p.city from person as p", "alpha": -0.2}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec, _ := postQuery(t, s, c.body)
+		if rec.Code != c.code {
+			t.Errorf("body %q: status %d, want %d (%s)", c.body, rec.Code, c.code, rec.Body)
+		}
+	}
+	// GET is rejected.
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", rec.Code)
+	}
+	if got := s.failures.Load(); got != int64(len(cases)) {
+		t.Errorf("failures = %d, want %d", got, len(cases))
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var health map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["size"].(float64) <= 0 {
+		t.Errorf("health = %v", health)
+	}
+
+	postQuery(t, s, `{"sql": "select p.city from person as p"}`)
+	postQuery(t, s, `{"sql": "select p.city from person as p"}`)
+
+	rec = httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["queries"].(float64) != 2 {
+		t.Errorf("queries = %v", stats["queries"])
+	}
+	cache := stats["planCache"].(map[string]any)
+	if cache["hits"].(float64) < 1 {
+		t.Errorf("cache stats = %v", cache)
+	}
+	batch := stats["batch"].(map[string]any)
+	if batch["queueCap"].(float64) != 256 {
+		t.Errorf("batch stats = %v", batch)
+	}
+}
+
+// TestBatchEndpoint pipelines a mixed batch — valid queries, a parse
+// failure — and checks per-entry outcomes arrive in request order.
+func TestBatchEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, resp := postBatch(t, s, `{"queries": [
+		{"sql": "select p.city from person as p where p.pid = 3", "alpha": 0.5},
+		{"sql": "select broken from", "alpha": 0.1},
+		{"sql": "select h.address from poi as h where h.type = 'hotel'", "alpha": 0.3}
+	]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" || len(resp.Results[0].Columns) != 1 {
+		t.Errorf("entry 0 = %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" {
+		t.Error("entry 1: parse failure not reported")
+	}
+	if resp.Results[2].Error != "" || resp.Results[2].Alpha != 0.3 {
+		t.Errorf("entry 2 = %+v", resp.Results[2])
+	}
+	if resp.Rejected != 0 {
+		t.Errorf("rejected = %d", resp.Rejected)
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"queries": []}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec, _ := postBatch(t, s, c.body)
+		if rec.Code != c.code {
+			t.Errorf("body %q: status %d, want %d (%s)", c.body, rec.Code, c.code, rec.Body)
+		}
+	}
+	// Oversized batches are rejected outright.
+	var sb strings.Builder
+	sb.WriteString(`{"queries": [`)
+	for i := 0; i < 300; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"sql": "select p.city from person as p"}`)
+	}
+	sb.WriteString(`]}`)
+	rec, _ := postBatch(t, s, sb.String())
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d", rec.Code)
+	}
+}
+
+// TestBatchBackpressure drives jobs into a server whose workers never run:
+// once the bounded queue is full, further entries must be rejected
+// immediately rather than buffered.
+func TestBatchBackpressure(t *testing.T) {
+	db := fixture.Example1(11, 40, 30)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Construct directly (no New): a queue of 2 with no workers draining,
+	// so admission is deterministic.
+	s := &Server{
+		cfg:     Config{System: beas.Open(db, as), QueueDepth: 2, MaxBatch: 16}.withDefaults(),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+	}
+	s.queue = make(chan *job, 2)
+
+	var wg sync.WaitGroup
+	entries := make([]BatchEntry, 4)
+	rejected := 0
+	for i := range entries {
+		wg.Add(1)
+		j := &job{req: QueryRequest{SQL: "select p.city from person as p"}, entry: &entries[i], wg: &wg}
+		select {
+		case s.queue <- j:
+		default:
+			entries[i].Rejected = true
+			rejected++
+			wg.Done()
+		}
+	}
+	if rejected != 2 {
+		t.Fatalf("rejected = %d, want 2 (queue depth 2, 4 jobs)", rejected)
+	}
+	// Drain the two admitted jobs manually (acting as the worker).
+	for i := 0; i < 2; i++ {
+		s.runJob(<-s.queue)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if entries[i].Error != "" {
+			t.Errorf("admitted entry %d failed: %s", i, entries[i].Error)
+		}
+	}
+}
+
+// TestBatchDeadline: a job whose deadline passed while queued must be
+// failed without executing.
+func TestBatchDeadline(t *testing.T) {
+	s := testServer(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	entry := &BatchEntry{}
+	j := &job{
+		req:      QueryRequest{SQL: "select p.city from person as p"},
+		deadline: time.Now().Add(-time.Millisecond),
+		entry:    entry,
+		wg:       &wg,
+	}
+	s.runJob(j)
+	wg.Wait()
+	if !entry.TimedOut || entry.Error == "" {
+		t.Fatalf("expired job not timed out: %+v", entry)
+	}
+	if s.timeouts.Load() != 1 {
+		t.Errorf("timeouts = %d", s.timeouts.Load())
+	}
+}
+
+// TestConcurrentRequests drives both handlers from many goroutines — the
+// serving-layer face of the System concurrency guarantee (run with -race).
+func TestConcurrentRequests(t *testing.T) {
+	s := testServer(t)
+	bodies := []string{
+		`{"sql": "select p.city from person as p where p.pid = 1", "alpha": 0.3}`,
+		`{"sql": "select h.address from poi as h where h.type = 'hotel'", "alpha": 0.2}`,
+		`{"sql": "select h.city, count(h.address) as c from poi as h group by h.city", "alpha": 0.4}`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if g%2 == 0 {
+					req := httptest.NewRequest(http.MethodPost, "/query",
+						strings.NewReader(bodies[(g+i)%len(bodies)]))
+					rec := httptest.NewRecorder()
+					s.handleQuery(rec, req)
+					if rec.Code != http.StatusOK {
+						errs <- rec.Body.String()
+						return
+					}
+					continue
+				}
+				body := fmt.Sprintf(`{"queries": [%s, %s]}`,
+					bodies[(g+i)%len(bodies)], bodies[(g+i+1)%len(bodies)])
+				req := httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				s.handleBatch(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- rec.Body.String()
+					return
+				}
+				var resp BatchResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					errs <- err.Error()
+					return
+				}
+				for _, e := range resp.Results {
+					if e.Error != "" {
+						errs <- e.Error
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if s.cfg.System.PlanCacheStats().Hits == 0 {
+		t.Error("no cache hits under concurrent repeated traffic")
+	}
+}
