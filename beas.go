@@ -16,8 +16,17 @@
 //	// ... add relations ...
 //	sys, err := beas.OpenAt(db)                     // build At indices
 //	q, err := beas.ParseSQL("select h.address, h.price from poi as h ...")
-//	ans, plan, err := sys.Query(q, 1e-3)            // access <= α|D| tuples
+//	ans, plan, err := sys.Query(ctx, q, beas.WithAlpha(1e-3))
 //	fmt.Println(ans.Rel.Tuples, ans.Eta)
+//
+// The query entry points are context-first and option-driven: every call
+// carries a context.Context (cancellation and deadlines propagate into the
+// executor — a cancelled query aborts mid-flight instead of burning the
+// rest of its budget) and functional options tune the resource bound
+// (WithAlpha, WithBudget) and the execution strategy (WithFetchWorkers,
+// WithPartitionAwareFetch, WithCacheBypass, WithTag) per call. Answers can
+// be consumed whole (Query), as a pull iterator (Answer.Rows) or streamed
+// in chunks as execution hands them over (QueryStream).
 //
 // The heavy lifting lives in the internal packages: internal/core holds the
 // approximation schemes (the paper's contribution), internal/access the
@@ -27,6 +36,8 @@
 package beas
 
 import (
+	"context"
+
 	"repro/internal/access"
 	"repro/internal/accuracy"
 	"repro/internal/core"
@@ -82,8 +93,17 @@ type (
 	Template = access.Template
 	// Plan is an α-bounded query plan with its accuracy bound η.
 	Plan = core.Plan
-	// Answer is an executed plan's result.
+	// Answer is an executed plan's result. Answer.Rows() returns a pull
+	// iterator over its tuples.
 	Answer = core.Answer
+	// Rows is a pull iterator over an Answer's tuples.
+	Rows = core.Rows
+	// Stream is an in-flight streaming query execution (see QueryStream):
+	// rows arrive in chunks through Next while the accuracy bound and
+	// access stats become available on completion.
+	Stream = core.Stream
+	// TagStats aggregates the queries attributed to one WithTag label.
+	TagStats = core.TagStats
 	// Report is an RC-measure evaluation of an answer set.
 	Report = accuracy.Report
 )
@@ -191,9 +211,10 @@ func OpenAt(db *Database) (*System, error) {
 // offline component C1): key- and foreign-key-like groupings become
 // constraint ladders, low-cardinality categorical groupings become
 // template ladders. Discovered schemas usually yield far better accuracy
-// bounds than At alone.
-func OpenDiscovered(db *Database) (*System, error) {
-	as, err := access.DiscoverSchema(db, access.DiscoverOptions{})
+// bounds than At alone. Discovery scans the data, so it takes the call's
+// context: cancelling ctx abandons the mining pass.
+func OpenDiscovered(ctx context.Context, db *Database) (*System, error) {
+	as, err := access.DiscoverSchemaContext(ctx, db, access.DiscoverOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -209,29 +230,140 @@ func (s *System) Scheme() *core.Scheme { return s.scheme }
 // skipping the chase + chAT work.
 func (s *System) PlanCacheStats() PlanCacheStats { return s.scheme.CacheStats() }
 
-// Plan generates an α-bounded plan for the query without touching the data
-// (component C3): at most α·|D| tuples will be accessed on execution, and
-// Plan.Eta lower-bounds the RC accuracy of the answers.
-func (s *System) Plan(q Query, alpha float64) (*Plan, error) {
-	return s.scheme.GeneratePlan(q, alpha)
+// QueryStats returns the per-tag serving counters recorded for queries
+// that carried a WithTag option.
+func (s *System) QueryStats() map[string]TagStats { return s.scheme.TagStatsSnapshot() }
+
+// DefaultAlpha is the resource ratio a query runs with when neither
+// WithAlpha nor WithBudget is given.
+const DefaultAlpha = 0.01
+
+// Option tunes one query call (see Query, QuerySQL, Plan, Execute,
+// QueryStream). Options compose left to right; later options win.
+type Option func(*core.ExecOptions)
+
+// WithAlpha bounds the call by the resource ratio α ∈ (0, 1]: execution
+// accesses at most α·|D| tuples. Overridden by WithBudget.
+func WithAlpha(alpha float64) Option {
+	return func(o *core.ExecOptions) { o.Alpha = alpha }
 }
 
-// Execute runs a generated plan (component C4).
-func (s *System) Execute(p *Plan) (*Answer, error) { return s.scheme.Execute(p) }
+// WithBudget bounds the call by an absolute tuple budget instead of a
+// ratio: execution accesses at most n tuples (the reported Alpha becomes
+// n/|D|, capped at 1). Takes precedence over WithAlpha; WithBudget(0)
+// clears a previously set budget, restoring the WithAlpha bound.
+func WithBudget(n int) Option {
+	return func(o *core.ExecOptions) { o.Budget = n }
+}
+
+// WithFetchWorkers overrides the system's worker-pool bound for this call:
+// it caps both the parallel-leaf pool and the fetch-side scatter-gather
+// pool. 1 forces fully sequential execution; 0 keeps the system default.
+func WithFetchWorkers(n int) Option {
+	return func(o *core.ExecOptions) { o.FetchWorkers = n }
+}
+
+// WithPartitionAwareFetch toggles the batched scatter-gather fetch across
+// the ladder's shards for this call (default on). Answers are identical
+// either way; disabling it exists for apples-to-apples measurement of the
+// legacy lazy fetch path.
+func WithPartitionAwareFetch(enabled bool) Option {
+	return func(o *core.ExecOptions) { o.NoPartitionAwareFetch = !enabled }
+}
+
+// WithCacheBypass makes the call skip the plan cache entirely — no lookup,
+// no insertion — so a one-off query cannot evict hot cached plans.
+func WithCacheBypass() Option {
+	return func(o *core.ExecOptions) { o.BypassCache = true }
+}
+
+// WithTag attributes the call in the system's per-tag stats (QueryStats):
+// tagged callers see their query counts, tuple access and cumulative time
+// broken out, e.g. per tenant or per endpoint.
+func WithTag(tag string) Option {
+	return func(o *core.ExecOptions) { o.Tag = tag }
+}
+
+// execOptions folds the call's options over the defaults.
+func execOptions(opts []Option) core.ExecOptions {
+	o := core.ExecOptions{Alpha: DefaultAlpha}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Plan generates a resource-bounded plan for the query without touching
+// the data (component C3): at most α·|D| tuples (or the WithBudget bound)
+// will be accessed on execution, and Plan.Eta lower-bounds the RC accuracy
+// of the answers. Planning is pure metadata work; ctx is checked between
+// its passes.
+func (s *System) Plan(ctx context.Context, q Query, opts ...Option) (*Plan, error) {
+	return s.scheme.PlanContext(ctx, q, execOptions(opts))
+}
+
+// Execute runs a generated plan (component C4) under the call's context
+// and execution options (the resource bound travels with the plan;
+// WithAlpha/WithBudget are ignored here). Cancelling ctx aborts the
+// execution mid-flight — between leaves, at shard fan-out and per emitted
+// chunk — returning ctx.Err() promptly.
+func (s *System) Execute(ctx context.Context, p *Plan, opts ...Option) (*Answer, error) {
+	return s.scheme.ExecuteContext(ctx, p, execOptions(opts))
+}
 
 // Query plans and executes in one call, returning the answers with their
-// deterministic accuracy bound and the plan itself.
-func (s *System) Query(q Query, alpha float64) (*Answer, *Plan, error) {
-	return s.scheme.Answer(q, alpha)
+// deterministic accuracy bound and the plan itself. Repeated queries are
+// served from the plan cache (unless WithCacheBypass); cancelling ctx
+// aborts execution mid-flight with ctx.Err().
+func (s *System) Query(ctx context.Context, q Query, opts ...Option) (*Answer, *Plan, error) {
+	return s.scheme.AnswerContext(ctx, q, execOptions(opts))
 }
 
-// QuerySQL parses and answers a SQL string.
-func (s *System) QuerySQL(sql string, alpha float64) (*Answer, *Plan, error) {
+// QuerySQL parses and answers a SQL string under the call's context and
+// options.
+func (s *System) QuerySQL(ctx context.Context, sql string, opts ...Option) (*Answer, *Plan, error) {
 	q, err := ParseSQL(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.Query(q, alpha)
+	return s.Query(ctx, q, opts...)
+}
+
+// QueryStream plans the query synchronously and executes it in the
+// background, returning a Stream whose rows arrive in chunks: consume with
+// Stream.Next, read the final accuracy bound from Stream.Answer once Next
+// returns false, and Close (or cancel ctx) to abandon it mid-flight. See
+// cmd/beasd's /stream endpoint for NDJSON serving built on this.
+func (s *System) QueryStream(ctx context.Context, q Query, opts ...Option) (*Stream, error) {
+	return s.scheme.StreamContext(ctx, q, execOptions(opts))
+}
+
+// QueryAlpha is the pre-context form of Query.
+//
+// Deprecated: use Query, which takes a context and functional options.
+func (s *System) QueryAlpha(q Query, alpha float64) (*Answer, *Plan, error) {
+	return s.Query(context.Background(), q, WithAlpha(alpha))
+}
+
+// QuerySQLAlpha is the pre-context form of QuerySQL.
+//
+// Deprecated: use QuerySQL, which takes a context and functional options.
+func (s *System) QuerySQLAlpha(sql string, alpha float64) (*Answer, *Plan, error) {
+	return s.QuerySQL(context.Background(), sql, WithAlpha(alpha))
+}
+
+// PlanAlpha is the pre-context form of Plan.
+//
+// Deprecated: use Plan, which takes a context and functional options.
+func (s *System) PlanAlpha(q Query, alpha float64) (*Plan, error) {
+	return s.Plan(context.Background(), q, WithAlpha(alpha))
+}
+
+// ExecutePlan is the pre-context form of Execute.
+//
+// Deprecated: use Execute, which takes a context.
+func (s *System) ExecutePlan(p *Plan) (*Answer, error) {
+	return s.Execute(context.Background(), p)
 }
 
 // MinAlphaExact returns the smallest resource ratio at which the query is

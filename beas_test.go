@@ -1,6 +1,7 @@
 package beas_test
 
 import (
+	"context"
 	"testing"
 
 	beas "repro"
@@ -21,10 +22,10 @@ func exampleSystem(t testing.TB) (*beas.System, *beas.Database) {
 
 func TestQuickstartSQL(t *testing.T) {
 	sys, db := exampleSystem(t)
-	ans, plan, err := sys.QuerySQL(
+	ans, plan, err := sys.QuerySQL(context.Background(),
 		`select h.address, h.price from poi as h, friend as f, person as p
 		 where f.pid = 3 and f.fid = p.pid and p.city = h.city
-		 and h.type = 'hotel' and h.price <= 95`, 0.05)
+		 and h.type = 'hotel' and h.price <= 95`, beas.WithAlpha(0.05))
 	if err != nil {
 		t.Fatalf("QuerySQL: %v", err)
 	}
@@ -53,7 +54,7 @@ func TestOpenDiscoveredBeatsAt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dSys, err := beas.OpenDiscovered(db)
+	dSys, err := beas.OpenDiscovered(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +63,11 @@ func TestOpenDiscoveredBeatsAt(t *testing.T) {
 	// person(pid -> city), making Q2 exact at a small ratio where the
 	// generic At cannot be.
 	const alpha = 0.02
-	dAns, _, err := dSys.Query(q, alpha)
+	dAns, _, err := dSys.Query(context.Background(), q, beas.WithAlpha(alpha))
 	if err != nil {
 		t.Fatal(err)
 	}
-	atAns, _, err := atSys.Query(q, alpha)
+	atAns, _, err := atSys.Query(context.Background(), q, beas.WithAlpha(alpha))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestOpenAtAnswersEverything(t *testing.T) {
 		t.Fatalf("OpenAt: %v", err)
 	}
 	// Theorem 1: any query is approximable under At alone.
-	ans, _, err := sys.Query(fixture.Q1(2, 120), 0.1)
+	ans, _, err := sys.Query(context.Background(), fixture.Q1(2, 120), beas.WithAlpha(0.1))
 	if err != nil {
 		t.Fatalf("Query under At: %v", err)
 	}
@@ -108,7 +109,7 @@ func TestExactAndProgrammaticQuery(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Exact: %v", err)
 	}
-	ans, _, err := sys.Query(q, 1.0)
+	ans, _, err := sys.Query(context.Background(), q, beas.WithAlpha(1.0))
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
@@ -137,9 +138,9 @@ func TestMinAlphaExactPublic(t *testing.T) {
 
 func TestAggregateSQL(t *testing.T) {
 	sys, db := exampleSystem(t)
-	ans, _, err := sys.QuerySQL(
+	ans, _, err := sys.QuerySQL(context.Background(),
 		`select h.city, count(h.address) as cnt from poi as h
-		 where h.type = 'hotel' group by h.city`, 0.2)
+		 where h.type = 'hotel' group by h.city`, beas.WithAlpha(0.2))
 	if err != nil {
 		t.Fatalf("QuerySQL aggregate: %v", err)
 	}
@@ -173,7 +174,7 @@ func TestRenderSQL(t *testing.T) {
 
 func TestPlanThenExecuteSeparately(t *testing.T) {
 	sys, _ := exampleSystem(t)
-	p, err := sys.Plan(fixture.Q1(3, 95), 0.05)
+	p, err := sys.Plan(context.Background(), fixture.Q1(3, 95), beas.WithAlpha(0.05))
 	if err != nil {
 		t.Fatalf("Plan: %v", err)
 	}
@@ -183,7 +184,7 @@ func TestPlanThenExecuteSeparately(t *testing.T) {
 	if p.Tariff() > p.Budget {
 		t.Errorf("tariff %d > budget %d", p.Tariff(), p.Budget)
 	}
-	ans, err := sys.Execute(p)
+	ans, err := sys.Execute(context.Background(), p)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}

@@ -6,6 +6,7 @@
 package beas_test
 
 import (
+	"context"
 	"testing"
 
 	beas "repro"
@@ -84,7 +85,7 @@ func BenchmarkPlanGeneration(b *testing.B) {
 	sys, _, q := benchSystem(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Plan(q, 0.01); err != nil {
+		if _, err := sys.Plan(context.Background(), q, beas.WithAlpha(0.01)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,13 +94,13 @@ func BenchmarkPlanGeneration(b *testing.B) {
 // BenchmarkPlanExecution measures C4: executing the α-bounded plan.
 func BenchmarkPlanExecution(b *testing.B) {
 	sys, _, q := benchSystem(b)
-	p, err := sys.Plan(q, 0.01)
+	p, err := sys.Plan(context.Background(), q, beas.WithAlpha(0.01))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Execute(p); err != nil {
+		if _, err := sys.Execute(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -113,14 +114,14 @@ func BenchmarkPlanExecution(b *testing.B) {
 // the same query.
 func BenchmarkMultiLeafJoin(b *testing.B) {
 	sys, _, _ := benchSystem(b)
-	p, err := sys.Plan(bench.MultiLeafJoinQuery(), 0.2)
+	p, err := sys.Plan(context.Background(), bench.MultiLeafJoinQuery(), beas.WithAlpha(0.2))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Execute(p); err != nil {
+		if _, err := sys.Execute(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -152,7 +153,7 @@ func BenchmarkAccessSchemaBuild(b *testing.B) {
 // BenchmarkRCMeasure measures the accuracy evaluator used by experiments.
 func BenchmarkRCMeasure(b *testing.B) {
 	sys, db, q := benchSystem(b)
-	ans, _, err := sys.Query(q, 0.05)
+	ans, _, err := sys.Query(context.Background(), q, beas.WithAlpha(0.05))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func BenchmarkConcurrentQuery(b *testing.B) {
 		i := 0
 		for pb.Next() {
 			q := queries[i%len(queries)]
-			if _, _, err := sys.Query(q, 0.2); err != nil {
+			if _, _, err := sys.Query(context.Background(), q, beas.WithAlpha(0.2)); err != nil {
 				b.Error(err)
 				return
 			}

@@ -10,12 +10,18 @@
 // Pass -exact to also compute the exact answers and the realised RC
 // accuracy (this scans the full data, defeating the point — use it to
 // inspect quality, not for the resource-bounded path).
+//
+// Pass -timeout to bound the wall time of the query: the deadline travels
+// into the executor as a context deadline, so an over-long execution is
+// abandoned mid-flight (Ctrl-C cancels the same way).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	beas "repro"
@@ -31,6 +37,7 @@ func main() {
 		sql     = flag.String("sql", "", "SQL query (required)")
 		exact   = flag.Bool("exact", false, "also compute exact answers and realised accuracy")
 		maxRows = flag.Int("rows", 20, "max answer rows to print")
+		timeout = flag.Duration("timeout", 0, "abandon the query after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *sql == "" {
@@ -62,7 +69,17 @@ func main() {
 	q, err := beas.ParseSQL(*sql)
 	fatal(err)
 
-	ans, plan, err := sys.Query(q, *alpha)
+	// Interrupt cancels the in-flight execution cooperatively; -timeout
+	// additionally bounds it with a context deadline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	ans, plan, err := sys.Query(ctx, q, beas.WithAlpha(*alpha))
 	fatal(err)
 
 	fmt.Printf("\nplan: class=%s budget=%d tuples (alpha=%g), generated in %v\n",

@@ -13,14 +13,22 @@
 //
 // Endpoints (see internal/serve and the README "Serving" section):
 //
-//	POST /query    {"sql": "select ...", "alpha": 0.05}
+//	POST /query    {"sql": "select ...", "alpha": 0.05, "tag": "team-a"}
 //	               → answers + eta + access stats (alpha optional,
-//	                 defaults to -alpha)
+//	                 defaults to -alpha; tag optional, breaks the query
+//	                 out in /stats)
+//	POST /stream   same body → NDJSON: a columns line, one line per
+//	               answer row (flushed incrementally), a final summary
+//	               line with eta + access stats; client disconnect
+//	               cancels the execution mid-flight
 //	POST /batch    {"queries": [{"sql": ...}, ...], "deadlineMs": 500}
 //	               → pipelined execution through a bounded request queue
-//	                 with backpressure and per-request deadlines
+//	                 with budget-weighted admission (-budget-cap) and
+//	                 per-request deadlines that abandon expired work
+//	                 mid-flight
 //	GET  /healthz  → liveness + dataset summary
-//	GET  /stats    → query/batch counters, latency, plan-cache stats
+//	GET  /stats    → query/batch counters, latency, in-flight budget
+//	                 weight, per-tag attribution, plan-cache stats
 //
 // Example:
 //
@@ -50,16 +58,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		dataset  = flag.String("dataset", "tpch", "dataset: tpch | airca | tfacc | example1")
-		scale    = flag.Int("scale", 1, "dataset scale factor")
-		seed     = flag.Int64("seed", 2017, "generator seed")
-		alpha    = flag.Float64("alpha", 0.01, "default resource ratio in (0, 1]")
-		maxTuple = flag.Int("rows", 1000, "max answer rows returned per query")
-		shards   = flag.Int("shards", 0, "ladder partitions (0 = min(GOMAXPROCS, 8))")
-		queue    = flag.Int("queue", 256, "batch request queue depth (backpressure bound)")
-		workers  = flag.Int("batch-workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
-		maxBatch = flag.Int("max-batch", 256, "max queries per /batch call")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataset   = flag.String("dataset", "tpch", "dataset: tpch | airca | tfacc | example1")
+		scale     = flag.Int("scale", 1, "dataset scale factor")
+		seed      = flag.Int64("seed", 2017, "generator seed")
+		alpha     = flag.Float64("alpha", 0.01, "default resource ratio in (0, 1]")
+		maxTuple  = flag.Int("rows", 1000, "max answer rows returned per query")
+		shards    = flag.Int("shards", 0, "ladder partitions (0 = min(GOMAXPROCS, 8))")
+		queue     = flag.Int("queue", 256, "batch request queue depth (backpressure bound)")
+		workers   = flag.Int("batch-workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		maxBatch  = flag.Int("max-batch", 256, "max queries per /batch call")
+		budgetCap = flag.Int("budget-cap", 0, "in-flight batch budget cap in tuples, summed over admitted jobs' est. budgets (0 = 4x dataset size)")
 	)
 	flag.Parse()
 
@@ -85,6 +94,7 @@ func main() {
 		QueueDepth:   *queue,
 		Workers:      *workers,
 		MaxBatch:     *maxBatch,
+		BudgetCap:    *budgetCap,
 	})
 	defer srv.Close()
 

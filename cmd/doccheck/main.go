@@ -1,8 +1,18 @@
-// Command doccheck is the repository's godoc gate: a dependency-free,
-// revive/golint-style check that every package has a package comment and
-// every exported identifier — types, functions, methods, consts, vars —
-// carries a doc comment. CI runs it next to go vet; it exits non-zero and
-// prints file:line findings when documentation is missing.
+// Command doccheck is the repository's godoc and API-shape gate: a
+// dependency-free, revive/golint-style check that every package has a
+// package comment and every exported identifier — types, functions,
+// methods, consts, vars — carries a doc comment. CI runs it next to go
+// vet; it exits non-zero and prints file:line findings when documentation
+// is missing.
+//
+// It additionally enforces the context-first contract of the public
+// serving surface: in beas.go and internal/serve, every exported function
+// or method whose name says it performs I/O or execution (Query*,
+// Execute*, Plan*, Open*, Answer*, Stream*, Run*, Serve*, Fetch*,
+// Discover*) must take a context.Context as its first parameter, so
+// cancellation and deadlines can always propagate into the executor.
+// Deprecated shims (a "Deprecated:" doc paragraph) and the explicit
+// allowlist of stats/constructor accessors are exempt.
 //
 // Usage:
 //
@@ -40,7 +50,7 @@ func main() {
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers lack doc comments\n", len(findings))
+		fmt.Fprintf(os.Stderr, "doccheck: %d findings (missing doc comments or context-first violations)\n", len(findings))
 		os.Exit(1)
 	}
 }
@@ -84,6 +94,9 @@ func check(root string) ([]string, error) {
 			pkgFirst[dir] = file.Package
 		}
 		findings = append(findings, checkFile(fset, file)...)
+		if isContextFirstFile(root, path) {
+			findings = append(findings, checkContextFirst(fset, file)...)
+		}
 		return nil
 	})
 	if err != nil {
@@ -163,6 +176,99 @@ func checkFile(fset *token.FileSet, file *ast.File) []string {
 				}
 			}
 		}
+	}
+	return out
+}
+
+// ctxPrefixes are the verb prefixes marking an exported function as
+// performing I/O or execution: such functions must be context-first in the
+// files isContextFirstFile selects. A prefix matches on a word boundary
+// only (Query and QueryStream match "Query"; Queryish does not).
+var ctxPrefixes = []string{
+	"Query", "Execute", "Plan", "Open", "Answer", "Stream", "Run", "Serve", "Fetch", "Discover",
+}
+
+// ctxAllowlist exempts exported names that match a verb prefix but neither
+// execute nor fetch: counter snapshots and the synchronous index-building
+// constructors whose pre-context signatures are part of the stable API
+// (the cancellable discovery path is OpenDiscovered, which is checked).
+var ctxAllowlist = map[string]bool{
+	"Open":           true, // constructor over prebuilt indices
+	"OpenAt":         true, // synchronous At construction
+	"PlanCacheStats": true, // stats snapshot
+	"QueryStats":     true, // stats snapshot
+}
+
+// isContextFirstFile reports whether the file belongs to the public
+// serving surface held to the context-first contract: the root beas.go and
+// everything in internal/serve.
+func isContextFirstFile(root, path string) bool {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return false
+	}
+	rel = filepath.ToSlash(rel)
+	return rel == "beas.go" || strings.HasPrefix(rel, "internal/serve/")
+}
+
+// matchesCtxPrefix reports whether the name starts with an execution verb
+// on a word boundary.
+func matchesCtxPrefix(name string) bool {
+	for _, p := range ctxPrefixes {
+		if !strings.HasPrefix(name, p) {
+			continue
+		}
+		rest := name[len(p):]
+		if rest == "" || rest[0] >= 'A' && rest[0] <= 'Z' || rest[0] >= '0' && rest[0] <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// isDeprecated reports whether the doc comment carries a "Deprecated:"
+// marker (the standard shim exemption).
+func isDeprecated(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.Contains(doc.Text(), "Deprecated:")
+}
+
+// firstParamIsContext reports whether the function's first parameter is
+// context.Context.
+func firstParamIsContext(ft *ast.FuncType) bool {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return false
+	}
+	sel, ok := ft.Params.List[0].Type.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}
+
+// checkContextFirst returns findings for exported execution/I-O functions
+// that lack a context.Context first parameter.
+func checkContextFirst(fset *token.FileSet, file *ast.File) []string {
+	var out []string
+	for _, decl := range file.Decls {
+		d, ok := decl.(*ast.FuncDecl)
+		if !ok || !d.Name.IsExported() {
+			continue
+		}
+		name := d.Name.Name
+		if !matchesCtxPrefix(name) || ctxAllowlist[name] || isDeprecated(d.Doc) {
+			continue
+		}
+		if firstParamIsContext(d.Type) {
+			continue
+		}
+		qual := name
+		if d.Recv != nil {
+			qual = recvName(d.Recv) + "." + name
+		}
+		out = append(out, fmt.Sprintf(
+			"%s: exported function %s performs I/O or execution but lacks a context.Context first parameter (context-first API; add ctx, mark Deprecated:, or allowlist in cmd/doccheck)",
+			fset.Position(d.Pos()), qual))
 	}
 	return out
 }

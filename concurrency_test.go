@@ -1,6 +1,7 @@
 package beas_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -50,7 +51,7 @@ func TestSystemConcurrentQuery(t *testing.T) {
 	refs := make(map[string]ref)
 	for i, tmpl := range concurrencySQL {
 		sql := fmt.Sprintf(tmpl, i%5)
-		ans, _, err := sys.QuerySQL(sql, 0.2)
+		ans, _, err := sys.QuerySQL(context.Background(), sql, beas.WithAlpha(0.2))
 		if err != nil {
 			t.Fatalf("reference %d: %v", i, err)
 		}
@@ -67,7 +68,7 @@ func TestSystemConcurrentQuery(t *testing.T) {
 				switch (g + i) % 3 {
 				case 0: // QuerySQL against the reference answers
 					sql := fmt.Sprintf(concurrencySQL[(g+i)%len(concurrencySQL)], (g+i)%5)
-					ans, plan, err := sys.QuerySQL(sql, 0.2)
+					ans, plan, err := sys.QuerySQL(context.Background(), sql, beas.WithAlpha(0.2))
 					if err != nil {
 						errs <- fmt.Errorf("goroutine %d: QuerySQL: %w", g, err)
 						return
@@ -83,7 +84,7 @@ func TestSystemConcurrentQuery(t *testing.T) {
 				case 1: // structured Query at varying α
 					q := fixture.Q1(int64(g%7), 95)
 					alpha := []float64{0.05, 0.2, 0.8}[i%3]
-					if _, _, err := sys.Query(q, alpha); err != nil {
+					if _, _, err := sys.Query(context.Background(), q, beas.WithAlpha(alpha)); err != nil {
 						errs <- fmt.Errorf("goroutine %d: Query: %w", g, err)
 						return
 					}

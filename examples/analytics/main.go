@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ans, plan, err := sys.Query(expr, alpha)
+		ans, plan, err := sys.Query(context.Background(), expr,
+			beas.WithAlpha(alpha), beas.WithTag("dashboard"))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,5 +67,12 @@ func main() {
 			key := t[0].String()
 			fmt.Printf("%-28s %-22s %s\n", key, t[len(t)-1].String(), exactByKey[key])
 		}
+	}
+
+	// Tagged calls are broken out in the system's per-tag stats — the same
+	// numbers beasd exposes per tenant on /stats.
+	for tag, st := range sys.QueryStats() {
+		fmt.Printf("\ntag %q: %d queries, %d tuples accessed, %v total\n",
+			tag, st.Queries, st.Accessed, st.Total)
 	}
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,8 +41,10 @@ func main() {
 		fmt.Printf("%8d %12d %14.6f %14d\n",
 			sf, d.DB.Size(), alpha, int(alpha*float64(d.DB.Size())+0.5))
 
-		// Confirm the plan really is exact at that ratio.
-		ans, _, err := sys.Query(q, alpha)
+		// Confirm the plan really is exact at that budget — bound the call
+		// by the absolute tuple budget rather than the ratio.
+		ans, _, err := sys.Query(context.Background(), q,
+			beas.WithBudget(int(alpha*float64(d.DB.Size())+0.5)))
 		if err != nil {
 			log.Fatal(err)
 		}

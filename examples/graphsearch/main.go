@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ans, _, err := sys.Query(q2, alphaExact)
+	ans, _, err := sys.Query(context.Background(), q2, beas.WithAlpha(alphaExact))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func main() {
 	fmt.Printf("\nQ1 (affordable hotels near friends), shrinking alpha:\n")
 	fmt.Printf("%10s %10s %10s %10s %10s %8s\n", "alpha", "budget", "accessed", "eta", "accuracy", "answers")
 	for _, alpha := range []float64{1.0, 0.2, 0.05, 0.02, 0.01} {
-		ans, plan, err := sys.Query(q1, alpha)
+		ans, plan, err := sys.Query(context.Background(), q1, beas.WithAlpha(alpha))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,16 +48,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Queries are context-first: cancellation and deadlines propagate into
+	// the executor. Options set the resource bound per call.
+	ctx := context.Background()
 	sql := `select h.address, h.price from poi as h
 	        where h.type = 'hotel' and h.price <= 100`
 	for _, alpha := range []float64{0.25, 0.5, 1.0} {
-		ans, plan, err := sys.QuerySQL(sql, alpha)
+		ans, plan, err := sys.QuerySQL(ctx, sql, beas.WithAlpha(alpha))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("alpha=%.2f: budget %d tuples, accessed %d, eta=%.3f exact=%v\n",
 			alpha, plan.Budget, ans.Stats.Accessed, ans.Eta, ans.Exact)
-		for _, t := range ans.Rel.Tuples {
+		for rows := ans.Rows(); ; {
+			t, ok := rows.Next()
+			if !ok {
+				break
+			}
 			fmt.Println("   ", t)
 		}
 	}

@@ -1,6 +1,7 @@
 package access
 
 import (
+	"context"
 	"runtime"
 	"sort"
 
@@ -181,11 +182,28 @@ func discoverRelation(r *relation.Relation, opts DiscoverOptions) []Candidate {
 // DiscoverSchema builds At plus ladders for all mined candidates: a fully
 // automatic instantiation of the paper's offline component C1.
 func DiscoverSchema(db *relation.Database, opts DiscoverOptions) (*Schema, error) {
+	return DiscoverSchemaContext(context.Background(), db, opts)
+}
+
+// DiscoverSchemaContext is DiscoverSchema with cooperative cancellation:
+// ctx is checked before the At construction, after the mining pass and
+// between ladder extensions (each extension builds a full index, the unit
+// of work worth abandoning early).
+func DiscoverSchemaContext(ctx context.Context, db *relation.Database, opts DiscoverOptions) (*Schema, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, err := BuildAt(db)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, c := range Discover(db, opts) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if _, err := s.Extend(db, c.Rel, c.X, c.Y); err != nil {
 			return nil, err
 		}

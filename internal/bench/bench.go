@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -219,7 +220,7 @@ func (r *runner) measureAt(alpha float64, measure string, queryFilter func(int, 
 		if err != nil {
 			return nil, err
 		}
-		ans, _, err := r.scheme.Answer(q, alpha)
+		ans, _, err := r.scheme.AnswerContext(context.Background(), q, core.ExecOptions{Alpha: alpha})
 		if err != nil {
 			return nil, fmt.Errorf("bench: BEAS on query %d: %w", i, err)
 		}

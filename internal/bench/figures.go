@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/query"
 	"repro/internal/workload"
 )
@@ -170,7 +172,7 @@ func Fig6k(cfg Config) (*Table, error) {
 func (r *runner) usedLadderIndexSize(alpha float64) (int, error) {
 	used := map[interface{}]int{}
 	for _, q := range r.queries {
-		p, err := r.scheme.GeneratePlan(q, alpha)
+		p, err := r.scheme.PlanContext(context.Background(), q, core.ExecOptions{Alpha: alpha})
 		if err != nil {
 			return 0, err
 		}
@@ -203,13 +205,13 @@ func Fig6l(cfg Config) (*Table, error) {
 		var gen, exec, exact time.Duration
 		n := 0
 		for _, q := range r.queries {
-			p, err := r.scheme.GeneratePlan(q, cfg.FixedAlpha)
+			p, err := r.scheme.PlanContext(context.Background(), q, core.ExecOptions{Alpha: cfg.FixedAlpha})
 			if err != nil {
 				return nil, err
 			}
 			gen += p.GenTime
 			dt, err := stopwatch(func() error {
-				_, err := r.scheme.Execute(p)
+				_, err := r.scheme.ExecuteContext(context.Background(), p, core.ExecOptions{})
 				return err
 			})
 			if err != nil {

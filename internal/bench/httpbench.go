@@ -18,7 +18,6 @@ import (
 
 	beas "repro"
 	"repro/internal/fixture"
-	"repro/internal/plan"
 	"repro/internal/serve"
 )
 
@@ -79,10 +78,10 @@ func RunHTTPPerf(label string, smoke bool, shardCounts []int) (*PerfRun, error) 
 	}
 
 	// Legacy pass: single shard, lazy per-X fetches — the serving path as
-	// it was before partition-parallel storage.
-	plan.PartitionAwareFetch = false
-	legacy, err := measureHTTP(cfg, 1, "legacy")
-	plan.PartitionAwareFetch = true
+	// it was before partition-parallel storage. The strategy is pinned per
+	// call through the server's ExecOptions (no global toggles, so other
+	// traffic in the process is unaffected).
+	legacy, err := measureHTTP(cfg, 1, "legacy", beas.WithPartitionAwareFetch(false))
 	if err != nil {
 		return nil, err
 	}
@@ -108,8 +107,9 @@ func newPerfRun(label string) *PerfRun {
 // measureHTTP builds a fresh system with the given ladder shard count,
 // serves it over a loopback HTTP server, and measures /query latency under
 // concurrent mixed traffic plus /batch latency for fixed-size pipelined
-// batches.
-func measureHTTP(cfg httpBenchConfig, shards int, suffix string) ([]PerfLatency, error) {
+// batches. execOpts pin a per-call execution strategy for every query of
+// the pass (the legacy pass disables the partition-aware fetch this way).
+func measureHTTP(cfg httpBenchConfig, shards int, suffix string, execOpts ...beas.Option) ([]PerfLatency, error) {
 	db := fixture.Example1(5, cfg.persons, cfg.pois)
 	as, err := fixture.SchemaA0Sharded(db, shards)
 	if err != nil {
@@ -119,10 +119,15 @@ func measureHTTP(cfg httpBenchConfig, shards int, suffix string) ([]PerfLatency,
 		System:       beas.Open(db, as),
 		DefaultAlpha: cfg.alpha,
 		MaxRows:      100,
+		ExecOptions:  execOpts,
 		Dataset:      "example1",
 		DBSize:       db.Size(),
 		Relations:    len(db.Names()),
 		Shards:       shards,
+		// The harness measures latency, not admission: a cap large enough
+		// that weighted admission never rejects keeps every batch entry
+		// executing, so the numbers stay comparable across PRs.
+		BudgetCap: cfg.batches * cfg.batchSize * db.Size(),
 	})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())

@@ -9,6 +9,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -94,7 +95,8 @@ func perfSystem() (*core.Scheme, *relation.Database, error) {
 // runPlanBenchmark measures repeated execution of the plan for q at alpha,
 // reporting mean tuples accessed per op alongside the allocation counters.
 func runPlanBenchmark(name string, s *core.Scheme, q query.Expr, alpha float64) (PerfBenchmark, error) {
-	p, err := s.GeneratePlan(q, alpha)
+	ctx := context.Background()
+	p, err := s.PlanContext(ctx, q, core.ExecOptions{Alpha: alpha})
 	if err != nil {
 		return PerfBenchmark{}, fmt.Errorf("bench: %s: plan: %w", name, err)
 	}
@@ -104,7 +106,7 @@ func runPlanBenchmark(name string, s *core.Scheme, q query.Expr, alpha float64) 
 		accessed, ops = 0, 0
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			ans, err := s.Execute(p)
+			ans, err := s.ExecuteContext(ctx, p, core.ExecOptions{})
 			if err != nil {
 				benchErr = err
 				b.Fatal(err)
@@ -249,7 +251,7 @@ func measureServingLatency(s *core.Scheme, n, workers int) (*PerfLatency, error)
 				}
 				q := queries[i%len(queries)]
 				start := time.Now()
-				if _, _, err := s.Answer(q, 0.2); err != nil {
+				if _, _, err := s.AnswerContext(context.Background(), q, core.ExecOptions{Alpha: 0.2}); err != nil {
 					errs[w] = err
 					return
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/query"
@@ -17,7 +18,7 @@ import (
 func (s *Scheme) MinBudgetExact(e query.Expr) (int, error) {
 	size := s.db.Size()
 	exactAt := func(b int) (bool, error) {
-		p, err := s.generateWithBudget(e, float64(b)/float64(size), b)
+		p, err := s.generateWithBudget(context.Background(), e, float64(b)/float64(size), b)
 		if err != nil {
 			return false, err
 		}

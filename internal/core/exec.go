@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/kdtree"
 	"repro/internal/plan"
@@ -23,6 +25,29 @@ type Answer struct {
 	// Stats aggregates data access over all leaf executions.
 	Stats plan.Stats
 }
+
+// Rows is a pull iterator over an Answer's tuples (the streaming-friendly
+// counterpart of ranging over Answer.Rel.Tuples).
+type Rows struct {
+	tuples []relation.Tuple
+	i      int
+}
+
+// Rows returns a pull iterator over the answer's tuples.
+func (a *Answer) Rows() *Rows { return &Rows{tuples: a.Rel.Tuples} }
+
+// Next returns the next answer row, or (nil, false) when exhausted.
+func (r *Rows) Next() (relation.Tuple, bool) {
+	if r.i >= len(r.tuples) {
+		return nil, false
+	}
+	t := r.tuples[r.i]
+	r.i++
+	return t, true
+}
+
+// Remaining reports how many rows Next has not yet returned.
+func (r *Rows) Remaining() int { return len(r.tuples) - r.i }
 
 // leafResult caches one executed leaf.
 type leafResult struct {
@@ -46,22 +71,49 @@ type leafResult struct {
 // extra physical accesses but the answers and reported Stats remain those
 // of a single ≤ Budget run.
 func (s *Scheme) Execute(p *Plan) (*Answer, error) {
-	if s.workers > 1 && len(p.Leaves) > 1 && s.totalTariff(p) <= p.Budget {
-		results, stats, err := s.executeLeavesParallel(p)
+	return s.ExecuteContext(context.Background(), p, ExecOptions{})
+}
+
+// ExecuteContext runs a generated plan under the call's options, with
+// cooperative cancellation: ctx is checked between leaf executions and
+// inside each leaf (fetch steps, shard fan-out, parallel row emit — see
+// plan.ExecuteOpts), so a cancelled call returns ctx.Err() promptly instead
+// of burning the rest of its budget. ExecOptions.Alpha/Budget are ignored
+// here — the plan already carries its budget; the execution knobs
+// (FetchWorkers, NoPartitionAwareFetch, MinParallelEmitRows, Tag) apply.
+func (s *Scheme) ExecuteContext(ctx context.Context, p *Plan, o ExecOptions) (*Answer, error) {
+	start := time.Now()
+	ans, err := s.executeOpts(ctx, p, o)
+	if ans != nil {
+		s.recordTag(o.Tag, ans.Stats.Accessed, time.Since(start), nil)
+	} else {
+		s.recordTag(o.Tag, 0, time.Since(start), err)
+	}
+	return ans, err
+}
+
+// executeOpts is ExecuteContext without the tag accounting.
+func (s *Scheme) executeOpts(ctx context.Context, p *Plan, o ExecOptions) (*Answer, error) {
+	workers := s.workers
+	if o.FetchWorkers > 0 {
+		workers = o.FetchWorkers
+	}
+	if workers > 1 && len(p.Leaves) > 1 && s.totalTariff(p) <= p.Budget {
+		results, stats, err := s.executeLeavesParallel(ctx, p, o, workers)
 		if err != nil {
 			return nil, err
 		}
 		if !stats.Truncated {
-			return s.assemble(p, results, stats)
+			return s.assemble(ctx, p, results, stats)
 		}
 		// A leaf overran its partition; re-run sequentially so truncation
 		// semantics match the reference path exactly.
 	}
-	results, stats, err := s.executeLeavesSequential(p, s.workers)
+	results, stats, err := s.executeLeavesSequential(ctx, p, o, workers)
 	if err != nil {
 		return nil, err
 	}
-	return s.assemble(p, results, stats)
+	return s.assemble(ctx, p, results, stats)
 }
 
 // ExecuteSequential runs the plan with the reference single-threaded
@@ -69,23 +121,36 @@ func (s *Scheme) Execute(p *Plan) (*Answer, error) {
 // predecessors, fetches resolved lazily with no partition fan-out. Exposed
 // for tests and experiments comparing the executors.
 func (s *Scheme) ExecuteSequential(p *Plan) (*Answer, error) {
-	results, stats, err := s.executeLeavesSequential(p, 1)
+	results, stats, err := s.executeLeavesSequential(context.Background(), p, ExecOptions{FetchWorkers: 1}, 1)
 	if err != nil {
 		return nil, err
 	}
-	return s.assemble(p, results, stats)
+	return s.assemble(context.Background(), p, results, stats)
+}
+
+// leafOpts translates the call options into the per-leaf executor options.
+func leafOpts(o ExecOptions, budget, fetchWorkers int) plan.ExecOpts {
+	po := plan.DefaultExecOpts(budget, fetchWorkers)
+	po.PartitionAware = !o.NoPartitionAwareFetch
+	if o.MinParallelEmitRows > 0 {
+		po.MinParallelEmitRows = o.MinParallelEmitRows
+	}
+	return po
 }
 
 // executeLeavesSequential runs the leaves in order, each seeing the budget
-// left over by its predecessors. fetchWorkers > 1 enables the partition-
-// aware batched fetch inside each leaf (identical results; see
-// plan.ExecuteWithBudgetWorkers).
-func (s *Scheme) executeLeavesSequential(p *Plan, fetchWorkers int) (map[*query.SPC]*leafResult, plan.Stats, error) {
+// left over by its predecessors, checking ctx between leaves. fetchWorkers
+// > 1 enables the partition-aware batched fetch inside each leaf (identical
+// results; see plan.ExecuteOpts).
+func (s *Scheme) executeLeavesSequential(ctx context.Context, p *Plan, o ExecOptions, fetchWorkers int) (map[*query.SPC]*leafResult, plan.Stats, error) {
 	results := make(map[*query.SPC]*leafResult, len(p.Leaves))
 	var stats plan.Stats
 	remaining := p.Budget
 	for _, l := range p.Leaves {
-		r, err := plan.ExecuteWithBudgetWorkers(l.Bounded, s.db, remaining, fetchWorkers)
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		r, err := plan.ExecuteOpts(ctx, l.Bounded, s.db, leafOpts(o, remaining, fetchWorkers))
 		if err != nil {
 			return nil, stats, err
 		}
@@ -100,30 +165,32 @@ func (s *Scheme) executeLeavesSequential(p *Plan, fetchWorkers int) (map[*query.
 	return results, stats, nil
 }
 
-// executeLeavesParallel fans the leaves out over at most s.workers
+// executeLeavesParallel fans the leaves out over at most `workers`
 // goroutines, each leaf holding a disjoint share of the global budget and a
-// proportional share of the fetch-side worker pool.
-func (s *Scheme) executeLeavesParallel(p *Plan) (map[*query.SPC]*leafResult, plan.Stats, error) {
+// proportional share of the fetch-side worker pool. Cancellation surfaces
+// from the per-leaf executors; ctx.Err() is preferred over leaf errors so a
+// cancelled call reports the cancellation, not a secondary failure.
+func (s *Scheme) executeLeavesParallel(ctx context.Context, p *Plan, o ExecOptions, workers int) (map[*query.SPC]*leafResult, plan.Stats, error) {
 	shares := partitionBudget(p)
 	resList := make([]*plan.Result, len(p.Leaves))
 	errList := make([]error, len(p.Leaves))
 
-	workers := s.workers
-	if workers > len(p.Leaves) {
-		workers = len(p.Leaves)
+	poolWorkers := workers
+	if poolWorkers > len(p.Leaves) {
+		poolWorkers = len(p.Leaves)
 	}
-	fetchWorkers := s.workers / len(p.Leaves)
+	fetchWorkers := workers / len(p.Leaves)
 	if fetchWorkers < 1 {
 		fetchWorkers = 1
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < poolWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for li := range jobs {
-				resList[li], errList[li] = plan.ExecuteWithBudgetWorkers(p.Leaves[li].Bounded, s.db, shares[li], fetchWorkers)
+				resList[li], errList[li] = plan.ExecuteOpts(ctx, p.Leaves[li].Bounded, s.db, leafOpts(o, shares[li], fetchWorkers))
 			}
 		}()
 	}
@@ -133,6 +200,9 @@ func (s *Scheme) executeLeavesParallel(p *Plan) (map[*query.SPC]*leafResult, pla
 	close(jobs)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, plan.Stats{}, err
+	}
 	for _, err := range errList {
 		if err != nil {
 			return nil, plan.Stats{}, err
@@ -171,8 +241,13 @@ func partitionBudget(p *Plan) []int {
 	return shares
 }
 
-// assemble combines executed leaves into the final Answer.
-func (s *Scheme) assemble(p *Plan, results map[*query.SPC]*leafResult, stats plan.Stats) (*Answer, error) {
+// assemble combines executed leaves into the final Answer, re-checking ctx
+// before the combine pass and before the η′ refinement (both can do real
+// work — kd-tree probes — on large answer sets).
+func (s *Scheme) assemble(ctx context.Context, p *Plan, results map[*query.SPC]*leafResult, stats plan.Stats) (*Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ans := &Answer{Stats: stats}
 	out, err := s.combine(p, p.Expr, results)
 	if err != nil {
@@ -182,6 +257,9 @@ func (s *Scheme) assemble(p *Plan, results map[*query.SPC]*leafResult, stats pla
 
 	ans.Eta = p.Eta
 	if query.HasDiff(p.Expr) && !p.Exact {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		eta, err := s.refineEtaDiff(p, results, out)
 		if err != nil {
 			return nil, err
@@ -202,26 +280,49 @@ func (s *Scheme) assemble(p *Plan, results map[*query.SPC]*leafResult, stats pla
 // repeated (normalized query, α) pair skips the chase + chAT generation
 // work entirely. The returned plan is a per-call copy whose CacheHit field
 // reports where it came from.
+//
+// Deprecated: use AnswerContext, which takes a context and per-call options.
 func (s *Scheme) Answer(e query.Expr, alpha float64) (*Answer, *Plan, error) {
-	p, err := s.cachedPlan(e, alpha)
+	return s.AnswerContext(context.Background(), e, ExecOptions{Alpha: alpha})
+}
+
+// AnswerContext plans and executes in one call under the call's options,
+// consulting the plan cache (unless BypassCache) and honouring ctx
+// throughout execution. The returned plan is a per-call copy whose CacheHit
+// field reports where it came from.
+func (s *Scheme) AnswerContext(ctx context.Context, e query.Expr, o ExecOptions) (*Answer, *Plan, error) {
+	start := time.Now()
+	p, err := s.planFor(ctx, e, o)
 	if err != nil {
+		s.recordTag(o.Tag, 0, time.Since(start), err)
 		return nil, nil, err
 	}
-	ans, err := s.Execute(p)
+	ans, err := s.executeOpts(ctx, p, o)
 	if err != nil {
+		s.recordTag(o.Tag, 0, time.Since(start), err)
 		return nil, nil, err
 	}
+	s.recordTag(o.Tag, ans.Stats.Accessed, time.Since(start), nil)
 	return ans, p, nil
 }
 
-// cachedPlan returns a plan for (e, alpha), serving repeats from the LRU.
-// Concurrent misses on one key are coalesced: the first caller generates,
-// the rest wait and share the result (as cache hits).
-func (s *Scheme) cachedPlan(e query.Expr, alpha float64) (*Plan, error) {
-	if s.cache == nil {
-		return s.GeneratePlan(e, alpha)
+// planFor returns a plan for the call, serving repeats from the LRU unless
+// BypassCache. Concurrent misses on one key are coalesced: the first caller
+// generates, the rest wait and share the result (as cache hits). The shared
+// generation runs detached from any one caller's ctx — a cancelled waiter
+// leaves with ctx.Err() while the flight completes for the others.
+func (s *Scheme) planFor(ctx context.Context, e query.Expr, o ExecOptions) (*Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	key := planKey(e, alpha)
+	if s.cache == nil || o.BypassCache {
+		return s.PlanContext(ctx, e, o)
+	}
+	alpha, budget, err := s.resolveBudget(o)
+	if err != nil {
+		return nil, err
+	}
+	key := planKey(e, alpha, budget)
 	if v, ok := s.cache.Get(key); ok {
 		hit := *v.(*Plan) // shallow copy: leaves are shared and immutable
 		hit.CacheHit = true
@@ -231,7 +332,11 @@ func (s *Scheme) cachedPlan(e query.Expr, alpha float64) (*Plan, error) {
 	s.flightMu.Lock()
 	if f, ok := s.flights[key]; ok {
 		s.flightMu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		if f.err != nil {
 			return nil, f.err
 		}
@@ -254,7 +359,9 @@ func (s *Scheme) cachedPlan(e query.Expr, alpha float64) (*Plan, error) {
 		delete(s.flights, key)
 		s.flightMu.Unlock()
 	}()
-	f.p, f.err = s.GeneratePlan(e, alpha)
+	// The flight's result is shared by every coalesced waiter, so generate
+	// detached from this caller's cancellation.
+	f.p, f.err = s.generateWithBudget(context.WithoutCancel(ctx), e, alpha, budget)
 	if f.err != nil {
 		return nil, f.err
 	}

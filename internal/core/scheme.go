@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -41,12 +42,53 @@ type Scheme struct {
 	as *access.Schema
 	// workers bounds the leaf-execution worker pool (set once in New).
 	workers int
-	// cache memoises generated plans by (normalized query, α).
+	// cache memoises generated plans by (normalized query, α, budget).
 	cache *plancache.Cache
 	// flights coalesces concurrent cache misses on one key so a stampede
 	// of identical queries pays for a single plan generation.
 	flightMu sync.Mutex
 	flights  map[string]*flight
+
+	// tagMu guards tags, the per-tag serving counters fed by ExecOptions.Tag.
+	tagMu sync.Mutex
+	tags  map[string]*TagStats
+}
+
+// TagStats aggregates the executions attributed to one ExecOptions.Tag.
+type TagStats struct {
+	// Queries counts successful executions.
+	Queries int64
+	// Errors counts failed executions (including plan-generation failures).
+	Errors int64
+	// Accessed sums tuples accessed by successful executions.
+	Accessed int64
+	// Total is the cumulative wall time of successful executions.
+	Total time.Duration
+}
+
+// ExecOptions are the per-call options of the context-first entry points
+// (PlanContext, ExecuteContext, AnswerContext, StreamContext). The zero
+// value is not runnable: either Alpha or Budget must bound the call.
+type ExecOptions struct {
+	// Alpha is the resource ratio α ∈ (0, 1]; ignored when Budget > 0.
+	Alpha float64
+	// Budget, when > 0, is an absolute tuple budget that replaces α·|D|
+	// (the reported Alpha becomes Budget/|D|, capped at 1).
+	Budget int
+	// FetchWorkers overrides the scheme's worker-pool bound for this call;
+	// 0 keeps the scheme default, 1 forces sequential execution.
+	FetchWorkers int
+	// NoPartitionAwareFetch disables the batched scatter-gather fetch path
+	// for this call (the legacy lazy path; answers are identical — the
+	// knob exists for apples-to-apples measurement).
+	NoPartitionAwareFetch bool
+	// MinParallelEmitRows overrides the chunked parallel-emit gate;
+	// 0 keeps plan.DefaultMinParallelEmitRows.
+	MinParallelEmitRows int
+	// BypassCache skips the plan cache entirely (no lookup, no insert).
+	BypassCache bool
+	// Tag attributes this call in the scheme's per-tag stats (TagStats).
+	Tag string
 }
 
 // flight is one in-progress plan generation awaited by late arrivals.
@@ -95,13 +137,49 @@ func (s *Scheme) CacheStats() plancache.Stats {
 	return s.cache.Stats()
 }
 
-// planKey normalizes a (query, α) pair into a plan-cache key. Rendering is
-// deterministic and injective for a given expression tree, so structurally
-// equal queries share one cached plan regardless of how they were
-// constructed. GroupBy.DistScale is the one semantic field Render omits
-// (it is presentation-free), so it is appended explicitly.
-func planKey(e query.Expr, alpha float64) string {
-	key := strconv.FormatFloat(alpha, 'g', -1, 64) + "|" + query.Render(e)
+// TagStatsSnapshot returns a copy of the per-tag serving counters recorded
+// for calls that set ExecOptions.Tag.
+func (s *Scheme) TagStatsSnapshot() map[string]TagStats {
+	s.tagMu.Lock()
+	defer s.tagMu.Unlock()
+	out := make(map[string]TagStats, len(s.tags))
+	for tag, st := range s.tags {
+		out[tag] = *st
+	}
+	return out
+}
+
+// recordTag folds one attributed execution into the tag's counters.
+func (s *Scheme) recordTag(tag string, accessed int, took time.Duration, err error) {
+	if tag == "" {
+		return
+	}
+	s.tagMu.Lock()
+	defer s.tagMu.Unlock()
+	if s.tags == nil {
+		s.tags = make(map[string]*TagStats)
+	}
+	st := s.tags[tag]
+	if st == nil {
+		st = &TagStats{}
+		s.tags[tag] = st
+	}
+	if err != nil {
+		st.Errors++
+		return
+	}
+	st.Queries++
+	st.Accessed += int64(accessed)
+	st.Total += took
+}
+
+// planKey normalizes a (query, α, budget) triple into a plan-cache key.
+// Rendering is deterministic and injective for a given expression tree, so
+// structurally equal queries share one cached plan regardless of how they
+// were constructed. GroupBy.DistScale is the one semantic field Render
+// omits (it is presentation-free), so it is appended explicitly.
+func planKey(e query.Expr, alpha float64, budget int) string {
+	key := strconv.FormatFloat(alpha, 'g', -1, 64) + "|" + strconv.Itoa(budget) + "|" + query.Render(e)
 	if g, ok := e.(*query.GroupBy); ok && g.DistScale > 0 {
 		key += "|ds=" + strconv.FormatFloat(g.DistScale, 'g', -1, 64)
 	}
@@ -172,15 +250,46 @@ func satAddTariff(a, b int) int {
 // GeneratePlan computes an α-bounded plan for the query (component C3 of
 // the BEAS architecture, Fig. 2). Only the query, the access schema's
 // metadata and the budget α|D| are consulted — never the data itself.
+//
+// Deprecated: use PlanContext, which takes a context and per-call options.
 func (s *Scheme) GeneratePlan(e query.Expr, alpha float64) (*Plan, error) {
-	if alpha <= 0 || alpha > 1 {
-		return nil, fmt.Errorf("core: resource ratio alpha=%g outside (0, 1]", alpha)
-	}
-	budget := int(alpha * float64(s.db.Size()))
-	return s.generateWithBudget(e, alpha, budget)
+	return s.PlanContext(context.Background(), e, ExecOptions{Alpha: alpha})
 }
 
-func (s *Scheme) generateWithBudget(e query.Expr, alpha float64, budget int) (*Plan, error) {
+// PlanContext computes a resource-bounded plan for the query under the
+// call's options (alpha- or absolute-budget bound), without consulting the
+// plan cache. Plan generation is pure metadata work — it never touches the
+// data — so ctx is only checked between chase passes.
+func (s *Scheme) PlanContext(ctx context.Context, e query.Expr, o ExecOptions) (*Plan, error) {
+	alpha, budget, err := s.resolveBudget(o)
+	if err != nil {
+		return nil, err
+	}
+	return s.generateWithBudget(ctx, e, alpha, budget)
+}
+
+// resolveBudget turns the call options into the (alpha, budget) pair the
+// planner works with: an explicit Budget wins, otherwise Alpha must be a
+// valid resource ratio and the budget is ⌊α·|D|⌋.
+func (s *Scheme) resolveBudget(o ExecOptions) (float64, int, error) {
+	if o.Budget > 0 {
+		size := s.db.Size()
+		if size < 1 {
+			size = 1
+		}
+		alpha := float64(o.Budget) / float64(size)
+		if alpha > 1 {
+			alpha = 1
+		}
+		return alpha, o.Budget, nil
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		return 0, 0, fmt.Errorf("core: resource ratio alpha=%g outside (0, 1]", o.Alpha)
+	}
+	return o.Alpha, int(o.Alpha * float64(s.db.Size())), nil
+}
+
+func (s *Scheme) generateWithBudget(ctx context.Context, e query.Expr, alpha float64, budget int) (*Plan, error) {
 	start := time.Now()
 	if err := query.Validate(e, s.db); err != nil {
 		return nil, err
@@ -196,6 +305,9 @@ func (s *Scheme) generateWithBudget(e query.Expr, alpha float64, budget int) (*P
 	// affordability decisions.
 	share := budget / len(leaves)
 	for _, leaf := range leaves {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res, err := chase.Chase(leaf, s.as, s.db, share)
 		if err != nil {
 			return nil, err

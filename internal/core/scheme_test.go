@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -275,7 +276,7 @@ func TestMinBudgetExact(t *testing.T) {
 		t.Errorf("MinAlphaExact inconsistent: %g vs %d/%d", alpha, b, db.Size())
 	}
 	// Verify the found budget really is exact and budget-1 is not (when > 1).
-	p, err := s.generateWithBudget(fixture.Q2(3), float64(b)/float64(db.Size()), b)
+	p, err := s.generateWithBudget(context.Background(), fixture.Q2(3), float64(b)/float64(db.Size()), b)
 	if err != nil || !p.Exact {
 		t.Errorf("plan at MinBudgetExact not exact: %v", err)
 	}

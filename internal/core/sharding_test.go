@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"repro/internal/fixture"
-	"repro/internal/plan"
 	"repro/internal/query"
 )
 
@@ -14,17 +14,16 @@ import (
 // partition-parallel storage layer: over the same 200-case randomized
 // corpus as the golden digest suite, systems whose ladders are partitioned
 // N ∈ {1, 2, 4, 8} ways — executing through the partition-aware batched
-// fetch with a forced multi-worker pool and a lowered parallel-emit gate —
+// fetch with a forced multi-worker pool and a lowered parallel-emit gate,
+// both set per call through ExecOptions (the former package globals) —
 // must produce answers, η, exactness, budget consumption and truncation
 // byte-identical to a single-shard system running the legacy lazy-fetch
 // reference path. Sharding may only change which core resolves a fetch,
 // never what it returns or what it costs against α·|D|.
 func TestShardCountInvariance(t *testing.T) {
 	const cases = 200
+	ctx := context.Background()
 	db := fixture.Example1(7, 120, 80)
-
-	defer func(old int) { plan.MinParallelEmitRows = old }(plan.MinParallelEmitRows)
-	plan.MinParallelEmitRows = 4 // force the chunked emit on this small corpus
 
 	// Reference: single shard, strictly sequential lazy execution.
 	refAS, err := fixture.SchemaA0Sharded(db, 1)
@@ -46,14 +45,19 @@ func TestShardCountInvariance(t *testing.T) {
 		systems = append(systems, sys{n, NewWithOptions(db, as, Options{Workers: 8})})
 	}
 
+	// Force the chunked emit on this small corpus — per call, not globally.
+	sharded := ExecOptions{MinParallelEmitRows: 4}
+
 	g := &qgen{rng: rand.New(rand.NewSource(42))}
 	alphas := []float64{0.01, 0.1, 0.6}
 	for ci := 0; ci < cases; ci++ {
 		q := g.randQuery()
 		alpha := alphas[ci%len(alphas)]
-		wantAns, _, wantErr := ref.Answer(q, alpha)
+		wantAns, _, wantErr := ref.AnswerContext(ctx, q, ExecOptions{Alpha: alpha, MinParallelEmitRows: 4})
 		for _, sc := range systems {
-			gotAns, _, gotErr := sc.s.Answer(q, alpha)
+			opt := sharded
+			opt.Alpha = alpha
+			gotAns, _, gotErr := sc.s.AnswerContext(ctx, q, opt)
 			if (wantErr == nil) != (gotErr == nil) {
 				t.Fatalf("case %d shards=%d: error mismatch: ref %v, got %v\n%s",
 					ci, sc.n, wantErr, gotErr, query.Render(q))
@@ -80,11 +84,14 @@ func TestShardCountInvariance(t *testing.T) {
 	}
 }
 
-// TestPartitionAwareFetchToggleIdentical pins the legacy knob: with the
-// scatter-gather path globally disabled, a multi-worker system must still
-// produce the same answers (the toggle is a measurement aid, not a
-// semantic switch).
+// TestPartitionAwareFetchToggleIdentical pins the per-call knob that
+// replaced the old package global: with the scatter-gather path disabled
+// through ExecOptions.NoPartitionAwareFetch, a multi-worker system must
+// still produce the same answers (the option is a measurement aid, not a
+// semantic switch) — and because the knob is per-call plan state now, the
+// two modes run back to back on one scheme without any global hand-over.
 func TestPartitionAwareFetchToggleIdentical(t *testing.T) {
+	ctx := context.Background()
 	db := fixture.Example1(3, 90, 70)
 	as, err := fixture.SchemaA0Sharded(db, 4)
 	if err != nil {
@@ -95,11 +102,8 @@ func TestPartitionAwareFetchToggleIdentical(t *testing.T) {
 	g := &qgen{rng: rand.New(rand.NewSource(7))}
 	for ci := 0; ci < 40; ci++ {
 		q := g.randQuery()
-		plan.PartitionAwareFetch = true
-		onAns, _, onErr := s.Answer(q, 0.2)
-		plan.PartitionAwareFetch = false
-		offAns, _, offErr := s.Answer(q, 0.2)
-		plan.PartitionAwareFetch = true
+		onAns, _, onErr := s.AnswerContext(ctx, q, ExecOptions{Alpha: 0.2})
+		offAns, _, offErr := s.AnswerContext(ctx, q, ExecOptions{Alpha: 0.2, NoPartitionAwareFetch: true})
 		if (onErr == nil) != (offErr == nil) {
 			t.Fatalf("case %d: error mismatch: %v vs %v", ci, onErr, offErr)
 		}

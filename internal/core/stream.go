@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// streamChunkRows is how many answer rows one stream chunk carries: large
+// enough to amortise the channel handoff, small enough that a consumer (an
+// NDJSON writer, say) flushes with low latency.
+const streamChunkRows = 256
+
+// Stream is an in-flight streaming execution started by StreamContext:
+// plan generation happens synchronously (errors surface before a Stream
+// exists), execution runs in the background, and answer rows are handed to
+// the consumer in chunks through Next.
+//
+// The accuracy machinery is why rows cannot leave earlier than they do: the
+// deterministic bound η (and its refinement η′ for set difference, §6) is
+// certified over the complete answer set, so emission starts once the set
+// is assembled. Streaming still buys incremental delivery — a consumer
+// holds one chunk at a time, backpressure propagates through the unread
+// channel, and cancelling ctx (or Close) aborts the execution mid-flight
+// through the executor's cooperative cancellation points.
+//
+// A Stream is single-consumer: Next, Err, Answer and Close must be called
+// from one goroutine.
+type Stream struct {
+	plan   *Plan
+	schema *relation.Schema
+	cancel context.CancelFunc
+
+	chunks chan []relation.Tuple
+	cur    []relation.Tuple
+
+	// ans and err are written by the producer goroutine strictly before it
+	// closes chunks, so the consumer may read them once Next returns false.
+	ans *Answer
+	err error
+}
+
+// StreamContext plans the query synchronously (consulting the plan cache
+// like AnswerContext) and starts its execution in the background, returning
+// a Stream that yields answer rows in chunks. The consumer must drain the
+// stream or Close it; otherwise the producer goroutine parks forever on the
+// chunk channel.
+func (s *Scheme) StreamContext(ctx context.Context, e query.Expr, o ExecOptions) (*Stream, error) {
+	p, err := s.planFor(ctx, e, o)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := query.OutputSchema(e, s.db)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	st := &Stream{
+		plan:   p,
+		schema: schema,
+		cancel: cancel,
+		chunks: make(chan []relation.Tuple, 1),
+	}
+	go func() {
+		// Release the derived context's registration on the parent once
+		// the producer is done: a fully drained stream must not require a
+		// Close call to avoid accumulating cancel registrations on a
+		// long-lived parent context.
+		defer cancel()
+		defer close(st.chunks)
+		ans, err := s.ExecuteContext(ctx, p, o)
+		if err != nil {
+			st.err = err
+			return
+		}
+		st.ans = ans
+		rows := ans.Rel.Tuples
+		for lo := 0; lo < len(rows); lo += streamChunkRows {
+			hi := lo + streamChunkRows
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			select {
+			case st.chunks <- rows[lo:hi]:
+			case <-ctx.Done():
+				st.ans, st.err = nil, ctx.Err()
+				return
+			}
+		}
+	}()
+	return st, nil
+}
+
+// Plan returns the generated plan (available immediately: planning precedes
+// streaming).
+func (st *Stream) Plan() *Plan { return st.plan }
+
+// Schema returns the output schema of the streamed rows (available
+// immediately, so consumers can emit a header before the first row).
+func (st *Stream) Schema() *relation.Schema { return st.schema }
+
+// Next returns the next answer row. When it returns false the stream is
+// finished: Err reports whether it ended in an error (nil on success, the
+// cancellation cause if ctx was cancelled) and Answer returns the full
+// answer with its accuracy bound.
+func (st *Stream) Next() (relation.Tuple, bool) {
+	for len(st.cur) == 0 {
+		chunk, ok := <-st.chunks
+		if !ok {
+			return nil, false
+		}
+		st.cur = chunk
+	}
+	t := st.cur[0]
+	st.cur = st.cur[1:]
+	return t, true
+}
+
+// Err reports how the stream ended. It is meaningful once Next has returned
+// false.
+func (st *Stream) Err() error { return st.err }
+
+// Answer returns the executed answer — rows plus the final accuracy bound η
+// and access stats. It is non-nil once Next has returned false with a nil
+// Err.
+func (st *Stream) Answer() *Answer { return st.ans }
+
+// Close cancels the execution (if still running) and releases the producer
+// goroutine. It is safe to call at any point, including after full
+// consumption; a closed stream's Err reflects the cancellation if rows were
+// abandoned.
+func (st *Stream) Close() {
+	st.cancel()
+	for range st.chunks {
+		// Drain so the producer's pending send unblocks and it observes the
+		// cancelled context.
+	}
+	st.cur = nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/query"
+)
+
+// streamFixture returns a system and a query whose answer spans several
+// stream chunks.
+func streamFixture(t *testing.T) (*Scheme, query.Expr, ExecOptions) {
+	t.Helper()
+	db := fixture.Example1(5, 600, 3000)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db, as), &query.Union{L: fixture.Q1(1, 300), R: fixture.Q1(2, 300)}, ExecOptions{Alpha: 0.8}
+}
+
+// TestStreamMatchesAnswer: consuming a stream to the end yields exactly the
+// rows, order and accuracy bound of the one-shot AnswerContext call.
+func TestStreamMatchesAnswer(t *testing.T) {
+	s, q, opt := streamFixture(t)
+	ctx := context.Background()
+	want, _, err := s.AnswerContext(ctx, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Rel.Len() <= streamChunkRows {
+		t.Fatalf("answer has %d rows; need > %d to cross chunk boundaries", want.Rel.Len(), streamChunkRows)
+	}
+
+	st, err := s.StreamContext(ctx, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Plan() == nil || st.Schema() == nil {
+		t.Fatal("plan/schema not available before consumption")
+	}
+	i := 0
+	for {
+		tp, ok := st.Next()
+		if !ok {
+			break
+		}
+		if i >= want.Rel.Len() {
+			t.Fatalf("stream yielded more than the %d answer rows", want.Rel.Len())
+		}
+		if !tp.EqualTuple(want.Rel.Tuples[i]) {
+			t.Fatalf("row %d: stream %v != answer %v", i, tp, want.Rel.Tuples[i])
+		}
+		i++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream ended in error: %v", err)
+	}
+	if i != want.Rel.Len() {
+		t.Fatalf("stream yielded %d rows, answer has %d", i, want.Rel.Len())
+	}
+	ans := st.Answer()
+	if ans == nil || ans.Eta != want.Eta || ans.Exact != want.Exact || ans.Stats != want.Stats {
+		t.Fatalf("stream answer header diverged: %+v vs %+v", ans, want)
+	}
+	// Rows() on the completed answer agrees too.
+	rows := ans.Rows()
+	if rows.Remaining() != want.Rel.Len() {
+		t.Fatalf("Rows().Remaining() = %d, want %d", rows.Remaining(), want.Rel.Len())
+	}
+	first, ok := rows.Next()
+	if !ok || !first.EqualTuple(want.Rel.Tuples[0]) {
+		t.Fatal("Rows() iterator disagrees with the relation")
+	}
+}
+
+// TestStreamCloseAborts: closing a partially consumed stream cancels the
+// producer; the stream reports the cancellation and the scheme remains
+// usable.
+func TestStreamCloseAborts(t *testing.T) {
+	s, q, opt := streamFixture(t)
+	ctx := context.Background()
+	st, err := s.StreamContext(ctx, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Next(); !ok {
+		t.Fatalf("no first row: %v", st.Err())
+	}
+	st.Close()
+	if _, ok := st.Next(); ok {
+		t.Error("closed stream still yields rows")
+	}
+	// A fresh call on the same scheme still works.
+	if _, _, err := s.AnswerContext(ctx, q, opt); err != nil {
+		t.Fatalf("scheme unusable after stream close: %v", err)
+	}
+}
+
+// TestStreamParentCancel: cancelling the parent context aborts an
+// in-flight stream with context.Canceled.
+func TestStreamParentCancel(t *testing.T) {
+	s, q, opt := streamFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := s.StreamContext(ctx, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+	}
+	// Either the producer was already done (fast machine) or it observed
+	// the cancellation; a non-nil error must be the cancellation.
+	if err := st.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("stream err = %v, want context.Canceled or nil", err)
+	}
+	st.Close()
+}

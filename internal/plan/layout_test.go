@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/fixture"
@@ -33,7 +34,7 @@ func TestFastEvalMatchesDynamic(t *testing.T) {
 				t.Fatalf("q%d budget %d: fetch: %v", qi, budget, err)
 			}
 			got, gotErr := EvaluateFetched(p, db, atoms)
-			want, wantErr := evaluateDynamic(p, db, atoms)
+			want, wantErr := evaluateDynamic(context.Background(), p, db, atoms)
 			if (gotErr != nil) != (wantErr != nil) {
 				t.Fatalf("q%d budget %d: err %v vs dynamic %v", qi, budget, gotErr, wantErr)
 			}

@@ -17,6 +17,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -82,44 +83,102 @@ type Result struct {
 	Stats   Stats
 }
 
+// ExecOpts is the per-call execution state of one plan run. It replaces the
+// former package-level toggles (PartitionAwareFetch, MinParallelEmitRows):
+// every knob travels with the call, so concurrent executions never share
+// mutable globals. Build one with DefaultExecOpts and override fields.
+type ExecOpts struct {
+	// Budget is this run's access budget (tuples returned by index
+	// lookups); the runtime backstop truncates fetching beyond it.
+	Budget int
+	// Workers bounds the fetch-side worker pool; < 2 keeps the strictly
+	// lazy, sequential reference path.
+	Workers int
+	// PartitionAware enables the batched scatter-gather fetch across the
+	// ladder's shards when Workers > 1. Answers are identical either way;
+	// false exists for apples-to-apples measurement of the legacy lazy
+	// serving path.
+	PartitionAware bool
+	// MinParallelEmitRows gates the chunked parallel row materialisation:
+	// below this many existing rows the goroutine fan-out costs more than
+	// the row assembly it spreads. Output is identical at any value.
+	MinParallelEmitRows int
+}
+
+// DefaultMinParallelEmitRows is the default chunked-emit gate of
+// DefaultExecOpts.
+const DefaultMinParallelEmitRows = 64
+
+// DefaultExecOpts returns the executor defaults for one run: partition-aware
+// fetching on, the standard parallel-emit gate.
+func DefaultExecOpts(budget, workers int) ExecOpts {
+	return ExecOpts{
+		Budget:              budget,
+		Workers:             workers,
+		PartitionAware:      true,
+		MinParallelEmitRows: DefaultMinParallelEmitRows,
+	}
+}
+
+// cancelStride bounds how many enumeration visits (or emitted row prefixes)
+// the hot loops process between two context checks: cancellation is noticed
+// within one stride of work at every level of the executor.
+const cancelStride = 64
+
 // Execute runs the full plan: fetch then relaxed evaluation, accounting
 // accesses against p.Budget.
+//
+// Deprecated: use ExecuteOpts, which takes a context and per-call options.
 func Execute(p *Bounded, db *relation.Database) (*Result, error) {
-	return ExecuteWithBudget(p, db, p.Budget)
+	return ExecuteOpts(context.Background(), p, db, DefaultExecOpts(p.Budget, 1))
 }
 
 // ExecuteWithBudget runs the full plan against an explicit access budget,
-// leaving the plan itself untouched. Plans are immutable once generated, so
-// the same *Bounded may be executed concurrently from many goroutines (each
-// call builds its own fetch state); the budget is per-call because callers
-// partition one global α|D| budget across the leaves of a larger plan.
-// This is the single-threaded reference path; see ExecuteWithBudgetWorkers.
+// leaving the plan itself untouched.
+//
+// Deprecated: use ExecuteOpts, which takes a context and per-call options.
 func ExecuteWithBudget(p *Bounded, db *relation.Database, budget int) (*Result, error) {
-	return ExecuteWithBudgetWorkers(p, db, budget, 1)
+	return ExecuteOpts(context.Background(), p, db, DefaultExecOpts(budget, 1))
 }
 
-// PartitionAwareFetch gates the batched scatter-gather fetch path globally.
-// It exists for apples-to-apples measurement (the perf harness turns it off
-// to time the legacy lazy-fetch serving path) and must only be toggled
-// while no queries are in flight. Answers are identical either way.
-var PartitionAwareFetch = true
-
-// ExecuteWithBudgetWorkers is ExecuteWithBudget with fetch-side parallelism:
-// with workers > 1 each fetch step first resolves its distinct X-values with
-// a scatter-gather batch across the ladder's shards and then materialises
-// the fetched rows over a bounded worker pool. Budget accounting stays
-// sequential in first-seen X order, so answers, Stats and truncation points
-// are byte-identical to the workers = 1 reference path (asserted by
-// TestShardCountInvariance and the golden digest suite).
+// ExecuteWithBudgetWorkers is ExecuteWithBudget with fetch-side parallelism.
+//
+// Deprecated: use ExecuteOpts, which takes a context and per-call options.
 func ExecuteWithBudgetWorkers(p *Bounded, db *relation.Database, budget, workers int) (*Result, error) {
-	if !PartitionAwareFetch {
-		workers = 1
+	return ExecuteOpts(context.Background(), p, db, DefaultExecOpts(budget, workers))
+}
+
+// ExecuteOpts runs the full plan — fetch then relaxed evaluation — under
+// per-call options, leaving the plan itself untouched. Plans are immutable
+// once generated, so the same *Bounded may be executed concurrently from
+// many goroutines (each call builds its own fetch state); the budget is
+// per-call because callers partition one global α|D| budget across the
+// leaves of a larger plan.
+//
+// With o.Workers > 1 and o.PartitionAware, each fetch step first resolves
+// its distinct X-values with a scatter-gather batch across the ladder's
+// shards and then materialises the fetched rows over a bounded worker pool.
+// Budget accounting stays sequential in first-seen X order, so answers,
+// Stats and truncation points are byte-identical to the Workers = 1
+// reference path (asserted by TestShardCountInvariance and the golden
+// digest suite).
+//
+// Cancellation is cooperative: ctx is checked between fetch steps, at the
+// shard fan-out of the partition-aware path, every few distinct X-values on
+// the lazy path, and per chunk during parallel row emit. A cancelled call
+// returns ctx.Err() promptly instead of burning the rest of its budget.
+func ExecuteOpts(ctx context.Context, p *Bounded, db *relation.Database, o ExecOpts) (*Result, error) {
+	if o.MinParallelEmitRows <= 0 {
+		o.MinParallelEmitRows = DefaultMinParallelEmitRows
 	}
-	atoms, stats, err := executeFetch(p, db, budget, workers)
+	if !o.PartitionAware || o.Workers < 1 {
+		o.Workers = 1
+	}
+	atoms, stats, err := executeFetch(ctx, p, db, o)
 	if err != nil {
 		return nil, err
 	}
-	res, err := EvaluateFetched(p, db, atoms)
+	res, err := evaluateFetched(ctx, p, db, atoms)
 	if err != nil {
 		return nil, err
 	}
@@ -129,12 +188,12 @@ func ExecuteWithBudgetWorkers(p *Bounded, db *relation.Database, budget, workers
 
 // ExecuteFetch runs ξF with the plan's own budget.
 func ExecuteFetch(p *Bounded, db *relation.Database) ([]*FetchedAtom, *Stats, error) {
-	return executeFetch(p, db, p.Budget, 1)
+	return executeFetch(context.Background(), p, db, DefaultExecOpts(p.Budget, 1))
 }
 
 // executeFetch runs ξF: it applies the chase steps in order against the
 // access-schema indices, materialising one relation per atom.
-func executeFetch(p *Bounded, db *relation.Database, budget, workers int) ([]*FetchedAtom, *Stats, error) {
+func executeFetch(ctx context.Context, p *Bounded, db *relation.Database, o ExecOpts) ([]*FetchedAtom, *Stats, error) {
 	lay, err := p.layoutFor(db)
 	if err != nil {
 		return nil, nil, err
@@ -144,12 +203,15 @@ func executeFetch(p *Bounded, db *relation.Database, budget, workers int) ([]*Fe
 	atoms := make([]*FetchedAtom, len(q.Atoms))
 
 	for si := range p.Chase.Steps {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		s := &p.Chase.Steps[si]
 		k := s.K
 		if !s.Pinned && p.Ks != nil {
 			k = p.Ks[si]
 		}
-		if err := applyStep(p, atoms, &lay.steps[si], s, si, k, budget, stats, workers); err != nil {
+		if err := applyStep(ctx, p, atoms, &lay.steps[si], s, si, k, o, stats); err != nil {
 			return nil, nil, err
 		}
 		if stats.Truncated {
@@ -168,12 +230,6 @@ func executeFetch(p *Bounded, db *relation.Database, budget, workers int) ([]*Fe
 	}
 	return atoms, stats, nil
 }
-
-// MinParallelEmitRows gates the chunked parallel row materialisation: below
-// this many existing rows the goroutine fan-out costs more than the row
-// assembly it spreads. Tests lower it to force the parallel path; output is
-// identical at any value.
-var MinParallelEmitRows = 64
 
 // assembleX writes the step's ladder-order X tuple for the current
 // enumeration state into dst (len(sl.route)). fill holds the current
@@ -196,26 +252,31 @@ func assembleX(sl *stepLayout, fill []relation.Value, prefix, dst relation.Tuple
 // external valuations — in deterministic order, calling visit once per
 // combination with the current prefix row and weight. fill (len(sl.route))
 // is updated in place with the current external valuation before each visit.
-func forEachEnum(rows []relation.Tuple, weights []int, virtual bool, extVals [][]relation.Tuple, sl *stepLayout, fill []relation.Value, visit func(prefix relation.Tuple, w int)) {
-	var walkExt func(gi int, prefix relation.Tuple, w int)
-	walkExt = func(gi int, prefix relation.Tuple, w int) {
+// A visit returning false aborts the enumeration (cooperative cancellation).
+func forEachEnum(rows []relation.Tuple, weights []int, virtual bool, extVals [][]relation.Tuple, sl *stepLayout, fill []relation.Value, visit func(prefix relation.Tuple, w int) bool) {
+	var walkExt func(gi int, prefix relation.Tuple, w int) bool
+	walkExt = func(gi int, prefix relation.Tuple, w int) bool {
 		if gi == len(sl.extGroups) {
-			visit(prefix, w)
-			return
+			return visit(prefix, w)
 		}
 		for _, vt := range extVals[gi] {
 			for i, xi := range sl.extGroups[gi] {
 				fill[xi] = vt[i]
 			}
-			walkExt(gi+1, prefix, w)
+			if !walkExt(gi+1, prefix, w) {
+				return false
+			}
 		}
+		return true
 	}
 	if virtual {
 		walkExt(0, nil, 1)
 		return
 	}
 	for ri, t := range rows {
-		walkExt(0, t, weights[ri])
+		if !walkExt(0, t, weights[ri]) {
+			return
+		}
 	}
 }
 
@@ -241,15 +302,19 @@ func buildRow(sl *stepLayout, arity int, prefix, xt, y relation.Tuple) relation.
 // (or creating) the atom's fetched relation. The hot loops only index flat
 // slices; the single map in sight is the hash-bucketed fetch cache.
 //
-// With workers > 1 the step takes the partition-aware path: the distinct
+// With o.Workers > 1 the step takes the partition-aware path: the distinct
 // X-values of the enumeration are collected first (in the same first-seen
 // order the lazy path discovers them), resolved with one scatter-gather
 // batch across the ladder's shards, budget-accounted sequentially in that
 // order, and the row materialisation then fans out over contiguous row
 // chunks whose concatenation reproduces the sequential output exactly.
-func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, si, k, budget int, stats *Stats, workers int) error {
+//
+// ctx is consulted every cancelStride enumeration visits (lazy path), at
+// the shard fan-out (prefetch) and per chunk of the parallel emit.
+func applyStep(ctx context.Context, p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, si, k int, o ExecOpts, stats *Stats) error {
 	ai := sl.atom
 	cur := atoms[ai]
+	budget, workers := o.Budget, o.Workers
 
 	// Materialise distinct joint valuations per external group.
 	extVals := make([][]relation.Tuple, len(sl.extGroups))
@@ -284,14 +349,16 @@ func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, 
 		enumCount = len(cur.Rel.Tuples)
 	}
 	for gi := range extVals {
-		if enumCount >= MinParallelEmitRows {
+		if enumCount >= o.MinParallelEmitRows {
 			break // saturated: the gate already passes
 		}
 		enumCount *= len(extVals[gi])
 	}
-	prefetched := workers > 1 && enumCount >= MinParallelEmitRows
+	prefetched := workers > 1 && enumCount >= o.MinParallelEmitRows
 	if prefetched {
-		prefetchStep(cur, extVals, sl, s, k, budget, stats, cache, workers)
+		if err := prefetchStep(ctx, cur, extVals, sl, s, k, budget, stats, cache, workers); err != nil {
+			return err
+		}
 	}
 
 	// fetch resolves one X-value with budget accounting; after a prefetch
@@ -322,10 +389,12 @@ func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, 
 		return samples
 	}
 
-	if prefetched && cur != nil && len(cur.Rel.Tuples) >= MinParallelEmitRows {
+	if prefetched && cur != nil && len(cur.Rel.Tuples) >= o.MinParallelEmitRows {
 		// Parallel row materialisation: contiguous chunks of the existing
 		// rows, each worker reading the prefilled cache only and writing its
-		// own output slices; chunk concatenation preserves row order.
+		// own output slices; chunk concatenation preserves row order. Every
+		// worker re-checks ctx each cancelStride prefixes, so a cancelled
+		// call abandons the emit within one stride per chunk.
 		rows, weights := cur.Rel.Tuples, cur.Weights
 		n := len(rows)
 		nw := workers
@@ -347,18 +416,26 @@ func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, 
 				xt := make(relation.Tuple, len(sl.route))
 				var pr []relation.Tuple
 				var pw []int
-				forEachEnum(rows[lo:hi], weights[lo:hi], false, extVals, sl, fill, func(prefix relation.Tuple, w int) {
+				visited := 0
+				forEachEnum(rows[lo:hi], weights[lo:hi], false, extVals, sl, fill, func(prefix relation.Tuple, w int) bool {
+					if visited++; visited%cancelStride == 0 && ctx.Err() != nil {
+						return false
+					}
 					assembleX(sl, fill, prefix, xt)
 					got, _ := cache.Get(xt) // read-only: prefetch covered every X
 					for _, smp := range got {
 						pr = append(pr, buildRow(sl, arity, prefix, xt, smp.Y))
 						pw = append(pw, w*smp.Count)
 					}
+					return true
 				})
 				parts[pi] = part{pr, pw}
 			}(pi, lo, hi)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, pt := range parts {
 			out.Rel.Tuples = append(out.Rel.Tuples, pt.rows...)
 			out.Weights = append(out.Weights, pt.ws...)
@@ -366,17 +443,25 @@ func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, 
 	} else {
 		fill := make([]relation.Value, len(sl.route))
 		xt := make(relation.Tuple, len(sl.route))
-		visit := func(prefix relation.Tuple, w int) {
+		visited := 0
+		visit := func(prefix relation.Tuple, w int) bool {
+			if visited++; visited%cancelStride == 0 && ctx.Err() != nil {
+				return false
+			}
 			assembleX(sl, fill, prefix, xt)
 			for _, smp := range fetch(xt) {
 				out.Rel.Tuples = append(out.Rel.Tuples, buildRow(sl, arity, prefix, xt, smp.Y))
 				out.Weights = append(out.Weights, w*smp.Count)
 			}
+			return true
 		}
 		if cur == nil {
 			forEachEnum(nil, nil, true, extVals, sl, fill, visit)
 		} else {
 			forEachEnum(cur.Rel.Tuples, cur.Weights, false, extVals, sl, fill, visit)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
 	atoms[ai] = out
@@ -388,24 +473,36 @@ func applyStep(p *Bounded, atoms []*FetchedAtom, sl *stepLayout, s *chase.Step, 
 // resolves them with one batched fan-out across the ladder's shards, and
 // accounts them against the budget sequentially in exactly that order —
 // the same tuples the lazy path would charge, truncated at the same point.
-func prefetchStep(cur *FetchedAtom, extVals [][]relation.Tuple, sl *stepLayout, s *chase.Step, k, budget int, stats *Stats, cache *relation.TupleMap[[]access.Sample], workers int) {
+// ctx is checked during collection (every cancelStride visits) and again
+// immediately before the shard fan-out.
+func prefetchStep(ctx context.Context, cur *FetchedAtom, extVals [][]relation.Tuple, sl *stepLayout, s *chase.Step, k, budget int, stats *Stats, cache *relation.TupleMap[[]access.Sample], workers int) error {
 	fill := make([]relation.Value, len(sl.route))
 	scratch := make(relation.Tuple, len(sl.route))
 	seen := relation.NewTupleSet(0)
 	var xs []relation.Tuple
-	collect := func(prefix relation.Tuple, w int) {
+	visited := 0
+	collect := func(prefix relation.Tuple, w int) bool {
+		if visited++; visited%cancelStride == 0 && ctx.Err() != nil {
+			return false
+		}
 		assembleX(sl, fill, prefix, scratch)
 		if seen.Has(scratch) {
-			return
+			return true
 		}
 		xt := append(relation.Tuple(nil), scratch...)
 		seen.Add(xt)
 		xs = append(xs, xt)
+		return true
 	}
 	if cur == nil {
 		forEachEnum(nil, nil, true, extVals, sl, fill, collect)
 	} else {
 		forEachEnum(cur.Rel.Tuples, cur.Weights, false, extVals, sl, fill, collect)
+	}
+	// Shard fan-out boundary: the last check before the batched fetch does
+	// real index work across shards.
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
 	raw := s.Ladder.FetchBatch(xs, k, workers)
@@ -427,6 +524,7 @@ func prefetchStep(cur *FetchedAtom, extVals [][]relation.Tuple, sl *stepLayout, 
 		stats.Accessed += len(samples)
 		cache.Put(xt, samples)
 	}
+	return nil
 }
 
 func atomAlias(p *Bounded, ai int) string { return p.Chase.Query.Atoms[ai].Name() }
@@ -440,10 +538,16 @@ func atomAlias(p *Bounded, ai int) string { return p.Chase.Query.Atoms[ai].Name(
 // fetches with partially built atoms take the dynamic reference path, which
 // resolves columns at runtime exactly as the original executor did.
 func EvaluateFetched(p *Bounded, db *relation.Database, atoms []*FetchedAtom) (*Result, error) {
+	return evaluateFetched(context.Background(), p, db, atoms)
+}
+
+// evaluateFetched is EvaluateFetched with cooperative cancellation: ctx is
+// checked at every atom-join boundary of either evaluator.
+func evaluateFetched(ctx context.Context, p *Bounded, db *relation.Database, atoms []*FetchedAtom) (*Result, error) {
 	if lay, err := p.layoutFor(db); err == nil && lay.eval != nil && layoutMatches(lay, atoms) {
-		return evaluateFast(p, lay, atoms)
+		return evaluateFast(ctx, p, lay, atoms)
 	}
-	return evaluateDynamic(p, db, atoms)
+	return evaluateDynamic(ctx, p, db, atoms)
 }
 
 // layoutMatches reports whether every fetched atom carries the precompiled
@@ -462,7 +566,7 @@ func layoutMatches(lay *planLayout, atoms []*FetchedAtom) bool {
 }
 
 // evaluateFast is the precompiled evaluation path.
-func evaluateFast(p *Bounded, lay *planLayout, atoms []*FetchedAtom) (*Result, error) {
+func evaluateFast(ctx context.Context, p *Bounded, lay *planLayout, atoms []*FetchedAtom) (*Result, error) {
 	q := p.Chase.Query
 	ev := lay.eval
 	resOf := func(ai int, attr string) float64 {
@@ -473,6 +577,9 @@ func evaluateFast(p *Bounded, lay *planLayout, atoms []*FetchedAtom) (*Result, e
 	var weights []int
 
 	for ai := range q.Atoms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fa := atoms[ai]
 
 		// Relaxed constant selection: tolerances are fixed per call, so
@@ -649,7 +756,7 @@ func evaluateFast(p *Bounded, lay *planLayout, atoms []*FetchedAtom) (*Result, e
 // runtime against whatever schemas the (possibly truncated) fetch produced.
 // It is retained verbatim from the pre-layout executor so truncated
 // executions behave exactly as before.
-func evaluateDynamic(p *Bounded, db *relation.Database, atoms []*FetchedAtom) (*Result, error) {
+func evaluateDynamic(ctx context.Context, p *Bounded, db *relation.Database, atoms []*FetchedAtom) (*Result, error) {
 	q := p.Chase.Query
 	outSchema, err := query.OutputSchema(q, db)
 	if err != nil {
@@ -689,6 +796,9 @@ func evaluateDynamic(p *Bounded, db *relation.Database, atoms []*FetchedAtom) (*
 	processed := map[string]bool{}
 
 	for ai, atom := range q.Atoms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		alias := atom.Name()
 		fa := atoms[ai]
 

@@ -3,25 +3,42 @@
 // cmd/beasd (the production daemon) and internal/bench (the end-to-end HTTP
 // latency harness) drive the exact same code.
 //
-// Two request paths share one concurrency-safe System:
+// Three request paths share one concurrency-safe System:
 //
 //   - POST /query answers a single query synchronously on the caller's
-//     connection goroutine — the lowest-latency path.
+//     connection goroutine — the lowest-latency path. The request's context
+//     is the execution context: a disconnected client aborts the query
+//     mid-flight.
+//   - POST /stream answers a single query as NDJSON: one columns line, one
+//     line per answer row as chunks are handed over by the streaming
+//     executor, and a final summary line carrying the accuracy bound and
+//     access stats. Rows are flushed incrementally — the HTTP response is
+//     never buffered whole (the answer set itself is still assembled in
+//     memory first, bounded by the α·|D| budget, because η is certified
+//     over the complete set) — and client disconnect cancels execution.
 //   - POST /batch pipelines many queries through a bounded request queue
-//     drained by a fixed worker pool. The queue gives backpressure (jobs
-//     that do not fit are rejected immediately, never buffered without
-//     bound) and every request carries a deadline: jobs whose deadline
-//     passes while queued are failed without executing, so a stalled
-//     client cannot wedge the pool.
+//     drained by a fixed worker pool. Admission is budget-weighted: each
+//     job weighs its estimated access budget ⌈α·|D|⌉, and jobs beyond the
+//     configured in-flight budget cap are rejected immediately — one giant
+//     batch cannot monopolise the worker pool ahead of small interactive
+//     queries. Every request carries a deadline that travels into the
+//     executor as a context deadline: jobs whose deadline passes while
+//     queued are failed without executing, and jobs whose deadline expires
+//     mid-flight are abandoned at the executor's next cancellation point
+//     instead of burning a worker to completion.
 //
 // GET /healthz reports liveness plus dataset shape; GET /stats reports
-// serving counters, queue pressure and plan-cache effectiveness.
+// serving counters, queue pressure (including the in-flight budget weight),
+// per-tag query attribution and plan-cache effectiveness.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -38,10 +55,17 @@ type Config struct {
 	System *beas.System
 	// DefaultAlpha is used when a request omits alpha (default 0.01).
 	DefaultAlpha float64
-	// MaxRows caps answer rows returned per query (default 1000).
+	// MaxRows caps answer rows returned per /query and per /batch entry
+	// (default 1000). /stream is uncapped: it exists to deliver large
+	// answers incrementally.
 	MaxRows int
+	// ExecOptions are prepended to every query's options (before the
+	// request's own alpha and tag), letting the embedder pin an execution
+	// strategy — the HTTP latency harness uses this to time the legacy
+	// lazy-fetch path without any global toggles.
+	ExecOptions []beas.Option
 	// Dataset, DBSize, Relations and Shards describe the loaded data for
-	// /healthz; informational only.
+	// /healthz. DBSize also sizes the default batch BudgetCap.
 	Dataset   string
 	DBSize    int
 	Relations int
@@ -57,6 +81,12 @@ type Config struct {
 	// DefaultDeadline applies to batch requests that set no deadlineMs
 	// (default 30s).
 	DefaultDeadline time.Duration
+	// BudgetCap bounds the summed estimated budgets ⌈α·|D|⌉ of admitted
+	// but unfinished /batch jobs (weighted admission). 0 derives 4×DBSize
+	// when DBSize is known and otherwise disables the weight gate. One
+	// job is always admitted when nothing else is in flight, so a single
+	// over-cap query stays servable.
+	BudgetCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,14 +108,23 @@ func (c Config) withDefaults() Config {
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 30 * time.Second
 	}
+	if c.BudgetCap <= 0 {
+		if c.DBSize > 0 {
+			c.BudgetCap = 4 * c.DBSize
+		} else {
+			c.BudgetCap = math.MaxInt
+		}
+	}
 	return c
 }
 
-// QueryRequest is the body of one /query call and one element of a /batch
-// call's queries array.
+// QueryRequest is the body of one /query or /stream call and one element
+// of a /batch call's queries array.
 type QueryRequest struct {
 	SQL   string  `json:"sql"`
 	Alpha float64 `json:"alpha"`
+	// Tag attributes the query in the per-tag stats of /stats (optional).
+	Tag string `json:"tag,omitempty"`
 }
 
 // QueryResponse is the answer payload of one query.
@@ -113,17 +152,20 @@ type BatchRequest struct {
 }
 
 // BatchEntry is the outcome of one query of a batch: either a result or an
-// error, with TimedOut marking deadline expiry and Rejected marking queue
-// backpressure.
+// error, with TimedOut marking deadline expiry (queued or mid-flight),
+// Cancelled marking context cancellation (client gone, server closing) and
+// Rejected marking admission refusal (queue backpressure or the in-flight
+// budget cap).
 type BatchEntry struct {
 	QueryResponse
-	Error    string `json:"error,omitempty"`
-	TimedOut bool   `json:"timedOut,omitempty"`
-	Rejected bool   `json:"rejected,omitempty"`
+	Error     string `json:"error,omitempty"`
+	TimedOut  bool   `json:"timedOut,omitempty"`
+	Cancelled bool   `json:"cancelled,omitempty"`
+	Rejected  bool   `json:"rejected,omitempty"`
 }
 
 // BatchResponse is the body of a /batch reply. Entries are in request
-// order. Rejected counts entries refused by queue backpressure.
+// order. Rejected counts entries refused at admission.
 type BatchResponse struct {
 	Results  []BatchEntry `json:"results"`
 	Rejected int          `json:"rejected,omitempty"`
@@ -132,10 +174,15 @@ type BatchResponse struct {
 
 // job is one queued batch query awaiting a worker.
 type job struct {
-	req      QueryRequest
+	req QueryRequest
+	// ctx is the parent (request) context; the worker derives the
+	// execution context from it with the job's deadline.
+	ctx      context.Context
 	deadline time.Time
-	entry    *BatchEntry
-	wg       *sync.WaitGroup
+	// weight is the admission weight ⌈α·|D|⌉ released on completion.
+	weight int64
+	entry  *BatchEntry
+	wg     *sync.WaitGroup
 }
 
 // Server hosts the HTTP handlers and the batch worker pool over one shared
@@ -148,14 +195,17 @@ type Server struct {
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
-	queries   atomic.Int64 // successful query executions (both paths)
+	queries   atomic.Int64 // successful query executions (all paths)
 	failures  atomic.Int64 // rejected or failed query executions
 	totalNS   atomic.Int64 // cumulative serving time of successful executions
+	streams   atomic.Int64 // /stream calls completed successfully
 	batches   atomic.Int64 // /batch calls accepted
-	timeouts  atomic.Int64 // batch jobs expired before execution
-	rejected  atomic.Int64 // batch jobs refused by backpressure
+	expired   atomic.Int64 // batch jobs failed on deadline (queued or mid-flight)
+	cancelled atomic.Int64 // batch jobs aborted by context cancellation
+	rejected  atomic.Int64 // batch jobs refused at admission
 	enqueued  atomic.Int64 // batch jobs admitted to the queue
 	completed atomic.Int64 // batch jobs finished by workers
+	inflight  atomic.Int64 // summed admission weight of unfinished batch jobs
 }
 
 // New builds a Server and starts its batch worker pool.
@@ -192,7 +242,10 @@ func (s *Server) Close() {
 		select {
 		case j := <-s.queue:
 			j.entry.Error = "server shutting down"
+			j.entry.Cancelled = true
+			s.cancelled.Add(1)
 			s.failures.Add(1)
+			s.inflight.Add(-j.weight)
 			j.wg.Done()
 		default:
 			return
@@ -200,10 +253,11 @@ func (s *Server) Close() {
 	}
 }
 
-// Handler returns the route mux: /query, /batch, /healthz, /stats.
+// Handler returns the route mux: /query, /stream, /batch, /healthz, /stats.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -215,27 +269,63 @@ func (s *Server) Handler() http.Handler {
 // ballooning memory.
 const maxRequestBytes = 1 << 20
 
-// execute answers one request against the shared System, returning an HTTP
-// status for the error cases.
-func (s *Server) execute(req QueryRequest) (*QueryResponse, int, error) {
+// effectiveAlpha resolves a request's resource ratio against the server
+// default, without validating it.
+func (s *Server) effectiveAlpha(req QueryRequest) float64 {
+	if req.Alpha == 0 {
+		return s.cfg.DefaultAlpha
+	}
+	return req.Alpha
+}
+
+// queryOptions assembles the per-call options for one request: the
+// server-wide ExecOptions first, then the request's alpha and tag. The
+// request's alpha always governs the resource bound — a WithBudget pinned
+// in Config.ExecOptions is reset (WithBudget(0) = unset), because an
+// absolute budget would silently override every client's alpha and
+// desynchronise the weighted batch admission, which weighs jobs by
+// ⌈α·|D|⌉. Config.ExecOptions is for execution-strategy knobs (fetch
+// workers, partition-aware toggle, cache bypass), not resource bounds.
+func (s *Server) queryOptions(req QueryRequest, alpha float64) []beas.Option {
+	opts := make([]beas.Option, 0, len(s.cfg.ExecOptions)+3)
+	opts = append(opts, s.cfg.ExecOptions...)
+	opts = append(opts, beas.WithBudget(0), beas.WithAlpha(alpha))
+	if req.Tag != "" {
+		opts = append(opts, beas.WithTag(req.Tag))
+	}
+	return opts
+}
+
+// validate rejects requests that cannot run before any work happens.
+func (s *Server) validate(req QueryRequest) (float64, int, error) {
 	if req.SQL == "" {
-		s.failures.Add(1)
-		return nil, http.StatusBadRequest, fmt.Errorf("missing \"sql\"")
+		return 0, http.StatusBadRequest, fmt.Errorf("missing \"sql\"")
 	}
-	alpha := req.Alpha
-	if alpha == 0 {
-		alpha = s.cfg.DefaultAlpha
-	}
+	alpha := s.effectiveAlpha(req)
 	if alpha <= 0 || alpha > 1 {
+		return 0, http.StatusBadRequest, fmt.Errorf("alpha %g outside (0, 1]", alpha)
+	}
+	return alpha, http.StatusOK, nil
+}
+
+// execute answers one request against the shared System under ctx,
+// returning an HTTP status for the error cases.
+func (s *Server) execute(ctx context.Context, req QueryRequest) (*QueryResponse, int, error) {
+	alpha, code, err := s.validate(req)
+	if err != nil {
 		s.failures.Add(1)
-		return nil, http.StatusBadRequest, fmt.Errorf("alpha %g outside (0, 1]", alpha)
+		return nil, code, err
 	}
 
 	start := time.Now()
-	ans, plan, err := s.cfg.System.QuerySQL(req.SQL, alpha)
+	ans, plan, err := s.cfg.System.QuerySQL(ctx, req.SQL, s.queryOptions(req, alpha)...)
 	if err != nil {
 		s.failures.Add(1)
-		return nil, http.StatusUnprocessableEntity, err
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		return nil, code, err
 	}
 	served := time.Since(start)
 	s.queries.Add(1)
@@ -260,13 +350,18 @@ func (s *Server) execute(req QueryRequest) (*QueryResponse, int, error) {
 			resp.Truncated = true
 			break
 		}
-		row := make([]string, len(t))
-		for j, v := range t {
-			row[j] = v.String()
-		}
-		resp.Tuples = append(resp.Tuples, row)
+		resp.Tuples = append(resp.Tuples, stringRow(t))
 	}
 	return resp, http.StatusOK, nil
+}
+
+// stringRow renders one tuple for the JSON wire format.
+func stringRow(t beas.Tuple) []string {
+	row := make([]string, len(t))
+	for j, v := range t {
+		row[j] = v.String()
+	}
+	return row
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -281,7 +376,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
-	resp, code, err := s.execute(req)
+	resp, code, err := s.execute(r.Context(), req)
 	if err != nil {
 		httpError(w, code, err.Error())
 		return
@@ -289,24 +384,192 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// runJob executes one queued batch query, or fails it when its deadline
-// passed while it waited.
+// streamFlushRows is how many NDJSON row lines are written between two
+// explicit flushes on /stream.
+const streamFlushRows = 64
+
+// StreamSummary is the final NDJSON line of a /stream response.
+type StreamSummary struct {
+	Rows      int     `json:"rows"`
+	Eta       float64 `json:"eta"`
+	Exact     bool    `json:"exact"`
+	Alpha     float64 `json:"alpha"`
+	Accessed  int     `json:"accessed"`
+	Budget    int     `json:"budget"`
+	CacheHit  bool    `json:"cacheHit"`
+	PlanGenMS float64 `json:"planGenMs"`
+	ServedMS  float64 `json:"servedMs"`
+}
+
+// streamLine is one NDJSON line of a /stream response: exactly one field is
+// set per line — columns first, then rows, then either a summary or an
+// error.
+type streamLine struct {
+	Columns []string       `json:"columns,omitempty"`
+	Row     []string       `json:"row,omitempty"`
+	Summary *StreamSummary `json:"summary,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// handleStream answers one query as NDJSON over the streaming executor.
+// Planning errors surface as a normal HTTP error before any line is
+// written; errors after the stream started (cancellation, deadline) become
+// a final {"error": ...} line, since the 200 header is already out.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failures.Add(1)
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	alpha, code, err := s.validate(req)
+	if err != nil {
+		s.failures.Add(1)
+		httpError(w, code, err.Error())
+		return
+	}
+	q, err := beas.ParseSQL(req.SQL)
+	if err != nil {
+		s.failures.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	start := time.Now()
+	st, err := s.cfg.System.QueryStream(r.Context(), q, s.queryOptions(req, alpha)...)
+	if err != nil {
+		s.failures.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	defer st.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var cols []string
+	for _, a := range st.Schema().Attrs {
+		cols = append(cols, a.Name)
+	}
+	_ = enc.Encode(streamLine{Columns: cols})
+	flush()
+
+	rows := 0
+	for {
+		t, ok := st.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(streamLine{Row: stringRow(t)}); err != nil {
+			// Client is gone; Close (deferred) cancels the execution.
+			s.failures.Add(1)
+			return
+		}
+		if rows++; rows%streamFlushRows == 0 {
+			flush()
+		}
+	}
+	if err := st.Err(); err != nil {
+		s.failures.Add(1)
+		_ = enc.Encode(streamLine{Error: err.Error()})
+		flush()
+		return
+	}
+	served := time.Since(start)
+	ans, plan := st.Answer(), st.Plan()
+	_ = enc.Encode(streamLine{Summary: &StreamSummary{
+		Rows:      rows,
+		Eta:       ans.Eta,
+		Exact:     ans.Exact,
+		Alpha:     alpha,
+		Accessed:  ans.Stats.Accessed,
+		Budget:    plan.Budget,
+		CacheHit:  plan.CacheHit,
+		PlanGenMS: float64(plan.GenTime.Microseconds()) / 1e3,
+		ServedMS:  float64(served.Microseconds()) / 1e3,
+	}})
+	flush()
+	s.queries.Add(1)
+	s.streams.Add(1)
+	s.totalNS.Add(served.Nanoseconds())
+}
+
+// jobWeight is the admission weight of one batch entry: its estimated
+// access budget ⌈α·|D|⌉ (at least 1, and 1 when the dataset size is not
+// configured — weighted admission then degrades to per-entry counting).
+func (s *Server) jobWeight(alpha float64) int64 {
+	if s.cfg.DBSize <= 0 || alpha <= 0 || alpha > 1 {
+		return 1
+	}
+	w := int64(math.Ceil(alpha * float64(s.cfg.DBSize)))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// admit reserves w units of the in-flight budget, refusing when the cap
+// would be exceeded — unless nothing else is in flight, so one over-cap job
+// is still servable rather than permanently rejected.
+func (s *Server) admit(w int64) bool {
+	nw := s.inflight.Add(w)
+	if nw > int64(s.cfg.BudgetCap) && nw != w {
+		s.inflight.Add(-w)
+		return false
+	}
+	return true
+}
+
+// runJob executes one queued batch query under its remaining deadline, or
+// fails it when the deadline passed while it waited. Mid-flight expiry is
+// abandoned at the executor's next cancellation point — an expired job no
+// longer burns a worker to completion.
 func (s *Server) runJob(j *job) {
 	defer s.completed.Add(1)
+	defer s.inflight.Add(-j.weight)
 	defer j.wg.Done()
 	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
 		j.entry.TimedOut = true
 		j.entry.Error = "deadline exceeded before execution"
-		s.timeouts.Add(1)
+		s.expired.Add(1)
 		s.failures.Add(1)
 		return
 	}
-	resp, _, err := s.execute(j.req)
-	if err != nil {
-		j.entry.Error = err.Error()
-		return
+	ctx := j.ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	j.entry.QueryResponse = *resp
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
+	resp, _, err := s.execute(ctx, j.req)
+	switch {
+	case err == nil:
+		j.entry.QueryResponse = *resp
+	case errors.Is(err, context.DeadlineExceeded):
+		j.entry.TimedOut = true
+		j.entry.Error = "deadline exceeded mid-execution"
+		s.expired.Add(1)
+	case errors.Is(err, context.Canceled):
+		j.entry.Cancelled = true
+		j.entry.Error = "cancelled: " + err.Error()
+		s.cancelled.Add(1)
+	default:
+		j.entry.Error = err.Error()
+	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -340,14 +603,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var wg sync.WaitGroup
 	for i, q := range req.Queries {
 		entry := &resp.Results[i]
+		weight := s.jobWeight(s.effectiveAlpha(q))
+		if !s.admit(weight) {
+			// Weighted backpressure: the in-flight budget cap is reached;
+			// fail fast instead of queueing work the pool cannot absorb.
+			entry.Rejected = true
+			entry.Error = "in-flight budget cap reached"
+			resp.Rejected++
+			s.rejected.Add(1)
+			s.failures.Add(1)
+			continue
+		}
 		wg.Add(1)
-		j := &job{req: q, deadline: deadline, entry: entry, wg: &wg}
+		j := &job{req: q, ctx: r.Context(), deadline: deadline, weight: weight, entry: entry, wg: &wg}
 		select {
 		case s.queue <- j:
 			s.enqueued.Add(1)
 		default:
-			// Backpressure: the queue is full; fail fast instead of
+			// Queue backpressure: the channel is full; fail fast instead of
 			// buffering without bound.
+			s.inflight.Add(-weight)
 			entry.Rejected = true
 			entry.Error = "request queue full"
 			resp.Rejected++
@@ -379,20 +654,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		avgMS = float64(s.totalNS.Load()) / float64(ok) / 1e6
 	}
 	cache := s.cfg.System.PlanCacheStats()
+	tags := map[string]any{}
+	for tag, st := range s.cfg.System.QueryStats() {
+		tags[tag] = map[string]any{
+			"queries":  st.Queries,
+			"errors":   st.Errors,
+			"accessed": st.Accessed,
+			"totalMs":  float64(st.Total.Microseconds()) / 1e3,
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":      ok,
 		"failures":     s.failures.Load(),
+		"streams":      s.streams.Load(),
 		"avgLatencyMs": avgMS,
 		"batch": map[string]any{
-			"batches":    s.batches.Load(),
-			"enqueued":   s.enqueued.Load(),
-			"completed":  s.completed.Load(),
-			"rejected":   s.rejected.Load(),
-			"timeouts":   s.timeouts.Load(),
-			"queueDepth": len(s.queue),
-			"queueCap":   cap(s.queue),
-			"workers":    s.cfg.Workers,
+			"batches":        s.batches.Load(),
+			"enqueued":       s.enqueued.Load(),
+			"completed":      s.completed.Load(),
+			"rejected":       s.rejected.Load(),
+			"expired":        s.expired.Load(),
+			"cancelled":      s.cancelled.Load(),
+			"queueDepth":     len(s.queue),
+			"queueCap":       cap(s.queue),
+			"workers":        s.cfg.Workers,
+			"budgetCap":      s.cfg.BudgetCap,
+			"inFlightBudget": s.inflight.Load(),
 		},
+		"tags": tags,
 		"planCache": map[string]any{
 			"hits":      cache.Hits,
 			"misses":    cache.Misses,

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -29,6 +30,9 @@ func testServer(t *testing.T) *Server {
 		Dataset:      "example1",
 		DBSize:       db.Size(),
 		Relations:    len(db.Names()),
+		// Generous cap: these tests exercise serving concurrency, not
+		// weighted admission (which has its own servers below).
+		BudgetCap: 1000 * db.Size(),
 	})
 	t.Cleanup(s.Close)
 	return s
@@ -279,8 +283,8 @@ func TestBatchDeadline(t *testing.T) {
 	if !entry.TimedOut || entry.Error == "" {
 		t.Fatalf("expired job not timed out: %+v", entry)
 	}
-	if s.timeouts.Load() != 1 {
-		t.Errorf("timeouts = %d", s.timeouts.Load())
+	if s.expired.Load() != 1 {
+		t.Errorf("expired = %d", s.expired.Load())
 	}
 }
 
@@ -341,5 +345,258 @@ func TestConcurrentRequests(t *testing.T) {
 	}
 	if s.cfg.System.PlanCacheStats().Hits == 0 {
 		t.Error("no cache hits under concurrent repeated traffic")
+	}
+}
+
+// TestWeightedAdmission drives the budget-weighted admission gate directly:
+// one job fills the cap, further jobs are refused until the weight is
+// released, and a single over-cap job is still admitted when nothing else
+// is in flight.
+func TestWeightedAdmission(t *testing.T) {
+	db := fixture.Example1(11, 40, 30)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{
+		cfg: Config{
+			System: beas.Open(db, as), DBSize: db.Size(), BudgetCap: db.Size(),
+		}.withDefaults(),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+	}
+	full := s.jobWeight(1.0)
+	if full != int64(db.Size()) {
+		t.Fatalf("jobWeight(1.0) = %d, want |D| = %d", full, db.Size())
+	}
+	if w := s.jobWeight(0.01); w < 1 {
+		t.Fatalf("jobWeight(0.01) = %d, want >= 1", w)
+	}
+	if !s.admit(full) {
+		t.Fatal("first job refused with an empty pool")
+	}
+	if s.admit(1) {
+		t.Fatal("cap reached but another job was admitted")
+	}
+	s.inflight.Add(-full)
+	if !s.admit(2 * full) {
+		t.Fatal("over-cap job refused despite empty pool (would be permanently unservable)")
+	}
+	if s.admit(1) {
+		t.Fatal("admission open while an over-cap job is in flight")
+	}
+	s.inflight.Add(-2 * full)
+	if got := s.inflight.Load(); got != 0 {
+		t.Fatalf("in-flight weight leaked: %d", got)
+	}
+}
+
+// TestBatchWeightedAdmissionEndToEnd: with a cap of one full-budget job and
+// a single worker, a batch of three alpha=1 queries admits the first and
+// rejects the rest while it is in flight — a giant batch cannot monopolise
+// the pool.
+func TestBatchWeightedAdmissionEndToEnd(t *testing.T) {
+	db := fixture.Example1(11, 120, 80)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		System:    beas.Open(db, as),
+		DBSize:    db.Size(),
+		BudgetCap: db.Size(), // exactly one alpha=1 job
+		Workers:   1,
+	})
+	t.Cleanup(s.Close)
+	rec, resp := postBatch(t, s, `{"queries": [
+		{"sql": "select p.city from person as p", "alpha": 1.0},
+		{"sql": "select p.city from person as p", "alpha": 1.0},
+		{"sql": "select p.city from person as p", "alpha": 1.0}
+	]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if resp.Results[0].Rejected || resp.Results[0].Error != "" {
+		t.Fatalf("first entry should run: %+v", resp.Results[0])
+	}
+	if resp.Rejected != 2 || !resp.Results[1].Rejected || !resp.Results[2].Rejected {
+		t.Fatalf("rejected = %d, entries = %+v", resp.Rejected, resp.Results[1:])
+	}
+	if !strings.Contains(resp.Results[1].Error, "budget cap") {
+		t.Errorf("rejection reason = %q", resp.Results[1].Error)
+	}
+	if got := s.inflight.Load(); got != 0 {
+		t.Errorf("in-flight weight after batch = %d, want 0", got)
+	}
+	// The cap and the (now zero) in-flight weight are visible on /stats.
+	recStats := httptest.NewRecorder()
+	s.handleStats(recStats, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats map[string]any
+	if err := json.Unmarshal(recStats.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	batch := stats["batch"].(map[string]any)
+	if batch["budgetCap"].(float64) != float64(db.Size()) || batch["inFlightBudget"].(float64) != 0 {
+		t.Errorf("stats batch = %v", batch)
+	}
+}
+
+// TestRunJobCancelledCounted: a job whose parent context is cancelled (the
+// batch client disconnected) is aborted and counted as cancelled, not
+// expired.
+func TestRunJobCancelledCounted(t *testing.T) {
+	s := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	entry := &BatchEntry{}
+	s.runJob(&job{
+		req:      QueryRequest{SQL: "select p.city from person as p"},
+		ctx:      ctx,
+		deadline: time.Now().Add(time.Hour),
+		entry:    entry,
+		wg:       &wg,
+	})
+	wg.Wait()
+	if !entry.Cancelled || entry.TimedOut {
+		t.Fatalf("entry = %+v, want cancelled (not timed out)", entry)
+	}
+	if s.cancelled.Load() != 1 || s.expired.Load() != 0 {
+		t.Errorf("cancelled = %d, expired = %d", s.cancelled.Load(), s.expired.Load())
+	}
+}
+
+// TestRunJobMidFlightDeadline: a job whose execution context reports
+// deadline expiry during execution (rather than while queued) is abandoned
+// mid-flight and recorded as expired with the mid-execution error — the old
+// serving layer burned the worker to completion instead. The expiry is
+// injected deterministically through an already-expired parent context
+// while the job's own admission deadline is still in the future, so the
+// pre-execution time check passes and the executor's cooperative
+// cancellation is what abandons the work (wall-clock timers are not
+// reliable on a starved single-CPU runner; the core-level countdown test
+// pins the promptness bound).
+func TestRunJobMidFlightDeadline(t *testing.T) {
+	s := testServer(t)
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	entry := &BatchEntry{}
+	s.runJob(&job{
+		req:      QueryRequest{SQL: "select p.city from person as p", Alpha: 0.5},
+		ctx:      expired,
+		deadline: time.Now().Add(time.Hour),
+		entry:    entry,
+		wg:       &wg,
+	})
+	wg.Wait()
+	if !entry.TimedOut || entry.Cancelled {
+		t.Fatalf("entry = %+v, want timed out mid-execution", entry)
+	}
+	if entry.Error != "deadline exceeded mid-execution" {
+		t.Fatalf("error = %q, want mid-execution expiry (pre-execution expiry means the worker never started)", entry.Error)
+	}
+	if s.expired.Load() != 1 || s.cancelled.Load() != 0 {
+		t.Errorf("expired = %d, cancelled = %d", s.expired.Load(), s.cancelled.Load())
+	}
+}
+
+// TestStreamEndpoint: /stream emits NDJSON — a columns line, one line per
+// row, a final summary line consistent with /query on the same request.
+func TestStreamEndpoint(t *testing.T) {
+	s := testServer(t)
+	body := `{"sql": "select h.address from poi as h where h.type = 'hotel'", "alpha": 0.5, "tag": "ndjson"}`
+	_, qresp := postQuery(t, s, body)
+
+	req := httptest.NewRequest(http.MethodPost, "/stream", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.handleStream(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	type line struct {
+		Columns []string       `json:"columns"`
+		Row     []string       `json:"row"`
+		Summary *StreamSummary `json:"summary"`
+		Error   string         `json:"error"`
+	}
+	var rows int
+	var summary *StreamSummary
+	dec := json.NewDecoder(strings.NewReader(rec.Body.String()))
+	first := true
+	for dec.More() {
+		var l line
+		if err := dec.Decode(&l); err != nil {
+			t.Fatalf("bad NDJSON line: %v", err)
+		}
+		switch {
+		case first:
+			if len(l.Columns) != 1 || l.Columns[0] != "h.address" {
+				t.Fatalf("first line columns = %v", l.Columns)
+			}
+			first = false
+		case l.Row != nil:
+			rows++
+		case l.Summary != nil:
+			summary = l.Summary
+		case l.Error != "":
+			t.Fatalf("stream error line: %s", l.Error)
+		}
+	}
+	if summary == nil {
+		t.Fatal("no summary line")
+	}
+	if summary.Rows != rows {
+		t.Errorf("summary rows %d != streamed rows %d", summary.Rows, rows)
+	}
+	if rows != qresp.Rows {
+		t.Errorf("streamed %d rows, /query reports %d", rows, qresp.Rows)
+	}
+	if summary.Eta != qresp.Eta || summary.Budget != qresp.Budget {
+		t.Errorf("summary %+v vs query %+v", summary, qresp)
+	}
+	// The tagged call shows up in /stats.
+	recStats := httptest.NewRecorder()
+	s.handleStats(recStats, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats map[string]any
+	if err := json.Unmarshal(recStats.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	tags := stats["tags"].(map[string]any)
+	if _, ok := tags["ndjson"]; !ok {
+		t.Errorf("tag missing from stats: %v", tags)
+	}
+}
+
+// TestStreamEndpointErrors: invalid requests fail before any NDJSON is
+// written, with ordinary HTTP error codes.
+func TestStreamEndpointErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"sql": "select x from", "alpha": 0.1}`, http.StatusUnprocessableEntity},
+		{`{"sql": "select p.city from person as p", "alpha": 9}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(http.MethodPost, "/stream", strings.NewReader(c.body))
+		rec := httptest.NewRecorder()
+		s.handleStream(rec, req)
+		if rec.Code != c.code {
+			t.Errorf("body %q: status %d, want %d", c.body, rec.Code, c.code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.handleStream(rec, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", rec.Code)
 	}
 }
