@@ -41,6 +41,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/accuracy"
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/plancache"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -186,6 +187,9 @@ func BuildAt(db *Database) (*AccessSchema, error) { return access.BuildAt(db) }
 // Do not mutate the Database after Open.
 type System struct {
 	scheme *core.Scheme
+	// store is the persistence binding of OpenPersisted (nil when the
+	// system is purely in-memory); see persistence.go.
+	store *persist.Store
 }
 
 // PlanCacheStats is a snapshot of plan-cache effectiveness counters.

@@ -10,6 +10,7 @@
 //	beasbench -tiny                # fast smoke run
 //	beasbench -perf -out B.json    # run the perf harness, write/append JSON
 //	beasbench -perf -label after   # label the run inside the report
+//	beasbench -persist             # cold build vs warm snapshot load
 //	beasbench -cpuprofile cpu.out  # profile any of the above
 package main
 
@@ -45,14 +46,15 @@ func run() (code int) {
 		tiny    = flag.Bool("tiny", false, "use the tiny smoke-test configuration")
 		queries = flag.Int("queries", 0, "override the number of workload queries")
 
-		perf    = flag.Bool("perf", false, "run the tracked perf harness instead of the figures")
-		httpB   = flag.Bool("http", false, "run the end-to-end HTTP latency harness (shard counts 1/2/4/8 + legacy)")
-		out     = flag.String("out", "", "with -perf/-http: write (or append the run to) this JSON report")
-		label   = flag.String("label", "current", "with -perf/-http: label of the run inside the report")
-		pr      = flag.Int("pr", 3, "with -perf/-http -out: PR number recorded in a fresh report")
-		smoke   = flag.Bool("smoke", false, "with -perf/-http: shrink to a fast correctness smoke")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		perf     = flag.Bool("perf", false, "run the tracked perf harness instead of the figures")
+		httpB    = flag.Bool("http", false, "run the end-to-end HTTP latency harness (shard counts 1/2/4/8 + legacy)")
+		persistB = flag.Bool("persist", false, "run the cold-vs-warm start harness (snapshot load vs ladder rebuild)")
+		out      = flag.String("out", "", "with -perf/-http: write (or append the run to) this JSON report")
+		label    = flag.String("label", "current", "with -perf/-http: label of the run inside the report")
+		pr       = flag.Int("pr", 3, "with -perf/-http -out: PR number recorded in a fresh report")
+		smoke    = flag.Bool("smoke", false, "with -perf/-http: shrink to a fast correctness smoke")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -88,18 +90,21 @@ func run() (code int) {
 		}()
 	}
 
-	if *perf || *httpB {
-		return runPerf(*out, *label, *pr, *smoke, *httpB)
+	if *perf || *httpB || *persistB {
+		return runPerf(*out, *label, *pr, *smoke, *httpB, *persistB)
 	}
 	return runFigures(*fig, *tiny, *queries)
 }
 
-func runPerf(out, label string, pr int, smoke, httpB bool) int {
+func runPerf(out, label string, pr int, smoke, httpB, persistB bool) int {
 	var run *bench.PerfRun
 	var err error
-	if httpB {
+	switch {
+	case httpB:
 		run, err = bench.RunHTTPPerf(label, smoke, nil)
-	} else {
+	case persistB:
+		run, err = bench.RunPersistPerf(label, smoke)
+	default:
 		run, err = bench.RunPerf(label, smoke)
 	}
 	if err != nil {

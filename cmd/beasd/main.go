@@ -1,7 +1,9 @@
 // Command beasd serves resource-bounded approximate query answering over
 // HTTP: the online half of the BEAS architecture (paper Fig. 2) as a
-// long-running daemon. At startup it loads a dataset, builds the access
-// schema offline (partitioned across -shards goroutine-owned shards), and
+// long-running daemon. At startup it loads a dataset and either builds the
+// access schema offline (partitioned across -shards goroutine-owned shards)
+// or — with -data — warm-starts from the directory's snapshot and replayed
+// maintenance WAL, skipping the offline index construction entirely. It
 // then serves any number of concurrent clients from one shared System —
 // parallel leaf execution, scatter-gather fetches, plan caching and all.
 // The handlers live in internal/serve; this command only wires flags,
@@ -9,9 +11,11 @@
 //
 // Usage:
 //
-//	beasd -addr :8080 -dataset tpch -scale 2 -alpha 0.01 -shards 4
+//	beasd -addr :8080 -dataset tpch -scale 2 -alpha 0.01 -shards 4 \
+//	      -data /var/lib/beasd/tpch
 //
-// Endpoints (see internal/serve and the README "Serving" section):
+// Endpoints (see internal/serve and the README "Serving" and "Operations"
+// sections):
 //
 //	POST /query    {"sql": "select ...", "alpha": 0.05, "tag": "team-a"}
 //	               → answers + eta + access stats (alpha optional,
@@ -26,9 +30,16 @@
 //	                 with budget-weighted admission (-budget-cap) and
 //	                 per-request deadlines that abandon expired work
 //	                 mid-flight
+//	POST /snapshot → checkpoint a -data system (snapshot + WAL truncate),
+//	               or {"dir": "/path"} for a standalone snapshot copy
 //	GET  /healthz  → liveness + dataset summary
 //	GET  /stats    → query/batch counters, latency, in-flight budget
-//	                 weight, per-tag attribution, plan-cache stats
+//	                 weight, per-tag attribution, plan-cache stats,
+//	                 uptime, per-ladder footprints, snapshot/WAL counters
+//
+// Shutdown is graceful: on SIGTERM/SIGINT the daemon stops accepting
+// requests, drains in-flight HTTP work and the /batch queue, writes a final
+// checkpoint (with -data) and only then exits.
 //
 // Example:
 //
@@ -69,13 +80,16 @@ func main() {
 		workers   = flag.Int("batch-workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		maxBatch  = flag.Int("max-batch", 256, "max queries per /batch call")
 		budgetCap = flag.Int("budget-cap", 0, "in-flight batch budget cap in tuples, summed over admitted jobs' est. budgets (0 = 4x dataset size)")
+		dataDir   = flag.String("data", "", "persistence directory: warm-start from its snapshot + WAL, checkpoint on shutdown (empty = in-memory only)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "with -data: WAL records between automatic checkpoints (0 = default, negative disables)")
+		walSync   = flag.Bool("wal-sync", false, "with -data: fsync the WAL after every maintenance record")
 	)
 	flag.Parse()
 
 	if *shards > 0 {
 		access.DefaultShards = *shards
 	}
-	sys, size, rels, err := open(*dataset, *scale, *seed)
+	sys, size, rels, err := open(*dataset, *scale, *seed, *dataDir, *ckptEvery, *walSync, *shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
 		os.Exit(2)
@@ -96,7 +110,6 @@ func main() {
 		MaxBatch:     *maxBatch,
 		BudgetCap:    *budgetCap,
 	})
-	defer srv.Close()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -113,12 +126,32 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("beasd: shutting down")
+
+	// Graceful shutdown, in dependency order: stop accepting and drain
+	// in-flight HTTP work, drain the accepted /batch backlog, write a final
+	// checkpoint so the next start is warm, release the WAL.
+	log.Print("beasd: shutting down: draining requests")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("beasd: shutdown: %v", err)
 	}
+	srv.Close()
+	if sys.Persisted() {
+		// A fresh timeout: the drain above may have consumed the whole
+		// shutdown budget, and a dead context would silently skip the
+		// checkpoint that makes the next start warm.
+		ckptCtx, ckptCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer ckptCancel()
+		log.Print("beasd: final checkpoint")
+		if err := sys.Checkpoint(ckptCtx); err != nil {
+			log.Printf("beasd: final checkpoint: %v", err)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		log.Printf("beasd: close: %v", err)
+	}
+	log.Print("beasd: bye")
 }
 
 // effectiveShards reports the partition count of the system's ladders (they
@@ -130,14 +163,52 @@ func effectiveShards(sys *beas.System) int {
 	return 1
 }
 
-func open(dataset string, scale int, seed int64) (*beas.System, int, int, error) {
-	if strings.EqualFold(dataset, "example1") {
-		db := fixture.Example1(seed, 200*scale, 150*scale)
-		as, err := fixture.SchemaA0(db)
+// open loads the dataset and builds or warm-starts the System. With a
+// persistence directory the access schema comes from its snapshot when one
+// exists (plus WAL replay); otherwise it is built cold and the initial
+// snapshot is written for the next start.
+func open(dataset string, scale int, seed int64, dataDir string, ckptEvery int, walSync bool, shards int) (*beas.System, int, int, error) {
+	db, build, err := loadDataset(dataset, scale, seed)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if dataDir == "" {
+		as, err := build(db)
 		if err != nil {
 			return nil, 0, 0, err
 		}
 		return beas.Open(db, as), db.Size(), len(db.Names()), nil
+	}
+	opts := []beas.PersistOption{
+		beas.WithSchemaBuilder(build),
+		beas.WithPersistShards(shards),
+		beas.WithCheckpointEvery(ckptEvery),
+	}
+	if walSync {
+		opts = append(opts, beas.WithWALSync())
+	}
+	start := time.Now()
+	sys, err := beas.OpenPersisted(context.Background(), db, dataDir, opts...)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ps := sys.PersistStats()
+	mode := "cold start (initial snapshot written)"
+	if ps.WarmStart {
+		mode = fmt.Sprintf("warm start (%d WAL records replayed)", ps.Replayed)
+	}
+	log.Printf("beasd: persistence %s: %s in %v", dataDir, mode, time.Since(start).Round(time.Millisecond))
+	return sys, db.Size(), len(db.Names()), nil
+}
+
+// loadDataset generates the named dataset and returns it with its
+// access-schema builder (invoked on cold starts only).
+func loadDataset(dataset string, scale int, seed int64) (*beas.Database, func(*beas.Database) (*beas.AccessSchema, error), error) {
+	if strings.EqualFold(dataset, "example1") {
+		db := fixture.Example1(seed, 200*scale, 150*scale)
+		return db, func(db *beas.Database) (*beas.AccessSchema, error) {
+			return fixture.SchemaA0(db)
+		}, nil
 	}
 	var d *workload.Dataset
 	switch strings.ToLower(dataset) {
@@ -148,11 +219,9 @@ func open(dataset string, scale int, seed int64) (*beas.System, int, int, error)
 	case "tfacc":
 		d = workload.TFACC(scale, seed)
 	default:
-		return nil, 0, 0, fmt.Errorf("unknown dataset %q", dataset)
+		return nil, nil, fmt.Errorf("unknown dataset %q", dataset)
 	}
-	as, err := d.AccessSchema()
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	return beas.Open(d.DB, as), d.DB.Size(), len(d.DB.Names()), nil
+	return d.DB, func(*beas.Database) (*beas.AccessSchema, error) {
+		return d.AccessSchema()
+	}, nil
 }

@@ -6,13 +6,16 @@
 // is missing.
 //
 // It additionally enforces the context-first contract of the public
-// serving surface: in beas.go and internal/serve, every exported function
-// or method whose name says it performs I/O or execution (Query*,
+// serving and durability surfaces: in the root package (beas.go,
+// persistence.go), internal/serve and internal/persist, every exported
+// function or method whose name says it performs I/O or execution (Query*,
 // Execute*, Plan*, Open*, Answer*, Stream*, Run*, Serve*, Fetch*,
-// Discover*) must take a context.Context as its first parameter, so
-// cancellation and deadlines can always propagate into the executor.
-// Deprecated shims (a "Deprecated:" doc paragraph) and the explicit
-// allowlist of stats/constructor accessors are exempt.
+// Discover*, Save*, Load*, Checkpoint*, Snapshot*, Insert*, Delete*,
+// Apply*) must take a context.Context as its first parameter, so
+// cancellation and deadlines can always propagate into the executor and
+// the snapshot/WAL writers. Deprecated shims (a "Deprecated:" doc
+// paragraph) and the explicit allowlist of stats/constructor accessors are
+// exempt.
 //
 // Usage:
 //
@@ -186,6 +189,7 @@ func checkFile(fset *token.FileSet, file *ast.File) []string {
 // only (Query and QueryStream match "Query"; Queryish does not).
 var ctxPrefixes = []string{
 	"Query", "Execute", "Plan", "Open", "Answer", "Stream", "Run", "Serve", "Fetch", "Discover",
+	"Save", "Load", "Checkpoint", "Snapshot", "Insert", "Delete", "Apply",
 }
 
 // ctxAllowlist exempts exported names that match a verb prefix but neither
@@ -200,15 +204,17 @@ var ctxAllowlist = map[string]bool{
 }
 
 // isContextFirstFile reports whether the file belongs to the public
-// serving surface held to the context-first contract: the root beas.go and
-// everything in internal/serve.
+// serving or durability surface held to the context-first contract: every
+// root-package file and everything in internal/serve and internal/persist.
 func isContextFirstFile(root, path string) bool {
 	rel, err := filepath.Rel(root, path)
 	if err != nil {
 		return false
 	}
 	rel = filepath.ToSlash(rel)
-	return rel == "beas.go" || strings.HasPrefix(rel, "internal/serve/")
+	return !strings.Contains(rel, "/") ||
+		strings.HasPrefix(rel, "internal/serve/") ||
+		strings.HasPrefix(rel, "internal/persist/")
 }
 
 // matchesCtxPrefix reports whether the name starts with an execution verb

@@ -1,0 +1,192 @@
+package access
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/kdtree"
+	"repro/internal/relation"
+)
+
+// This file implements batched incremental maintenance: a sequence of
+// insert/delete operations is applied to the base relations and to the
+// owning groups' tuple lists first, and every dirty group is rebuilt exactly
+// once at the end. A storm of updates hitting one hot group therefore costs
+// one O(g log² g) rebuild instead of one per update — the amortisation the
+// per-op path cannot provide — and the final ladder state is identical to
+// applying the operations one at a time (asserted by
+// TestBatchApplyMatchesSequential). The WAL replay of internal/persist runs
+// through this path, which is what keeps crash recovery fast.
+
+// OpKind identifies one maintenance operation kind.
+type OpKind uint8
+
+// Maintenance operation kinds.
+const (
+	// OpInsert appends Op.Tuple to the relation and its ladder groups.
+	OpInsert OpKind = 1 + iota
+	// OpDelete removes one occurrence of Op.Tuple from the relation and its
+	// ladder groups.
+	OpDelete
+)
+
+// String returns a human-readable name of the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one maintenance operation against a named relation.
+type Op struct {
+	Kind  OpKind
+	Rel   string
+	Tuple relation.Tuple
+}
+
+// dirtyGroups tracks the groups of one ladder touched by a batch, in
+// first-touch order so the rebuild fan-out is deterministic.
+type dirtyGroups struct {
+	seen *relation.TupleMap[bool]
+	keys []relation.Tuple
+}
+
+// Apply applies the operations in order against db and the schema's ladders,
+// rebuilding each affected group once after the whole batch (and refreshing
+// each affected ladder's metadata once). applied[i] reports whether op i
+// changed anything — false only for a delete whose tuple was not found. The
+// final state is identical to applying the operations individually through
+// Insert/Delete; only the rebuild work is amortised. On error the batch
+// stops at the failing operation, but groups dirtied by the preceding
+// operations are still rebuilt, so the schema is left consistent with the
+// prefix that did apply.
+func (s *Schema) Apply(db *relation.Database, ops []Op) (applied []bool, err error) {
+	applied = make([]bool, len(ops))
+	dirty := make(map[*Ladder]*dirtyGroups)
+	touch := func(l *Ladder, key relation.Tuple) {
+		dg := dirty[l]
+		if dg == nil {
+			dg = &dirtyGroups{seen: relation.NewTupleMap[bool](0)}
+			dirty[l] = dg
+		}
+		if _, ok := dg.seen.Get(key); !ok {
+			dg.seen.Put(key, true)
+			dg.keys = append(dg.keys, key)
+		}
+	}
+	defer func() {
+		if ferr := s.flushDirty(dirty); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+
+	for i, op := range ops {
+		r, ok := db.Relation(op.Rel)
+		if !ok {
+			return applied, fmt.Errorf("access: %s into unknown relation %q", op.Kind, op.Rel)
+		}
+		switch op.Kind {
+		case OpInsert:
+			if err := r.Append(op.Tuple); err != nil {
+				return applied, err
+			}
+			for _, l := range s.LaddersFor(op.Rel) {
+				key, y, err := l.projections(r, op.Tuple)
+				if err != nil {
+					return applied, err
+				}
+				if g, ok := l.store.group(key); ok {
+					g.items = append(g.items, kdtree.Item{Tuple: y, Count: 1})
+				} else {
+					l.store.put(&ladderGroup{key: key, items: []kdtree.Item{{Tuple: y, Count: 1}}})
+				}
+				touch(l, key)
+			}
+			applied[i] = true
+		case OpDelete:
+			found := -1
+			for j, u := range r.Tuples {
+				if u.EqualTuple(op.Tuple) {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				continue
+			}
+			// Update the ladders with the tuple actually removed, not the
+			// query tuple: EqualTuple unifies e.g. Int/Float values that the
+			// indices (keyed by canonical encoding) keep distinct.
+			removed := r.Tuples[found]
+			r.Tuples = append(r.Tuples[:found], r.Tuples[found+1:]...)
+			for _, l := range s.LaddersFor(op.Rel) {
+				key, y, err := l.projections(r, removed)
+				if err != nil {
+					return applied, err
+				}
+				g, ok := l.store.group(key)
+				if !ok {
+					continue
+				}
+				// Match by canonical encoding (KeyEqual) — the equality the
+				// group's index dedups and fetches by — so exactly the
+				// removed tuple's projection leaves the list, as a
+				// from-scratch rebuild would.
+				gi := -1
+				for j, it := range g.items {
+					if keyEqualTuple(it.Tuple, y) {
+						gi = j
+						break
+					}
+				}
+				if gi < 0 {
+					continue
+				}
+				g.items = append(g.items[:gi], g.items[gi+1:]...)
+				touch(l, key)
+			}
+			applied[i] = true
+		default:
+			return applied, fmt.Errorf("access: unknown maintenance op kind %d", op.Kind)
+		}
+	}
+	return applied, nil
+}
+
+// flushDirty rebuilds every dirty group once (in parallel per ladder — the
+// groups are independent), drops groups emptied by the batch, and refreshes
+// each touched ladder's metadata.
+func (s *Schema) flushDirty(dirty map[*Ladder]*dirtyGroups) error {
+	for _, l := range s.Ladders {
+		dg := dirty[l]
+		if dg == nil {
+			continue
+		}
+		var empty []relation.Tuple
+		var mu sync.Mutex
+		parallelFor(len(dg.keys), runtime.GOMAXPROCS(0), func(i int) {
+			g, ok := l.store.group(dg.keys[i])
+			if !ok {
+				return
+			}
+			if len(g.items) == 0 {
+				mu.Lock()
+				empty = append(empty, dg.keys[i])
+				mu.Unlock()
+				return
+			}
+			g.rebuild(l.yAttrs)
+		})
+		for _, key := range empty {
+			l.store.remove(key)
+		}
+		l.recomputeMeta()
+	}
+	return nil
+}

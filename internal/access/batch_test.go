@@ -1,0 +1,193 @@
+package access
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// assertLadderIdentical compares two ladders observation-for-observation:
+// identity, metadata, resolutions, and the Fetch result of every group at
+// every level (sample order, tuples and counts). This is the
+// byte-identical-Fetch contract the snapshot/restore and batch-apply paths
+// promise.
+func assertLadderIdentical(t *testing.T, label string, a, b *Ladder) {
+	t.Helper()
+	if a.RelName != b.RelName || fmt.Sprint(a.X) != fmt.Sprint(b.X) || fmt.Sprint(a.Y) != fmt.Sprint(b.Y) {
+		t.Fatalf("%s: ladder identity differs: %s(%v→%v) vs %s(%v→%v)",
+			label, a.RelName, a.X, a.Y, b.RelName, b.X, b.Y)
+	}
+	if a.MaxK() != b.MaxK() || a.NumGroups() != b.NumGroups() ||
+		a.MaxGroupDistinct() != b.MaxGroupDistinct() || a.IndexSize() != b.IndexSize() {
+		t.Fatalf("%s: %s metadata differs: (maxK %d groups %d N %d size %d) vs (maxK %d groups %d N %d size %d)",
+			label, a.RelName, a.MaxK(), a.NumGroups(), a.MaxGroupDistinct(), a.IndexSize(),
+			b.MaxK(), b.NumGroups(), b.MaxGroupDistinct(), b.IndexSize())
+	}
+	for k := 0; k <= a.MaxK(); k++ {
+		ra, rb := a.Resolution(k), b.Resolution(k)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("%s: %s resolution[%d][%d] = %g vs %g", label, a.RelName, k, i, ra[i], rb[i])
+			}
+		}
+	}
+	for _, x := range a.GroupXs() {
+		if ea, eb := a.ExactLevelFor(x), b.ExactLevelFor(x); ea != eb {
+			t.Fatalf("%s: %s group %v exact level %d vs %d", label, a.RelName, x, ea, eb)
+		}
+		for k := 0; k <= a.MaxK(); k++ {
+			sa, sb := a.Fetch(x, k), b.Fetch(x, k)
+			if len(sa) != len(sb) {
+				t.Fatalf("%s: %s group %v level %d: %d vs %d samples", label, a.RelName, x, k, len(sa), len(sb))
+			}
+			for i := range sa {
+				if sa[i].Count != sb[i].Count || sa[i].Y.Key() != sb[i].Y.Key() {
+					t.Fatalf("%s: %s group %v level %d sample %d: (%v,%d) vs (%v,%d)",
+						label, a.RelName, x, k, i, sa[i].Y, sa[i].Count, sb[i].Y, sb[i].Count)
+				}
+			}
+		}
+	}
+}
+
+// assertSchemaIdentical compares two schemas ladder by ladder.
+func assertSchemaIdentical(t *testing.T, label string, a, b *Schema) {
+	t.Helper()
+	if len(a.Ladders) != len(b.Ladders) {
+		t.Fatalf("%s: %d vs %d ladders", label, len(a.Ladders), len(b.Ladders))
+	}
+	for i := range a.Ladders {
+		assertLadderIdentical(t, label, a.Ladders[i], b.Ladders[i])
+	}
+}
+
+// randomOps generates a deterministic mixed op sequence over exampleDB,
+// deliberately hammering a handful of hot poi groups (repeat inserts and
+// deletes of the same (type, city) X-values) so the batch path's one-rebuild
+// amortisation is actually exercised.
+func randomOps(rng *rand.Rand, n int) []Op {
+	types := []string{"hotel", "bar", "cafe"}
+	cities := []string{"NYC", "Chicago", "Boston", "Austin"}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert a poi into a hot group
+			ops = append(ops, Op{Kind: OpInsert, Rel: "poi", Tuple: relation.Tuple{
+				relation.String(fmt.Sprintf("new-addr-%d", i)),
+				relation.String(types[rng.Intn(2)]), // hot: only two types
+				relation.String(cities[rng.Intn(2)]),
+				relation.Float(20 + rng.Float64()*300),
+			}})
+		case 2: // insert a friend edge
+			ops = append(ops, Op{Kind: OpInsert, Rel: "friend", Tuple: relation.Tuple{
+				relation.Int(int64(rng.Intn(40))), relation.Int(int64(rng.Intn(40))),
+			}})
+		default: // delete a (possibly missing) previously inserted poi
+			ops = append(ops, Op{Kind: OpDelete, Rel: "poi", Tuple: relation.Tuple{
+				relation.String(fmt.Sprintf("new-addr-%d", rng.Intn(n))),
+				relation.String(types[rng.Intn(2)]),
+				relation.String(cities[rng.Intn(2)]),
+				relation.Float(0),
+			}})
+		}
+	}
+	return ops
+}
+
+// The batched Apply must leave the database and every ladder in exactly the
+// state that applying the operations one at a time produces — the rebuild
+// is amortised, the semantics are not.
+func TestBatchApplyMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ops := randomOps(rng, 120)
+	// Deletes of generated tuples rarely match exactly (random price); mix
+	// in guaranteed-hit deletes of base tuples.
+	dbProbe := exampleDB(t)
+	poi := dbProbe.MustRelation("poi")
+	for i := 0; i < 10; i++ {
+		ops = append(ops, Op{Kind: OpDelete, Rel: "poi", Tuple: poi.Tuples[i*7].Clone()})
+	}
+
+	dbSeq, dbBatch := exampleDB(t), exampleDB(t)
+	seq := maintSchema(t, dbSeq)
+	batch := maintSchema(t, dbBatch)
+
+	var wantApplied []bool
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			if err := seq.Insert(dbSeq, op.Rel, op.Tuple); err != nil {
+				t.Fatalf("sequential insert: %v", err)
+			}
+			wantApplied = append(wantApplied, true)
+		case OpDelete:
+			ok, err := seq.Delete(dbSeq, op.Rel, op.Tuple)
+			if err != nil {
+				t.Fatalf("sequential delete: %v", err)
+			}
+			wantApplied = append(wantApplied, ok)
+		}
+	}
+	applied, err := batch.Apply(dbBatch, ops)
+	if err != nil {
+		t.Fatalf("batch apply: %v", err)
+	}
+	for i := range applied {
+		if applied[i] != wantApplied[i] {
+			t.Errorf("op %d: applied %v, sequential says %v", i, applied[i], wantApplied[i])
+		}
+	}
+	if dbSeq.Size() != dbBatch.Size() {
+		t.Fatalf("|D| diverged: %d vs %d", dbSeq.Size(), dbBatch.Size())
+	}
+	assertSchemaIdentical(t, "batch-vs-sequential", seq, batch)
+	if err := batch.Verify(dbBatch); err != nil {
+		t.Errorf("conformance after batch: %v", err)
+	}
+}
+
+// A batch that empties a group and one that recreates it afterwards must
+// both settle correctly at flush time.
+func TestBatchApplyEmptiesAndRecreatesGroups(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.NewRelation(relation.MustSchema("kv",
+		relation.Attr("k", relation.KindInt, relation.Trivial()),
+		relation.Attr("v", relation.KindFloat, relation.Numeric(10)),
+	))
+	r.MustAppend(
+		relation.Tuple{relation.Int(1), relation.Float(5)},
+		relation.Tuple{relation.Int(2), relation.Float(7)},
+	)
+	db.MustAdd(r)
+	s := &Schema{}
+	l, err := s.Extend(db, "kv", []string{"k"}, []string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []Op{
+		{Kind: OpDelete, Rel: "kv", Tuple: relation.Tuple{relation.Int(1), relation.Float(5)}},
+		{Kind: OpDelete, Rel: "kv", Tuple: relation.Tuple{relation.Int(2), relation.Float(7)}},
+		{Kind: OpInsert, Rel: "kv", Tuple: relation.Tuple{relation.Int(2), relation.Float(9)}},
+	}
+	if _, err := s.Apply(db, ops); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumGroups() != 1 {
+		t.Errorf("groups = %d, want 1 (k=1 emptied, k=2 recreated)", l.NumGroups())
+	}
+	if got := l.Fetch(relation.Tuple{relation.Int(1)}, 0); got != nil {
+		t.Errorf("emptied group still fetches %v", got)
+	}
+	got := l.Fetch(relation.Tuple{relation.Int(2)}, l.MaxK())
+	if len(got) != 1 {
+		t.Fatalf("recreated group fetch = %v", got)
+	}
+	if v, _ := got[0].Y[0].AsFloat(); v != 9 {
+		t.Errorf("recreated group holds %v, want 9", got[0].Y[0])
+	}
+	if err := s.Verify(db); err != nil {
+		t.Errorf("conformance: %v", err)
+	}
+}

@@ -277,7 +277,7 @@ func (l *Ladder) ExactLevelFor(x relation.Tuple) int {
 	if !ok {
 		return 0
 	}
-	return g.tree.ExactLevel()
+	return g.exactLevel()
 }
 
 // Verify checks the conformance invariant D |= ψk for every level of the

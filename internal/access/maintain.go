@@ -1,9 +1,6 @@
 package access
 
 import (
-	"fmt"
-
-	"repro/internal/kdtree"
 	"repro/internal/relation"
 )
 
@@ -12,57 +9,27 @@ import (
 // Updates are localised twice over: a tuple only affects the group of its
 // own X-value in each ladder, and that group lives in exactly one shard,
 // which owns the group's tuple list. The group is rebuilt from that list —
-// O(g log² g) for a group of size g — without ever rescanning the relation
-// (the pre-shard implementation rescanned all of R per update), and no
-// other partition is touched.
+// O(g log² g) for a group of size g — without ever rescanning the relation,
+// and no other partition is touched. Both entry points are thin wrappers
+// over the batched Apply (batch.go), which defers the rebuild so a burst of
+// updates against one hot group pays for a single reconstruction.
 
 // Insert appends the tuple to the relation in db and incrementally updates
 // every ladder of the schema that indexes that relation.
 func (s *Schema) Insert(db *relation.Database, rel string, t relation.Tuple) error {
-	r, ok := db.Relation(rel)
-	if !ok {
-		return fmt.Errorf("access: insert into unknown relation %q", rel)
-	}
-	if err := r.Append(t); err != nil {
-		return err
-	}
-	for _, l := range s.LaddersFor(rel) {
-		if err := l.insertTuple(r, t); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := s.Apply(db, []Op{{Kind: OpInsert, Rel: rel, Tuple: t}})
+	return err
 }
 
 // Delete removes (one occurrence of) the tuple from the relation in db and
 // updates the affected ladder groups. It reports whether a tuple was
 // removed.
 func (s *Schema) Delete(db *relation.Database, rel string, t relation.Tuple) (bool, error) {
-	r, ok := db.Relation(rel)
-	if !ok {
-		return false, fmt.Errorf("access: delete from unknown relation %q", rel)
+	applied, err := s.Apply(db, []Op{{Kind: OpDelete, Rel: rel, Tuple: t}})
+	if err != nil {
+		return false, err
 	}
-	found := -1
-	for i, u := range r.Tuples {
-		if u.EqualTuple(t) {
-			found = i
-			break
-		}
-	}
-	if found < 0 {
-		return false, nil
-	}
-	// Update the ladders with the tuple actually removed, not the query
-	// tuple: EqualTuple unifies e.g. Int/Float values that the indices
-	// (keyed by canonical encoding) keep distinct.
-	removed := r.Tuples[found]
-	r.Tuples = append(r.Tuples[:found], r.Tuples[found+1:]...)
-	for _, l := range s.LaddersFor(rel) {
-		if err := l.deleteTuple(r, removed); err != nil {
-			return false, err
-		}
-	}
-	return true, nil
+	return applied[0], nil
 }
 
 // projections resolves the tuple's X-key and Y-projection under the
@@ -77,57 +44,6 @@ func (l *Ladder) projections(r *relation.Relation, t relation.Tuple) (key, y rel
 		return nil, nil, err
 	}
 	return t.Project(xIdx), t.Project(yIdx), nil
-}
-
-// insertTuple adds the tuple's Y-projection to its X-group's tuple list and
-// rebuilds that group alone, inside its owning shard.
-func (l *Ladder) insertTuple(r *relation.Relation, t relation.Tuple) error {
-	key, y, err := l.projections(r, t)
-	if err != nil {
-		return err
-	}
-	if g, ok := l.store.group(key); ok {
-		g.items = append(g.items, kdtree.Item{Tuple: y, Count: 1})
-		g.rebuild(l.yAttrs)
-	} else {
-		l.store.put(newLadderGroup(key, l.yAttrs, []kdtree.Item{{Tuple: y, Count: 1}}))
-	}
-	l.recomputeMeta()
-	return nil
-}
-
-// deleteTuple removes one occurrence of the tuple's Y-projection from its
-// X-group's list and rebuilds (or drops) that group alone.
-func (l *Ladder) deleteTuple(r *relation.Relation, t relation.Tuple) error {
-	key, y, err := l.projections(r, t)
-	if err != nil {
-		return err
-	}
-	g, ok := l.store.group(key)
-	if !ok {
-		return nil
-	}
-	// Match by canonical encoding (KeyEqual) — the equality the group's
-	// index dedups and fetches by — so exactly the removed tuple's
-	// projection leaves the list, as a from-scratch rebuild would.
-	found := -1
-	for i, it := range g.items {
-		if keyEqualTuple(it.Tuple, y) {
-			found = i
-			break
-		}
-	}
-	if found < 0 {
-		return nil
-	}
-	g.items = append(g.items[:found], g.items[found+1:]...)
-	if len(g.items) == 0 {
-		l.store.remove(key)
-	} else {
-		g.rebuild(l.yAttrs)
-	}
-	l.recomputeMeta()
-	return nil
 }
 
 // keyEqualTuple reports component-wise canonical-encoding equality — the
@@ -150,11 +66,11 @@ func keyEqualTuple(a, b relation.Tuple) bool {
 func (l *Ladder) recomputeMeta() {
 	l.maxK, l.maxDistinct, l.indexSize = 0, 0, 0
 	l.store.rangeGroups(func(g *ladderGroup) bool {
-		if g.tree.ExactLevel() > l.maxK {
-			l.maxK = g.tree.ExactLevel()
+		if g.exactLevel() > l.maxK {
+			l.maxK = g.exactLevel()
 		}
-		if g.tree.Items() > l.maxDistinct {
-			l.maxDistinct = g.tree.Items()
+		if g.distinct > l.maxDistinct {
+			l.maxDistinct = g.distinct
 		}
 		l.indexSize += g.indexSize()
 		return true
@@ -163,7 +79,13 @@ func (l *Ladder) recomputeMeta() {
 	for k := 0; k <= l.maxK; k++ {
 		res := make([]float64, len(l.Y))
 		l.store.rangeGroups(func(g *ladderGroup) bool {
-			for i, d := range g.tree.Resolution(k) {
+			// Levels past a group's exact level resolve exactly (all-zero
+			// resolution, as kdtree clamping reports), so they contribute
+			// nothing to the max.
+			if k >= len(g.resolutions) {
+				return true
+			}
+			for i, d := range g.resolutions[k] {
 				if d > res[i] {
 					res[i] = d
 				}

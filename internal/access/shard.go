@@ -59,11 +59,28 @@ func resolveShards(n int) int {
 type ladderGroup struct {
 	key   relation.Tuple
 	items []kdtree.Item
-	tree  *kdtree.Tree
+	// tree is the group's kd-tree. It is nil for a group restored from a
+	// snapshot that has not been touched by maintenance since: the fetch
+	// path reads the materialised views below, and the first maintenance
+	// rebuild reconstructs the tree from the tuple list deterministically —
+	// so snapshots never need to encode tree structure at all.
+	tree *kdtree.Tree
 	// levels[k] is the level-k fetch result, materialised once; the slices
 	// and their tuples are shared and must be treated as read-only.
 	levels [][]Sample
+	// resolutions[k] is the group's level-k per-attribute resolution (the
+	// max of Rep.MaxDist over the level), accumulated while materialising
+	// levels so ladder-level metadata refreshes never re-walk the trees.
+	resolutions [][]float64
+	// distinct is the group's distinct-Y count (kdtree.Tree.Items of the
+	// built tree), kept here so metadata survives a tree-less restore.
+	distinct int
 }
+
+// exactLevel returns the level at which the group resolves exactly —
+// kdtree.Tree.ExactLevel, derived from the materialised views so restored
+// groups need no tree.
+func (g *ladderGroup) exactLevel() int { return len(g.levels) - 1 }
 
 // newLadderGroup builds a group from its tuple list. items are retained by
 // reference (the group owns them from then on).
@@ -77,15 +94,48 @@ func newLadderGroup(key relation.Tuple, yAttrs []relation.Attribute, items []kdt
 // O(g log² g) for a group of size g, independent of |D| and of every other
 // group.
 func (g *ladderGroup) rebuild(yAttrs []relation.Attribute) {
-	g.tree = kdtree.Build(yAttrs, g.items)
-	g.levels = make([][]Sample, g.tree.ExactLevel()+1)
-	for k := range g.levels {
-		reps := g.tree.Level(k)
-		lvl := make([]Sample, len(reps))
+	g.setTree(kdtree.Build(yAttrs, g.items))
+}
+
+// setTree installs a tree (freshly built or restored from a snapshot) and
+// materialises the per-level sample views and per-level resolutions from
+// it, in one pass over the tree. The views are a pure function of the tree,
+// so a restored tree yields byte-identical Fetch results without re-running
+// construction.
+func (g *ladderGroup) setTree(tree *kdtree.Tree) {
+	g.tree = tree
+	g.distinct = tree.Items()
+	all := tree.AllLevels()
+	g.levels = make([][]Sample, len(all))
+	g.resolutions = make([][]float64, len(all))
+	total := 0
+	attrs := 0
+	for _, reps := range all {
+		total += len(reps)
+		if len(reps) > 0 {
+			attrs = len(reps[0].MaxDist)
+		}
+	}
+	// One backing array each for the sample views and the resolution rows:
+	// group restoration is the warm path's bulk work, and per-level slices
+	// would otherwise dominate its allocation count.
+	backing := make([]Sample, total)
+	resBacking := make([]float64, len(all)*attrs)
+	off := 0
+	for k, reps := range all {
+		lvl := backing[off : off+len(reps) : off+len(reps)]
+		off += len(reps)
+		res := resBacking[k*attrs : (k+1)*attrs : (k+1)*attrs]
 		for i, r := range reps {
 			lvl[i] = Sample{Y: r.Point, Count: r.Count}
+			for a, d := range r.MaxDist {
+				if d > res[a] {
+					res[a] = d
+				}
+			}
 		}
 		g.levels[k] = lvl
+		g.resolutions[k] = res
 	}
 }
 

@@ -1,0 +1,96 @@
+package access
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSource is a tiny helper keeping the op-sequence seeds readable.
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Restoring a ladder from its snapshot must reproduce every observation —
+// Fetch at every group and level, metadata, resolutions — exactly, at the
+// stored shard count and when re-partitioned.
+func TestSnapshotRestoreIdentical(t *testing.T) {
+	db := exampleDB(t)
+	l, err := BuildLadderSharded(db, "poi", []string{"type", "city"}, []string{"price", "address"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := l.Snapshot()
+	if snap.Shards != 4 {
+		t.Fatalf("snapshot shards = %d, want 4", snap.Shards)
+	}
+	for _, shards := range []int{0, 1, 2, 8} {
+		restored, err := RestoreLadder(db, snap, shards)
+		if err != nil {
+			t.Fatalf("restore at %d shards: %v", shards, err)
+		}
+		want := shards
+		if want == 0 {
+			want = 4
+		}
+		if restored.Shards() != want {
+			t.Errorf("restored shard count = %d, want %d", restored.Shards(), want)
+		}
+		assertLadderIdentical(t, "restore", l, restored)
+	}
+}
+
+// A snapshot taken after incremental maintenance restores the maintained
+// state, including the raw tuple lists further maintenance rebuilds from.
+func TestSnapshotAfterMaintenance(t *testing.T) {
+	db := exampleDB(t)
+	s := maintSchema(t, db)
+	ops := randomOps(randSource(17), 60)
+	if _, err := s.Apply(db, ops); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range s.Ladders {
+		restored, err := RestoreLadder(db, l.Snapshot(), 0)
+		if err != nil {
+			t.Fatalf("restore %s: %v", l.RelName, err)
+		}
+		assertLadderIdentical(t, "post-maintenance", l, restored)
+	}
+}
+
+// RestoreLadder must reject structurally damaged snapshots with an error.
+func TestRestoreLadderRejectsDamage(t *testing.T) {
+	db := exampleDB(t)
+	l, err := BuildLadder(db, "poi", []string{"type"}, []string{"price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := l.Snapshot()
+
+	bad := base
+	bad.RelName = "nope"
+	if _, err := RestoreLadder(db, bad, 0); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	bad = base
+	bad.Y = []string{"no_such_attr"}
+	if _, err := RestoreLadder(db, bad, 0); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	bad = base
+	bad.Groups = append([]GroupSnapshot(nil), base.Groups...)
+	bad.Groups[0].Resolutions = bad.Groups[0].Resolutions[:len(bad.Groups[0].Resolutions)-1]
+	if _, err := RestoreLadder(db, bad, 0); err == nil {
+		t.Error("level/resolution count mismatch must fail")
+	}
+	bad = base
+	bad.Groups = append([]GroupSnapshot(nil), base.Groups...)
+	bad.Groups[0].Distinct = len(bad.Groups[0].Items) + 1
+	if _, err := RestoreLadder(db, bad, 0); err == nil {
+		t.Error("distinct count above item count must fail")
+	}
+	bad = base
+	bad.Groups = append([]GroupSnapshot(nil), base.Groups...)
+	bad.Groups[0].Levels = nil
+	bad.Groups[0].Resolutions = nil
+	if _, err := RestoreLadder(db, bad, 0); err == nil {
+		t.Error("missing level views must fail")
+	}
+}

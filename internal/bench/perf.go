@@ -51,7 +51,11 @@ type PerfLatency struct {
 	Shards int `json:"shards,omitempty"`
 }
 
-// PerfRun is the result of one invocation of the harness.
+// PerfRun is the result of one invocation of the harness. The header
+// records the host's parallelism (GOMAXPROCS and NumCPU) and identity so
+// the recurring "1-CPU parity floor" caveat — shard sweeps measured on a
+// single-core container cannot show multi-core speedups — is
+// self-documenting in the artifact instead of living in prose.
 type PerfRun struct {
 	Label      string          `json:"label"`
 	Generated  string          `json:"generated"`
@@ -59,6 +63,8 @@ type PerfRun struct {
 	GOOS       string          `json:"goos"`
 	GOARCH     string          `json:"goarch"`
 	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Host       string          `json:"host,omitempty"`
 	Benchmarks []PerfBenchmark `json:"benchmarks"`
 	Latency    []PerfLatency   `json:"latency"`
 }
@@ -132,14 +138,18 @@ func runPlanBenchmark(name string, s *core.Scheme, q query.Expr, alpha float64) 
 }
 
 // RunPerfEnv returns a PerfRun with only the environment fields stamped
-// (generation time, Go version, platform); harnesses fill in the rest.
+// (generation time, Go version, platform, host parallelism); harnesses fill
+// in the rest.
 func RunPerfEnv() *PerfRun {
+	host, _ := os.Hostname()
 	return &PerfRun{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Host:       host,
 	}
 }
 

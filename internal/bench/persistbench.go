@@ -1,0 +1,119 @@
+// Cold-vs-warm start harness: how much of the offline index construction
+// does the persistence layer actually amortise? The cold pass builds the
+// bench fixture's access schema from the raw relations (BuildLadder: scan,
+// group, kd-tree construction); the warm pass restores the same schema from
+// a snapshot (persist.Load: decode, linear tree reconstruction, level-view
+// rematerialisation). Both produce observation-identical ladders — asserted
+// before timing — so the ratio is the honest price of a cold restart.
+// `beasbench -persist -out BENCH_N.json` records both passes plus the
+// snapshot's size on disk.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/persist"
+	"repro/internal/relation"
+)
+
+// persistFixtureDB returns the cold-vs-warm fixture: the same Example 1
+// generator as the tracked perf harness (perfSystem) at ~3× its size, since
+// index construction is O(n log² n) per group while a snapshot load is
+// linear — a thimble-sized dataset under-reports what a restart costs. The
+// perf harness's access_schema_build entry keeps tracking the small fixture
+// for continuity.
+func persistFixtureDB() *relation.Database { return fixture.Example1(5, 900, 7500) }
+
+// RunPersistPerf measures cold schema construction against warm snapshot
+// loading on the bench fixture and returns the run (benchmarks
+// cold_build_ladders, warm_start_load, plus snapshot_bytes recorded as a
+// pseudo-benchmark's BytesPerOp). smoke shrinks nothing — the fixture is
+// small — but is accepted for CLI symmetry with the other harnesses.
+func RunPersistPerf(label string, smoke bool) (*PerfRun, error) {
+	_ = smoke
+	run := RunPerfEnv()
+	run.Label = label
+	ctx := context.Background()
+
+	db := persistFixtureDB()
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "beas-persistbench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := persist.Save(ctx, db, as, dir); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(filepath.Join(dir, persist.SnapshotFile))
+	if err != nil {
+		return nil, err
+	}
+
+	// Sanity before timing: the warm load must reproduce the cold build's
+	// observations (sizes suffice here; the byte-identical contract is
+	// pinned by the access and persist test suites).
+	warmAS, _, err := persist.Load(ctx, persistFixtureDB(), dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	if warmAS.IndexSize() != as.IndexSize() || warmAS.Size() != as.Size() {
+		return nil, fmt.Errorf("bench: warm schema differs from cold (size %d/%d vs %d/%d)",
+			warmAS.Size(), warmAS.IndexSize(), as.Size(), as.IndexSize())
+	}
+
+	var coldErr error
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fixture.SchemaA0(db); err != nil {
+				coldErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if coldErr != nil {
+		return nil, fmt.Errorf("bench: cold_build_ladders: %w", coldErr)
+	}
+
+	// Load replaces relation contents wholesale, so reloading into one
+	// database is exactly a restart's work.
+	target := persistFixtureDB()
+	var warmErr error
+	warm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := persist.Load(ctx, target, dir, 0); err != nil {
+				warmErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if warmErr != nil {
+		return nil, fmt.Errorf("bench: warm_start_load: %w", warmErr)
+	}
+
+	toPB := func(name string, r testing.BenchmarkResult) PerfBenchmark {
+		return PerfBenchmark{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	run.Benchmarks = append(run.Benchmarks,
+		toPB("cold_build_ladders", cold),
+		toPB("warm_start_load", warm),
+		PerfBenchmark{Name: "snapshot_file", Iterations: 1, BytesPerOp: fi.Size()},
+	)
+	return run, nil
+}

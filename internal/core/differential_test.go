@@ -6,11 +6,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/fixture"
 	"repro/internal/query"
 )
@@ -36,12 +36,12 @@ func TestExecutorMatchesStringKeyReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := New(db, as)
-	g := &qgen{rng: rand.New(rand.NewSource(42))}
+	g := corpus.NewGenerator(42)
 	alphas := []float64{0.01, 0.1, 0.6}
 
 	digests := make([]string, cases)
 	for ci := 0; ci < cases; ci++ {
-		q := g.randQuery()
+		q := g.Query()
 		alpha := alphas[ci%len(alphas)]
 		h := sha256.New()
 		fmt.Fprintf(h, "q=%s\nalpha=%g\n", query.Render(q), alpha)

@@ -1,9 +1,9 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/fixture"
 	"repro/internal/query"
 )
@@ -19,13 +19,13 @@ func TestDiffIndexMatchesScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := &qgen{rng: rand.New(rand.NewSource(7))}
+	g := corpus.NewGenerator(7)
 	defer func(v int) { diffIndexMinWork = v }(diffIndexMinWork)
 
 	checked := 0
 	for ci := 0; ci < 60; ci++ {
-		spc := g.randSPC()
-		q := &query.Diff{L: spc, R: g.variant(spc)}
+		spc := g.SPC()
+		q := &query.Diff{L: spc, R: g.Variant(spc)}
 		for _, alpha := range []float64{0.05, 0.4} {
 			// Fresh schemes per path so plan caches cannot cross-talk.
 			diffIndexMinWork = 1 << 30 // always scan

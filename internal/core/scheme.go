@@ -128,6 +128,16 @@ func NewWithOptions(db *relation.Database, as *access.Schema, opt Options) *Sche
 	return s
 }
 
+// InvalidatePlans drops every cached plan. Call after maintenance mutates
+// the database: generated plans bake in budgets derived from |D| and
+// template levels derived from the ladder metadata, both of which an
+// insert or delete can change.
+func (s *Scheme) InvalidatePlans() {
+	if s.cache != nil {
+		s.cache.Purge()
+	}
+}
+
 // CacheStats returns the plan cache's effectiveness counters (zero stats
 // when caching is disabled).
 func (s *Scheme) CacheStats() plancache.Stats {

@@ -2,10 +2,10 @@ package core
 
 import (
 	"context"
-	"math/rand"
 	"reflect"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/fixture"
 	"repro/internal/query"
 )
@@ -48,10 +48,10 @@ func TestShardCountInvariance(t *testing.T) {
 	// Force the chunked emit on this small corpus — per call, not globally.
 	sharded := ExecOptions{MinParallelEmitRows: 4}
 
-	g := &qgen{rng: rand.New(rand.NewSource(42))}
+	g := corpus.NewGenerator(42)
 	alphas := []float64{0.01, 0.1, 0.6}
 	for ci := 0; ci < cases; ci++ {
-		q := g.randQuery()
+		q := g.Query()
 		alpha := alphas[ci%len(alphas)]
 		wantAns, _, wantErr := ref.AnswerContext(ctx, q, ExecOptions{Alpha: alpha, MinParallelEmitRows: 4})
 		for _, sc := range systems {
@@ -99,9 +99,9 @@ func TestPartitionAwareFetchToggleIdentical(t *testing.T) {
 	}
 	s := NewWithOptions(db, as, Options{Workers: 8, PlanCacheSize: -1})
 
-	g := &qgen{rng: rand.New(rand.NewSource(7))}
+	g := corpus.NewGenerator(7)
 	for ci := 0; ci < 40; ci++ {
-		q := g.randQuery()
+		q := g.Query()
 		onAns, _, onErr := s.AnswerContext(ctx, q, ExecOptions{Alpha: 0.2})
 		offAns, _, offErr := s.AnswerContext(ctx, q, ExecOptions{Alpha: 0.2, NoPartitionAwareFetch: true})
 		if (onErr == nil) != (offErr == nil) {

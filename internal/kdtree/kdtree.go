@@ -256,6 +256,59 @@ func (t *Tree) Level(k int) []Rep {
 	return reps
 }
 
+// AllLevels returns Level(k) for every k in [0, ExactLevel] in one pass:
+// a counting walk sizes each level exactly, a fill walk appends into
+// capacity-pinned sub-slices of one backing array, and the per-level
+// contents and order are identical to calling Level(k) per level (asserted
+// by TestAllLevelsMatchesLevel). Materialising every level is the warm-path
+// bulk operation of the access layer, where the per-level walks and
+// re-allocations of repeated Level calls actually show up.
+func (t *Tree) AllLevels() [][]Rep {
+	if t.root == nil {
+		return nil
+	}
+	counts := make([]int, t.maxDepth+1)
+	var count func(n *node, depth int)
+	count = func(n *node, depth int) {
+		if n.left == nil {
+			for k := depth; k <= t.maxDepth; k++ {
+				counts[k]++
+			}
+			return
+		}
+		counts[depth]++
+		count(n.left, depth+1)
+		count(n.right, depth+1)
+	}
+	count(t.root, 0)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	backing := make([]Rep, total)
+	out := make([][]Rep, t.maxDepth+1)
+	off := 0
+	for k, c := range counts {
+		out[k] = backing[off : off : off+c]
+		off += c
+	}
+	var fill func(n *node, depth int)
+	fill = func(n *node, depth int) {
+		rep := Rep{Point: n.rep, Count: n.count, MaxDist: n.maxDist}
+		if n.left == nil {
+			for k := depth; k <= t.maxDepth; k++ {
+				out[k] = append(out[k], rep)
+			}
+			return
+		}
+		out[depth] = append(out[depth], rep)
+		fill(n.left, depth+1)
+		fill(n.right, depth+1)
+	}
+	fill(t.root, 0)
+	return out
+}
+
 // pruneSlack over-approximates the floating-point rounding of the triangle
 // lower bound da − maxDist: the bound holds exactly in real arithmetic, but
 // each distance carries relative rounding error, so pruning compares

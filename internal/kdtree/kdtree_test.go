@@ -336,3 +336,38 @@ func TestQueriesOnEmptyTree(t *testing.T) {
 		t.Error("MinMaxDistance on empty tree must be +inf")
 	}
 }
+
+// AllLevels must agree with per-level Level calls — same representatives,
+// same order, at every level.
+func TestAllLevelsMatchesLevel(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 200} {
+		tree := Build(testAttrs(), randomItems(rand.New(rand.NewSource(int64(n))), n))
+		all := tree.AllLevels()
+		if n == 0 {
+			if all != nil {
+				t.Fatalf("empty tree AllLevels = %v", all)
+			}
+			continue
+		}
+		if len(all) != tree.ExactLevel()+1 {
+			t.Fatalf("n=%d: %d levels, want %d", n, len(all), tree.ExactLevel()+1)
+		}
+		for k := 0; k <= tree.ExactLevel(); k++ {
+			want := tree.Level(k)
+			got := all[k]
+			if len(got) != len(want) {
+				t.Fatalf("n=%d level %d: %d reps, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Count != want[i].Count || got[i].Point.Key() != want[i].Point.Key() {
+					t.Fatalf("n=%d level %d rep %d differs", n, k, i)
+				}
+				for a := range want[i].MaxDist {
+					if got[i].MaxDist[a] != want[i].MaxDist[a] {
+						t.Fatalf("n=%d level %d rep %d maxdist differs", n, k, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,444 @@
+// Package persist is the durability layer of the system: a versioned,
+// checksummed on-disk store for the access-schema ladders (the asset the
+// paper builds once offline and amortises across unboundedly many α-bounded
+// queries) plus a write-ahead log for incremental maintenance, so restarts,
+// deploys and crash recovery are warm instead of re-running the offline
+// index construction.
+//
+// A persistence directory holds two files: SnapshotFile, a binary snapshot
+// of the base relations and every ladder (codec.go), and WALFile, the
+// maintenance log (wal.go). The recovery invariant is
+//
+//	state = snapshot ⊕ { WAL records with seq > snapshot.appliedSeq }
+//
+// which holds across a crash at any point: snapshot writes are atomic
+// (temp file + rename), WAL records are appended before the in-memory
+// mutation they describe, a torn tail loses at most the unacknowledged
+// operation, and the applied-sequence watermark makes checkpoint-then-
+// truncate idempotent under replay.
+//
+// Save and Load are the stateless halves (snapshot a system, warm-start
+// one); OpenStore ties them together for a live system and adds the WAL,
+// batched replay through access.(*Schema).Apply, and a background
+// checkpointer that snapshots and truncates the log once enough records
+// accumulate.
+package persist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/relation"
+)
+
+// DefaultCheckpointEvery is the WAL record count past which the background
+// checkpointer writes a fresh snapshot and truncates the log, when the
+// caller does not configure a threshold.
+const DefaultCheckpointEvery = 4096
+
+// Save writes a snapshot of (db, as) to dir, creating the directory if
+// needed. The write is atomic (temp file + rename), so a concurrent or
+// crashed Save never leaves a half-written snapshot behind. Call under the
+// same single-writer discipline as maintenance; ctx is checked before the
+// encode and before the write.
+func Save(ctx context.Context, db *relation.Database, as *access.Schema, dir string) error {
+	return saveSeq(ctx, db, as, dir, 0)
+}
+
+// saveSeq is Save with an explicit applied-sequence watermark (OpenStore
+// checkpoints pass the live sequence; a standalone Save starts at zero).
+func saveSeq(ctx context.Context, db *relation.Database, as *access.Schema, dir string, seq uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := encodeSnapshotFile(captureSnapshot(db, as, seq))
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, SnapshotFile), data)
+}
+
+// Load restores the snapshot in dir: each relation of db is replaced with
+// the snapshot's contents and the access schema is rebuilt from the stored
+// ladders, re-partitioned across `shards` shards (0 keeps each ladder's
+// stored count). It returns the schema and the snapshot's applied-sequence
+// watermark. Damaged files are rejected with a *CorruptError; a missing
+// snapshot surfaces the fs.ErrNotExist of the underlying read.
+func Load(ctx context.Context, db *relation.Database, dir string, shards int) (*access.Schema, uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	path := filepath.Join(dir, SnapshotFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap, err := decodeSnapshotFile(path, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	as, err := restoreSnapshot(db, snap, shards)
+	if err != nil {
+		return nil, 0, err
+	}
+	return as, snap.appliedSeq, nil
+}
+
+// Options configures OpenStore.
+type Options struct {
+	// Shards re-partitions loaded ladders (0 keeps each ladder's stored
+	// count). It also applies to the schema a cold start builds, via the
+	// caller's builder.
+	Shards int
+	// CheckpointEvery is the WAL record count that triggers an automatic
+	// background checkpoint; 0 means DefaultCheckpointEvery, negative
+	// disables automatic checkpoints (explicit Checkpoint still works).
+	CheckpointEvery int
+	// Sync forces an fsync after every WAL append. Off by default: the
+	// record still reaches the OS immediately (surviving a process crash),
+	// and the checkpointer syncs before truncating.
+	Sync bool
+}
+
+// Stats is a point-in-time snapshot of a store's counters, for /stats.
+type Stats struct {
+	// Dir is the persistence directory.
+	Dir string
+	// WarmStart reports that OpenStore restored a snapshot rather than
+	// building cold.
+	WarmStart bool
+	// Seq is the last assigned WAL sequence number.
+	Seq uint64
+	// WALRecords and WALBytes describe the live log (since last checkpoint).
+	WALRecords int64
+	WALBytes   int64
+	// Replayed counts WAL records applied during recovery at open.
+	Replayed int64
+	// SkippedReplay counts recovery records already covered by the snapshot
+	// watermark (a crash between checkpoint and truncate shows up here).
+	SkippedReplay int64
+	// Snapshots counts snapshot files written (checkpoints + initial save).
+	Snapshots int64
+	// Checkpoints counts completed checkpoint cycles (snapshot + truncate).
+	Checkpoints int64
+	// LastCheckpoint is when the latest checkpoint finished (zero if none).
+	LastCheckpoint time.Time
+	// CheckpointErr is the message of the most recent background checkpoint
+	// failure, empty when the last one succeeded.
+	CheckpointErr string
+}
+
+// Store binds a live system (db + access schema) to its persistence
+// directory: it owns the WAL, assigns sequence numbers, and runs the
+// background checkpointer. Mutations must go through Apply so the log is
+// written ahead of the in-memory change; reads need no coordination.
+type Store struct {
+	dir string
+	db  *relation.Database
+	as  *access.Schema
+	opt Options
+
+	// mu serialises mutation, checkpointing and counter updates; it is the
+	// store-level embodiment of the access schema's single-writer rule.
+	mu         sync.Mutex
+	wal        *wal
+	seq        uint64 // last assigned sequence number
+	appliedSeq uint64 // watermark of the snapshot currently on disk
+	walRecords int64
+
+	replayed, skipped      int64
+	snapshots, checkpoints int64
+	lastCheckpoint         time.Time
+	checkpointErr          string
+	warm                   bool
+
+	kick   chan struct{}
+	done   chan struct{}
+	closed bool
+}
+
+// OpenStore opens dir for a live system. If a snapshot is present, the
+// database contents and access schema are restored from it and the WAL is
+// replayed (batched through access.(*Schema).Apply, skipping records the
+// snapshot already covers) — a warm start. Otherwise build is invoked to
+// construct the schema from db (cold start) and an initial snapshot is
+// written so the next start is warm. The returned schema is the one the
+// system must serve from; warm reports which path was taken.
+func OpenStore(ctx context.Context, db *relation.Database, dir string, build func(*relation.Database) (*access.Schema, error), opt Options) (st *Store, as *access.Schema, warm bool, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, false, err
+	}
+	var appliedSeq uint64
+	as, appliedSeq, err = Load(ctx, db, dir, opt.Shards)
+	switch {
+	case err == nil:
+		warm = true
+	case os.IsNotExist(err):
+		if build == nil {
+			return nil, nil, false, fmt.Errorf("persist: no snapshot in %s and no schema builder", dir)
+		}
+		if as, err = build(db); err != nil {
+			return nil, nil, false, err
+		}
+	default:
+		return nil, nil, false, err
+	}
+
+	st = &Store{
+		dir:        dir,
+		db:         db,
+		as:         as,
+		opt:        opt,
+		appliedSeq: appliedSeq,
+		seq:        appliedSeq,
+		warm:       warm,
+		kick:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+	}
+	if st.opt.CheckpointEvery == 0 {
+		st.opt.CheckpointEvery = DefaultCheckpointEvery
+	}
+
+	w, recs, err := openWAL(filepath.Join(dir, WALFile))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if !warm && len(recs) > 0 {
+		// A log without its snapshot means the snapshot was lost or
+		// deleted: replaying onto a cold build would silently drop every
+		// checkpointed operation (state = snapshot ⊕ WAL, and half the
+		// equation is gone). Refuse loudly instead of recovering wrong.
+		w.close()
+		return nil, nil, false, fmt.Errorf(
+			"persist: %s has %d WAL records but no snapshot — refusing to rebuild over a partial history (restore the snapshot, or remove the directory to start fresh)",
+			dir, len(recs))
+	}
+	st.wal = w
+	if err := st.replay(ctx, recs); err != nil {
+		w.close()
+		return nil, nil, false, err
+	}
+	if !warm {
+		// First start: write the initial snapshot now, so the offline build
+		// is paid exactly once (the next start loads it instead).
+		if err := st.checkpointLocked(ctx); err != nil {
+			w.close()
+			return nil, nil, false, err
+		}
+	}
+	go st.checkpointer()
+	return st, as, warm, nil
+}
+
+// replay applies the scanned WAL records past the snapshot watermark as one
+// batch, so a hot group touched by many logged updates is rebuilt once.
+func (s *Store) replay(ctx context.Context, recs []walRecord) error {
+	ops := make([]access.Op, 0, len(recs))
+	for _, rec := range recs {
+		if rec.seq > s.seq {
+			s.seq = rec.seq
+		}
+		if rec.seq <= s.appliedSeq {
+			s.skipped++
+			continue
+		}
+		ops = append(ops, rec.op)
+	}
+	s.walRecords = int64(len(recs))
+	if len(ops) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if _, err := s.as.Apply(s.db, ops); err != nil {
+		return fmt.Errorf("persist: WAL replay: %w", err)
+	}
+	s.replayed = int64(len(ops))
+	return nil
+}
+
+// validateOps rejects operations that could never apply — unknown
+// relation, wrong arity, unknown kind — BEFORE anything reaches the log.
+// A WAL record is re-applied on every recovery, so an op that would fail
+// must never become durable: it would poison each subsequent open.
+func validateOps(db *relation.Database, ops []access.Op) error {
+	for i, op := range ops {
+		r, ok := db.Relation(op.Rel)
+		if !ok {
+			return fmt.Errorf("persist: op %d: %s into unknown relation %q", i, op.Kind, op.Rel)
+		}
+		switch op.Kind {
+		case access.OpInsert:
+			if len(op.Tuple) != r.Schema.Arity() {
+				return fmt.Errorf("persist: op %d: %s arity %d != %d of %s",
+					i, op.Kind, len(op.Tuple), r.Schema.Arity(), op.Rel)
+			}
+		case access.OpDelete:
+			// Any arity is acceptable: a non-matching tuple is a no-op.
+		default:
+			return fmt.Errorf("persist: op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// Apply logs the operations (write-ahead) and then applies them to the
+// database and ladders as one batch. It returns the per-op applied flags of
+// access.(*Schema).Apply. Operations are validated before the first record
+// is written, so the log never holds an op that recovery could not replay.
+// Crossing the checkpoint threshold wakes the background checkpointer; the
+// caller never blocks on a snapshot write.
+func (s *Store) Apply(ctx context.Context, ops []access.Op) ([]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("persist: store is closed")
+	}
+	if err := validateOps(s.db, ops); err != nil {
+		return nil, err
+	}
+	for _, op := range ops {
+		s.seq++
+		if _, err := s.wal.append(s.seq, op); err != nil {
+			return nil, err
+		}
+		s.walRecords++
+	}
+	if s.opt.Sync {
+		if err := s.wal.sync(); err != nil {
+			return nil, err
+		}
+	}
+	applied, err := s.as.Apply(s.db, ops)
+	if err != nil {
+		return applied, err
+	}
+	if s.opt.CheckpointEvery > 0 && s.walRecords >= int64(s.opt.CheckpointEvery) {
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+	return applied, nil
+}
+
+// SaveTo writes a standalone snapshot of the live system to another
+// directory — a consistent copy usable by OpenStore elsewhere — under the
+// store's mutation lock, so it cannot race a concurrent Apply or
+// Checkpoint. The store's own WAL is untouched.
+func (s *Store) SaveTo(ctx context.Context, dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	return saveSeq(ctx, s.db, s.as, dir, s.seq)
+}
+
+// Checkpoint writes a fresh snapshot covering every applied operation and
+// truncates the WAL. Safe to call at any time (shutdown, an operator
+// /snapshot request, or the background checkpointer); concurrent callers
+// serialise.
+func (s *Store) Checkpoint(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	return s.checkpointLocked(ctx)
+}
+
+// checkpointLocked is Checkpoint with s.mu held: snapshot first (atomic
+// rename), then sync + truncate the log. A crash between the two steps is
+// benign — the stale records sit at or below the new watermark and replay
+// skips them.
+func (s *Store) checkpointLocked(ctx context.Context) error {
+	if err := saveSeq(ctx, s.db, s.as, s.dir, s.seq); err != nil {
+		return err
+	}
+	s.snapshots++
+	s.appliedSeq = s.seq
+	if err := s.wal.sync(); err != nil {
+		return err
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.walRecords = 0
+	s.checkpoints++
+	s.lastCheckpoint = time.Now()
+	return nil
+}
+
+// checkpointer is the background goroutine draining threshold crossings.
+func (s *Store) checkpointer() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+			err := s.Checkpoint(context.Background())
+			s.mu.Lock()
+			if err != nil {
+				s.checkpointErr = err.Error()
+			} else {
+				s.checkpointErr = ""
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Dir returns the persistence directory the store is bound to.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a point-in-time snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Dir:            s.dir,
+		WarmStart:      s.warm,
+		Seq:            s.seq,
+		WALRecords:     s.walRecords,
+		WALBytes:       s.wal.bytes,
+		Replayed:       s.replayed,
+		SkippedReplay:  s.skipped,
+		Snapshots:      s.snapshots,
+		Checkpoints:    s.checkpoints,
+		LastCheckpoint: s.lastCheckpoint,
+		CheckpointErr:  s.checkpointErr,
+	}
+}
+
+// Close stops the background checkpointer and closes the WAL. It does not
+// checkpoint: callers wanting a final snapshot (graceful shutdown) call
+// Checkpoint first. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	return s.wal.close()
+}

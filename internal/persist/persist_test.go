@@ -1,0 +1,249 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/fixture"
+	"repro/internal/relation"
+)
+
+// testDB returns a fresh deterministic copy of the Example 1 fixture; every
+// call yields identical contents, which is what lets the tests compare a
+// restored system against an independently built one.
+func testDB() *relation.Database { return fixture.Example1(11, 60, 120) }
+
+// testSchema builds the A0 access schema over db at the given shard count.
+func testSchema(t *testing.T, db *relation.Database, shards int) *access.Schema {
+	t.Helper()
+	as, err := fixture.SchemaA0Sharded(db, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+// assertLadderIdentical compares every observation of two ladders: identity,
+// metadata, resolutions, and the Fetch result of every group at every level.
+func assertLadderIdentical(t *testing.T, label string, a, b *access.Ladder) {
+	t.Helper()
+	if a.RelName != b.RelName || fmt.Sprint(a.X) != fmt.Sprint(b.X) || fmt.Sprint(a.Y) != fmt.Sprint(b.Y) {
+		t.Fatalf("%s: ladder identity differs", label)
+	}
+	if a.MaxK() != b.MaxK() || a.NumGroups() != b.NumGroups() ||
+		a.MaxGroupDistinct() != b.MaxGroupDistinct() || a.IndexSize() != b.IndexSize() {
+		t.Fatalf("%s: %s metadata differs", label, a.RelName)
+	}
+	for k := 0; k <= a.MaxK(); k++ {
+		ra, rb := a.Resolution(k), b.Resolution(k)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("%s: %s resolution[%d][%d] = %g vs %g", label, a.RelName, k, i, ra[i], rb[i])
+			}
+		}
+	}
+	for _, x := range a.GroupXs() {
+		if a.ExactLevelFor(x) != b.ExactLevelFor(x) {
+			t.Fatalf("%s: %s group %v exact level differs", label, a.RelName, x)
+		}
+		for k := 0; k <= a.MaxK(); k++ {
+			sa, sb := a.Fetch(x, k), b.Fetch(x, k)
+			if len(sa) != len(sb) {
+				t.Fatalf("%s: %s group %v level %d: %d vs %d samples", label, a.RelName, x, k, len(sa), len(sb))
+			}
+			for i := range sa {
+				if sa[i].Count != sb[i].Count || sa[i].Y.Key() != sb[i].Y.Key() {
+					t.Fatalf("%s: %s group %v level %d sample %d differs", label, a.RelName, x, k, i)
+				}
+			}
+		}
+	}
+}
+
+// assertSchemaIdentical compares two schemas ladder by ladder, plus the
+// databases they index.
+func assertStateIdentical(t *testing.T, label string, dbA *relation.Database, a *access.Schema, dbB *relation.Database, b *access.Schema) {
+	t.Helper()
+	if dbA.Size() != dbB.Size() {
+		t.Fatalf("%s: |D| %d vs %d", label, dbA.Size(), dbB.Size())
+	}
+	for _, name := range dbA.Names() {
+		ra, rb := dbA.MustRelation(name), dbB.MustRelation(name)
+		if ra.Len() != rb.Len() {
+			t.Fatalf("%s: relation %s: %d vs %d tuples", label, name, ra.Len(), rb.Len())
+		}
+		for i := range ra.Tuples {
+			if ra.Tuples[i].Key() != rb.Tuples[i].Key() {
+				t.Fatalf("%s: relation %s tuple %d differs", label, name, i)
+			}
+		}
+	}
+	if len(a.Ladders) != len(b.Ladders) {
+		t.Fatalf("%s: %d vs %d ladders", label, len(a.Ladders), len(b.Ladders))
+	}
+	for i := range a.Ladders {
+		assertLadderIdentical(t, label, a.Ladders[i], b.Ladders[i])
+	}
+}
+
+// testOps generates a deterministic mixed insert/delete sequence over the
+// fixture schema, hammering a few hot poi groups.
+func testOps(seed int64, n int) []access.Op {
+	rng := rand.New(rand.NewSource(seed))
+	types := []string{"hotel", "bar"}
+	ops := make([]access.Op, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 && i > 0 {
+			j := rng.Intn(i)
+			ops = append(ops, access.Op{Kind: access.OpDelete, Rel: "poi", Tuple: relation.Tuple{
+				relation.String(fmt.Sprintf("wal-addr-%d", j)),
+				relation.String(types[j%2]),
+				relation.String(fixture.Cities[j%2]),
+				relation.Float(float64(25 + j)),
+			}})
+			continue
+		}
+		ops = append(ops, access.Op{Kind: access.OpInsert, Rel: "poi", Tuple: relation.Tuple{
+			relation.String(fmt.Sprintf("wal-addr-%d", i)),
+			relation.String(types[i%2]),
+			relation.String(fixture.Cities[i%2]),
+			relation.Float(float64(25 + i)),
+		}})
+	}
+	return ops
+}
+
+// Snapshot round trip: Save then Load must reproduce the database contents
+// and every ladder observation, at the stored shard count and when
+// re-partitioned on load.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	for _, shards := range []int{1, 4} {
+		db := testDB()
+		as := testSchema(t, db, shards)
+		dir := t.TempDir()
+		if err := Save(ctx, db, as, dir); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		for _, loadShards := range []int{0, 1, 4} {
+			db2 := testDB()
+			as2, seq, err := Load(ctx, db2, dir, loadShards)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if seq != 0 {
+				t.Errorf("fresh snapshot watermark = %d, want 0", seq)
+			}
+			want := loadShards
+			if want == 0 {
+				want = shards
+			}
+			if got := as2.Ladders[0].Shards(); got != want {
+				t.Errorf("loaded shard count = %d, want %d", got, want)
+			}
+			assertStateIdentical(t, fmt.Sprintf("save@%d/load@%d", shards, loadShards), db, as, db2, as2)
+		}
+	}
+}
+
+// Encoding the same state twice must yield identical bytes (group order is
+// canonicalised), and decode∘encode must be the identity.
+func TestSnapshotEncodingDeterministic(t *testing.T) {
+	db := testDB()
+	as := testSchema(t, db, 4)
+	snap := captureSnapshot(db, as, 7)
+	one, err := encodeSnapshotFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := encodeSnapshotFile(captureSnapshot(db, as, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, two) {
+		t.Fatal("same state encoded to different bytes")
+	}
+	decoded, err := decodeSnapshotFile("mem", one)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if decoded.appliedSeq != 7 {
+		t.Errorf("appliedSeq = %d, want 7", decoded.appliedSeq)
+	}
+	redone, err := encodeSnapshotFile(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(redone, one) {
+		t.Fatal("decode∘encode is not the identity")
+	}
+}
+
+// Every corruption — truncation at any prefix, or a flipped byte anywhere —
+// must be rejected with a *CorruptError and never panic or load garbage.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	db := testDB()
+	as := testSchema(t, db, 2)
+	data, err := encodeSnapshotFile(captureSnapshot(db, as, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range []int{0, 4, headerLen - 1, headerLen, headerLen + 10, len(data) / 2, len(data) - 1} {
+		if _, err := decodeSnapshotFile("mem", data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		} else if ce := (*CorruptError)(nil); !errors.As(err, &ce) {
+			t.Errorf("truncation at %d: error %v is not a *CorruptError", cut, err)
+		}
+	}
+	step := len(data)/97 + 1
+	for off := 0; off < len(data); off += step {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x41
+		if _, err := decodeSnapshotFile("mem", mut); err == nil {
+			t.Errorf("flipped byte at %d accepted", off)
+		} else if ce := (*CorruptError)(nil); !errors.As(err, &ce) {
+			t.Errorf("flip at %d: error %v is not a *CorruptError", off, err)
+		}
+	}
+}
+
+// Load must surface a missing snapshot as fs.ErrNotExist (so OpenStore can
+// fall back to a cold build) and a damaged one as *CorruptError.
+func TestLoadErrorKinds(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	if _, _, err := Load(ctx, testDB(), dir, 0); !os.IsNotExist(err) {
+		t.Errorf("missing snapshot: got %v, want not-exist", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, SnapshotFile), []byte("BEASSNAPgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Load(ctx, testDB(), dir, 0)
+	if ce := (*CorruptError)(nil); !errors.As(err, &ce) {
+		t.Errorf("damaged snapshot: got %v, want *CorruptError", err)
+	}
+}
+
+// Loading a snapshot against a database missing one of its relations must
+// fail cleanly (wrong dataset for this directory).
+func TestLoadRejectsWrongDataset(t *testing.T) {
+	ctx := context.Background()
+	db := testDB()
+	as := testSchema(t, db, 1)
+	dir := t.TempDir()
+	if err := Save(ctx, db, as, dir); err != nil {
+		t.Fatal(err)
+	}
+	other := relation.NewDatabase()
+	if _, _, err := Load(ctx, other, dir, 0); err == nil {
+		t.Error("load into an unrelated database must fail")
+	}
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fixture"
+	"repro/internal/persist"
+
+	beas "repro"
+)
+
+// persistedServer builds a Server over an OpenPersisted system bound to a
+// temp directory.
+func persistedServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db := fixture.Example1(11, 120, 80)
+	sys, err := beas.OpenPersisted(context.Background(), db, dir,
+		beas.WithSchemaBuilder(fixture.SchemaA0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	s := New(Config{
+		System:       sys,
+		DefaultAlpha: 0.1,
+		Dataset:      "example1",
+		DBSize:       db.Size(),
+		BudgetCap:    1000 * db.Size(),
+	})
+	t.Cleanup(s.Close)
+	return s, dir
+}
+
+// statsBody fetches and decodes /stats.
+func statsBody(t *testing.T, s *Server) map[string]any {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	return body
+}
+
+// /stats must expose uptime, per-ladder footprints, and — on a persisted
+// system — the snapshot/WAL counters operators size thresholds with.
+func TestStatsUptimeLaddersPersist(t *testing.T) {
+	s, _ := persistedServer(t)
+	body := statsBody(t, s)
+
+	if up, ok := body["uptimeSec"].(float64); !ok || up < 0 {
+		t.Errorf("uptimeSec = %v", body["uptimeSec"])
+	}
+	ladders, ok := body["ladders"].([]any)
+	if !ok || len(ladders) == 0 {
+		t.Fatalf("ladders = %v", body["ladders"])
+	}
+	first, _ := ladders[0].(map[string]any)
+	for _, key := range []string{"relation", "groups", "levels", "residentTuples", "shards"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("ladder entry missing %q: %v", key, first)
+		}
+	}
+	ps, ok := body["persist"].(map[string]any)
+	if !ok {
+		t.Fatalf("persist = %v", body["persist"])
+	}
+	if n, _ := ps["snapshots"].(float64); n < 1 {
+		t.Errorf("snapshots = %v, want ≥ 1 (the cold-start snapshot)", ps["snapshots"])
+	}
+	if _, ok := ps["walRecords"]; !ok {
+		t.Error("persist stats missing walRecords")
+	}
+
+	// An in-memory system reports no persist section.
+	mem := testServer(t)
+	if body := statsBody(t, mem); body["persist"] != nil {
+		t.Errorf("in-memory persist = %v, want null", body["persist"])
+	}
+}
+
+// POST /snapshot with no body checkpoints a persisted system, truncating
+// the WAL; on an in-memory system it must refuse with 409.
+func TestSnapshotEndpoint(t *testing.T) {
+	s, _ := persistedServer(t)
+	rec := httptest.NewRecorder()
+	s.handleSnapshot(rec, httptest.NewRequest(http.MethodPost, "/snapshot", strings.NewReader("")))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", rec.Code, rec.Body)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := resp["persist"].(map[string]any)
+	if n, _ := ps["checkpoints"].(float64); n < 2 { // cold-start + this one
+		t.Errorf("checkpoints = %v, want ≥ 2", ps["checkpoints"])
+	}
+
+	// Standalone copy into another directory.
+	dir2 := t.TempDir()
+	body := fmt.Sprintf(`{"dir": %q}`, dir2)
+	rec = httptest.NewRecorder()
+	s.handleSnapshot(rec, httptest.NewRequest(http.MethodPost, "/snapshot", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot-to-dir status %d: %s", rec.Code, rec.Body)
+	}
+	db := fixture.Example1(11, 120, 80)
+	if _, _, err := persist.Load(context.Background(), db, dir2, 0); err != nil {
+		t.Errorf("standalone snapshot does not load: %v", err)
+	}
+
+	// In-memory system: 409.
+	mem := testServer(t)
+	rec = httptest.NewRecorder()
+	mem.handleSnapshot(rec, httptest.NewRequest(http.MethodPost, "/snapshot", strings.NewReader("")))
+	if rec.Code != http.StatusConflict {
+		t.Errorf("in-memory snapshot status %d, want 409", rec.Code)
+	}
+	// GET is not allowed.
+	rec = httptest.NewRecorder()
+	s.handleSnapshot(rec, httptest.NewRequest(http.MethodGet, "/snapshot", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET snapshot status %d", rec.Code)
+	}
+}
+
+// Close must drain the accepted /batch backlog: every admitted job finishes
+// with a real result instead of a shutdown error.
+func TestCloseDrainsBatchQueue(t *testing.T) {
+	db := fixture.Example1(11, 120, 80)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One slow worker and a deep queue: most jobs are still queued when
+	// Close runs.
+	s := New(Config{
+		System:       beas.Open(db, as),
+		DefaultAlpha: 0.1,
+		DBSize:       db.Size(),
+		Workers:      1,
+		QueueDepth:   64,
+		BudgetCap:    1000 * db.Size(),
+	})
+	var queries []string
+	for i := 0; i < 24; i++ {
+		queries = append(queries, fmt.Sprintf(`{"sql": "select p.city from person as p where p.pid = %d"}`, i))
+	}
+	body := fmt.Sprintf(`{"queries": [%s], "deadlineMs": 30000}`, strings.Join(queries, ","))
+
+	var wg sync.WaitGroup
+	var resp BatchResponse
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, resp = postBatch(t, s, body)
+	}()
+	// Give the handler a moment to enqueue, then close while jobs queue.
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+
+	for i, e := range resp.Results {
+		if e.Error != "" || e.Cancelled {
+			t.Fatalf("entry %d failed during drain: %+v", i, e)
+		}
+		if e.Rows == 0 && len(e.Columns) == 0 {
+			t.Fatalf("entry %d has no result after drain", i)
+		}
+	}
+}

@@ -27,9 +27,14 @@
 //     mid-flight are abandoned at the executor's next cancellation point
 //     instead of burning a worker to completion.
 //
-// GET /healthz reports liveness plus dataset shape; GET /stats reports
-// serving counters, queue pressure (including the in-flight budget weight),
-// per-tag query attribution and plan-cache effectiveness.
+// POST /snapshot is the operator's durability knob: it checkpoints a
+// persisted system into its own directory (truncating the WAL) or writes a
+// standalone snapshot copy to a requested directory. GET /healthz reports
+// liveness plus dataset shape; GET /stats reports serving counters, queue
+// pressure (including the in-flight budget weight), per-tag query
+// attribution, plan-cache effectiveness, process uptime, per-ladder
+// resident footprints and — when the system is persisted — the snapshot/WAL
+// counters of the durability layer.
 package serve
 
 import (
@@ -37,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
@@ -225,7 +231,17 @@ func New(cfg Config) *Server {
 				case j := <-s.queue:
 					s.runJob(j)
 				case <-s.stop:
-					return
+					// Graceful drain: finish the queued jobs instead of
+					// failing them — admission already stopped (handlers are
+					// not invoked after Close), so the queue only shrinks.
+					for {
+						select {
+						case j := <-s.queue:
+							s.runJob(j)
+						default:
+							return
+						}
+					}
 				}
 			}
 		}()
@@ -233,8 +249,11 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close stops the batch workers. In-flight jobs finish; queued jobs are
-// drained and failed. Handlers must not be invoked after Close.
+// Close stops the batch workers gracefully: in-flight jobs finish and the
+// queued backlog is drained and executed (each job still subject to its own
+// deadline), so a shutdown does not fail work the server already accepted.
+// Handlers must not be invoked after Close. Any job that somehow remains
+// after the workers exit is failed as cancelled.
 func (s *Server) Close() {
 	close(s.stop)
 	s.wg.Wait()
@@ -253,12 +272,14 @@ func (s *Server) Close() {
 	}
 }
 
-// Handler returns the route mux: /query, /stream, /batch, /healthz, /stats.
+// Handler returns the route mux: /query, /stream, /batch, /snapshot,
+// /healthz, /stats.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
@@ -636,6 +657,51 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// SnapshotRequest is the optional body of a /snapshot call. An empty body
+// (or empty dir) checkpoints a persisted system into its own directory,
+// truncating the WAL; a dir writes a standalone snapshot copy there.
+type SnapshotRequest struct {
+	Dir string `json:"dir,omitempty"`
+}
+
+// handleSnapshot triggers a snapshot: the operator's knob for forcing a
+// checkpoint before a deploy or taking a consistent copy for another host.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SnapshotRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	start := time.Now()
+	if req.Dir == "" {
+		if !s.cfg.System.Persisted() {
+			httpError(w, http.StatusConflict,
+				"system is not persisted (start with -data, or pass {\"dir\": ...})")
+			return
+		}
+		if err := s.cfg.System.Checkpoint(r.Context()); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	} else {
+		if err := s.cfg.System.Snapshot(r.Context(), req.Dir); err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"dir":     req.Dir,
+		"tookMs":  float64(time.Since(start).Microseconds()) / 1e3,
+		"persist": persistStats(s.cfg.System),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
@@ -645,6 +711,52 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"shards":    s.cfg.Shards,
 		"uptimeSec": time.Since(s.started).Seconds(),
 	})
+}
+
+// persistStats renders a system's durability counters for the JSON
+// endpoints; nil when the system is not persisted.
+func persistStats(sys *beas.System) map[string]any {
+	if !sys.Persisted() {
+		return nil
+	}
+	ps := sys.PersistStats()
+	out := map[string]any{
+		"dir":           ps.Dir,
+		"warmStart":     ps.WarmStart,
+		"seq":           ps.Seq,
+		"walRecords":    ps.WALRecords,
+		"walBytes":      ps.WALBytes,
+		"replayed":      ps.Replayed,
+		"skippedReplay": ps.SkippedReplay,
+		"snapshots":     ps.Snapshots,
+		"checkpoints":   ps.Checkpoints,
+	}
+	if !ps.LastCheckpoint.IsZero() {
+		out["lastCheckpointUnix"] = ps.LastCheckpoint.Unix()
+	}
+	if ps.CheckpointErr != "" {
+		out["checkpointErr"] = ps.CheckpointErr
+	}
+	return out
+}
+
+// ladderStats renders the per-ladder resident footprint, so operators can
+// size snapshot thresholds against what a snapshot would actually carry.
+func ladderStats(sys *beas.System) []map[string]any {
+	var out []map[string]any
+	for _, l := range sys.LadderStats() {
+		out = append(out, map[string]any{
+			"relation":         l.Relation,
+			"x":                l.X,
+			"y":                l.Y,
+			"shards":           l.Shards,
+			"groups":           l.Groups,
+			"levels":           l.Levels,
+			"residentTuples":   l.ResidentTuples,
+			"maxGroupDistinct": l.MaxGroupDistinct,
+		})
+	}
+	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -668,6 +780,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"failures":     s.failures.Load(),
 		"streams":      s.streams.Load(),
 		"avgLatencyMs": avgMS,
+		"uptimeSec":    time.Since(s.started).Seconds(),
+		"persist":      persistStats(s.cfg.System),
+		"ladders":      ladderStats(s.cfg.System),
 		"batch": map[string]any{
 			"batches":        s.batches.Load(),
 			"enqueued":       s.enqueued.Load(),

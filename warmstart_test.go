@@ -1,0 +1,185 @@
+package beas_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	beas "repro"
+	"repro/internal/corpus"
+	"repro/internal/fixture"
+	"repro/internal/persist"
+)
+
+// corpusDB returns the soundness-corpus fixture database (the exact
+// parameters internal/core's TestSoundnessRandomQueries uses); every call
+// is an identical fresh copy.
+func corpusDB() *beas.Database { return fixture.Example1(7, 120, 80) }
+
+// assertSameAnswers runs the full canonical corpus against both systems and
+// requires byte-identical results: answers (tuples in emission order), the
+// accuracy bound η, exactness, and the access statistics. Planning errors
+// (relaxed-join blowups some corpus cases hit) must occur identically too.
+func assertSameAnswers(t *testing.T, label string, fresh, warm *beas.System) {
+	t.Helper()
+	ctx := context.Background()
+	checked := 0
+	for ci, c := range corpus.Default() {
+		fa, fp, ferr := fresh.Query(ctx, c.Query, beas.WithAlpha(c.Alpha))
+		wa, wp, werr := warm.Query(ctx, c.Query, beas.WithAlpha(c.Alpha))
+		if (ferr == nil) != (werr == nil) {
+			t.Fatalf("%s case %d: fresh err=%v, warm err=%v", label, ci, ferr, werr)
+		}
+		if ferr != nil {
+			if !strings.Contains(ferr.Error(), "exceeds limit") {
+				t.Fatalf("%s case %d: %v", label, ci, ferr)
+			}
+			if ferr.Error() != werr.Error() {
+				t.Fatalf("%s case %d: errors differ: %v vs %v", label, ci, ferr, werr)
+			}
+			continue
+		}
+		if fa.Eta != wa.Eta || fa.Exact != wa.Exact || fa.Stats != wa.Stats {
+			t.Fatalf("%s case %d: (eta=%g exact=%v stats=%+v) vs warm (eta=%g exact=%v stats=%+v)",
+				label, ci, fa.Eta, fa.Exact, fa.Stats, wa.Eta, wa.Exact, wa.Stats)
+		}
+		if fp.Eta != wp.Eta || fp.Budget != wp.Budget || fp.Exact != wp.Exact {
+			t.Fatalf("%s case %d: plans differ: (eta=%g budget=%d) vs (eta=%g budget=%d)",
+				label, ci, fp.Eta, fp.Budget, wp.Eta, wp.Budget)
+		}
+		if fa.Rel.Len() != wa.Rel.Len() {
+			t.Fatalf("%s case %d: %d vs %d answer rows", label, ci, fa.Rel.Len(), wa.Rel.Len())
+		}
+		for i := range fa.Rel.Tuples {
+			if fa.Rel.Tuples[i].Key() != wa.Rel.Tuples[i].Key() {
+				t.Fatalf("%s case %d: answer row %d differs: %v vs %v",
+					label, ci, i, fa.Rel.Tuples[i], wa.Rel.Tuples[i])
+			}
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("%s: only %d corpus cases checked — corpus degenerated", label, checked)
+	}
+}
+
+// mutationOps is a small deterministic maintenance batch against the
+// fixture's poi relation.
+func mutationOps(n int) []beas.Op {
+	ops := make([]beas.Op, 0, n)
+	for i := 0; i < n; i++ {
+		if i%5 == 4 {
+			ops = append(ops, beas.Op{Kind: beas.OpDelete, Rel: "poi", Tuple: beas.Tuple{
+				beas.String(fmt.Sprintf("warm-addr-%d", i-1)), beas.String("hotel"),
+				beas.String("NYC"), beas.Float(float64(40 + i - 1)),
+			}})
+			continue
+		}
+		ops = append(ops, beas.Op{Kind: beas.OpInsert, Rel: "poi", Tuple: beas.Tuple{
+			beas.String(fmt.Sprintf("warm-addr-%d", i)), beas.String("hotel"),
+			beas.String("NYC"), beas.Float(float64(40 + i)),
+		}})
+	}
+	return ops
+}
+
+// The acceptance property of the persistence subsystem: snapshot → restart
+// → load answers the whole 200-case soundness corpus byte-identically to
+// the freshly built in-memory system, at shard counts 1 and 4 (including a
+// re-partitioning load).
+func TestWarmStartSoundnessCorpus(t *testing.T) {
+	ctx := context.Background()
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			db := corpusDB()
+			as, err := fixture.SchemaA0Sharded(db, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := beas.Open(db, as)
+
+			dir := t.TempDir()
+			if err := fresh.Snapshot(ctx, dir); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			warm, err := beas.OpenPersisted(ctx, corpusDB(), dir,
+				beas.WithPersistShards(shards),
+				beas.WithSchemaBuilder(func(*beas.Database) (*beas.AccessSchema, error) {
+					return nil, fmt.Errorf("cold build must not run: a snapshot exists")
+				}))
+			if err != nil {
+				t.Fatalf("warm open: %v", err)
+			}
+			defer warm.Close()
+			if !warm.PersistStats().WarmStart {
+				t.Fatal("open was not a warm start")
+			}
+			assertSameAnswers(t, "warm", fresh, warm)
+		})
+	}
+}
+
+// The crash half of the acceptance property: maintenance lands in the WAL,
+// the process "dies" mid-append (the log loses its final, torn record), and
+// the recovered system answers the whole corpus byte-identically to an
+// in-memory system that applied exactly the surviving prefix.
+func TestWarmStartAfterCrashRecovery(t *testing.T) {
+	ctx := context.Background()
+	ops := mutationOps(20)
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			builder := func(db *beas.Database) (*beas.AccessSchema, error) {
+				return fixture.SchemaA0Sharded(db, shards)
+			}
+			sys, err := beas.OpenPersisted(ctx, corpusDB(), dir,
+				beas.WithPersistShards(shards), beas.WithSchemaBuilder(builder),
+				beas.WithCheckpointEvery(-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Apply(ctx, ops); err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			// Crash: no checkpoint. Tear the last WAL record by dropping the
+			// file's final byte, losing exactly the last operation.
+			if err := sys.Close(); err != nil {
+				t.Fatal(err)
+			}
+			walPath := filepath.Join(dir, persist.WALFile)
+			data, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(walPath, data[:len(data)-1], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			recovered, err := beas.OpenPersisted(ctx, corpusDB(), dir,
+				beas.WithPersistShards(shards), beas.WithSchemaBuilder(builder))
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer recovered.Close()
+			ps := recovered.PersistStats()
+			if !ps.WarmStart || ps.Replayed != int64(len(ops)-1) {
+				t.Fatalf("recovery stats: %+v, want warm with %d replayed", ps, len(ops)-1)
+			}
+
+			// Ground truth: a never-persisted system applying the prefix.
+			db := corpusDB()
+			as, err := builder(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := beas.Open(db, as)
+			if _, err := fresh.Apply(ctx, ops[:len(ops)-1]); err != nil {
+				t.Fatal(err)
+			}
+			assertSameAnswers(t, "crash-recovery", fresh, recovered)
+		})
+	}
+}
