@@ -105,6 +105,12 @@ type (
 	Stream = core.Stream
 	// TagStats aggregates the queries attributed to one WithTag label.
 	TagStats = core.TagStats
+	// BoundTrace is the full derivation record of an answer's η: every
+	// bound rule applied, with its inputs and contribution. Request it per
+	// call with WithExplainEta; render it with its String method.
+	BoundTrace = core.BoundTrace
+	// BoundStep is one recorded rule application within a BoundTrace.
+	BoundStep = core.BoundStep
 	// Report is an RC-measure evaluation of an answer set.
 	Report = accuracy.Report
 )
@@ -286,6 +292,15 @@ func WithCacheBypass() Option {
 // broken out, e.g. per tenant or per endpoint.
 func WithTag(tag string) Option {
 	return func(o *core.ExecOptions) { o.Tag = tag }
+}
+
+// WithExplainEta attaches the bound-derivation trace to the answer
+// (Answer.Trace): every rule that contributed to the reported η — output
+// resolutions, predicate relaxations, join coverage analysis, group-by
+// inheritance and execution-stage overrides — with its inputs. The `beas
+// -explain-eta` flag renders it; programs can inspect Trace.Steps.
+func WithExplainEta() Option {
+	return func(o *core.ExecOptions) { o.ExplainEta = true }
 }
 
 // execOptions folds the call's options over the defaults.

@@ -11,6 +11,10 @@
 // accuracy (this scans the full data, defeating the point — use it to
 // inspect quality, not for the resource-bounded path).
 //
+// Pass -explain-eta to print the full bound-derivation trace: every rule
+// that contributed to the reported η, with the fetch resolutions it
+// consumed — the way to see *why* a bound is what it is.
+//
 // Pass -timeout to bound the wall time of the query: the deadline travels
 // into the executor as a context deadline, so an over-long execution is
 // abandoned mid-flight (Ctrl-C cancels the same way).
@@ -38,6 +42,7 @@ func main() {
 		exact   = flag.Bool("exact", false, "also compute exact answers and realised accuracy")
 		maxRows = flag.Int("rows", 20, "max answer rows to print")
 		timeout = flag.Duration("timeout", 0, "abandon the query after this long (0 = no limit)")
+		explain = flag.Bool("explain-eta", false, "print the bound-derivation trace behind the reported eta")
 	)
 	flag.Parse()
 	if *sql == "" {
@@ -79,7 +84,11 @@ func main() {
 		defer cancel()
 	}
 
-	ans, plan, err := sys.Query(ctx, q, beas.WithAlpha(*alpha))
+	opts := []beas.Option{beas.WithAlpha(*alpha)}
+	if *explain {
+		opts = append(opts, beas.WithExplainEta())
+	}
+	ans, plan, err := sys.Query(ctx, q, opts...)
 	fatal(err)
 
 	fmt.Printf("\nplan: class=%s budget=%d tuples (alpha=%g), generated in %v\n",
@@ -90,6 +99,12 @@ func main() {
 		fmt.Printf("accuracy lower bound eta = %.4f\n", ans.Eta)
 	}
 	fmt.Printf("accessed %d tuples (truncated=%v)\n\n", ans.Stats.Accessed, ans.Stats.Truncated)
+
+	if *explain {
+		fmt.Println("bound trace:")
+		fmt.Print(ans.Trace)
+		fmt.Println()
+	}
 
 	printed := 0
 	for _, t := range ans.Rel.Tuples {

@@ -11,19 +11,29 @@
 //	beasbench -perf -out B.json    # run the perf harness, write/append JSON
 //	beasbench -perf -label after   # label the run inside the report
 //	beasbench -persist             # cold build vs warm snapshot load
+//	beasbench -etaaudit            # eta-soundness audit sweep (exact oracle)
 //	beasbench -cpuprofile cpu.out  # profile any of the above
+//
+// -etaaudit runs the exact-oracle η-soundness audit (internal/etaaudit)
+// and fails the run on any accuracy < η violation; with -out its sweep
+// timings join the tracked perf trajectory. The -audit-* flags narrow the
+// sweep for one-line violation reproduction (see the repro command every
+// violation prints).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/etaaudit"
 )
 
 var figures = map[string]func(bench.Config) (*bench.Table, error){
@@ -49,12 +59,26 @@ func run() (code int) {
 		perf     = flag.Bool("perf", false, "run the tracked perf harness instead of the figures")
 		httpB    = flag.Bool("http", false, "run the end-to-end HTTP latency harness (shard counts 1/2/4/8 + legacy)")
 		persistB = flag.Bool("persist", false, "run the cold-vs-warm start harness (snapshot load vs ladder rebuild)")
+		auditB   = flag.Bool("etaaudit", false, "run the eta-soundness audit sweep (fails on any accuracy < eta)")
 		out      = flag.String("out", "", "with -perf/-http: write (or append the run to) this JSON report")
 		label    = flag.String("label", "current", "with -perf/-http: label of the run inside the report")
 		pr       = flag.Int("pr", 3, "with -perf/-http -out: PR number recorded in a fresh report")
 		smoke    = flag.Bool("smoke", false, "with -perf/-http: shrink to a fast correctness smoke")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		// -audit-* flags narrow the -etaaudit sweep (violation reproduction).
+		// Defaults mirror etaaudit.DefaultConfig / ShortConfig (with -smoke).
+		auditDatasets  = flag.String("audit-datasets", "", "with -etaaudit: comma-separated sweeps (corpus,tpch,tfacc)")
+		auditAlphas    = flag.String("audit-alphas", "", "with -etaaudit: comma-separated alpha grid")
+		auditOnly      = flag.String("audit-only", "", "with -etaaudit: audit a single case, written dataset:index")
+		auditCorpusSd  = flag.Int64("audit-corpus-seed", 0, "with -etaaudit: corpus generator seed override")
+		auditCorpusN   = flag.Int("audit-corpus-cases", 0, "with -etaaudit: corpus case count override")
+		auditFixSd     = flag.Int64("audit-fixture-seed", 0, "with -etaaudit: Example 1 fixture seed override")
+		auditScale     = flag.Int("audit-scale", 0, "with -etaaudit: dataset scale-factor override (tpch and tfacc)")
+		auditDataSd    = flag.Int64("audit-dataset-seed", 0, "with -etaaudit: dataset generator seed override")
+		auditQueriesN  = flag.Int("audit-workload-queries", 0, "with -etaaudit: workload query count override")
+		auditWorkSd    = flag.Int64("audit-workload-seed", 0, "with -etaaudit: workload generator seed override")
 	)
 	flag.Parse()
 
@@ -90,10 +114,118 @@ func run() (code int) {
 		}()
 	}
 
+	if *auditB {
+		cfg := etaaudit.Config{
+			Only: *auditOnly,
+		}
+		if *auditDatasets != "" {
+			cfg.Datasets = strings.Split(*auditDatasets, ",")
+		}
+		if *auditAlphas != "" {
+			for _, a := range strings.Split(*auditAlphas, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+				if err != nil {
+					return errorf("etaaudit: bad -audit-alphas: %v", err)
+				}
+				cfg.Alphas = append(cfg.Alphas, v)
+			}
+		}
+		base := etaaudit.DefaultConfig()
+		if *smoke {
+			base = etaaudit.ShortConfig()
+		}
+		if cfg.Datasets == nil {
+			cfg.Datasets = base.Datasets
+		}
+		if cfg.Alphas == nil {
+			cfg.Alphas = base.Alphas
+		}
+		cfg.CorpusSeed = override64(*auditCorpusSd, base.CorpusSeed)
+		cfg.CorpusCases = override(*auditCorpusN, base.CorpusCases)
+		cfg.FixtureSeed = override64(*auditFixSd, base.FixtureSeed)
+		cfg.FixtureN, cfg.FixtureM = base.FixtureN, base.FixtureM
+		cfg.TPCHScale = override(*auditScale, base.TPCHScale)
+		cfg.TFACCScale = override(*auditScale, base.TFACCScale)
+		cfg.DatasetSeed = override64(*auditDataSd, base.DatasetSeed)
+		cfg.WorkloadQueries = override(*auditQueriesN, base.WorkloadQueries)
+		cfg.WorkloadSeed = override64(*auditWorkSd, base.WorkloadSeed)
+		return runEtaAudit(*out, *label, *pr, *smoke, cfg)
+	}
 	if *perf || *httpB || *persistB {
 		return runPerf(*out, *label, *pr, *smoke, *httpB, *persistB)
 	}
 	return runFigures(*fig, *tiny, *queries)
+}
+
+// override returns v unless it is the zero "unset" sentinel.
+func override(v, def int) int {
+	if v != 0 {
+		return v
+	}
+	return def
+}
+
+// override64 returns v unless it is the zero "unset" sentinel.
+func override64(v, def int64) int64 {
+	if v != 0 {
+		return v
+	}
+	return def
+}
+
+// runEtaAudit executes the η-soundness sweep, appends its timings to the
+// tracked report (when -out is given) and fails on any violation.
+func runEtaAudit(out, label string, pr int, smoke bool, cfg etaaudit.Config) int {
+	run, rep, err := bench.RunEtaAuditPerf(context.Background(), label, smoke, cfg)
+	if err != nil {
+		return errorf("etaaudit: %v", err)
+	}
+	for _, sw := range rep.Sweeps {
+		fmt.Printf("etaaudit %-8s %4d queries %5d checked %3d skipped  %v\n",
+			sw.Dataset, sw.Queries, sw.Checked, sw.Skipped, sw.Elapsed.Round(time.Millisecond))
+	}
+	if out != "" {
+		if code := appendRun(out, pr, "Eta-audit sweep timings (exact-oracle soundness audit of the reported bounds).", run); code != 0 {
+			return code
+		}
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "beasbench: eta violation: %s\n", v)
+		}
+		return errorf("etaaudit: %d eta violation(s) across %d checked cases", len(rep.Violations), rep.Checked)
+	}
+	fmt.Printf("etaaudit: no violations across %d checked cases\n", rep.Checked)
+	return 0
+}
+
+// appendRun merges one labelled run into the JSON perf report at path,
+// creating the report (with the given description) if absent and replacing
+// a same-labelled run.
+func appendRun(path string, pr int, desc string, run *bench.PerfRun) int {
+	rep, err := bench.ReadPerfReport(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return errorf("read %s: %v", path, err)
+		}
+		rep = &bench.PerfReport{
+			SchemaVersion: 1,
+			PR:            pr,
+			Description:   desc,
+		}
+	}
+	kept := rep.Runs[:0]
+	for _, r := range rep.Runs {
+		if r.Label != run.Label {
+			kept = append(kept, r)
+		}
+	}
+	rep.Runs = append(kept, *run)
+	if err := bench.WritePerfReport(path, rep); err != nil {
+		return errorf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote run %q to %s\n", run.Label, path)
+	return 0
 }
 
 func runPerf(out, label string, pr int, smoke, httpB, persistB bool) int {
@@ -121,30 +253,8 @@ func runPerf(out, label string, pr int, smoke, httpB, persistB bool) int {
 	if out == "" {
 		return 0
 	}
-	rep, err := bench.ReadPerfReport(out)
-	if err != nil {
-		if !os.IsNotExist(err) {
-			return errorf("perf: read %s: %v", out, err)
-		}
-		rep = &bench.PerfReport{
-			SchemaVersion: 1,
-			PR:            pr,
-			Description:   "Tracked execution-core performance: plan execution, offline index build, serving latency.",
-		}
-	}
 	// Replace a same-labelled run so re-runs stay idempotent.
-	kept := rep.Runs[:0]
-	for _, r := range rep.Runs {
-		if r.Label != run.Label {
-			kept = append(kept, r)
-		}
-	}
-	rep.Runs = append(kept, *run)
-	if err := bench.WritePerfReport(out, rep); err != nil {
-		return errorf("perf: write %s: %v", out, err)
-	}
-	fmt.Printf("wrote run %q to %s\n", run.Label, out)
-	return 0
+	return appendRun(out, pr, "Tracked execution-core performance: plan execution, offline index build, serving latency.", run)
 }
 
 func runFigures(fig string, tiny bool, queries int) int {

@@ -3,7 +3,8 @@
 // long-running daemon. At startup it loads a dataset and either builds the
 // access schema offline (partitioned across -shards goroutine-owned shards)
 // or — with -data — warm-starts from the directory's snapshot and replayed
-// maintenance WAL, skipping the offline index construction entirely. It
+// maintenance WAL, skipping dataset generation and the offline index
+// construction entirely (the snapshot supplies tuples and ladders both). It
 // then serves any number of concurrent clients from one shared System —
 // parallel leaf execution, scatter-gather fetches, plan caching and all.
 // The handlers live in internal/serve; this command only wires flags,
@@ -163,16 +164,21 @@ func effectiveShards(sys *beas.System) int {
 	return 1
 }
 
-// open loads the dataset and builds or warm-starts the System. With a
-// persistence directory the access schema comes from its snapshot when one
-// exists (plus WAL replay); otherwise it is built cold and the initial
-// snapshot is written for the next start.
+// open loads the dataset schema and builds or warm-starts the System. With a
+// persistence directory the tuples and the access schema both come from its
+// snapshot when one exists (plus WAL replay) — dataset generation is skipped
+// entirely, not just the index build. Otherwise the dataset is generated,
+// the schema built cold, and the initial snapshot written for the next
+// start.
 func open(dataset string, scale int, seed int64, dataDir string, ckptEvery int, walSync bool, shards int) (*beas.System, int, int, error) {
-	db, build, err := loadDataset(dataset, scale, seed)
+	db, populate, build, err := loadDataset(dataset, scale, seed)
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	if dataDir == "" {
+		if err := populate(db); err != nil {
+			return nil, 0, 0, err
+		}
 		as, err := build(db)
 		if err != nil {
 			return nil, 0, 0, err
@@ -188,40 +194,47 @@ func open(dataset string, scale int, seed int64, dataDir string, ckptEvery int, 
 		opts = append(opts, beas.WithWALSync())
 	}
 	start := time.Now()
-	sys, err := beas.OpenPersisted(context.Background(), db, dataDir, opts...)
+	sys, err := beas.OpenPersistedSchema(context.Background(), db, dataDir, populate, opts...)
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	ps := sys.PersistStats()
-	mode := "cold start (initial snapshot written)"
+	mode := "cold start (dataset generated, initial snapshot written)"
 	if ps.WarmStart {
-		mode = fmt.Sprintf("warm start (%d WAL records replayed)", ps.Replayed)
+		mode = fmt.Sprintf("warm start (%d WAL records replayed, generation skipped)", ps.Replayed)
 	}
 	log.Printf("beasd: persistence %s: %s in %v", dataDir, mode, time.Since(start).Round(time.Millisecond))
 	return sys, db.Size(), len(db.Names()), nil
 }
 
-// loadDataset generates the named dataset and returns it with its
-// access-schema builder (invoked on cold starts only).
-func loadDataset(dataset string, scale int, seed int64) (*beas.Database, func(*beas.Database) (*beas.AccessSchema, error), error) {
+// loadDataset returns the named dataset as a schema-only shell plus its
+// deferred tuple generator and access-schema builder. Persisted warm starts
+// invoke neither: the snapshot supplies tuples and ladders both. Cold starts
+// and in-memory runs invoke populate before build.
+func loadDataset(dataset string, scale int, seed int64) (*beas.Database, func(*beas.Database) error, func(*beas.Database) (*beas.AccessSchema, error), error) {
 	if strings.EqualFold(dataset, "example1") {
-		db := fixture.Example1(seed, 200*scale, 150*scale)
-		return db, func(db *beas.Database) (*beas.AccessSchema, error) {
+		db := fixture.Example1Schema()
+		populate := func(db *beas.Database) error {
+			fixture.PopulateExample1(db, seed, 200*scale, 150*scale)
+			return nil
+		}
+		return db, populate, func(db *beas.Database) (*beas.AccessSchema, error) {
 			return fixture.SchemaA0(db)
 		}, nil
 	}
 	var d *workload.Dataset
 	switch strings.ToLower(dataset) {
 	case "tpch":
-		d = workload.TPCH(scale, seed)
+		d = workload.TPCHSchema(scale)
 	case "airca":
-		d = workload.AIRCA(scale, seed)
+		d = workload.AIRCASchema(scale)
 	case "tfacc":
-		d = workload.TFACC(scale, seed)
+		d = workload.TFACCSchema(scale)
 	default:
-		return nil, nil, fmt.Errorf("unknown dataset %q", dataset)
+		return nil, nil, nil, fmt.Errorf("unknown dataset %q", dataset)
 	}
-	return d.DB, func(*beas.Database) (*beas.AccessSchema, error) {
+	populate := func(*beas.Database) error { return d.Populate(seed) }
+	return d.DB, populate, func(*beas.Database) (*beas.AccessSchema, error) {
 		return d.AccessSchema()
 	}, nil
 }

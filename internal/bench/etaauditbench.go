@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"context"
+
+	"repro/internal/etaaudit"
+)
+
+// RunEtaAuditPerf runs the η-audit sweep (internal/etaaudit) under the
+// perf-report harness: the sweep's per-dataset wall time lands in the
+// tracked BENCH_*.json trajectory as etaaudit_<dataset> entries, NsPerOp
+// being the cost of one audited (query, α) execution — exact-oracle
+// evaluation included. smoke switches to the reduced ShortConfig budget.
+//
+// The returned report carries any η violations; the caller decides the
+// exit code (beasbench fails the run on a non-empty violation list).
+func RunEtaAuditPerf(ctx context.Context, label string, smoke bool, cfg etaaudit.Config) (*PerfRun, *etaaudit.Report, error) {
+	if len(cfg.Datasets) == 0 {
+		if smoke {
+			cfg = etaaudit.ShortConfig()
+		} else {
+			cfg = etaaudit.DefaultConfig()
+		}
+	}
+	rep, err := etaaudit.Run(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	run := RunPerfEnv()
+	run.Label = label
+	total := 0.0
+	for _, sw := range rep.Sweeps {
+		perOp := 0.0
+		if sw.Checked > 0 {
+			perOp = float64(sw.Elapsed.Nanoseconds()) / float64(sw.Checked)
+		}
+		total += float64(sw.Elapsed.Nanoseconds())
+		run.Benchmarks = append(run.Benchmarks, PerfBenchmark{
+			Name:       "etaaudit_" + sw.Dataset,
+			Iterations: sw.Checked,
+			NsPerOp:    perOp,
+		})
+	}
+	if rep.Checked > 0 {
+		run.Benchmarks = append(run.Benchmarks, PerfBenchmark{
+			Name:       "etaaudit_total",
+			Iterations: rep.Checked,
+			NsPerOp:    total / float64(rep.Checked),
+		})
+	}
+	return run, rep, nil
+}

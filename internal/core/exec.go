@@ -22,6 +22,10 @@ type Answer struct {
 	Eta float64
 	// Exact reports the answers are exactly Q(D).
 	Exact bool
+	// Trace is the full derivation record of Eta — the plan's bound trace
+	// extended with execution-stage overrides (η′ refinement, exactness,
+	// truncation). Populated only when ExecOptions.ExplainEta is set.
+	Trace *BoundTrace
 	// Stats aggregates data access over all leaf executions.
 	Stats plan.Stats
 }
@@ -104,7 +108,7 @@ func (s *Scheme) executeOpts(ctx context.Context, p *Plan, o ExecOptions) (*Answ
 			return nil, err
 		}
 		if !stats.Truncated {
-			return s.assemble(ctx, p, results, stats)
+			return s.assemble(ctx, p, o, results, stats)
 		}
 		// A leaf overran its partition; re-run sequentially so truncation
 		// semantics match the reference path exactly.
@@ -113,7 +117,7 @@ func (s *Scheme) executeOpts(ctx context.Context, p *Plan, o ExecOptions) (*Answ
 	if err != nil {
 		return nil, err
 	}
-	return s.assemble(ctx, p, results, stats)
+	return s.assemble(ctx, p, o, results, stats)
 }
 
 // ExecuteSequential runs the plan with the reference single-threaded
@@ -125,7 +129,7 @@ func (s *Scheme) ExecuteSequential(p *Plan) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.assemble(context.Background(), p, results, stats)
+	return s.assemble(context.Background(), p, ExecOptions{}, results, stats)
 }
 
 // leafOpts translates the call options into the per-leaf executor options.
@@ -244,7 +248,7 @@ func partitionBudget(p *Plan) []int {
 // assemble combines executed leaves into the final Answer, re-checking ctx
 // before the combine pass and before the η′ refinement (both can do real
 // work — kd-tree probes — on large answer sets).
-func (s *Scheme) assemble(ctx context.Context, p *Plan, results map[*query.SPC]*leafResult, stats plan.Stats) (*Answer, error) {
+func (s *Scheme) assemble(ctx context.Context, p *Plan, o ExecOptions, results map[*query.SPC]*leafResult, stats plan.Stats) (*Answer, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -256,6 +260,7 @@ func (s *Scheme) assemble(ctx context.Context, p *Plan, results map[*query.SPC]*
 	ans.Rel = out
 
 	ans.Eta = p.Eta
+	refined := false
 	if query.HasDiff(p.Expr) && !p.Exact {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -265,6 +270,7 @@ func (s *Scheme) assemble(ctx context.Context, p *Plan, results map[*query.SPC]*
 			return nil, err
 		}
 		ans.Eta = eta
+		refined = true
 	}
 	ans.Exact = p.Exact && !ans.Stats.Truncated
 	if ans.Exact {
@@ -272,6 +278,31 @@ func (s *Scheme) assemble(ctx context.Context, p *Plan, results map[*query.SPC]*
 	} else if ans.Stats.Truncated {
 		// The coverage guarantee is void once fetching is cut short.
 		ans.Eta = 0
+	}
+	if o.ExplainEta {
+		tr := p.Trace.clone()
+		if tr == nil {
+			tr = &BoundTrace{DRel: p.DRel, DCov: p.DCov}
+		}
+		if refined {
+			tr.add(BoundStep{
+				Rule: RuleEtaPrime, Leaf: -1, Subject: "difference", Eta: ans.Eta,
+				Note: "post-execution refinement eta' = 1/(1+max(drel, d'+dcov(Q-hat))) (§6)",
+			})
+		}
+		if ans.Exact {
+			tr.add(BoundStep{
+				Rule: RuleExact, Leaf: -1, Subject: "answer", Eta: 1,
+				Note: "execution finished exactly within budget: answers are Q(D)",
+			})
+		} else if ans.Stats.Truncated {
+			tr.add(BoundStep{
+				Rule: RuleTruncated, Leaf: -1, Subject: "answer", Eta: 0,
+				Note: "fetching was cut short by the budget backstop: coverage guarantee void",
+			})
+		}
+		tr.Eta = ans.Eta
+		ans.Trace = tr
 	}
 	return ans, nil
 }

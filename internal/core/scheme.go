@@ -87,6 +87,11 @@ type ExecOptions struct {
 	MinParallelEmitRows int
 	// BypassCache skips the plan cache entirely (no lookup, no insert).
 	BypassCache bool
+	// ExplainEta attaches the full bound-derivation trace (BoundTrace) to
+	// the Answer, extended with execution-stage overrides. Plans always
+	// carry their generation-time trace; this flag only controls the
+	// per-answer copy.
+	ExplainEta bool
 	// Tag attributes this call in the scheme's per-tag stats (TagStats).
 	Tag string
 }
@@ -227,6 +232,11 @@ type Plan struct {
 	// Leaves are the bounded plans of the max SPC sub-queries, in
 	// query.SPCLeaves order.
 	Leaves []*LeafPlan
+	// Trace records every bound-derivation rule application that produced
+	// Eta/DRel/DCov (the `beas -explain-eta` payload). Shared and
+	// immutable once the plan is generated; Answer extends a copy with
+	// execution-stage overrides when ExecOptions.ExplainEta is set.
+	Trace *BoundTrace
 	// GenTime is how long plan generation took (Exp-5).
 	GenTime time.Duration
 	// CacheHit reports that Answer served this plan from the scheme's plan
@@ -329,11 +339,16 @@ func (s *Scheme) generateWithBudget(ctx context.Context, e query.Expr, alpha flo
 	// while the total tariff stays within the budget.
 	s.chAT(p)
 
-	p.DRel, p.DCov = s.bound(p, e)
+	tr := &BoundTrace{}
+	p.DRel, p.DCov = s.boundRec(p, e, false, tr)
 	p.Eta = etaOf(p.DRel, p.DCov)
 	p.Exact = s.isExact(p)
 	if p.Exact {
 		p.Eta = 1
+		tr.add(BoundStep{
+			Rule: RuleExact, Leaf: -1, Subject: "plan", Eta: 1,
+			Note: "every used attribute resolves at resolution 0: the plan computes exact answers",
+		})
 	} else if g, ok := e.(*query.GroupBy); ok {
 		switch g.Agg {
 		case query.AggSum, query.AggCount, query.AggAvg:
@@ -345,6 +360,8 @@ func (s *Scheme) generateWithBudget(ctx context.Context, e query.Expr, alpha flo
 			p.Eta = 0
 		}
 	}
+	tr.DRel, tr.DCov, tr.Eta = p.DRel, p.DCov, p.Eta
+	p.Trace = tr
 	p.GenTime = time.Since(start)
 	return p, nil
 }
@@ -385,7 +402,7 @@ type upgrade struct {
 // tariff of the whole fetch plan stays within the budget.
 func (s *Scheme) chAT(p *Plan) {
 	for {
-		curRel, curCov := s.bound(p, p.Expr)
+		curRel, curCov := s.planBound(p, p.Expr)
 		curD := math.Max(curRel, curCov)
 		curRes := s.totalResolution(p)
 
@@ -400,7 +417,7 @@ func (s *Scheme) chAT(p *Plan) {
 				}
 				l.Bounded.Ks[si]++
 				if s.totalTariff(p) <= p.Budget {
-					dRel, dCov := s.bound(p, p.Expr)
+					dRel, dCov := s.planBound(p, p.Expr)
 					d := math.Max(dRel, dCov)
 					res := s.totalResolution(p)
 					if betterBound(d, res, bestD, bestRes) || (!improved && best == nil) {
@@ -465,7 +482,9 @@ func (s *Scheme) totalTariff(p *Plan) int { return p.Tariff() }
 // bound computes L's (drel, dcov) decomposition for the expression under
 // the current level assignments, inductively on the query structure:
 //
-//	leaf SPC:    dcov = max resolution over output columns;
+//	leaf SPC:    dcov = max resolution over output columns, pushed to +inf
+//	             by exactly-enforced joins over unbounded-resolution
+//	             columns (the coverage-void rule — see leafBound);
 //	             drel = max over predicates of the relaxation the plan
 //	             applies (resolution of the attribute; half-sum for joins)
 //	union:       component-wise max
@@ -473,28 +492,119 @@ func (s *Scheme) totalTariff(p *Plan) int { return p.Tariff() }
 //	group-by:    the bounds of the child (min/max inherit exactly, §7;
 //	             for sum/count/avg the value error is data-dependent and
 //	             η is an estimate on keys and relevance)
+//
+// This is the reported bound: what the plan's η is derived from.
 func (s *Scheme) bound(p *Plan, e query.Expr) (drel, dcov float64) {
+	return s.boundRec(p, e, false, nil)
+}
+
+// planBound is chAT's optimisation objective: the bound without the
+// coverage-void rule. The void depends only on which join columns resolve
+// at unbounded resolution — a property the greedy single-level upgrades
+// chAT explores essentially never change (a trivial-distance column leaves
+// +inf only at its ladder's exact level, which the secondary resolution
+// objective already steers toward when affordable). Optimising the finite
+// part keeps the established level choices (and therefore the answers)
+// identical to the pre-fix planner; only the *reported* η gets honest.
+func (s *Scheme) planBound(p *Plan, e query.Expr) (drel, dcov float64) {
+	return s.boundRec(p, e, true, nil)
+}
+
+// boundRec is the shared implementation of bound and planBound; a non-nil
+// tr records every rule application into a BoundTrace.
+func (s *Scheme) boundRec(p *Plan, e query.Expr, planning bool, tr *BoundTrace) (drel, dcov float64) {
 	switch q := e.(type) {
 	case *query.SPC:
-		return s.leafBound(p, q)
+		return s.leafBound(p, q, planning, tr)
 	case *query.Union:
-		lr, lc := s.bound(p, q.L)
-		rr, rc := s.bound(p, q.R)
+		lr, lc := s.boundRec(p, q.L, planning, tr)
+		rr, rc := s.boundRec(p, q.R, planning, tr)
+		tr.add(BoundStep{
+			Rule: RuleUnionMax, Leaf: -1, Subject: "union",
+			Inputs: []float64{lr, lc, rr, rc},
+			DRel:   math.Max(lr, rr), DCov: math.Max(lc, rc), Eta: -1,
+			Note: "union takes the component-wise max of both sides' bounds",
+		})
 		return math.Max(lr, rr), math.Max(lc, rc)
 	case *query.Diff:
-		return s.bound(p, q.L)
+		dr, dc := s.boundRec(p, q.L, planning, tr)
+		tr.add(BoundStep{
+			Rule: RuleDiffLeft, Leaf: -1, Subject: "difference",
+			Inputs: []float64{dr, dc}, DRel: dr, DCov: dc, Eta: -1,
+			Note: "difference uses Q1's bounds; execution refines them into eta' (§6)",
+		})
+		return dr, dc
 	case *query.GroupBy:
-		return s.bound(p, q.In)
+		dr, dc := s.boundRec(p, q.In, planning, tr)
+		if tr != nil {
+			switch q.Agg {
+			case query.AggMin, query.AggMax:
+				tr.add(BoundStep{
+					Rule: RuleGroupByMinMax, Leaf: -1,
+					Subject: fmt.Sprintf("%s(%s) by %s", q.Agg, q.On.String(), renderCols(q.Keys)),
+					Inputs:  []float64{dr, dc}, Eta: -1,
+					Note: "min/max group-by inherits the child's bounds unchanged (Corollary 7)",
+				})
+			default:
+				tr.add(BoundStep{
+					Rule: RuleGroupByDataDep, Leaf: -1,
+					Subject: fmt.Sprintf("%s(%s) by %s", q.Agg, q.On.String(), renderCols(q.Keys)),
+					Inputs:  []float64{dr, dc}, Eta: 0,
+					Note: "sum/count/avg value error is data-dependent; no deterministic bound, eta = 0",
+				})
+			}
+		}
+		return dr, dc
 	default:
 		return math.Inf(1), math.Inf(1)
 	}
 }
 
-func (s *Scheme) leafBound(p *Plan, q *query.SPC) (drel, dcov float64) {
+// renderCols joins column names for trace subjects.
+func renderCols(cols []query.Col) string {
+	out := ""
+	for i, c := range cols {
+		if i > 0 {
+			out += ","
+		}
+		out += c.String()
+	}
+	return out
+}
+
+// leafBound derives one SPC leaf's (drel, dcov) from the fetch plan's
+// per-attribute resolutions.
+//
+// Soundness sketch (Theorems 5/6). Coverage: each exact witness tuple has
+// a fetched covering sample within every used attribute's resolution, so
+// the answer set covers Q(D) within dcov = max output-column resolution —
+// PROVIDED the covering combination survives every predicate. Constant
+// predicates and finite-tolerance joins are relaxed by exactly enough to
+// admit it: a constant selection σ A=c relaxes to dis(A,c) ≤ res(A), and a
+// join A=B relaxes to dis(A,B) ≤ res(A)+res(B) (executor tolerance is the
+// half-sum because Pred.Violation reports d/2), which admits the covering
+// pair since each side moved at most its own resolution. Relevance: every
+// admitted combination satisfies the query relaxed by at most the largest
+// applied relaxation, so drel = max over predicates.
+//
+// The exception — and the PR-6 fix — is a join whose tolerance is
+// infinite. The executor enforces such joins *exactly*, which keeps them
+// out of drel (nothing spurious is admitted) but breaks the coverage
+// argument: the covering sample of a witness carries an arbitrary value on
+// an unbounded-resolution column and need not satisfy the exact join, so
+// no finite dcov is derivable and the leaf's coverage bound is void
+// (dcov = +inf, η = 0). The one sound exception is a join the fetch plan
+// guarantees by construction: when one side's column is fetched as a
+// ladder X attribute sourced from the other side's column, every fetched
+// row carries the exact join value of some fetched partner row, so the
+// covering combination always survives (joinFetchCorrelated).
+func (s *Scheme) leafBound(p *Plan, q *query.SPC, planning bool, tr *BoundTrace) (drel, dcov float64) {
 	var lp *LeafPlan
-	for _, l := range p.Leaves {
+	leafIdx := -1
+	for i, l := range p.Leaves {
 		if l.SPC == q {
 			lp = l
+			leafIdx = i
 			break
 		}
 	}
@@ -515,26 +625,105 @@ func (s *Scheme) leafBound(p *Plan, q *query.SPC) (drel, dcov float64) {
 		return math.Inf(1), math.Inf(1)
 	}
 	for _, col := range outCols {
-		if r := res(col); r > dcov {
+		r := res(col)
+		if r > dcov {
 			dcov = r
 		}
+		tr.add(BoundStep{
+			Rule: RuleOutputResolution, Leaf: leafIdx, Subject: col.String(),
+			Inputs: []float64{r}, DCov: r, Eta: -1,
+			Note: "coverage is bounded by the worst output-column fetch resolution",
+		})
 	}
 	for _, pd := range q.Preds {
-		var r float64
 		if pd.Join {
-			r = (res(pd.Left) + res(pd.Right)) / 2
-			if math.IsInf(r, 1) {
-				// The executor enforces joins with unbounded fetch
-				// resolution exactly (no relaxation is applied), so
-				// they contribute nothing to the relevance bound.
-				r = 0
+			rl, rr := res(pd.Left), res(pd.Right)
+			half := (rl + rr) / 2
+			subject := pd.Left.String() + " " + pd.Op.String() + " " + pd.Right.String()
+			if math.IsInf(half, 1) {
+				// Exactly-enforced join: no relevance contribution, but
+				// coverage is void unless the fetch correlates the sides.
+				tr.add(BoundStep{
+					Rule: RuleJoinExactEnforced, Leaf: leafIdx, Subject: subject,
+					Inputs: []float64{rl, rr}, Eta: -1,
+					Note: "infinite tolerance: the executor enforces this join exactly, so it admits nothing spurious",
+				})
+				if joinFetchCorrelated(c, aliasIdx, pd) {
+					tr.add(BoundStep{
+						Rule: RuleJoinFetchCorrelated, Leaf: leafIdx, Subject: subject,
+						Inputs: []float64{rl, rr}, Eta: -1,
+						Note: "one side's fetch draws its X values from the other side's rows, so every fetched row has a fetched join partner: coverage survives",
+					})
+				} else {
+					if !planning {
+						dcov = math.Inf(1)
+					}
+					tr.add(BoundStep{
+						Rule: RuleJoinCoverageVoid, Leaf: leafIdx, Subject: subject,
+						Inputs: []float64{rl, rr}, DCov: math.Inf(1), Eta: -1,
+						Note: "covering samples carry arbitrary values on an unbounded-resolution join column and need not survive the exact join: coverage bound void",
+					})
+				}
+				continue
 			}
-		} else {
-			r = res(pd.Left)
+			if half > drel {
+				drel = half
+			}
+			tr.add(BoundStep{
+				Rule: RuleJoinHalfSum, Leaf: leafIdx, Subject: subject,
+				Inputs: []float64{rl, rr}, DRel: half, Eta: -1,
+				Note: "join relaxed to dis(left,right) <= res(left)+res(right); Violation reports half the distance",
+			})
+			continue
 		}
+		r := res(pd.Left)
 		if r > drel {
 			drel = r
 		}
+		rule := RuleConstRelaxation
+		note := "constant predicate relaxed by the attribute's fetch resolution"
+		if math.IsInf(r, 1) {
+			rule = RuleConstUnbounded
+			note = "attribute fetched with unbounded resolution: the predicate cannot be filtered, relevance bound void"
+		}
+		tr.add(BoundStep{
+			Rule: rule, Leaf: leafIdx, Subject: pd.Left.String() + " " + pd.Op.String() + " const",
+			Inputs: []float64{r}, DRel: r, Eta: -1, Note: note,
+		})
 	}
 	return drel, dcov
+}
+
+// joinFetchCorrelated reports whether the fetch plan guarantees the join
+// by construction: the covering step of one side's column fetches that
+// very column as a ladder X attribute whose source is the other side's
+// column (in either orientation). Such a step's groups are keyed by exact
+// values drawn from the source side's fetched rows, so the exactly
+// enforced join always finds the fetched partner and the coverage
+// argument goes through despite the infinite tolerance.
+func joinFetchCorrelated(c *chase.Result, aliasIdx map[string]int, pd query.Pred) bool {
+	return xSourcedFrom(c, aliasIdx[pd.Right.Rel], pd.Right.Attr, aliasIdx[pd.Left.Rel], pd.Left.Attr) ||
+		xSourcedFrom(c, aliasIdx[pd.Left.Rel], pd.Left.Attr, aliasIdx[pd.Right.Rel], pd.Right.Attr)
+}
+
+// xSourcedFrom reports whether (atom, attr) is covered by a non-chimeric
+// step that fetches attr as a ladder X attribute sourced directly from
+// (srcAtom, srcAttr).
+func xSourcedFrom(c *chase.Result, atom int, attr string, srcAtom int, srcAttr string) bool {
+	si := c.CoveredBy(atom, attr)
+	if si < 0 || si >= len(c.Steps) {
+		return false
+	}
+	st := c.Steps[si]
+	if st.Chimeric || st.AtomIdx != atom {
+		return false
+	}
+	for xi, x := range st.Ladder.X {
+		if x != attr {
+			continue
+		}
+		src := st.X[xi]
+		return !src.IsConst && src.AtomIdx == srcAtom && src.Attr == srcAttr
+	}
+	return false
 }

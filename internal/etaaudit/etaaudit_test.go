@@ -1,0 +1,63 @@
+package etaaudit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAuditSweep is the η-audit gate: the configured sweep must report
+// zero violations. In -short mode (PR CI) it runs the reduced ShortConfig
+// budget; the full DefaultConfig sweep — the complete corpus plus both
+// workload datasets across the whole α grid — runs otherwise.
+func TestAuditSweep(t *testing.T) {
+	cfg := DefaultConfig()
+	if testing.Short() {
+		cfg = ShortConfig()
+	}
+	rep, err := Run(t.Context(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("audit checked nothing")
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("eta violation:\n%s", v)
+	}
+	for _, sw := range rep.Sweeps {
+		t.Logf("%s: %d queries, %d checked, %d skipped in %v", sw.Dataset, sw.Queries, sw.Checked, sw.Skipped, sw.Elapsed)
+	}
+}
+
+// TestAuditOnlyFilter checks the reproduction path: an Only filter of
+// "dataset:index" must narrow the sweep to exactly that query, and the
+// violation repro strings must reference the same filter syntax.
+func TestAuditOnlyFilter(t *testing.T) {
+	cfg := ShortConfig()
+	cfg.Datasets = []string{"corpus"}
+	cfg.Alphas = []float64{0.1}
+	cfg.Only = "corpus:3"
+	rep, err := Run(t.Context(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Sweeps[0].Queries; got != 1 {
+		t.Fatalf("Only filter audited %d queries, want 1", got)
+	}
+	if repro := reproCommand(cfg, "corpus", 3, 0.1); !strings.Contains(repro, "-audit-only corpus:3") ||
+		!strings.Contains(repro, "-audit-corpus-seed 42") {
+		t.Fatalf("repro command lacks the filter or seed: %s", repro)
+	}
+}
+
+// TestAuditBadConfig rejects unrunnable configurations.
+func TestAuditBadConfig(t *testing.T) {
+	if _, err := Run(t.Context(), Config{}); err == nil {
+		t.Fatal("empty config should fail")
+	}
+	cfg := DefaultConfig()
+	cfg.Datasets = []string{"nope"}
+	if _, err := Run(t.Context(), cfg); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}

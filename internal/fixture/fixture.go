@@ -22,23 +22,42 @@ var POITypes = []string{"hotel", "bar", "cafe", "museum"}
 // Example1 returns a deterministic instance of the Example 1 schema with
 // nPersons persons (averaging ~3 friends each) and nPOI points of interest.
 func Example1(seed int64, nPersons, nPOI int) *relation.Database {
-	rng := rand.New(rand.NewSource(seed))
-	db := relation.NewDatabase()
+	db := Example1Schema()
+	PopulateExample1(db, seed, nPersons, nPOI)
+	return db
+}
 
-	person := relation.NewRelation(relation.MustSchema("person",
+// Example1Schema returns the Example 1 database as a schema-only shell:
+// person, friend and poi with no tuples. PopulateExample1 generates the
+// contents; warm starts from a persisted snapshot skip it entirely (the
+// snapshot supplies the tuples — see beas.OpenPersistedSchema).
+func Example1Schema() *relation.Database {
+	db := relation.NewDatabase()
+	db.MustAdd(relation.NewRelation(relation.MustSchema("person",
 		relation.Attr("pid", relation.KindInt, relation.Trivial()),
 		relation.Attr("city", relation.KindString, relation.Trivial()),
-	))
-	friend := relation.NewRelation(relation.MustSchema("friend",
+	)))
+	db.MustAdd(relation.NewRelation(relation.MustSchema("friend",
 		relation.Attr("pid", relation.KindInt, relation.Trivial()),
 		relation.Attr("fid", relation.KindInt, relation.Trivial()),
-	))
-	poi := relation.NewRelation(relation.MustSchema("poi",
+	)))
+	db.MustAdd(relation.NewRelation(relation.MustSchema("poi",
 		relation.Attr("address", relation.KindString, relation.Discrete()),
 		relation.Attr("type", relation.KindString, relation.Discrete()),
 		relation.Attr("city", relation.KindString, relation.Trivial()),
 		relation.Attr("price", relation.KindFloat, relation.Numeric(100)),
-	))
+	)))
+	return db
+}
+
+// PopulateExample1 fills an Example1Schema shell with the generated tuples,
+// deterministically for the seed: Example1Schema + PopulateExample1 yields
+// the same database as Example1 (the rng consumption order is identical).
+func PopulateExample1(db *relation.Database, seed int64, nPersons, nPOI int) {
+	rng := rand.New(rand.NewSource(seed))
+	person := db.MustRelation("person")
+	friend := db.MustRelation("friend")
+	poi := db.MustRelation("poi")
 
 	for pid := 0; pid < nPersons; pid++ {
 		person.MustAppend(relation.Tuple{
@@ -60,10 +79,6 @@ func Example1(seed int64, nPersons, nPOI int) *relation.Database {
 			relation.Float(10 + rng.Float64()*390),
 		})
 	}
-	db.MustAdd(person)
-	db.MustAdd(friend)
-	db.MustAdd(poi)
-	return db
 }
 
 // SchemaA0 builds the paper's access schema A0 extended with At: the

@@ -12,10 +12,17 @@ import (
 // paper (7 tables, keys and foreign keys over carriers, airports, aircraft,
 // flights, delays, routes and monthly stats). |D| ≈ 2400·scale + 800.
 func AIRCA(scale int, seed int64) *Dataset {
+	d := AIRCASchema(scale)
+	d.mustPopulate(seed)
+	return d
+}
+
+// AIRCASchema returns the AIRCA-like dataset as a schema-only shell (no
+// tuples); see TPCHSchema for the shell/Populate contract.
+func AIRCASchema(scale int) *Dataset {
 	if scale < 1 {
 		scale = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
 	db := relation.NewDatabase()
 
 	regions := []string{"NE", "SE", "MW", "SW", "W"}
@@ -25,13 +32,6 @@ func AIRCA(scale int, seed int64) *Dataset {
 		relation.Attr("cregion", relation.KindString, relation.Discrete()),
 	))
 	const nCarriers = 30
-	for i := 0; i < nCarriers; i++ {
-		carriers.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.String(fmt.Sprintf("CARRIER%02d", i)),
-			relation.String(regions[i%len(regions)]),
-		})
-	}
 
 	states := []string{"CA", "TX", "NY", "FL", "IL", "WA", "CO", "GA"}
 	airports := relation.NewRelation(relation.MustSchema("airports",
@@ -41,14 +41,6 @@ func AIRCA(scale int, seed int64) *Dataset {
 		relation.Attr("asize", relation.KindInt, relation.Numeric(4)),
 	))
 	const nAirports = 400
-	for i := 0; i < nAirports; i++ {
-		airports.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.String(fmt.Sprintf("CITY%03d", i%180)),
-			relation.String(states[skewPick(rng, len(states))]),
-			relation.Int(int64(1 + rng.Intn(5))),
-		})
-	}
 
 	models := []string{"B737", "B747", "A320", "A330", "E190", "CRJ9"}
 	aircraft := relation.NewRelation(relation.MustSchema("aircraft",
@@ -59,15 +51,6 @@ func AIRCA(scale int, seed int64) *Dataset {
 		relation.Attr("year", relation.KindInt, relation.Numeric(35)),
 	))
 	nAircraft := 40 * scale
-	for i := 0; i < nAircraft; i++ {
-		aircraft.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(nCarriers))),
-			relation.String(models[skewPick(rng, len(models))]),
-			relation.Int(int64(50 + rng.Intn(351))),
-			relation.Int(int64(1980 + rng.Intn(36))),
-		})
-	}
 
 	flights := relation.NewRelation(relation.MustSchema("flights",
 		relation.Attr("fid", relation.KindInt, relation.Trivial()),
@@ -79,21 +62,6 @@ func AIRCA(scale int, seed int64) *Dataset {
 		relation.Attr("delay", relation.KindInt, relation.Numeric(320)),
 	))
 	nFlights := 1500 * scale
-	for i := 0; i < nFlights; i++ {
-		delay := rng.Intn(45) - 20
-		if rng.Float64() < 0.15 { // long-delay tail
-			delay = 25 + rng.Intn(275)
-		}
-		flights.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(skewPick(rng, nCarriers))),
-			relation.Int(int64(rng.Intn(nAirports))),
-			relation.Int(int64(rng.Intn(nAirports))),
-			relation.Int(int64(rng.Intn(1440))),
-			relation.Int(int64(100 + rng.Intn(4901))),
-			relation.Int(int64(delay)),
-		})
-	}
 
 	causes := []string{"WEATHER", "CARRIER", "NAS", "SECURITY", "LATE_AIRCRAFT"}
 	delays := relation.NewRelation(relation.MustSchema("delays",
@@ -102,13 +70,6 @@ func AIRCA(scale int, seed int64) *Dataset {
 		relation.Attr("mins", relation.KindInt, relation.Numeric(300)),
 	))
 	nDelays := 700 * scale
-	for i := 0; i < nDelays; i++ {
-		delays.MustAppend(relation.Tuple{
-			relation.Int(int64(rng.Intn(nFlights))),
-			relation.String(causes[skewPick(rng, len(causes))]),
-			relation.Int(int64(rng.Intn(301))),
-		})
-	}
 
 	routes := relation.NewRelation(relation.MustSchema("routes",
 		relation.Attr("rid", relation.KindInt, relation.Trivial()),
@@ -117,14 +78,6 @@ func AIRCA(scale int, seed int64) *Dataset {
 		relation.Attr("cnt", relation.KindInt, relation.Numeric(5000)),
 	))
 	nRoutes := 150 * scale
-	for i := 0; i < nRoutes; i++ {
-		routes.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(nAirports))),
-			relation.Int(int64(rng.Intn(nAirports))),
-			relation.Int(int64(10 + rng.Intn(5000))),
-		})
-	}
 
 	stats := relation.NewRelation(relation.MustSchema("stats",
 		relation.Attr("cid", relation.KindInt, relation.Trivial()),
@@ -132,16 +85,6 @@ func AIRCA(scale int, seed int64) *Dataset {
 		relation.Attr("ontime", relation.KindFloat, relation.Numeric(0.6)),
 		relation.Attr("volume", relation.KindInt, relation.Numeric(100000)),
 	))
-	for c := 0; c < nCarriers; c++ {
-		for m := 0; m < 12; m++ {
-			stats.MustAppend(relation.Tuple{
-				relation.Int(int64(c)),
-				relation.Int(int64(m)),
-				relation.Float(0.4 + rng.Float64()*0.6),
-				relation.Int(int64(100 + rng.Intn(100000))),
-			})
-		}
-	}
 
 	db.MustAdd(carriers)
 	db.MustAdd(airports)
@@ -151,7 +94,7 @@ func AIRCA(scale int, seed int64) *Dataset {
 	db.MustAdd(routes)
 	db.MustAdd(stats)
 
-	return &Dataset{
+	d := &Dataset{
 		Name: "AIRCA",
 		DB:   db,
 		Joins: []Join{
@@ -201,4 +144,74 @@ func AIRCA(scale int, seed int64) *Dataset {
 		},
 		Facts: []string{"flights", "delays"},
 	}
+	// Deferred generator; rng consumption order matches the pre-split
+	// constructor exactly (see the TPCH note).
+	d.populate = func(seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < nCarriers; i++ {
+			carriers.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.String(fmt.Sprintf("CARRIER%02d", i)),
+				relation.String(regions[i%len(regions)]),
+			})
+		}
+		for i := 0; i < nAirports; i++ {
+			airports.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.String(fmt.Sprintf("CITY%03d", i%180)),
+				relation.String(states[skewPick(rng, len(states))]),
+				relation.Int(int64(1 + rng.Intn(5))),
+			})
+		}
+		for i := 0; i < nAircraft; i++ {
+			aircraft.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(rng.Intn(nCarriers))),
+				relation.String(models[skewPick(rng, len(models))]),
+				relation.Int(int64(50 + rng.Intn(351))),
+				relation.Int(int64(1980 + rng.Intn(36))),
+			})
+		}
+		for i := 0; i < nFlights; i++ {
+			delay := rng.Intn(45) - 20
+			if rng.Float64() < 0.15 { // long-delay tail
+				delay = 25 + rng.Intn(275)
+			}
+			flights.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(skewPick(rng, nCarriers))),
+				relation.Int(int64(rng.Intn(nAirports))),
+				relation.Int(int64(rng.Intn(nAirports))),
+				relation.Int(int64(rng.Intn(1440))),
+				relation.Int(int64(100 + rng.Intn(4901))),
+				relation.Int(int64(delay)),
+			})
+		}
+		for i := 0; i < nDelays; i++ {
+			delays.MustAppend(relation.Tuple{
+				relation.Int(int64(rng.Intn(nFlights))),
+				relation.String(causes[skewPick(rng, len(causes))]),
+				relation.Int(int64(rng.Intn(301))),
+			})
+		}
+		for i := 0; i < nRoutes; i++ {
+			routes.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(rng.Intn(nAirports))),
+				relation.Int(int64(rng.Intn(nAirports))),
+				relation.Int(int64(10 + rng.Intn(5000))),
+			})
+		}
+		for c := 0; c < nCarriers; c++ {
+			for m := 0; m < 12; m++ {
+				stats.MustAppend(relation.Tuple{
+					relation.Int(int64(c)),
+					relation.Int(int64(m)),
+					relation.Float(0.4 + rng.Float64()*0.6),
+					relation.Int(int64(100 + rng.Intn(100000))),
+				})
+			}
+		}
+	}
+	return d
 }

@@ -65,6 +65,37 @@ type Dataset struct {
 	Ladders []LadderSpec
 	// Facts are the relations query bodies start from.
 	Facts []string
+
+	// populate fills the (empty) relations with the generated tuples; set by
+	// the *Schema constructors and consumed exactly once via Populate. It
+	// stays unexported so the only ways to fill a shell are Populate and a
+	// persisted snapshot restore.
+	populate func(seed int64)
+}
+
+// Populate generates the dataset's tuples into its schema-only relations,
+// deterministically for the seed: TPCHSchema(sf) followed by Populate(seed)
+// yields the same database as TPCH(sf, seed). It fails on a dataset that
+// already holds tuples — either an earlier Populate or a snapshot restore
+// (OpenPersistedSchema warm start) already supplied the contents, and
+// generating on top would silently double the data.
+func (d *Dataset) Populate(seed int64) error {
+	if d.populate == nil {
+		return fmt.Errorf("workload: dataset %s has no deferred generator", d.Name)
+	}
+	if d.DB.Size() > 0 {
+		return fmt.Errorf("workload: dataset %s already holds %d tuples", d.Name, d.DB.Size())
+	}
+	d.populate(seed)
+	return nil
+}
+
+// mustPopulate backs the one-shot constructors, which populate a shell they
+// just built: a failure is a programming error, not a runtime condition.
+func (d *Dataset) mustPopulate(seed int64) {
+	if err := d.Populate(seed); err != nil {
+		panic(err)
+	}
 }
 
 // AccessSchema builds At plus the dataset's declared ladders.

@@ -12,10 +12,17 @@ import (
 // tables: districts, roads, accidents, vehicles, casualties, conditions and
 // nodes, joined by keys and foreign keys). |D| ≈ 3450·scale + 80.
 func TFACC(scale int, seed int64) *Dataset {
+	d := TFACCSchema(scale)
+	d.mustPopulate(seed)
+	return d
+}
+
+// TFACCSchema returns the TFACC-like dataset as a schema-only shell (no
+// tuples); see TPCHSchema for the shell/Populate contract.
+func TFACCSchema(scale int) *Dataset {
 	if scale < 1 {
 		scale = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
 	db := relation.NewDatabase()
 
 	districts := relation.NewRelation(relation.MustSchema("districts",
@@ -24,13 +31,6 @@ func TFACC(scale int, seed int64) *Dataset {
 		relation.Attr("pop", relation.KindInt, relation.Numeric(1000000)),
 	))
 	const nDistricts = 80
-	for i := 0; i < nDistricts; i++ {
-		districts.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.String(fmt.Sprintf("DISTRICT%02d", i)),
-			relation.Int(int64(20000 + rng.Intn(1000001))),
-		})
-	}
 
 	classes := []string{"MOTORWAY", "A", "B", "C", "UNCLASSIFIED"}
 	roads := relation.NewRelation(relation.MustSchema("roads",
@@ -40,14 +40,6 @@ func TFACC(scale int, seed int64) *Dataset {
 		relation.Attr("speed", relation.KindInt, relation.Numeric(50)),
 	))
 	nRoads := 250 * scale
-	for i := 0; i < nRoads; i++ {
-		roads.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(nDistricts))),
-			relation.String(classes[skewPick(rng, len(classes))]),
-			relation.Int(int64(20 + 10*rng.Intn(6))),
-		})
-	}
 
 	accidents := relation.NewRelation(relation.MustSchema("accidents",
 		relation.Attr("accid", relation.KindInt, relation.Trivial()),
@@ -59,23 +51,6 @@ func TFACC(scale int, seed int64) *Dataset {
 		relation.Attr("ncas", relation.KindInt, relation.Numeric(8)),
 	))
 	nAcc := 1000 * scale
-	for i := 0; i < nAcc; i++ {
-		sev := 3 // slight
-		if r := rng.Float64(); r < 0.015 {
-			sev = 1 // fatal
-		} else if r < 0.15 {
-			sev = 2 // serious
-		}
-		accidents.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(nRoads))),
-			relation.Int(int64(rng.Intn(nDistricts))),
-			relation.Int(int64(sev)),
-			relation.Int(int64(rng.Intn(9856))),
-			relation.Int(int64(1 + rng.Intn(6))),
-			relation.Int(int64(rng.Intn(9))),
-		})
-	}
 
 	vtypes := []string{"CAR", "MOTORCYCLE", "HGV", "BUS", "BICYCLE", "VAN"}
 	vehicles := relation.NewRelation(relation.MustSchema("vehicles",
@@ -85,14 +60,6 @@ func TFACC(scale int, seed int64) *Dataset {
 		relation.Attr("vage", relation.KindInt, relation.Numeric(30)),
 	))
 	nVeh := 800 * scale
-	for i := 0; i < nVeh; i++ {
-		vehicles.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(nAcc))),
-			relation.String(vtypes[skewPick(rng, len(vtypes))]),
-			relation.Int(int64(rng.Intn(31))),
-		})
-	}
 
 	cclasses := []string{"DRIVER", "PASSENGER", "PEDESTRIAN"}
 	casualties := relation.NewRelation(relation.MustSchema("casualties",
@@ -103,15 +70,6 @@ func TFACC(scale int, seed int64) *Dataset {
 		relation.Attr("cage", relation.KindInt, relation.Numeric(95)),
 	))
 	nCas := 600 * scale
-	for i := 0; i < nCas; i++ {
-		casualties.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(nAcc))),
-			relation.String(cclasses[skewPick(rng, len(cclasses))]),
-			relation.Int(int64(1 + rng.Intn(3))),
-			relation.Int(int64(rng.Intn(96))),
-		})
-	}
 
 	weathers := []string{"FINE", "RAIN", "SNOW", "FOG"}
 	lights := []string{"DAYLIGHT", "DARK_LIT", "DARK_UNLIT"}
@@ -123,14 +81,6 @@ func TFACC(scale int, seed int64) *Dataset {
 		relation.Attr("surface", relation.KindString, relation.Discrete()),
 	))
 	nCond := 500 * scale
-	for i := 0; i < nCond; i++ {
-		conditions.MustAppend(relation.Tuple{
-			relation.Int(int64(rng.Intn(nAcc))),
-			relation.String(weathers[skewPick(rng, len(weathers))]),
-			relation.String(lights[skewPick(rng, len(lights))]),
-			relation.String(surfaces[skewPick(rng, len(surfaces))]),
-		})
-	}
 
 	ntypes := []string{"BUS_STOP", "RAIL", "TRAM", "FERRY"}
 	nodes := relation.NewRelation(relation.MustSchema("nodes",
@@ -141,15 +91,6 @@ func TFACC(scale int, seed int64) *Dataset {
 		relation.Attr("northing", relation.KindInt, relation.Numeric(1300000)),
 	))
 	nNodes := 300 * scale
-	for i := 0; i < nNodes; i++ {
-		nodes.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(nDistricts))),
-			relation.String(ntypes[skewPick(rng, len(ntypes))]),
-			relation.Int(int64(rng.Intn(700001))),
-			relation.Int(int64(rng.Intn(1300001))),
-		})
-	}
 
 	db.MustAdd(districts)
 	db.MustAdd(roads)
@@ -159,7 +100,7 @@ func TFACC(scale int, seed int64) *Dataset {
 	db.MustAdd(conditions)
 	db.MustAdd(nodes)
 
-	return &Dataset{
+	d := &Dataset{
 		Name: "TFACC",
 		DB:   db,
 		Joins: []Join{
@@ -211,4 +152,76 @@ func TFACC(scale int, seed int64) *Dataset {
 		},
 		Facts: []string{"accidents", "vehicles", "casualties"},
 	}
+	// Deferred generator; rng consumption order matches the pre-split
+	// constructor exactly (see the TPCH note).
+	d.populate = func(seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < nDistricts; i++ {
+			districts.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.String(fmt.Sprintf("DISTRICT%02d", i)),
+				relation.Int(int64(20000 + rng.Intn(1000001))),
+			})
+		}
+		for i := 0; i < nRoads; i++ {
+			roads.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(rng.Intn(nDistricts))),
+				relation.String(classes[skewPick(rng, len(classes))]),
+				relation.Int(int64(20 + 10*rng.Intn(6))),
+			})
+		}
+		for i := 0; i < nAcc; i++ {
+			sev := 3 // slight
+			if r := rng.Float64(); r < 0.015 {
+				sev = 1 // fatal
+			} else if r < 0.15 {
+				sev = 2 // serious
+			}
+			accidents.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(rng.Intn(nRoads))),
+				relation.Int(int64(rng.Intn(nDistricts))),
+				relation.Int(int64(sev)),
+				relation.Int(int64(rng.Intn(9856))),
+				relation.Int(int64(1 + rng.Intn(6))),
+				relation.Int(int64(rng.Intn(9))),
+			})
+		}
+		for i := 0; i < nVeh; i++ {
+			vehicles.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(rng.Intn(nAcc))),
+				relation.String(vtypes[skewPick(rng, len(vtypes))]),
+				relation.Int(int64(rng.Intn(31))),
+			})
+		}
+		for i := 0; i < nCas; i++ {
+			casualties.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(rng.Intn(nAcc))),
+				relation.String(cclasses[skewPick(rng, len(cclasses))]),
+				relation.Int(int64(1 + rng.Intn(3))),
+				relation.Int(int64(rng.Intn(96))),
+			})
+		}
+		for i := 0; i < nCond; i++ {
+			conditions.MustAppend(relation.Tuple{
+				relation.Int(int64(rng.Intn(nAcc))),
+				relation.String(weathers[skewPick(rng, len(weathers))]),
+				relation.String(lights[skewPick(rng, len(lights))]),
+				relation.String(surfaces[skewPick(rng, len(surfaces))]),
+			})
+		}
+		for i := 0; i < nNodes; i++ {
+			nodes.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(rng.Intn(nDistricts))),
+				relation.String(ntypes[skewPick(rng, len(ntypes))]),
+				relation.Int(int64(rng.Intn(700001))),
+				relation.Int(int64(rng.Intn(1300001))),
+			})
+		}
+	}
+	return d
 }

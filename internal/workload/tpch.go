@@ -13,10 +13,19 @@ import (
 // tuples (the paper's 200M-row σ=25 instance, shrunk ~3000× to laptop
 // scale; trends over σ are what the experiments measure).
 func TPCH(sf int, seed int64) *Dataset {
+	d := TPCHSchema(sf)
+	d.mustPopulate(seed)
+	return d
+}
+
+// TPCHSchema returns the TPC-H-like dataset as a schema-only shell: every
+// relation, the join graph and the access-schema metadata are in place, but
+// no tuples. Call Populate to generate the contents — or skip it entirely
+// when a persisted snapshot supplies them (OpenPersistedSchema warm starts).
+func TPCHSchema(sf int) *Dataset {
 	if sf < 1 {
 		sf = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
 	db := relation.NewDatabase()
 
 	regionNames := []string{"AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDDLE EAST"}
@@ -24,22 +33,11 @@ func TPCH(sf int, seed int64) *Dataset {
 		relation.Attr("rk", relation.KindInt, relation.Trivial()),
 		relation.Attr("rname", relation.KindString, relation.Discrete()),
 	))
-	for i, n := range regionNames {
-		region.MustAppend(relation.Tuple{relation.Int(int64(i)), relation.String(n)})
-	}
-
 	nation := relation.NewRelation(relation.MustSchema("nation",
 		relation.Attr("nk", relation.KindInt, relation.Trivial()),
 		relation.Attr("nname", relation.KindString, relation.Discrete()),
 		relation.Attr("rk", relation.KindInt, relation.Trivial()),
 	))
-	for i := 0; i < 25; i++ {
-		nation.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.String(fmt.Sprintf("NATION%02d", i)),
-			relation.Int(int64(i % 5)),
-		})
-	}
 
 	nSupp, nCust, nPart, nOrd, nLine := 12*sf, 40*sf, 60*sf, 500*sf, 2000*sf
 
@@ -48,13 +46,6 @@ func TPCH(sf int, seed int64) *Dataset {
 		relation.Attr("nk", relation.KindInt, relation.Trivial()),
 		relation.Attr("sbalance", relation.KindFloat, relation.Numeric(11000)),
 	))
-	for i := 0; i < nSupp; i++ {
-		supplier.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(25))),
-			relation.Float(-999 + rng.Float64()*10998),
-		})
-	}
 
 	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
 	customer := relation.NewRelation(relation.MustSchema("customer",
@@ -63,14 +54,6 @@ func TPCH(sf int, seed int64) *Dataset {
 		relation.Attr("segment", relation.KindString, relation.Discrete()),
 		relation.Attr("cbalance", relation.KindFloat, relation.Numeric(11000)),
 	))
-	for i := 0; i < nCust; i++ {
-		customer.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(25))),
-			relation.String(segments[skewPick(rng, len(segments))]),
-			relation.Float(-999 + rng.Float64()*10998),
-		})
-	}
 
 	brands := []string{"Brand#11", "Brand#12", "Brand#21", "Brand#31", "Brand#45"}
 	ptypes := []string{"STEEL", "COPPER", "BRASS", "TIN", "NICKEL"}
@@ -81,15 +64,6 @@ func TPCH(sf int, seed int64) *Dataset {
 		relation.Attr("size", relation.KindInt, relation.Numeric(49)),
 		relation.Attr("pprice", relation.KindFloat, relation.Numeric(2000)),
 	))
-	for i := 0; i < nPart; i++ {
-		part.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.String(brands[skewPick(rng, len(brands))]),
-			relation.String(ptypes[skewPick(rng, len(ptypes))]),
-			relation.Int(int64(1 + rng.Intn(50))),
-			relation.Float(100 + rng.Float64()*2000),
-		})
-	}
 
 	statuses := []string{"F", "O", "P"}
 	priorities := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
@@ -101,16 +75,6 @@ func TPCH(sf int, seed int64) *Dataset {
 		relation.Attr("odate", relation.KindInt, relation.Numeric(2555)),
 		relation.Attr("priority", relation.KindString, relation.Discrete()),
 	))
-	for i := 0; i < nOrd; i++ {
-		orders.MustAppend(relation.Tuple{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(nCust))),
-			relation.String(statuses[skewPick(rng, len(statuses))]),
-			relation.Float(1000 + rng.Float64()*199000),
-			relation.Int(int64(rng.Intn(2556))),
-			relation.String(priorities[skewPick(rng, len(priorities))]),
-		})
-	}
 
 	lineitem := relation.NewRelation(relation.MustSchema("lineitem",
 		relation.Attr("ok", relation.KindInt, relation.Trivial()),
@@ -121,17 +85,6 @@ func TPCH(sf int, seed int64) *Dataset {
 		relation.Attr("discount", relation.KindFloat, relation.Numeric(0.1)),
 		relation.Attr("ship", relation.KindInt, relation.Numeric(2555)),
 	))
-	for i := 0; i < nLine; i++ {
-		lineitem.MustAppend(relation.Tuple{
-			relation.Int(int64(rng.Intn(nOrd))),
-			relation.Int(int64(rng.Intn(nPart))),
-			relation.Int(int64(rng.Intn(nSupp))),
-			relation.Int(int64(1 + rng.Intn(50))),
-			relation.Float(100 + rng.Float64()*100000),
-			relation.Float(rng.Float64() * 0.1),
-			relation.Int(int64(rng.Intn(2556))),
-		})
-	}
 
 	db.MustAdd(region)
 	db.MustAdd(nation)
@@ -141,7 +94,7 @@ func TPCH(sf int, seed int64) *Dataset {
 	db.MustAdd(orders)
 	db.MustAdd(lineitem)
 
-	return &Dataset{
+	d := &Dataset{
 		Name: "TPCH",
 		DB:   db,
 		Joins: []Join{
@@ -194,6 +147,69 @@ func TPCH(sf int, seed int64) *Dataset {
 		},
 		Facts: []string{"lineitem", "orders"},
 	}
+	// The tuple generator, deferred so warm starts can skip it: the rng is
+	// seeded here and consumed in the exact relation order the one-shot
+	// constructor used, keeping TPCH(sf, seed) byte-identical across the
+	// split (snapshots, goldens and seeded tests all depend on that).
+	d.populate = func(seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for i, n := range regionNames {
+			region.MustAppend(relation.Tuple{relation.Int(int64(i)), relation.String(n)})
+		}
+		for i := 0; i < 25; i++ {
+			nation.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.String(fmt.Sprintf("NATION%02d", i)),
+				relation.Int(int64(i % 5)),
+			})
+		}
+		for i := 0; i < nSupp; i++ {
+			supplier.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(rng.Intn(25))),
+				relation.Float(-999 + rng.Float64()*10998),
+			})
+		}
+		for i := 0; i < nCust; i++ {
+			customer.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(rng.Intn(25))),
+				relation.String(segments[skewPick(rng, len(segments))]),
+				relation.Float(-999 + rng.Float64()*10998),
+			})
+		}
+		for i := 0; i < nPart; i++ {
+			part.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.String(brands[skewPick(rng, len(brands))]),
+				relation.String(ptypes[skewPick(rng, len(ptypes))]),
+				relation.Int(int64(1 + rng.Intn(50))),
+				relation.Float(100 + rng.Float64()*2000),
+			})
+		}
+		for i := 0; i < nOrd; i++ {
+			orders.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(rng.Intn(nCust))),
+				relation.String(statuses[skewPick(rng, len(statuses))]),
+				relation.Float(1000 + rng.Float64()*199000),
+				relation.Int(int64(rng.Intn(2556))),
+				relation.String(priorities[skewPick(rng, len(priorities))]),
+			})
+		}
+		for i := 0; i < nLine; i++ {
+			lineitem.MustAppend(relation.Tuple{
+				relation.Int(int64(rng.Intn(nOrd))),
+				relation.Int(int64(rng.Intn(nPart))),
+				relation.Int(int64(rng.Intn(nSupp))),
+				relation.Int(int64(1 + rng.Intn(50))),
+				relation.Float(100 + rng.Float64()*100000),
+				relation.Float(rng.Float64() * 0.1),
+				relation.Int(int64(rng.Intn(2556))),
+			})
+		}
+	}
+	return d
 }
 
 // skewPick draws an index in [0, n) with a mild geometric skew, giving the

@@ -88,6 +88,37 @@ func OpenPersisted(ctx context.Context, db *Database, dir string, opts ...Persis
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	return openPersisted(ctx, db, dir, cfg)
+}
+
+// OpenPersistedSchema is OpenPersisted for a schema-only database: db holds
+// the dataset's relations with no tuples, and populate generates their
+// contents. On a warm start the snapshot in dir supplies the tuples, so
+// populate never runs — dataset generation is skipped along with the offline
+// index build (this is what lets `beasd -data` warm starts go straight from
+// snapshot to serving). On a cold start populate runs first, then the schema
+// builder (WithSchemaBuilder, default BuildAt) over the populated database,
+// and the initial snapshot captures the result for the next start.
+func OpenPersistedSchema(ctx context.Context, db *Database, dir string, populate func(*Database) error, opts ...PersistOption) (*System, error) {
+	cfg := persistConfig{build: access.BuildAt}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	build := cfg.build
+	cfg.build = func(db *Database) (*AccessSchema, error) {
+		if populate != nil {
+			if err := populate(db); err != nil {
+				return nil, err
+			}
+		}
+		return build(db)
+	}
+	return openPersisted(ctx, db, dir, cfg)
+}
+
+// openPersisted binds the configured store: warm from dir's snapshot + WAL,
+// or cold via cfg.build followed by an initial snapshot.
+func openPersisted(ctx context.Context, db *Database, dir string, cfg persistConfig) (*System, error) {
 	st, as, _, err := persist.OpenStore(ctx, db, dir, cfg.build, persist.Options{
 		Shards:          cfg.shards,
 		CheckpointEvery: cfg.checkpointEvery,

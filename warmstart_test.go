@@ -12,6 +12,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/fixture"
 	"repro/internal/persist"
+	"repro/internal/workload"
 )
 
 // corpusDB returns the soundness-corpus fixture database (the exact
@@ -119,6 +120,104 @@ func TestWarmStartSoundnessCorpus(t *testing.T) {
 			}
 			assertSameAnswers(t, "warm", fresh, warm)
 		})
+	}
+}
+
+// The warm-start regeneration fix (PR 6 satellite, ROADMAP carried item):
+// OpenPersistedSchema takes a schema-only shell and a deferred tuple
+// generator. A cold start runs the generator exactly once (inside the
+// cold-build closure, before the ladder build); a warm start restores
+// tuples and ladders from the snapshot and must invoke neither the
+// generator nor the schema builder — and still answer identically to a
+// freshly generated in-memory system.
+func TestWarmStartSkipsGeneration(t *testing.T) {
+	ctx := context.Background()
+	const sf, seed = 1, 2017
+	dir := t.TempDir()
+
+	// Cold start from a schema-only shell: populate runs exactly once.
+	shell := workload.TPCHSchema(sf)
+	if shell.DB.Size() != 0 {
+		t.Fatalf("schema shell holds %d tuples, want 0", shell.DB.Size())
+	}
+	populated := 0
+	cold, err := beas.OpenPersistedSchema(ctx, shell.DB, dir,
+		func(*beas.Database) error { populated++; return shell.Populate(seed) },
+		beas.WithSchemaBuilder(func(*beas.Database) (*beas.AccessSchema, error) {
+			return shell.AccessSchema()
+		}))
+	if err != nil {
+		t.Fatalf("cold open: %v", err)
+	}
+	if populated != 1 {
+		t.Fatalf("cold start ran populate %d times, want 1", populated)
+	}
+	coldSize := shell.DB.Size()
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm start: neither the generator nor the builder may run.
+	shell2 := workload.TPCHSchema(sf)
+	warm, err := beas.OpenPersistedSchema(ctx, shell2.DB, dir,
+		func(*beas.Database) error {
+			return fmt.Errorf("tuple generation must not run: a snapshot exists")
+		},
+		beas.WithSchemaBuilder(func(*beas.Database) (*beas.AccessSchema, error) {
+			return nil, fmt.Errorf("cold build must not run: a snapshot exists")
+		}))
+	if err != nil {
+		t.Fatalf("warm open: %v", err)
+	}
+	defer warm.Close()
+	if !warm.PersistStats().WarmStart {
+		t.Fatal("open was not a warm start")
+	}
+	if shell2.DB.Size() != coldSize {
+		t.Fatalf("warm-restored |D| = %d, cold-generated |D| = %d", shell2.DB.Size(), coldSize)
+	}
+
+	// The restored system answers like a freshly generated in-memory one.
+	ref := workload.TPCH(sf, seed)
+	if ref.DB.Size() != coldSize {
+		t.Fatalf("one-shot TPCH |D| = %d, deferred-populate |D| = %d — generation diverged", ref.DB.Size(), coldSize)
+	}
+	as, err := ref.AccessSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := beas.Open(ref.DB, as)
+	queries, err := ref.Workload(10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		fa, _, ferr := fresh.Query(ctx, q, beas.WithAlpha(0.05))
+		wa, _, werr := warm.Query(ctx, q, beas.WithAlpha(0.05))
+		if (ferr == nil) != (werr == nil) {
+			t.Fatalf("query %d: fresh err=%v, warm err=%v", qi, ferr, werr)
+		}
+		if ferr != nil {
+			if !strings.Contains(ferr.Error(), "exceeds limit") {
+				t.Fatalf("query %d: %v", qi, ferr)
+			}
+			continue
+		}
+		if fa.Eta != wa.Eta || fa.Exact != wa.Exact || fa.Rel.Len() != wa.Rel.Len() {
+			t.Fatalf("query %d: fresh (eta=%g exact=%v rows=%d) vs warm (eta=%g exact=%v rows=%d)",
+				qi, fa.Eta, fa.Exact, fa.Rel.Len(), wa.Eta, wa.Exact, wa.Rel.Len())
+		}
+		for i := range fa.Rel.Tuples {
+			if fa.Rel.Tuples[i].Key() != wa.Rel.Tuples[i].Key() {
+				t.Fatalf("query %d: answer row %d differs: %v vs %v", qi, i, fa.Rel.Tuples[i], wa.Rel.Tuples[i])
+			}
+		}
+	}
+
+	// Populating on top of restored tuples must refuse: it would silently
+	// double the dataset.
+	if err := shell2.Populate(seed); err == nil {
+		t.Fatal("Populate on a snapshot-restored dataset should fail")
 	}
 }
 
