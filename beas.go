@@ -41,6 +41,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/accuracy"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/persist"
 	"repro/internal/plancache"
 	"repro/internal/query"
@@ -201,6 +202,17 @@ type System struct {
 // PlanCacheStats is a snapshot of plan-cache effectiveness counters.
 type PlanCacheStats = plancache.Stats
 
+// InternalError is the typed error a contained evaluator panic surfaces as:
+// crash containment (in the parallel leaf workers, the stream producer and
+// the row-emit goroutines) recovers the panic and returns it as one of
+// these instead of killing the process. Detect it with errors.As; the Stack
+// field carries the panicking goroutine's stack for the log.
+type InternalError = guard.PanicError
+
+// IsInternalError reports whether err (anywhere in its chain) is a
+// contained panic, and returns it.
+func IsInternalError(err error) (*InternalError, bool) { return guard.AsPanic(err) }
+
 // Open builds a System from a database and a prebuilt access schema.
 // The schema should subsume At; see BuildAt and (*AccessSchema).Extend.
 func Open(db *Database, as *AccessSchema) *System {
@@ -264,6 +276,16 @@ func WithAlpha(alpha float64) Option {
 // clears a previously set budget, restoring the WithAlpha bound.
 func WithBudget(n int) Option {
 	return func(o *core.ExecOptions) { o.Budget = n }
+}
+
+// WithMinAlpha sets the floor below which overload degradation may not
+// shrink this call's α: the effective ratio is max(α, minAlpha). It is the
+// caller's accuracy SLO — a browned-out server (see cmd/beasd) trades
+// accuracy for admission by lowering α, but never past this line, and the
+// degraded answer still carries its deterministic η bound. Ignored when
+// WithBudget is in effect.
+func WithMinAlpha(minAlpha float64) Option {
+	return func(o *core.ExecOptions) { o.MinAlpha = minAlpha }
 }
 
 // WithFetchWorkers overrides the system's worker-pool bound for this call:

@@ -56,29 +56,30 @@ func run() (code int) {
 		tiny    = flag.Bool("tiny", false, "use the tiny smoke-test configuration")
 		queries = flag.Int("queries", 0, "override the number of workload queries")
 
-		perf     = flag.Bool("perf", false, "run the tracked perf harness instead of the figures")
-		httpB    = flag.Bool("http", false, "run the end-to-end HTTP latency harness (shard counts 1/2/4/8 + legacy)")
-		persistB = flag.Bool("persist", false, "run the cold-vs-warm start harness (snapshot load vs ladder rebuild)")
-		auditB   = flag.Bool("etaaudit", false, "run the eta-soundness audit sweep (fails on any accuracy < eta)")
-		out      = flag.String("out", "", "with -perf/-http: write (or append the run to) this JSON report")
-		label    = flag.String("label", "current", "with -perf/-http: label of the run inside the report")
-		pr       = flag.Int("pr", 3, "with -perf/-http -out: PR number recorded in a fresh report")
-		smoke    = flag.Bool("smoke", false, "with -perf/-http: shrink to a fast correctness smoke")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		perf      = flag.Bool("perf", false, "run the tracked perf harness instead of the figures")
+		httpB     = flag.Bool("http", false, "run the end-to-end HTTP latency harness (shard counts 1/2/4/8 + legacy)")
+		persistB  = flag.Bool("persist", false, "run the cold-vs-warm start harness (snapshot load vs ladder rebuild)")
+		overloadB = flag.Bool("overload", false, "run the overload harness: goodput/eta/latency at saturation per brownout mode")
+		auditB    = flag.Bool("etaaudit", false, "run the eta-soundness audit sweep (fails on any accuracy < eta)")
+		out       = flag.String("out", "", "with -perf/-http: write (or append the run to) this JSON report")
+		label     = flag.String("label", "current", "with -perf/-http: label of the run inside the report")
+		pr        = flag.Int("pr", 3, "with -perf/-http -out: PR number recorded in a fresh report")
+		smoke     = flag.Bool("smoke", false, "with -perf/-http: shrink to a fast correctness smoke")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 
 		// -audit-* flags narrow the -etaaudit sweep (violation reproduction).
 		// Defaults mirror etaaudit.DefaultConfig / ShortConfig (with -smoke).
-		auditDatasets  = flag.String("audit-datasets", "", "with -etaaudit: comma-separated sweeps (corpus,tpch,tfacc)")
-		auditAlphas    = flag.String("audit-alphas", "", "with -etaaudit: comma-separated alpha grid")
-		auditOnly      = flag.String("audit-only", "", "with -etaaudit: audit a single case, written dataset:index")
-		auditCorpusSd  = flag.Int64("audit-corpus-seed", 0, "with -etaaudit: corpus generator seed override")
-		auditCorpusN   = flag.Int("audit-corpus-cases", 0, "with -etaaudit: corpus case count override")
-		auditFixSd     = flag.Int64("audit-fixture-seed", 0, "with -etaaudit: Example 1 fixture seed override")
-		auditScale     = flag.Int("audit-scale", 0, "with -etaaudit: dataset scale-factor override (tpch and tfacc)")
-		auditDataSd    = flag.Int64("audit-dataset-seed", 0, "with -etaaudit: dataset generator seed override")
-		auditQueriesN  = flag.Int("audit-workload-queries", 0, "with -etaaudit: workload query count override")
-		auditWorkSd    = flag.Int64("audit-workload-seed", 0, "with -etaaudit: workload generator seed override")
+		auditDatasets = flag.String("audit-datasets", "", "with -etaaudit: comma-separated sweeps (corpus,tpch,tfacc)")
+		auditAlphas   = flag.String("audit-alphas", "", "with -etaaudit: comma-separated alpha grid")
+		auditOnly     = flag.String("audit-only", "", "with -etaaudit: audit a single case, written dataset:index")
+		auditCorpusSd = flag.Int64("audit-corpus-seed", 0, "with -etaaudit: corpus generator seed override")
+		auditCorpusN  = flag.Int("audit-corpus-cases", 0, "with -etaaudit: corpus case count override")
+		auditFixSd    = flag.Int64("audit-fixture-seed", 0, "with -etaaudit: Example 1 fixture seed override")
+		auditScale    = flag.Int("audit-scale", 0, "with -etaaudit: dataset scale-factor override (tpch and tfacc)")
+		auditDataSd   = flag.Int64("audit-dataset-seed", 0, "with -etaaudit: dataset generator seed override")
+		auditQueriesN = flag.Int("audit-workload-queries", 0, "with -etaaudit: workload query count override")
+		auditWorkSd   = flag.Int64("audit-workload-seed", 0, "with -etaaudit: workload generator seed override")
 	)
 	flag.Parse()
 
@@ -151,8 +152,8 @@ func run() (code int) {
 		cfg.WorkloadSeed = override64(*auditWorkSd, base.WorkloadSeed)
 		return runEtaAudit(*out, *label, *pr, *smoke, cfg)
 	}
-	if *perf || *httpB || *persistB {
-		return runPerf(*out, *label, *pr, *smoke, *httpB, *persistB)
+	if *perf || *httpB || *persistB || *overloadB {
+		return runPerf(*out, *label, *pr, *smoke, *httpB, *persistB, *overloadB)
 	}
 	return runFigures(*fig, *tiny, *queries)
 }
@@ -228,7 +229,7 @@ func appendRun(path string, pr int, desc string, run *bench.PerfRun) int {
 	return 0
 }
 
-func runPerf(out, label string, pr int, smoke, httpB, persistB bool) int {
+func runPerf(out, label string, pr int, smoke, httpB, persistB, overloadB bool) int {
 	var run *bench.PerfRun
 	var err error
 	switch {
@@ -236,6 +237,8 @@ func runPerf(out, label string, pr int, smoke, httpB, persistB bool) int {
 		run, err = bench.RunHTTPPerf(label, smoke, nil)
 	case persistB:
 		run, err = bench.RunPersistPerf(label, smoke)
+	case overloadB:
+		run, err = bench.RunOverloadPerf(label, smoke)
 	default:
 		run, err = bench.RunPerf(label, smoke)
 	}
@@ -249,6 +252,14 @@ func runPerf(out, label string, pr int, smoke, httpB, persistB bool) int {
 	for _, l := range run.Latency {
 		fmt.Printf("%-24s p50 %8.1fus  p99 %8.1fus  mean %8.1fus  (%d queries, %d workers, %.0f%% cache hits)\n",
 			l.Name, l.P50Micros, l.P99Micros, l.MeanMicros, l.Queries, l.Workers, l.CacheHitRate*100)
+	}
+	for _, o := range run.Overload {
+		fmt.Printf("%-14s %7.1f q/s goodput  %4d/%d served (%d degraded, %d rejected, %d shed)  mean eta %.3f  p99 %8.1fus  level %d (%d shifts)\n",
+			o.Name, o.GoodputQPS, o.Served, o.Offered, o.Degraded, o.Rejected, o.Shed, o.MeanEta, o.P99Micros, o.FinalLevel, o.LevelShifts)
+		if o.InternalErrors > 0 || o.EtaViolations > 0 {
+			return errorf("overload %s: %d internal errors, %d eta violations (want 0)",
+				o.Mode, o.InternalErrors, o.EtaViolations)
+		}
 	}
 	if out == "" {
 		return 0

@@ -33,10 +33,19 @@
 //	                 mid-flight
 //	POST /snapshot → checkpoint a -data system (snapshot + WAL truncate),
 //	               or {"dir": "/path"} for a standalone snapshot copy
-//	GET  /healthz  → liveness + dataset summary
+//	GET  /healthz  → liveness + dataset summary (always 200 while the
+//	               process runs; crashes are contained per request)
+//	GET  /readyz   → readiness: 503 with reasons while draining, at max
+//	               brownout, or with the persistence circuit open
 //	GET  /stats    → query/batch counters, latency, in-flight budget
 //	                 weight, per-tag attribution, plan-cache stats,
-//	                 uptime, per-ladder footprints, snapshot/WAL counters
+//	                 uptime, per-ladder footprints, snapshot/WAL counters,
+//	                 brownout level and shed/degraded counters
+//
+// Under overload the -brownout controller steps effective α down toward
+// -min-alpha (answers stay η-certified; responses carry "degraded" and the
+// achieved α) before shedding /batch and finally all query traffic; see the
+// README "Operations" section.
 //
 // Shutdown is graceful: on SIGTERM/SIGINT the daemon stops accepting
 // requests, drains in-flight HTTP work and the /batch queue, writes a final
@@ -84,13 +93,16 @@ func main() {
 		dataDir   = flag.String("data", "", "persistence directory: warm-start from its snapshot + WAL, checkpoint on shutdown (empty = in-memory only)")
 		ckptEvery = flag.Int("checkpoint-every", 0, "with -data: WAL records between automatic checkpoints (0 = default, negative disables)")
 		walSync   = flag.Bool("wal-sync", false, "with -data: fsync the WAL after every maintenance record")
+		ckptRetry = flag.Int("checkpoint-retries", 0, "with -data: consecutive checkpoint failures before the circuit opens and serving goes memory-only (0 = default 5)")
+		brownout  = flag.String("brownout", "auto", "overload brownout mode: auto | off | 0-3 (pinned level)")
+		minAlpha  = flag.Float64("min-alpha", 0, "floor the brownout controller may not degrade effective alpha below (0 = default 0.02)")
 	)
 	flag.Parse()
 
 	if *shards > 0 {
 		access.DefaultShards = *shards
 	}
-	sys, size, rels, err := open(*dataset, *scale, *seed, *dataDir, *ckptEvery, *walSync, *shards)
+	sys, size, rels, err := open(*dataset, *scale, *seed, *dataDir, *ckptEvery, *ckptRetry, *walSync, *shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
 		os.Exit(2)
@@ -98,7 +110,7 @@ func main() {
 	log.Printf("beasd: dataset %s ready: |D| = %d tuples, %d relations, %d-way sharded ladders",
 		*dataset, size, rels, effectiveShards(sys))
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		System:       sys,
 		DefaultAlpha: *alpha,
 		MaxRows:      *maxTuple,
@@ -110,7 +122,15 @@ func main() {
 		Workers:      *workers,
 		MaxBatch:     *maxBatch,
 		BudgetCap:    *budgetCap,
+		Brownout: serve.BrownoutConfig{
+			Mode:     *brownout,
+			MinAlpha: *minAlpha,
+		},
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
+		os.Exit(2)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -132,6 +152,7 @@ func main() {
 	// in-flight HTTP work, drain the accepted /batch backlog, write a final
 	// checkpoint so the next start is warm, release the WAL.
 	log.Print("beasd: shutting down: draining requests")
+	srv.StartDrain() // readiness fails first so balancers stop routing here
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -170,7 +191,7 @@ func effectiveShards(sys *beas.System) int {
 // entirely, not just the index build. Otherwise the dataset is generated,
 // the schema built cold, and the initial snapshot written for the next
 // start.
-func open(dataset string, scale int, seed int64, dataDir string, ckptEvery int, walSync bool, shards int) (*beas.System, int, int, error) {
+func open(dataset string, scale int, seed int64, dataDir string, ckptEvery, ckptRetry int, walSync bool, shards int) (*beas.System, int, int, error) {
 	db, populate, build, err := loadDataset(dataset, scale, seed)
 	if err != nil {
 		return nil, 0, 0, err
@@ -189,6 +210,8 @@ func open(dataset string, scale int, seed int64, dataDir string, ckptEvery int, 
 		beas.WithSchemaBuilder(build),
 		beas.WithPersistShards(shards),
 		beas.WithCheckpointEvery(ckptEvery),
+		beas.WithCheckpointRetries(ckptRetry),
+		beas.WithPersistLogf(log.Printf),
 	}
 	if walSync {
 		opts = append(opts, beas.WithWALSync())

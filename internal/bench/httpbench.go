@@ -115,7 +115,7 @@ func measureHTTP(cfg httpBenchConfig, shards int, suffix string, execOpts ...bea
 	if err != nil {
 		return nil, err
 	}
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		System:       beas.Open(db, as),
 		DefaultAlpha: cfg.alpha,
 		MaxRows:      100,
@@ -126,9 +126,14 @@ func measureHTTP(cfg httpBenchConfig, shards int, suffix string, execOpts ...bea
 		Shards:       shards,
 		// The harness measures latency, not admission: a cap large enough
 		// that weighted admission never rejects keeps every batch entry
-		// executing, so the numbers stay comparable across PRs.
+		// executing, so the numbers stay comparable across PRs. Brownout is
+		// off for the same reason: degraded α would change the work measured.
 		BudgetCap: cfg.batches * cfg.batchSize * db.Size(),
+		Brownout:  serve.BrownoutConfig{Mode: "off"},
 	})
+	if err != nil {
+		return nil, err
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

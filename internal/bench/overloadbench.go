@@ -1,0 +1,339 @@
+// Overload harness: goodput, accuracy and latency of the serving layer at
+// saturation, per brownout mode. The same offered load — concurrent /batch
+// traffic whose summed access budgets far exceed the server's in-flight cap,
+// plus a stream of /query probes — is fired at a deliberately small server
+// once per mode:
+//
+//	off    reject-only baseline: queue and budget backpressure, no degradation
+//	auto   the adaptive controller stepping levels under live pressure
+//	1, 2   pinned shrink levels (deterministic degraded service)
+//
+// The brownout thesis is measurable here: a browned-out server weighs batch
+// admission by the DEGRADED α, so the same budget cap admits 4×/16× more
+// jobs — each cheaper, each still η-certified — and goodput (completed
+// answers per second) rises instead of collapsing into rejections.
+// `beasbench -overload -out BENCH_7.json` emits the tracked report.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	beas "repro"
+	"repro/internal/fixture"
+	"repro/internal/serve"
+)
+
+// PerfOverload is the result of one saturation pass at one brownout mode.
+type PerfOverload struct {
+	Name string `json:"name"`
+	// Mode is the brownout controller mode the pass ran under.
+	Mode string `json:"mode"`
+	// Offered counts every query the load fired (batch entries + probes).
+	Offered int `json:"offered"`
+	// Served counts completed answers (the goodput numerator); Rejected and
+	// Shed are the two refusal paths — admission backpressure per entry, and
+	// the server's count of whole HTTP requests refused by brownout
+	// load-shedding — while Failed is everything else (deadlines, errors).
+	Served   int   `json:"served"`
+	Rejected int   `json:"rejected"`
+	Shed     int64 `json:"shed"`
+	Failed   int   `json:"failed"`
+	// Degraded counts answers served below their requested α — still
+	// η-certified, just cheaper.
+	Degraded int `json:"degraded"`
+	// InternalErrors must be 0: contained panics during the pass.
+	InternalErrors int64 `json:"internal_errors"`
+	// EtaViolations must be 0: served answers whose certified η left [0, 1].
+	EtaViolations int     `json:"eta_violations"`
+	GoodputQPS    float64 `json:"goodput_qps"`
+	// MeanEta averages the certified bound over served answers — the
+	// accuracy price of the mode's goodput.
+	MeanEta   float64 `json:"mean_eta"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// FinalLevel is the brownout level the controller ended the pass at;
+	// LevelShifts counts its level changes during the measured window (0 for
+	// the pinned modes — stability of the adaptive controller is itself a
+	// tracked number).
+	FinalLevel  int   `json:"final_level"`
+	LevelShifts int64 `json:"level_shifts"`
+}
+
+// overloadConfig sizes one harness pass.
+type overloadConfig struct {
+	persons, pois int
+	clients       int // concurrent batch-posting clients
+	batches       int // batches per client
+	batchSize     int
+	alpha         float64
+	minAlpha      float64
+}
+
+func defaultOverloadConfig(smoke bool) overloadConfig {
+	if smoke {
+		return overloadConfig{persons: 100, pois: 200, clients: 2, batches: 3, batchSize: 8, alpha: 0.5, minAlpha: 0.02}
+	}
+	return overloadConfig{persons: 800, pois: 3000, clients: 8, batches: 15, batchSize: 16, alpha: 0.5, minAlpha: 0.02}
+}
+
+// RunOverloadPerf runs the saturation pass once per brownout mode and
+// returns one PerfRun whose Overload entries are named overload_<mode>.
+func RunOverloadPerf(label string, smoke bool) (*PerfRun, error) {
+	run := newPerfRun(label)
+	cfg := defaultOverloadConfig(smoke)
+	for _, mode := range []string{"off", "auto", "1", "2"} {
+		res, err := measureOverload(cfg, mode)
+		if err != nil {
+			return nil, fmt.Errorf("bench: overload mode %s: %w", mode, err)
+		}
+		run.Overload = append(run.Overload, *res)
+	}
+	return run, nil
+}
+
+// measureOverload fires the offered load at a small server in one brownout
+// mode and tallies the outcome of every query.
+func measureOverload(cfg overloadConfig, mode string) (*PerfOverload, error) {
+	db := fixture.Example1(5, cfg.persons, cfg.pois)
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(serve.Config{
+		System:       beas.Open(db, as),
+		DefaultAlpha: cfg.alpha,
+		MaxRows:      20,
+		Dataset:      "example1",
+		DBSize:       db.Size(),
+		Relations:    len(db.Names()),
+		QueueDepth:   4 * cfg.batchSize,
+		Workers:      2,
+		MaxBatch:     cfg.batchSize,
+		// The saturation knob: room for ~2 full-α jobs in flight, against an
+		// offered load of hundreds. The reject-only baseline must refuse most
+		// of it; brownout admits more by shrinking each job's budget.
+		BudgetCap: db.Size(),
+		Brownout: serve.BrownoutConfig{
+			Mode:     mode,
+			MinAlpha: cfg.minAlpha,
+			// A short cooldown so the auto controller can traverse levels
+			// within a bench pass, and a conservative step-down threshold so
+			// the saw-tooth of a closed-loop client (queues drain during the
+			// client's own round trips) does not flap the level.
+			StepDown:      0.25,
+			Cooldown:      100 * time.Millisecond,
+			LatencyTarget: 250 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2 * cfg.clients}}
+	defer client.CloseIdleConnections()
+
+	queries := httpBenchQueries()
+	batchBody := func(client, batch int) []byte {
+		reqs := make([]serve.QueryRequest, cfg.batchSize)
+		for i := range reqs {
+			reqs[i] = serve.QueryRequest{SQL: queries[(client*31+batch*7+i)%len(queries)], Alpha: cfg.alpha}
+		}
+		b, _ := json.Marshal(serve.BatchRequest{Queries: reqs, DeadlineMS: 30000})
+		return b
+	}
+	queryBody := func(i int) []byte {
+		b, _ := json.Marshal(serve.QueryRequest{SQL: queries[i%len(queries)], Alpha: cfg.alpha})
+		return b
+	}
+
+	res := &PerfOverload{Name: "overload_" + mode, Mode: mode}
+	var mu sync.Mutex // guards res tallies and lats/etas below
+	var lats []time.Duration
+	var etaSum float64
+
+	tally := func(entries []serve.BatchEntry, shedded bool, n int) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Offered += n
+		if shedded {
+			return // counted via the server's shed counter afterwards
+		}
+		for _, e := range entries {
+			switch {
+			case e.Rejected:
+				res.Rejected++
+			case e.Error != "":
+				res.Failed++
+			default:
+				res.Served++
+				etaSum += e.Eta
+				if e.Eta < 0 || e.Eta > 1 {
+					res.EtaViolations++
+				}
+				if e.Degraded {
+					res.Degraded++
+				}
+				lats = append(lats, time.Duration(e.ServedMS*float64(time.Millisecond)))
+			}
+		}
+	}
+
+	// Warmup (untallied, all modes): saturate until the adaptive controller
+	// reaches its steady level, so the measured window compares steady-state
+	// service instead of each mode's ramp.
+	warmup := cfg.batches/3 + 1
+	var warmWG sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		warmWG.Add(1)
+		go func(c int) {
+			defer warmWG.Done()
+			for b := 0; b < warmup; b++ {
+				resp, err := client.Post(ts.URL+"/batch", "application/json", bytes.NewReader(batchBody(c+100, b)))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(c)
+	}
+	warmWG.Wait()
+	// Counter baseline after warmup, so the tallies below cover only the
+	// measured window.
+	base, err := fetchStats(client, ts.URL)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.clients)
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for b := 0; b < cfg.batches; b++ {
+				resp, err := client.Post(ts.URL+"/batch", "application/json", bytes.NewReader(batchBody(c, b)))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				var br serve.BatchResponse
+				dec := json.NewDecoder(resp.Body)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if err := dec.Decode(&br); err != nil {
+						resp.Body.Close()
+						errs[c] = fmt.Errorf("decode batch: %w", err)
+						return
+					}
+					tally(br.Results, false, cfg.batchSize)
+				case http.StatusServiceUnavailable:
+					// Brownout shed the whole batch; the load keeps coming.
+					tally(nil, true, cfg.batchSize)
+				default:
+					resp.Body.Close()
+					errs[c] = fmt.Errorf("batch status %d", resp.StatusCode)
+					return
+				}
+				resp.Body.Close()
+
+				// Interactive probes riding alongside the batch load: /query
+				// survives until BrownoutShedAll, so the deeper pinned levels
+				// still show their (deeper-degraded) query goodput.
+				for p := 0; p < 2; p++ {
+					qresp, err := client.Post(ts.URL+"/query", "application/json",
+						bytes.NewReader(queryBody(c*131+b*17+p)))
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					var qr serve.QueryResponse
+					switch qresp.StatusCode {
+					case http.StatusOK:
+						if err := json.NewDecoder(qresp.Body).Decode(&qr); err != nil {
+							qresp.Body.Close()
+							errs[c] = fmt.Errorf("decode query: %w", err)
+							return
+						}
+						tally([]serve.BatchEntry{{QueryResponse: qr}}, false, 1)
+					case http.StatusServiceUnavailable:
+						tally(nil, true, 1)
+					default:
+						tally([]serve.BatchEntry{{Error: fmt.Sprintf("status %d", qresp.StatusCode)}}, false, 1)
+					}
+					qresp.Body.Close()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Pull the server-side counters the client cannot see.
+	stats, err := fetchStats(client, ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	res.Shed = int64(stats.brownout("shed") - base.brownout("shed"))
+	res.InternalErrors = int64(stats.internalErrors - base.internalErrors)
+	res.FinalLevel = int(stats.brownout("level"))
+	res.LevelShifts = int64(stats.brownout("levelShifts") - base.brownout("levelShifts"))
+
+	res.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	if elapsed > 0 {
+		res.GoodputQPS = float64(res.Served) / elapsed.Seconds()
+	}
+	if res.Served > 0 {
+		res.MeanEta = etaSum / float64(res.Served)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) float64 {
+			return float64(lats[int(p*float64(len(lats)-1))].Nanoseconds()) / 1e3
+		}
+		res.P50Micros, res.P99Micros = pct(0.50), pct(0.99)
+	}
+	return res, nil
+}
+
+// overloadStats is the slice of /stats the harness reads back.
+type overloadStats struct {
+	internalErrors float64
+	brownoutMap    map[string]any
+}
+
+func (s *overloadStats) brownout(key string) float64 {
+	v, _ := s.brownoutMap[key].(float64)
+	return v
+}
+
+// fetchStats decodes the overload-relevant counters from GET /stats.
+func fetchStats(client *http.Client, base string) (*overloadStats, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		InternalErrors float64        `json:"internalErrors"`
+		Brownout       map[string]any `json:"brownout"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decode stats: %w", err)
+	}
+	return &overloadStats{internalErrors: body.InternalErrors, brownoutMap: body.Brownout}, nil
+}

@@ -67,6 +67,9 @@ type PerfRun struct {
 	Host       string          `json:"host,omitempty"`
 	Benchmarks []PerfBenchmark `json:"benchmarks"`
 	Latency    []PerfLatency   `json:"latency"`
+	// Overload holds the saturation-harness results (one entry per brownout
+	// mode); empty for the other harnesses.
+	Overload []PerfOverload `json:"overload,omitempty"`
 }
 
 // PerfReport is the checked-in BENCH_N.json shape: the same harness run

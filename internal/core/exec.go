@@ -7,11 +7,20 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/kdtree"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
+
+// ExecPanicHook, when non-nil, is invoked before every leaf execution. It
+// exists so tests can force a panic inside the evaluator — including inside
+// the parallel worker goroutines — and assert that crash containment turns
+// it into a typed *guard.PanicError instead of killing the process. Always
+// nil in production; not synchronised, so set it only before execution
+// starts.
+var ExecPanicHook func()
 
 // Answer is an executed plan's result: the approximate (or exact) answers
 // with the final deterministic accuracy bound.
@@ -96,8 +105,12 @@ func (s *Scheme) ExecuteContext(ctx context.Context, p *Plan, o ExecOptions) (*A
 	return ans, err
 }
 
-// executeOpts is ExecuteContext without the tag accounting.
-func (s *Scheme) executeOpts(ctx context.Context, p *Plan, o ExecOptions) (*Answer, error) {
+// executeOpts is ExecuteContext without the tag accounting. A panic
+// anywhere in the evaluator surfaces as a typed *guard.PanicError instead
+// of unwinding into the caller: one poisoned query must not take down a
+// server (or a caller's worker) that is fine serving every other query.
+func (s *Scheme) executeOpts(ctx context.Context, p *Plan, o ExecOptions) (ans *Answer, err error) {
+	defer guard.Recover("query execution", &err)
 	workers := s.workers
 	if o.FetchWorkers > 0 {
 		workers = o.FetchWorkers
@@ -154,6 +167,9 @@ func (s *Scheme) executeLeavesSequential(ctx context.Context, p *Plan, o ExecOpt
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
 		}
+		if ExecPanicHook != nil {
+			ExecPanicHook()
+		}
 		r, err := plan.ExecuteOpts(ctx, l.Bounded, s.db, leafOpts(o, remaining, fetchWorkers))
 		if err != nil {
 			return nil, stats, err
@@ -194,7 +210,16 @@ func (s *Scheme) executeLeavesParallel(ctx context.Context, p *Plan, o ExecOptio
 		go func() {
 			defer wg.Done()
 			for li := range jobs {
-				resList[li], errList[li] = plan.ExecuteOpts(ctx, p.Leaves[li].Bounded, s.db, leafOpts(o, shares[li], fetchWorkers))
+				// Contain a panicking leaf to its error slot: the worker (and
+				// its siblings) keep draining, and the caller sees a typed
+				// internal error instead of a dead process.
+				func() {
+					defer guard.Recover("parallel leaf execution", &errList[li])
+					if ExecPanicHook != nil {
+						ExecPanicHook()
+					}
+					resList[li], errList[li] = plan.ExecuteOpts(ctx, p.Leaves[li].Bounded, s.db, leafOpts(o, shares[li], fetchWorkers))
+				}()
 			}
 		}()
 	}

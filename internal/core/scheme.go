@@ -72,6 +72,11 @@ type TagStats struct {
 type ExecOptions struct {
 	// Alpha is the resource ratio α ∈ (0, 1]; ignored when Budget > 0.
 	Alpha float64
+	// MinAlpha, when > 0, is the floor below which overload degradation may
+	// not shrink this call's α: the effective ratio is max(Alpha, MinAlpha).
+	// It is the caller's accuracy SLO — brownout can trade accuracy for
+	// admission, but never past this line. Ignored when Budget > 0.
+	MinAlpha float64
 	// Budget, when > 0, is an absolute tuple budget that replaces α·|D|
 	// (the reported Alpha becomes Budget/|D|, capped at 1).
 	Budget int
@@ -303,10 +308,19 @@ func (s *Scheme) resolveBudget(o ExecOptions) (float64, int, error) {
 		}
 		return alpha, o.Budget, nil
 	}
-	if o.Alpha <= 0 || o.Alpha > 1 {
-		return 0, 0, fmt.Errorf("core: resource ratio alpha=%g outside (0, 1]", o.Alpha)
+	if o.MinAlpha < 0 || o.MinAlpha > 1 {
+		return 0, 0, fmt.Errorf("core: minimum resource ratio minAlpha=%g outside [0, 1]", o.MinAlpha)
 	}
-	return o.Alpha, int(o.Alpha * float64(s.db.Size())), nil
+	alpha := o.Alpha
+	if alpha < o.MinAlpha {
+		// The floor is the caller's accuracy SLO: degradation (or a typo'd
+		// request) may not push the effective ratio below it.
+		alpha = o.MinAlpha
+	}
+	if alpha <= 0 || alpha > 1 {
+		return 0, 0, fmt.Errorf("core: resource ratio alpha=%g outside (0, 1]", alpha)
+	}
+	return alpha, int(alpha * float64(s.db.Size())), nil
 }
 
 func (s *Scheme) generateWithBudget(ctx context.Context, e query.Expr, alpha float64, budget int) (*Plan, error) {

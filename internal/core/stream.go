@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/guard"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -69,6 +70,10 @@ func (s *Scheme) StreamContext(ctx context.Context, e query.Expr, o ExecOptions)
 		// long-lived parent context.
 		defer cancel()
 		defer close(st.chunks)
+		// Registered last so it runs FIRST: st.err must hold the contained
+		// panic before close(st.chunks) lets the consumer observe the end of
+		// the stream.
+		defer guard.Recover("stream production", &st.err)
 		ans, err := s.ExecuteContext(ctx, p, o)
 		if err != nil {
 			st.err = err

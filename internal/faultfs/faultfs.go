@@ -1,0 +1,369 @@
+// Package faultfs is the filesystem seam of the durability layer: an
+// interface covering exactly the file operations internal/persist performs
+// (snapshot temp-write/rename, WAL append/sync/truncate, directory sync),
+// a passthrough OS implementation, and a fault-injecting wrapper that makes
+// the failure modes real storage exhibits — a failed fsync, a rename that
+// never lands, ENOSPC partway through a write — reproducible in tests.
+//
+// The persistence layer takes an FS through persist.Options; production
+// uses OS(). Tests wrap it:
+//
+//	ffs := faultfs.Wrap(faultfs.OS())
+//	ffs.Inject(faultfs.Rule{Op: faultfs.OpSync, Path: ".snapshot-", Err: faultfs.ErrInjected})
+//
+// and every matching fsync now fails, while everything else behaves
+// normally. Rules can skip the first After matching calls, fire a bounded
+// number of Times, or meter a byte budget (ENOSPC with a short write),
+// which is how "the disk filled up mid-checkpoint" becomes a unit test.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Op identifies one injectable filesystem operation.
+type Op string
+
+// The injectable operations, named after what the persistence layer does.
+const (
+	// OpCreate is snapshot temp-file creation (CreateTemp).
+	OpCreate Op = "create"
+	// OpOpen is file open, including the WAL's open-for-append.
+	OpOpen Op = "open"
+	// OpRead is whole-file reads (snapshot load, WAL scan).
+	OpRead Op = "read"
+	// OpWrite is a file write (WAL append, snapshot body).
+	OpWrite Op = "write"
+	// OpSync is a file fsync (snapshot durability, WAL sync).
+	OpSync Op = "sync"
+	// OpRename is the atomic snapshot rename.
+	OpRename Op = "rename"
+	// OpRemove is temp-file cleanup.
+	OpRemove Op = "remove"
+	// OpTruncate is WAL truncation (checkpoint reset, torn-tail trim).
+	OpTruncate Op = "truncate"
+	// OpMkdir is persistence-directory creation.
+	OpMkdir Op = "mkdir"
+	// OpSyncDir is the directory fsync after a snapshot rename.
+	OpSyncDir Op = "syncdir"
+)
+
+// ErrInjected is the default injected failure, for rules that don't care
+// which errno they simulate.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrNoSpace simulates ENOSPC: writes under an exhausted byte budget fail
+// with it after a short write, exactly like a full disk.
+var ErrNoSpace = errors.New("faultfs: no space left on device (injected ENOSPC)")
+
+// File is the open-file surface the persistence layer uses: sequential
+// reads, appends, fsync, truncate+seek (WAL reset) and close.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the file's path as opened.
+	Name() string
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Seek repositions the read/write offset.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem interface the persistence layer is written against.
+type FS interface {
+	// MkdirAll creates the directory path with any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadFile reads the whole file at path.
+	ReadFile(path string) ([]byte, error)
+	// OpenFile opens path with the given flags (the WAL's append handle).
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temp file in dir (snapshot staging).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path (temp-file cleanup).
+	Remove(path string) error
+	// SyncDir fsyncs the directory itself, making a rename durable.
+	SyncDir(path string) error
+}
+
+// osFS is the passthrough production implementation.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+// MkdirAll delegates to os.MkdirAll.
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadFile delegates to os.ReadFile.
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Rename delegates to os.Rename.
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove delegates to os.Remove.
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+// OpenFile delegates to os.OpenFile.
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CreateTemp delegates to os.CreateTemp.
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// SyncDir opens the directory and fsyncs it.
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Rule is one injected failure: operations of kind Op on paths containing
+// Path (empty matches every path) fail with Err, after letting the first
+// After matching calls through, for at most Times failures (0 = unlimited).
+// A Bytes budget (> 0, OpWrite only) meters total bytes written through
+// matching files instead of counting calls: once the budget is exhausted a
+// write stores what fits and fails with Err — the ENOSPC shape.
+type Rule struct {
+	// Op is the operation kind the rule matches.
+	Op Op
+	// Path is a substring the operation's path must contain ("" = any).
+	Path string
+	// After is how many matching calls succeed before the rule fires.
+	After int
+	// Times caps how many calls fail (0 = every one after After).
+	Times int
+	// Bytes is the write byte budget for ENOSPC metering (OpWrite only).
+	Bytes int64
+	// Err is the injected error (ErrInjected when nil).
+	Err error
+
+	seen  int // matching calls observed
+	fired int // failures delivered
+}
+
+// Fault wraps an FS and fails operations matching its injected rules.
+// Safe for concurrent use.
+type Fault struct {
+	inner FS
+
+	mu    sync.Mutex
+	rules []*Rule
+	calls map[Op]int
+}
+
+// Wrap returns a fault-injecting filesystem over inner with no rules (all
+// operations pass through until Inject is called).
+func Wrap(inner FS) *Fault {
+	return &Fault{inner: inner, calls: map[Op]int{}}
+}
+
+// Inject adds a failure rule. Rules are matched in injection order; the
+// first applicable one decides.
+func (f *Fault) Inject(r Rule) {
+	if r.Err == nil {
+		r.Err = ErrInjected
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, &r)
+}
+
+// Clear removes every rule; subsequent operations pass through.
+func (f *Fault) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Calls reports how many operations of the kind have been attempted
+// (failed or not), for tests asserting an operation was actually reached.
+func (f *Fault) Calls(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[op]
+}
+
+// check consults the rules for a count-based operation.
+func (f *Fault) check(op Op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[op]++
+	for _, r := range f.rules {
+		if r.Op != op || r.Bytes > 0 || !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		r.fired++
+		return r.Err
+	}
+	return nil
+}
+
+// allowWrite decides how many of n bytes a write to path may store and
+// whether the write then fails: byte-budget rules meter, count rules fail
+// whole writes.
+func (f *Fault) allowWrite(path string, n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[OpWrite]++
+	for _, r := range f.rules {
+		if r.Op != OpWrite || !strings.Contains(path, r.Path) {
+			continue
+		}
+		if r.Bytes > 0 {
+			// Byte budget: serve what fits, then ENOSPC.
+			if int64(n) <= r.Bytes {
+				r.Bytes -= int64(n)
+				return n, nil
+			}
+			allowed := int(r.Bytes)
+			r.Bytes = 0
+			r.fired++
+			return allowed, r.Err
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		r.fired++
+		return 0, r.Err
+	}
+	return n, nil
+}
+
+// MkdirAll implements FS.
+func (f *Fault) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadFile implements FS.
+func (f *Fault) ReadFile(path string) ([]byte, error) {
+	if err := f.check(OpRead, path); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+// OpenFile implements FS.
+func (f *Fault) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if err := f.check(OpOpen, path); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f, path: path}, nil
+}
+
+// CreateTemp implements FS.
+func (f *Fault) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.check(OpCreate, dir+"/"+pattern); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f, path: inner.Name()}, nil
+}
+
+// Rename implements FS.
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if err := f.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *Fault) Remove(path string) error {
+	if err := f.check(OpRemove, path); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// SyncDir implements FS.
+func (f *Fault) SyncDir(path string) error {
+	if err := f.check(OpSyncDir, path); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(path)
+}
+
+// faultFile threads per-file operations back through the wrapper's rules.
+type faultFile struct {
+	File
+	fs   *Fault
+	path string
+}
+
+// Write applies count- and byte-budget rules: a metered write stores the
+// allowed prefix (the torn shape a real ENOSPC leaves) before failing.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	allowed, injectErr := ff.fs.allowWrite(ff.path, len(p))
+	var n int
+	var err error
+	if allowed > 0 {
+		n, err = ff.File.Write(p[:allowed])
+		if err != nil {
+			return n, err
+		}
+	}
+	if injectErr != nil {
+		return n, injectErr
+	}
+	return n, nil
+}
+
+// Sync applies OpSync rules before delegating.
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.check(OpSync, ff.path); err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}
+
+// Truncate applies OpTruncate rules before delegating.
+func (ff *faultFile) Truncate(size int64) error {
+	if err := ff.fs.check(OpTruncate, ff.path); err != nil {
+		return err
+	}
+	return ff.File.Truncate(size)
+}

@@ -1,0 +1,113 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPassthroughWithoutRules(t *testing.T) {
+	fs := Wrap(OS())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if got := fs.Calls(OpWrite); got != 1 {
+		t.Errorf("write calls = %d, want 1", got)
+	}
+}
+
+func TestSyncRuleFiresAfterSkip(t *testing.T) {
+	fs := Wrap(OS())
+	fs.Inject(Rule{Op: OpSync, After: 1, Times: 1})
+	path := filepath.Join(t.TempDir(), "w")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync should pass: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync err = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync should pass (Times=1): %v", err)
+	}
+}
+
+func TestByteBudgetENOSPCShortWrite(t *testing.T) {
+	fs := Wrap(OS())
+	fs.Inject(Rule{Op: OpWrite, Bytes: 4, Err: ErrNoSpace})
+	path := filepath.Join(t.TempDir(), "full")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("ab"))
+	if n != 2 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	n, err = f.Write([]byte("cdef"))
+	if n != 2 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over budget: n=%d err=%v, want short write of 2 + ErrNoSpace", n, err)
+	}
+	n, err = f.Write([]byte("x"))
+	if n != 0 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("exhausted budget: n=%d err=%v, want 0 + ErrNoSpace", n, err)
+	}
+	// The torn prefix the partial writes left is exactly what reached Write.
+	data, err := fs.ReadFile(path)
+	if err != nil || string(data) != "abcd" {
+		t.Fatalf("file = %q, %v; want torn prefix \"abcd\"", data, err)
+	}
+}
+
+func TestPathSubstringScoping(t *testing.T) {
+	fs := Wrap(OS())
+	fs.Inject(Rule{Op: OpRename, Path: "snapshot"})
+	dir := t.TempDir()
+	for _, name := range []string{"snapshot.bin", "other.bin"} {
+		if err := os.WriteFile(filepath.Join(dir, name+".tmp"), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := fs.Rename(filepath.Join(dir, "snapshot.bin.tmp"), filepath.Join(dir, "snapshot.bin"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching rename err = %v, want ErrInjected", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "other.bin.tmp"), filepath.Join(dir, "other.bin")); err != nil {
+		t.Fatalf("non-matching rename failed: %v", err)
+	}
+}
+
+func TestClearRestoresPassthrough(t *testing.T) {
+	fs := Wrap(OS())
+	fs.Inject(Rule{Op: OpMkdir})
+	dir := filepath.Join(t.TempDir(), "sub")
+	if err := fs.MkdirAll(dir, 0o755); !errors.Is(err, ErrInjected) {
+		t.Fatalf("mkdir err = %v, want ErrInjected", err)
+	}
+	fs.Clear()
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("mkdir after Clear: %v", err)
+	}
+}

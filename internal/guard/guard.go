@@ -1,0 +1,70 @@
+// Package guard contains the execution layer's panic containment: a panic
+// inside a worker goroutine — a parallel leaf executor, a chunked row
+// emitter, a stream producer — must not kill the process that is serving
+// every other query. Recover converts such a panic into a typed
+// *PanicError carrying the panicking operation, the panic value and the
+// goroutine stack, so the failure surfaces to the caller as an ordinary
+// error (the serving layer maps it to HTTP 500 and an internalErrors
+// counter) while the rest of the system keeps answering.
+//
+// The guard is deliberately narrow: it wraps goroutines the engine itself
+// spawns, where an escaped panic is unrecoverable by any caller. Panics on
+// a caller's own goroutine are left to the caller (the HTTP layer installs
+// its own recovery middleware for those).
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic from an execution goroutine, surfaced as
+// an error. It is the root package's beas.InternalError: callers can
+// errors.As for it to distinguish an engine defect (bug — report it, count
+// it, keep serving) from an ordinary query failure.
+type PanicError struct {
+	// Op names the guarded operation that panicked ("leaf execution",
+	// "parallel row emit", ...).
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+// Error renders the panic as a single line; the stack is carried separately
+// so logs can print it without it leaking into client-facing messages.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("internal error: panic during %s: %v", e.Op, e.Value)
+}
+
+// Recover converts an in-flight panic into a *PanicError stored in *errp.
+// Use it as the FIRST deferred call of a guarded goroutine (so it runs
+// before any channel-closing defers observe the error):
+//
+//	defer guard.Recover("leaf execution", &err)
+//
+// A panic value that already is a *PanicError is passed through unwrapped
+// (an inner guard already annotated it). When no panic is in flight, *errp
+// is left untouched.
+func Recover(op string, errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if pe, ok := r.(*PanicError); ok {
+		*errp = pe
+		return
+	}
+	*errp = &PanicError{Op: op, Value: r, Stack: debug.Stack()}
+}
+
+// AsPanic unwraps err to its *PanicError if one is in its chain.
+func AsPanic(err error) (*PanicError, bool) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}

@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 
 	"repro/internal/access"
+	"repro/internal/faultfs"
 	"repro/internal/kdtree"
 	"repro/internal/relation"
 )
@@ -881,36 +881,34 @@ func restoreSnapshot(db *relation.Database, s *snapshot, shards int) (*access.Sc
 // rename, and a directory fsync, so readers never observe a half-written
 // snapshot and the replacement itself survives a power failure — the
 // checkpointer truncates the WAL right after this returns, which is only
-// safe once the new directory entry is durable.
-func writeFileAtomic(path string, data []byte) error {
+// safe once the new directory entry is durable. All file operations go
+// through the fsys seam, so every failure point (write, fsync, rename,
+// ENOSPC) is fault-injectable; a failure before the rename leaves the
+// previous snapshot untouched and loadable.
+func writeFileAtomic(fsys faultfs.FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, ".snapshot-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return err
 	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fsys.SyncDir(dir)
 }

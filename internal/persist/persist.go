@@ -27,12 +27,15 @@ package persist
 import (
 	"context"
 	"fmt"
+	"log"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/access"
+	"repro/internal/faultfs"
 	"repro/internal/relation"
 )
 
@@ -41,22 +44,49 @@ import (
 // caller does not configure a threshold.
 const DefaultCheckpointEvery = 4096
 
+// DefaultCheckpointRetries is how many consecutive checkpoint failures the
+// background checkpointer tolerates (retrying with capped exponential
+// backoff) before opening the circuit: automatic checkpoints stop, serving
+// continues memory-only, and only a successful explicit Checkpoint closes
+// the circuit again.
+const DefaultCheckpointRetries = 5
+
+// Default backoff envelope of the checkpoint retry loop.
+const (
+	defaultRetryBase = 100 * time.Millisecond
+	defaultRetryMax  = 5 * time.Second
+)
+
+// Checkpoint circuit states, as reported by Stats.CheckpointState and
+// logged on every transition.
+const (
+	// StateHealthy: the last checkpoint (if any) succeeded.
+	StateHealthy = "healthy"
+	// StateRetrying: the last checkpoint failed and the background
+	// checkpointer is retrying with backoff.
+	StateRetrying = "retrying"
+	// StateCircuitOpen: CheckpointRetries consecutive failures; automatic
+	// checkpoints are suspended until a manual Checkpoint succeeds.
+	StateCircuitOpen = "circuit-open"
+)
+
 // Save writes a snapshot of (db, as) to dir, creating the directory if
 // needed. The write is atomic (temp file + rename), so a concurrent or
 // crashed Save never leaves a half-written snapshot behind. Call under the
 // same single-writer discipline as maintenance; ctx is checked before the
 // encode and before the write.
 func Save(ctx context.Context, db *relation.Database, as *access.Schema, dir string) error {
-	return saveSeq(ctx, db, as, dir, 0)
+	return saveSeq(ctx, db, as, dir, 0, faultfs.OS())
 }
 
 // saveSeq is Save with an explicit applied-sequence watermark (OpenStore
-// checkpoints pass the live sequence; a standalone Save starts at zero).
-func saveSeq(ctx context.Context, db *relation.Database, as *access.Schema, dir string, seq uint64) error {
+// checkpoints pass the live sequence; a standalone Save starts at zero)
+// and an explicit filesystem (stores write through their injectable seam).
+func saveSeq(ctx context.Context, db *relation.Database, as *access.Schema, dir string, seq uint64, fsys faultfs.FS) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	data, err := encodeSnapshotFile(captureSnapshot(db, as, seq))
@@ -66,7 +96,7 @@ func saveSeq(ctx context.Context, db *relation.Database, as *access.Schema, dir 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(dir, SnapshotFile), data)
+	return writeFileAtomic(fsys, filepath.Join(dir, SnapshotFile), data)
 }
 
 // Load restores the snapshot in dir: each relation of db is replaced with
@@ -76,11 +106,16 @@ func saveSeq(ctx context.Context, db *relation.Database, as *access.Schema, dir 
 // watermark. Damaged files are rejected with a *CorruptError; a missing
 // snapshot surfaces the fs.ErrNotExist of the underlying read.
 func Load(ctx context.Context, db *relation.Database, dir string, shards int) (*access.Schema, uint64, error) {
+	return loadFS(ctx, db, dir, shards, faultfs.OS())
+}
+
+// loadFS is Load through an explicit filesystem seam.
+func loadFS(ctx context.Context, db *relation.Database, dir string, shards int, fsys faultfs.FS) (*access.Schema, uint64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
 	path := filepath.Join(dir, SnapshotFile)
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -112,6 +147,23 @@ type Options struct {
 	// record still reaches the OS immediately (surviving a process crash),
 	// and the checkpointer syncs before truncating.
 	Sync bool
+	// FS is the filesystem the store reads and writes through; nil means
+	// the real one (faultfs.OS()). Tests inject faults here.
+	FS faultfs.FS
+	// CheckpointRetries is how many consecutive checkpoint failures open
+	// the circuit (automatic checkpoints suspended, serving continues
+	// memory-only); 0 means DefaultCheckpointRetries, negative means 1 —
+	// the first failure opens the circuit.
+	CheckpointRetries int
+	// RetryBase and RetryMax bound the exponential backoff between
+	// checkpoint retries (defaults defaultRetryBase/defaultRetryMax);
+	// ±20% jitter is applied so colocated stores don't retry in lockstep.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Logf receives the durability state-transition log lines (healthy →
+	// retrying → circuit-open, WAL degradation and recovery); nil means
+	// log.Printf. Tests capture transitions here.
+	Logf func(format string, args ...any)
 }
 
 // Stats is a point-in-time snapshot of a store's counters, for /stats.
@@ -140,6 +192,22 @@ type Stats struct {
 	// CheckpointErr is the message of the most recent background checkpoint
 	// failure, empty when the last one succeeded.
 	CheckpointErr string
+	// CheckpointFailures is the count of consecutive checkpoint failures
+	// (0 when the last checkpoint succeeded).
+	CheckpointFailures int
+	// CheckpointState is the checkpoint circuit state: StateHealthy,
+	// StateRetrying or StateCircuitOpen.
+	CheckpointState string
+	// CircuitOpen reports that automatic checkpoints are suspended after
+	// CheckpointRetries consecutive failures; serving continues memory-only.
+	CircuitOpen bool
+	// WALDegraded reports that a WAL append (or its rollback) failed: the
+	// log can no longer be trusted to extend, so mutations are refused
+	// until a successful checkpoint re-establishes a consistent on-disk
+	// state. Reads and queries are unaffected.
+	WALDegraded bool
+	// WALError is the failure that degraded the WAL, empty when healthy.
+	WALError string
 }
 
 // Store binds a live system (db + access schema) to its persistence
@@ -147,10 +215,12 @@ type Stats struct {
 // background checkpointer. Mutations must go through Apply so the log is
 // written ahead of the in-memory change; reads need no coordination.
 type Store struct {
-	dir string
-	db  *relation.Database
-	as  *access.Schema
-	opt Options
+	dir  string
+	db   *relation.Database
+	as   *access.Schema
+	opt  Options
+	fs   faultfs.FS
+	logf func(format string, args ...any)
 
 	// mu serialises mutation, checkpointing and counter updates; it is the
 	// store-level embodiment of the access schema's single-writer rule.
@@ -164,6 +234,10 @@ type Store struct {
 	snapshots, checkpoints int64
 	lastCheckpoint         time.Time
 	checkpointErr          string
+	ckptFails              int  // consecutive checkpoint failures
+	circuitOpen            bool // automatic checkpoints suspended
+	walDegraded            bool // WAL append failed; mutations refused
+	walErr                 string
 	warm                   bool
 
 	kick   chan struct{}
@@ -179,11 +253,15 @@ type Store struct {
 // written so the next start is warm. The returned schema is the one the
 // system must serve from; warm reports which path was taken.
 func OpenStore(ctx context.Context, db *relation.Database, dir string, build func(*relation.Database) (*access.Schema, error), opt Options) (st *Store, as *access.Schema, warm bool, err error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, false, err
 	}
 	var appliedSeq uint64
-	as, appliedSeq, err = Load(ctx, db, dir, opt.Shards)
+	as, appliedSeq, err = loadFS(ctx, db, dir, opt.Shards, fsys)
 	switch {
 	case err == nil:
 		warm = true
@@ -203,6 +281,8 @@ func OpenStore(ctx context.Context, db *relation.Database, dir string, build fun
 		db:         db,
 		as:         as,
 		opt:        opt,
+		fs:         fsys,
+		logf:       opt.Logf,
 		appliedSeq: appliedSeq,
 		seq:        appliedSeq,
 		warm:       warm,
@@ -212,8 +292,23 @@ func OpenStore(ctx context.Context, db *relation.Database, dir string, build fun
 	if st.opt.CheckpointEvery == 0 {
 		st.opt.CheckpointEvery = DefaultCheckpointEvery
 	}
+	switch {
+	case st.opt.CheckpointRetries == 0:
+		st.opt.CheckpointRetries = DefaultCheckpointRetries
+	case st.opt.CheckpointRetries < 0:
+		st.opt.CheckpointRetries = 1
+	}
+	if st.opt.RetryBase <= 0 {
+		st.opt.RetryBase = defaultRetryBase
+	}
+	if st.opt.RetryMax <= 0 {
+		st.opt.RetryMax = defaultRetryMax
+	}
+	if st.logf == nil {
+		st.logf = log.Printf
+	}
 
-	w, recs, err := openWAL(filepath.Join(dir, WALFile))
+	w, recs, err := openWAL(fsys, filepath.Join(dir, WALFile))
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -303,6 +398,13 @@ func validateOps(db *relation.Database, ops []access.Op) error {
 // is written, so the log never holds an op that recovery could not replay.
 // Crossing the checkpoint threshold wakes the background checkpointer; the
 // caller never blocks on a snapshot write.
+//
+// A failed append rolls the log back to the batch's start, so recovery can
+// never replay an operation the caller was told failed — the batch is not
+// acknowledged, in memory or on disk. Any append failure flips the store to
+// degraded durability: further mutations are refused (queries are
+// unaffected) until a successful Checkpoint rewrites the on-disk state
+// wholesale and truncates the untrustworthy log.
 func (s *Store) Apply(ctx context.Context, ops []access.Op) ([]bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -312,20 +414,36 @@ func (s *Store) Apply(ctx context.Context, ops []access.Op) ([]bool, error) {
 	if s.closed {
 		return nil, fmt.Errorf("persist: store is closed")
 	}
+	if s.walDegraded {
+		return nil, fmt.Errorf("persist: WAL degraded (%s): mutations refused until a checkpoint succeeds", s.walErr)
+	}
 	if err := validateOps(s.db, ops); err != nil {
 		return nil, err
 	}
-	for _, op := range ops {
-		s.seq++
-		if _, err := s.wal.append(s.seq, op); err != nil {
-			return nil, err
+	startSeq, startBytes, startRecords := s.seq, s.wal.bytes, s.walRecords
+	appendErr := func() error {
+		for _, op := range ops {
+			s.seq++
+			if _, err := s.wal.append(s.seq, op); err != nil {
+				return err
+			}
+			s.walRecords++
 		}
-		s.walRecords++
-	}
-	if s.opt.Sync {
-		if err := s.wal.sync(); err != nil {
-			return nil, err
+		if s.opt.Sync {
+			return s.wal.sync()
 		}
+		return nil
+	}()
+	if appendErr != nil {
+		// Undo the batch's partial records before reporting failure: the
+		// caller is told nothing was applied, and the log must agree.
+		s.seq, s.walRecords = startSeq, startRecords
+		cause := appendErr
+		if rbErr := s.wal.rollback(startBytes); rbErr != nil {
+			cause = fmt.Errorf("append: %v; rollback: %v", appendErr, rbErr)
+		}
+		s.degradeWALLocked(cause)
+		return nil, fmt.Errorf("persist: WAL append: %w", appendErr)
 	}
 	applied, err := s.as.Apply(s.db, ops)
 	if err != nil {
@@ -350,7 +468,7 @@ func (s *Store) SaveTo(ctx context.Context, dir string) error {
 	if s.closed {
 		return fmt.Errorf("persist: store is closed")
 	}
-	return saveSeq(ctx, s.db, s.as, dir, s.seq)
+	return saveSeq(ctx, s.db, s.as, dir, s.seq, s.fs)
 }
 
 // Checkpoint writes a fresh snapshot covering every applied operation and
@@ -369,42 +487,127 @@ func (s *Store) Checkpoint(ctx context.Context) error {
 // checkpointLocked is Checkpoint with s.mu held: snapshot first (atomic
 // rename), then sync + truncate the log. A crash between the two steps is
 // benign — the stale records sit at or below the new watermark and replay
-// skips them.
+// skips them. Success resets every failure state: the consecutive-failure
+// count, an open circuit, and WAL degradation (the fresh snapshot covers
+// all applied operations and the truncated log is trivially consistent).
 func (s *Store) checkpointLocked(ctx context.Context) error {
-	if err := saveSeq(ctx, s.db, s.as, s.dir, s.seq); err != nil {
-		return err
+	err := func() error {
+		if err := saveSeq(ctx, s.db, s.as, s.dir, s.seq, s.fs); err != nil {
+			return err
+		}
+		s.snapshots++
+		s.appliedSeq = s.seq
+		if err := s.wal.sync(); err != nil {
+			return err
+		}
+		if err := s.wal.reset(); err != nil {
+			return err
+		}
+		s.walRecords = 0
+		s.checkpoints++
+		s.lastCheckpoint = time.Now()
+		return nil
+	}()
+	s.noteCheckpointLocked(err)
+	return err
+}
+
+// stateLocked names the checkpoint circuit state for logging and Stats.
+func (s *Store) stateLocked() string {
+	switch {
+	case s.circuitOpen:
+		return StateCircuitOpen
+	case s.ckptFails > 0:
+		return StateRetrying
+	default:
+		return StateHealthy
 	}
-	s.snapshots++
-	s.appliedSeq = s.seq
-	if err := s.wal.sync(); err != nil {
-		return err
+}
+
+// noteCheckpointLocked records a checkpoint outcome: bookkeeping for the
+// consecutive-failure count and the circuit, with a log line on every state
+// transition (healthy → retrying → circuit-open and back).
+func (s *Store) noteCheckpointLocked(err error) {
+	before := s.stateLocked()
+	if err == nil {
+		s.checkpointErr = ""
+		s.ckptFails = 0
+		s.circuitOpen = false
+		if s.walDegraded {
+			s.walDegraded = false
+			s.walErr = ""
+			s.logf("persist: %s: WAL durability restored by checkpoint", s.dir)
+		}
+	} else {
+		s.checkpointErr = err.Error()
+		s.ckptFails++
+		if s.ckptFails >= s.opt.CheckpointRetries {
+			s.circuitOpen = true
+		}
 	}
-	if err := s.wal.reset(); err != nil {
-		return err
+	if after := s.stateLocked(); after != before {
+		s.logf("persist: %s: checkpoint state %s -> %s (consecutive failures: %d, last error: %v)",
+			s.dir, before, after, s.ckptFails, err)
 	}
-	s.walRecords = 0
-	s.checkpoints++
-	s.lastCheckpoint = time.Now()
-	return nil
+}
+
+// degradeWALLocked flips the store to degraded durability and wakes the
+// checkpointer, whose next success is the only way back to accepting
+// mutations.
+func (s *Store) degradeWALLocked(cause error) {
+	if !s.walDegraded {
+		s.logf("persist: %s: WAL degraded, mutations refused until a checkpoint succeeds: %v", s.dir, cause)
+	}
+	s.walDegraded = true
+	s.walErr = cause.Error()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
 }
 
 // checkpointer is the background goroutine draining threshold crossings.
+// A failed checkpoint is retried with capped exponential backoff (±20%
+// jitter); after CheckpointRetries consecutive failures the circuit opens
+// and automatic attempts stop — serving continues memory-only — until a
+// successful explicit Checkpoint closes it again.
 func (s *Store) checkpointer() {
 	for {
 		select {
 		case <-s.done:
 			return
 		case <-s.kick:
-			err := s.Checkpoint(context.Background())
+		}
+		for attempt := 0; ; attempt++ {
 			s.mu.Lock()
-			if err != nil {
-				s.checkpointErr = err.Error()
-			} else {
-				s.checkpointErr = ""
-			}
+			open := s.circuitOpen
 			s.mu.Unlock()
+			if open {
+				// Suspended: don't hammer a dead disk. A manual Checkpoint
+				// (or /snapshot) resets the circuit on success.
+				break
+			}
+			if err := s.Checkpoint(context.Background()); err == nil {
+				break
+			}
+			select {
+			case <-s.done:
+				return
+			case <-time.After(s.backoff(attempt)):
+			}
 		}
 	}
+}
+
+// backoff returns the wait before retry `attempt`: RetryBase·2^attempt
+// capped at RetryMax, with ±20% jitter.
+func (s *Store) backoff(attempt int) time.Duration {
+	d := s.opt.RetryBase << uint(attempt)
+	if d <= 0 || d > s.opt.RetryMax {
+		d = s.opt.RetryMax
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/5*2+1)) - d/5
+	return d + jitter
 }
 
 // Dir returns the persistence directory the store is bound to.
@@ -415,17 +618,22 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Dir:            s.dir,
-		WarmStart:      s.warm,
-		Seq:            s.seq,
-		WALRecords:     s.walRecords,
-		WALBytes:       s.wal.bytes,
-		Replayed:       s.replayed,
-		SkippedReplay:  s.skipped,
-		Snapshots:      s.snapshots,
-		Checkpoints:    s.checkpoints,
-		LastCheckpoint: s.lastCheckpoint,
-		CheckpointErr:  s.checkpointErr,
+		Dir:                s.dir,
+		WarmStart:          s.warm,
+		Seq:                s.seq,
+		WALRecords:         s.walRecords,
+		WALBytes:           s.wal.bytes,
+		Replayed:           s.replayed,
+		SkippedReplay:      s.skipped,
+		Snapshots:          s.snapshots,
+		Checkpoints:        s.checkpoints,
+		LastCheckpoint:     s.lastCheckpoint,
+		CheckpointErr:      s.checkpointErr,
+		CheckpointFailures: s.ckptFails,
+		CheckpointState:    s.stateLocked(),
+		CircuitOpen:        s.circuitOpen,
+		WALDegraded:        s.walDegraded,
+		WALError:           s.walErr,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"repro/internal/access"
+	"repro/internal/faultfs"
 )
 
 // This file implements the maintenance write-ahead log. Every insert/delete
@@ -128,16 +129,16 @@ func scanWAL(path string, data []byte) ([]walRecord, int64, error) {
 
 // wal is an open write-ahead log positioned for appends.
 type wal struct {
-	f     *os.File
+	f     faultfs.File
 	path  string
 	bytes int64
 }
 
-// openWAL opens (creating if absent) the log at path, scans the existing
-// records, truncates any torn tail, and returns the log positioned for
-// appends together with the scanned records.
-func openWAL(path string) (*wal, []walRecord, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+// openWAL opens (creating if absent) the log at path through the fsys
+// seam, scans the existing records, truncates any torn tail, and returns
+// the log positioned for appends together with the scanned records.
+func openWAL(fsys faultfs.FS, path string) (*wal, []walRecord, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -177,6 +178,22 @@ func (w *wal) append(seq uint64, op access.Op) (int, error) {
 
 // sync forces the log contents to stable storage.
 func (w *wal) sync() error { return w.f.Sync() }
+
+// rollback cuts the log back to `to` bytes — the recovery move after a
+// failed append: the batch's partial records must not survive, or recovery
+// would replay operations the caller was told failed. A rollback that
+// itself fails leaves the log unusable for further appends (the caller
+// flips the store to degraded durability).
+func (w *wal) rollback(to int64) error {
+	if err := w.f.Truncate(to); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(to, io.SeekStart); err != nil {
+		return err
+	}
+	w.bytes = to
+	return nil
+}
 
 // reset truncates the log to empty (after a checkpoint made its records
 // redundant).

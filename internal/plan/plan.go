@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/chase"
+	"repro/internal/guard"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -406,12 +407,17 @@ func applyStep(ctx context.Context, p *Bounded, atoms []*FetchedAtom, sl *stepLa
 			ws   []int
 		}
 		parts := make([]part, nw)
+		partErrs := make([]error, nw)
 		var wg sync.WaitGroup
 		for pi := 0; pi < nw; pi++ {
 			lo, hi := pi*n/nw, (pi+1)*n/nw
 			wg.Add(1)
 			go func(pi, lo, hi int) {
 				defer wg.Done()
+				// A panic in an emit worker is contained to its error slot
+				// instead of crashing the process out from under the other
+				// workers (and the whole server).
+				defer guard.Recover("parallel row emit", &partErrs[pi])
 				fill := make([]relation.Value, len(sl.route))
 				xt := make(relation.Tuple, len(sl.route))
 				var pr []relation.Tuple
@@ -435,6 +441,11 @@ func applyStep(ctx context.Context, p *Bounded, atoms []*FetchedAtom, sl *stepLa
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		for _, err := range partErrs {
+			if err != nil {
+				return err
+			}
 		}
 		for _, pt := range parts {
 			out.Rel.Tuples = append(out.Rel.Tuples, pt.rows...)

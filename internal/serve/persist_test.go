@@ -29,13 +29,16 @@ func persistedServer(t *testing.T) (*Server, string) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { sys.Close() })
-	s := New(Config{
+	s, err := New(Config{
 		System:       sys,
 		DefaultAlpha: 0.1,
 		Dataset:      "example1",
 		DBSize:       db.Size(),
 		BudgetCap:    1000 * db.Size(),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	return s, dir
 }
@@ -148,7 +151,7 @@ func TestCloseDrainsBatchQueue(t *testing.T) {
 	}
 	// One slow worker and a deep queue: most jobs are still queued when
 	// Close runs.
-	s := New(Config{
+	s, err := New(Config{
 		System:       beas.Open(db, as),
 		DefaultAlpha: 0.1,
 		DBSize:       db.Size(),
@@ -156,6 +159,9 @@ func TestCloseDrainsBatchQueue(t *testing.T) {
 		QueueDepth:   64,
 		BudgetCap:    1000 * db.Size(),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var queries []string
 	for i := 0; i < 24; i++ {
 		queries = append(queries, fmt.Sprintf(`{"sql": "select p.city from person as p where p.pid = %d"}`, i))

@@ -47,6 +47,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,6 +94,11 @@ type Config struct {
 	// job is always admitted when nothing else is in flight, so a single
 	// over-cap query stays servable.
 	BudgetCap int
+
+	// Brownout tunes the overload controller (see brownout.go). The zero
+	// value is automatic control with defaults; Mode "off" restores the
+	// reject-only behaviour of earlier versions.
+	Brownout BrownoutConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -129,11 +135,18 @@ func (c Config) withDefaults() Config {
 type QueryRequest struct {
 	SQL   string  `json:"sql"`
 	Alpha float64 `json:"alpha"`
+	// MinAlpha is this request's accuracy SLO: the floor below which
+	// brownout degradation may not shrink its effective α (optional;
+	// defaults to the server-wide BrownoutConfig.MinAlpha).
+	MinAlpha float64 `json:"minAlpha,omitempty"`
 	// Tag attributes the query in the per-tag stats of /stats (optional).
 	Tag string `json:"tag,omitempty"`
 }
 
-// QueryResponse is the answer payload of one query.
+// QueryResponse is the answer payload of one query. Alpha is the ACHIEVED
+// resource ratio: under brownout it can be lower than the request's, with
+// Degraded set and RequestedAlpha carrying the original ask — Eta still
+// certifies the degraded answer.
 type QueryResponse struct {
 	Columns   []string   `json:"columns"`
 	Tuples    [][]string `json:"tuples"`
@@ -147,6 +160,12 @@ type QueryResponse struct {
 	CacheHit  bool       `json:"cacheHit"`
 	PlanGenMS float64    `json:"planGenMs"`
 	ServedMS  float64    `json:"servedMs"`
+	// Degraded marks an answer served below the requested α by brownout.
+	Degraded bool `json:"degraded,omitempty"`
+	// RequestedAlpha is the original request's α when Degraded.
+	RequestedAlpha float64 `json:"requestedAlpha,omitempty"`
+	// BrownoutLevel is the degradation level the answer was served at.
+	BrownoutLevel int `json:"brownoutLevel,omitempty"`
 }
 
 // BatchRequest is the body of a /batch call: queries to pipeline through
@@ -196,6 +215,7 @@ type job struct {
 type Server struct {
 	cfg     Config
 	started time.Time
+	brown   *brownoutController
 
 	queue chan *job
 	stop  chan struct{}
@@ -212,15 +232,26 @@ type Server struct {
 	enqueued  atomic.Int64 // batch jobs admitted to the queue
 	completed atomic.Int64 // batch jobs finished by workers
 	inflight  atomic.Int64 // summed admission weight of unfinished batch jobs
+
+	internalErrors atomic.Int64 // contained panics (middleware + evaluator)
+	degradedServed atomic.Int64 // answers served below the requested α
+	shed           atomic.Int64 // requests refused by brownout shedding
+	draining       atomic.Bool  // shutdown started; readiness fails
 }
 
-// New builds a Server and starts its batch worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its batch worker pool. It fails only on
+// an invalid configuration (an unknown brownout mode).
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg.withDefaults(),
 		started: time.Now(),
 		stop:    make(chan struct{}),
 	}
+	brown, err := newBrownoutController(s.cfg.Brownout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s.brown = brown
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	for w := 0; w < s.cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -246,7 +277,7 @@ func New(cfg Config) *Server {
 			}
 		}()
 	}
-	return s
+	return s, nil
 }
 
 // Close stops the batch workers gracefully: in-flight jobs finish and the
@@ -273,7 +304,9 @@ func (s *Server) Close() {
 }
 
 // Handler returns the route mux: /query, /stream, /batch, /snapshot,
-// /healthz, /stats.
+// /healthz (liveness), /readyz (readiness), /stats — every route wrapped in
+// the panic-recovery middleware, so a handler crash answers 500 and leaves
+// the process serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -281,9 +314,42 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	return s.recoverMiddleware(mux)
 }
+
+// recoverMiddleware contains a panic escaping any handler: log it with the
+// stack, count it, answer 500, keep the process alive. http.ErrAbortHandler
+// is re-raised — it is net/http's own sentinel for "abandon this response",
+// not a crash.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.internalErrors.Add(1)
+			s.failures.Add(1)
+			log.Printf("serve: contained panic in %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			// Best-effort 500: if the handler already started the response
+			// (a mid-stream panic), the write is a no-op on the status line
+			// and the client sees a truncated body.
+			httpError(w, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// StartDrain marks the server as draining: /readyz starts failing so load
+// balancers stop routing here, while in-flight and queued work still
+// completes. Call at the beginning of a graceful shutdown, before closing
+// listeners.
+func (s *Server) StartDrain() { s.draining.Store(true) }
 
 // maxRequestBytes caps a request body; a SQL statement (or a few hundred)
 // has no business being bigger, and the bound keeps a hostile POST from
@@ -300,17 +366,20 @@ func (s *Server) effectiveAlpha(req QueryRequest) float64 {
 }
 
 // queryOptions assembles the per-call options for one request: the
-// server-wide ExecOptions first, then the request's alpha and tag. The
-// request's alpha always governs the resource bound — a WithBudget pinned
-// in Config.ExecOptions is reset (WithBudget(0) = unset), because an
-// absolute budget would silently override every client's alpha and
-// desynchronise the weighted batch admission, which weighs jobs by
-// ⌈α·|D|⌉. Config.ExecOptions is for execution-strategy knobs (fetch
-// workers, partition-aware toggle, cache bypass), not resource bounds.
-func (s *Server) queryOptions(req QueryRequest, alpha float64) []beas.Option {
-	opts := make([]beas.Option, 0, len(s.cfg.ExecOptions)+3)
+// server-wide ExecOptions first, then the request's (possibly degraded)
+// alpha, its floor and its tag. The request's alpha always governs the
+// resource bound — a WithBudget pinned in Config.ExecOptions is reset
+// (WithBudget(0) = unset), because an absolute budget would silently
+// override every client's alpha and desynchronise the weighted batch
+// admission, which weighs jobs by ⌈α·|D|⌉. Config.ExecOptions is for
+// execution-strategy knobs (fetch workers, partition-aware toggle, cache
+// bypass), not resource bounds. The floor travels into the engine as
+// WithMinAlpha: even if a future degradation path miscomputes, the core
+// clamps the effective ratio back to the caller's SLO.
+func (s *Server) queryOptions(req QueryRequest, alpha, floor float64) []beas.Option {
+	opts := make([]beas.Option, 0, len(s.cfg.ExecOptions)+4)
 	opts = append(opts, s.cfg.ExecOptions...)
-	opts = append(opts, beas.WithBudget(0), beas.WithAlpha(alpha))
+	opts = append(opts, beas.WithBudget(0), beas.WithAlpha(alpha), beas.WithMinAlpha(floor))
 	if req.Tag != "" {
 		opts = append(opts, beas.WithTag(req.Tag))
 	}
@@ -326,22 +395,49 @@ func (s *Server) validate(req QueryRequest) (float64, int, error) {
 	if alpha <= 0 || alpha > 1 {
 		return 0, http.StatusBadRequest, fmt.Errorf("alpha %g outside (0, 1]", alpha)
 	}
+	if req.MinAlpha < 0 || req.MinAlpha > 1 {
+		return 0, http.StatusBadRequest, fmt.Errorf("minAlpha %g outside [0, 1]", req.MinAlpha)
+	}
 	return alpha, http.StatusOK, nil
 }
 
+// resolveDegradation applies the brownout controller to one validated
+// request: the level to serve at, the effective α (shrunk toward the floor
+// when browned out, never below it, never above the request) and the floor
+// that travels into the engine.
+func (s *Server) resolveDegradation(alpha float64, req QueryRequest) (level int, eff, floor float64) {
+	level = s.currentLevel()
+	floor = s.floorFor(req)
+	if floor > alpha {
+		floor = alpha
+	}
+	eff = degradeAlpha(alpha, floor, level)
+	return level, eff, floor
+}
+
 // execute answers one request against the shared System under ctx,
-// returning an HTTP status for the error cases.
+// returning an HTTP status for the error cases. Under brownout the request
+// runs at a degraded effective α (never below its floor); the response
+// marks the degradation and reports the achieved α, still η-certified. A
+// contained evaluator panic maps to 500 and the internalErrors counter —
+// the process, and every other request, keeps going.
 func (s *Server) execute(ctx context.Context, req QueryRequest) (*QueryResponse, int, error) {
 	alpha, code, err := s.validate(req)
 	if err != nil {
 		s.failures.Add(1)
 		return nil, code, err
 	}
+	level, eff, floor := s.resolveDegradation(alpha, req)
 
 	start := time.Now()
-	ans, plan, err := s.cfg.System.QuerySQL(ctx, req.SQL, s.queryOptions(req, alpha)...)
+	ans, plan, err := s.cfg.System.QuerySQL(ctx, req.SQL, s.queryOptions(req, eff, floor)...)
 	if err != nil {
 		s.failures.Add(1)
+		if pe, ok := beas.IsInternalError(err); ok {
+			s.internalErrors.Add(1)
+			log.Printf("serve: %v\n%s", pe, pe.Stack)
+			return nil, http.StatusInternalServerError, err
+		}
 		code := http.StatusUnprocessableEntity
 		if errors.Is(err, context.DeadlineExceeded) {
 			code = http.StatusGatewayTimeout
@@ -351,17 +447,24 @@ func (s *Server) execute(ctx context.Context, req QueryRequest) (*QueryResponse,
 	served := time.Since(start)
 	s.queries.Add(1)
 	s.totalNS.Add(served.Nanoseconds())
+	s.brown.observe(served)
 
 	resp := &QueryResponse{
 		Rows:      ans.Rel.Len(),
 		Eta:       ans.Eta,
 		Exact:     ans.Exact,
-		Alpha:     alpha,
+		Alpha:     eff,
 		Accessed:  ans.Stats.Accessed,
 		Budget:    plan.Budget,
 		CacheHit:  plan.CacheHit,
 		PlanGenMS: float64(plan.GenTime.Microseconds()) / 1e3,
 		ServedMS:  float64(served.Microseconds()) / 1e3,
+	}
+	if eff < alpha {
+		resp.Degraded = true
+		resp.RequestedAlpha = alpha
+		resp.BrownoutLevel = level
+		s.degradedServed.Add(1)
 	}
 	for _, a := range ans.Rel.Schema.Attrs {
 		resp.Columns = append(resp.Columns, a.Name)
@@ -385,9 +488,28 @@ func stringRow(t beas.Tuple) []string {
 	return row
 }
 
+// shedIfBrownedOut refuses the request with 503 (and a Retry-After hint)
+// when the current brownout level sheds this endpoint: /batch goes first at
+// BrownoutShedBatch, /query and /stream only at BrownoutShedAll.
+func (s *Server) shedIfBrownedOut(w http.ResponseWriter, shedAt int) bool {
+	level := s.currentLevel()
+	if level < shedAt {
+		return false
+	}
+	s.shed.Add(1)
+	s.failures.Add(1)
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("overloaded (brownout level %d): shedding load, retry later", level))
+	return true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.shedIfBrownedOut(w, BrownoutShedAll) {
 		return
 	}
 	var req QueryRequest
@@ -409,7 +531,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // explicit flushes on /stream.
 const streamFlushRows = 64
 
-// StreamSummary is the final NDJSON line of a /stream response.
+// StreamSummary is the final NDJSON line of a /stream response. As on
+// /query, Alpha is the achieved ratio; Degraded marks brownout service.
 type StreamSummary struct {
 	Rows      int     `json:"rows"`
 	Eta       float64 `json:"eta"`
@@ -420,6 +543,12 @@ type StreamSummary struct {
 	CacheHit  bool    `json:"cacheHit"`
 	PlanGenMS float64 `json:"planGenMs"`
 	ServedMS  float64 `json:"servedMs"`
+	// Degraded marks an answer served below the requested α by brownout.
+	Degraded bool `json:"degraded,omitempty"`
+	// RequestedAlpha is the original request's α when Degraded.
+	RequestedAlpha float64 `json:"requestedAlpha,omitempty"`
+	// BrownoutLevel is the degradation level the answer was served at.
+	BrownoutLevel int `json:"brownoutLevel,omitempty"`
 }
 
 // streamLine is one NDJSON line of a /stream response: exactly one field is
@@ -441,6 +570,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.shedIfBrownedOut(w, BrownoutShedAll) {
+		return
+	}
 	var req QueryRequest
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -454,6 +586,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, code, err.Error())
 		return
 	}
+	level, eff, floor := s.resolveDegradation(alpha, req)
 	q, err := beas.ParseSQL(req.SQL)
 	if err != nil {
 		s.failures.Add(1)
@@ -461,7 +594,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	st, err := s.cfg.System.QueryStream(r.Context(), q, s.queryOptions(req, alpha)...)
+	st, err := s.cfg.System.QueryStream(r.Context(), q, s.queryOptions(req, eff, floor)...)
 	if err != nil {
 		s.failures.Add(1)
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
@@ -503,27 +636,39 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := st.Err(); err != nil {
 		s.failures.Add(1)
+		if pe, ok := beas.IsInternalError(err); ok {
+			s.internalErrors.Add(1)
+			log.Printf("serve: %v\n%s", pe, pe.Stack)
+		}
 		_ = enc.Encode(streamLine{Error: err.Error()})
 		flush()
 		return
 	}
 	served := time.Since(start)
 	ans, plan := st.Answer(), st.Plan()
-	_ = enc.Encode(streamLine{Summary: &StreamSummary{
+	sum := &StreamSummary{
 		Rows:      rows,
 		Eta:       ans.Eta,
 		Exact:     ans.Exact,
-		Alpha:     alpha,
+		Alpha:     eff,
 		Accessed:  ans.Stats.Accessed,
 		Budget:    plan.Budget,
 		CacheHit:  plan.CacheHit,
 		PlanGenMS: float64(plan.GenTime.Microseconds()) / 1e3,
 		ServedMS:  float64(served.Microseconds()) / 1e3,
-	}})
+	}
+	if eff < alpha {
+		sum.Degraded = true
+		sum.RequestedAlpha = alpha
+		sum.BrownoutLevel = level
+		s.degradedServed.Add(1)
+	}
+	_ = enc.Encode(streamLine{Summary: sum})
 	flush()
 	s.queries.Add(1)
 	s.streams.Add(1)
 	s.totalNS.Add(served.Nanoseconds())
+	s.brown.observe(served)
 }
 
 // jobWeight is the admission weight of one batch entry: its estimated
@@ -598,6 +743,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.shedIfBrownedOut(w, BrownoutShedBatch) {
+		return
+	}
 	var req BatchRequest
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -621,13 +769,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	resp := &BatchResponse{Results: make([]BatchEntry, len(req.Queries))}
+	// Weigh admission by the α the job will actually run at: under brownout
+	// the degraded jobs are cheaper, so the same budget cap admits more of
+	// them — that is precisely where the goodput of a browned-out server
+	// comes from.
+	level := s.currentLevel()
 	var wg sync.WaitGroup
 	for i, q := range req.Queries {
 		entry := &resp.Results[i]
-		weight := s.jobWeight(s.effectiveAlpha(q))
+		alpha := s.effectiveAlpha(q)
+		floor := s.floorFor(q)
+		weight := s.jobWeight(degradeAlpha(alpha, math.Min(floor, alpha), level))
 		if !s.admit(weight) {
 			// Weighted backpressure: the in-flight budget cap is reached;
 			// fail fast instead of queueing work the pool cannot absorb.
+			s.brown.noteAdmission(true)
 			entry.Rejected = true
 			entry.Error = "in-flight budget cap reached"
 			resp.Rejected++
@@ -639,10 +795,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		j := &job{req: q, ctx: r.Context(), deadline: deadline, weight: weight, entry: entry, wg: &wg}
 		select {
 		case s.queue <- j:
+			s.brown.noteAdmission(false)
 			s.enqueued.Add(1)
 		default:
 			// Queue backpressure: the channel is full; fail fast instead of
 			// buffering without bound.
+			s.brown.noteAdmission(true)
 			s.inflight.Add(-weight)
 			entry.Rejected = true
 			entry.Error = "request queue full"
@@ -702,6 +860,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is LIVENESS: it answers ok as long as the process serves
+// HTTP at all, regardless of overload or durability trouble — restarts are
+// for dead processes, and a browned-out server is alive by design. Routing
+// decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
@@ -713,6 +875,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is READINESS: 503 while the server should not receive new
+// traffic — draining for shutdown, shedding everything at max brownout, or
+// serving memory-only because the persistence circuit is open or the WAL
+// degraded. The body lists every failing condition so an operator sees why
+// the instance left the pool.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining: shutdown in progress")
+	}
+	level, _ := s.brown.snapshot()
+	if level >= BrownoutShedAll {
+		reasons = append(reasons, fmt.Sprintf("brownout level %d: shedding all queries", level))
+	}
+	if s.cfg.System.Persisted() {
+		ps := s.cfg.System.PersistStats()
+		if ps.CircuitOpen {
+			reasons = append(reasons, "persistence circuit open: serving memory-only")
+		}
+		if ps.WALDegraded {
+			reasons = append(reasons, "WAL degraded: mutations refused")
+		}
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":  "not ready",
+			"reasons": reasons,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
 // persistStats renders a system's durability counters for the JSON
 // endpoints; nil when the system is not persisted.
 func persistStats(sys *beas.System) map[string]any {
@@ -721,21 +916,30 @@ func persistStats(sys *beas.System) map[string]any {
 	}
 	ps := sys.PersistStats()
 	out := map[string]any{
-		"dir":           ps.Dir,
-		"warmStart":     ps.WarmStart,
-		"seq":           ps.Seq,
-		"walRecords":    ps.WALRecords,
-		"walBytes":      ps.WALBytes,
-		"replayed":      ps.Replayed,
-		"skippedReplay": ps.SkippedReplay,
-		"snapshots":     ps.Snapshots,
-		"checkpoints":   ps.Checkpoints,
+		"dir":             ps.Dir,
+		"warmStart":       ps.WarmStart,
+		"seq":             ps.Seq,
+		"walRecords":      ps.WALRecords,
+		"walBytes":        ps.WALBytes,
+		"replayed":        ps.Replayed,
+		"skippedReplay":   ps.SkippedReplay,
+		"snapshots":       ps.Snapshots,
+		"checkpoints":     ps.Checkpoints,
+		"checkpointState": ps.CheckpointState,
 	}
 	if !ps.LastCheckpoint.IsZero() {
 		out["lastCheckpointUnix"] = ps.LastCheckpoint.Unix()
 	}
 	if ps.CheckpointErr != "" {
 		out["checkpointErr"] = ps.CheckpointErr
+		out["checkpointFailures"] = ps.CheckpointFailures
+	}
+	if ps.CircuitOpen {
+		out["circuitOpen"] = true
+	}
+	if ps.WALDegraded {
+		out["walDegraded"] = true
+		out["walError"] = ps.WALError
 	}
 	return out
 }
@@ -775,14 +979,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"totalMs":  float64(st.Total.Microseconds()) / 1e3,
 		}
 	}
+	level, shifts := s.brown.snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"queries":      ok,
-		"failures":     s.failures.Load(),
-		"streams":      s.streams.Load(),
-		"avgLatencyMs": avgMS,
-		"uptimeSec":    time.Since(s.started).Seconds(),
-		"persist":      persistStats(s.cfg.System),
-		"ladders":      ladderStats(s.cfg.System),
+		"queries":        ok,
+		"failures":       s.failures.Load(),
+		"streams":        s.streams.Load(),
+		"avgLatencyMs":   avgMS,
+		"uptimeSec":      time.Since(s.started).Seconds(),
+		"internalErrors": s.internalErrors.Load(),
+		"persist":        persistStats(s.cfg.System),
+		"ladders":        ladderStats(s.cfg.System),
+		"brownout": map[string]any{
+			"mode":           s.brown.cfg.Mode,
+			"level":          level,
+			"levelShifts":    shifts,
+			"pressure":       s.pressure(),
+			"smoothed":       s.brown.smoothed(),
+			"minAlphaFloor":  s.brown.cfg.MinAlpha,
+			"degradedServed": s.degradedServed.Load(),
+			"shed":           s.shed.Load(),
+			"draining":       s.draining.Load(),
+		},
 		"batch": map[string]any{
 			"batches":        s.batches.Load(),
 			"enqueued":       s.enqueued.Load(),

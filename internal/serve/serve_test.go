@@ -23,7 +23,7 @@ func testServer(t *testing.T) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{
+	s, err := New(Config{
 		System:       beas.Open(db, as),
 		DefaultAlpha: 0.1,
 		MaxRows:      50,
@@ -34,6 +34,9 @@ func testServer(t *testing.T) *Server {
 		// weighted admission (which has its own servers below).
 		BudgetCap: 1000 * db.Size(),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	return s
 }
@@ -234,6 +237,7 @@ func TestBatchBackpressure(t *testing.T) {
 		started: time.Now(),
 		stop:    make(chan struct{}),
 	}
+	s.brown, _ = newBrownoutController(BrownoutConfig{Mode: "off"})
 	s.queue = make(chan *job, 2)
 
 	var wg sync.WaitGroup
@@ -401,12 +405,15 @@ func TestBatchWeightedAdmissionEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{
+	s, err := New(Config{
 		System:    beas.Open(db, as),
 		DBSize:    db.Size(),
 		BudgetCap: db.Size(), // exactly one alpha=1 job
 		Workers:   1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	rec, resp := postBatch(t, s, `{"queries": [
 		{"sql": "select p.city from person as p", "alpha": 1.0},

@@ -3,6 +3,7 @@ package beas_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	beas "repro"
@@ -181,5 +182,50 @@ func TestDeprecatedShims(t *testing.T) {
 	}
 	if _, _, err := sys.QuerySQLAlpha("select h.address from poi as h", 0.1); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWithMinAlpha: the floor clamps a degraded α back up (the plan runs at
+// max(α, minAlpha)), leaves an above-floor α untouched, and certified η is
+// still reported on the floored answer.
+func TestWithMinAlpha(t *testing.T) {
+	sys, db := exampleSystem(t)
+	q := fixture.Q1(3, 95)
+
+	ans, plan, err := sys.Query(context.Background(), q, beas.WithAlpha(0.001), beas.WithMinAlpha(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Alpha != 0.25 || plan.Budget != int(0.25*float64(db.Size())) {
+		t.Errorf("floored plan (alpha, budget) = (%g, %d), want 0.25 applied", plan.Alpha, plan.Budget)
+	}
+	if ans.Eta <= 0 || ans.Eta > 1 {
+		t.Errorf("floored answer eta = %g, want a certified bound in (0, 1]", ans.Eta)
+	}
+
+	_, plan2, err := sys.Query(context.Background(), q, beas.WithAlpha(0.6), beas.WithMinAlpha(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Alpha != 0.6 {
+		t.Errorf("above-floor alpha = %g, want 0.6 untouched", plan2.Alpha)
+	}
+
+	if _, _, err := sys.Query(context.Background(), q, beas.WithMinAlpha(2)); err == nil {
+		t.Error("WithMinAlpha(2) accepted, want range error")
+	}
+}
+
+// TestInternalErrorDetection: IsInternalError unwraps a contained panic
+// anywhere in an error chain.
+func TestInternalErrorDetection(t *testing.T) {
+	var base error = &beas.InternalError{Op: "test", Value: "boom"}
+	wrapped := fmt.Errorf("request failed: %w", base)
+	pe, ok := beas.IsInternalError(wrapped)
+	if !ok || pe.Op != "test" {
+		t.Fatalf("IsInternalError = %v, %v; want the wrapped panic", pe, ok)
+	}
+	if _, ok := beas.IsInternalError(errors.New("plain")); ok {
+		t.Error("plain error detected as internal")
 	}
 }

@@ -35,10 +35,12 @@ const (
 
 // persistConfig collects the OpenPersisted options.
 type persistConfig struct {
-	build           func(*Database) (*AccessSchema, error)
-	shards          int
-	checkpointEvery int
-	sync            bool
+	build             func(*Database) (*AccessSchema, error)
+	shards            int
+	checkpointEvery   int
+	checkpointRetries int
+	sync              bool
+	logf              func(format string, args ...any)
 }
 
 // PersistOption tunes OpenPersisted.
@@ -72,6 +74,23 @@ func WithCheckpointEvery(n int) PersistOption {
 // crashes.
 func WithWALSync() PersistOption {
 	return func(c *persistConfig) { c.sync = true }
+}
+
+// WithCheckpointRetries sets how many consecutive checkpoint failures the
+// background checkpointer tolerates (retrying with capped exponential
+// backoff) before opening its circuit: automatic checkpoints stop and the
+// system serves memory-only until an explicit Checkpoint succeeds. 0 keeps
+// persist.DefaultCheckpointRetries; negative means the first failure opens
+// the circuit.
+func WithCheckpointRetries(n int) PersistOption {
+	return func(c *persistConfig) { c.checkpointRetries = n }
+}
+
+// WithPersistLogf routes the durability state-transition log lines
+// (checkpoint retrying, circuit open/closed, WAL degradation) to logf
+// instead of the standard logger.
+func WithPersistLogf(logf func(format string, args ...any)) PersistOption {
+	return func(c *persistConfig) { c.logf = logf }
 }
 
 // OpenPersisted builds a System bound to a persistence directory. When the
@@ -120,9 +139,11 @@ func OpenPersistedSchema(ctx context.Context, db *Database, dir string, populate
 // or cold via cfg.build followed by an initial snapshot.
 func openPersisted(ctx context.Context, db *Database, dir string, cfg persistConfig) (*System, error) {
 	st, as, _, err := persist.OpenStore(ctx, db, dir, cfg.build, persist.Options{
-		Shards:          cfg.shards,
-		CheckpointEvery: cfg.checkpointEvery,
-		Sync:            cfg.sync,
+		Shards:            cfg.shards,
+		CheckpointEvery:   cfg.checkpointEvery,
+		CheckpointRetries: cfg.checkpointRetries,
+		Sync:              cfg.sync,
+		Logf:              cfg.logf,
 	})
 	if err != nil {
 		return nil, err
