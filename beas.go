@@ -303,6 +303,16 @@ func WithPartitionAwareFetch(enabled bool) Option {
 	return func(o *core.ExecOptions) { o.NoPartitionAwareFetch = !enabled }
 }
 
+// WithColumnarScan toggles the columnar execution path for this call
+// (default on): fetched ladder levels stay in typed column blocks,
+// predicates and join keys are evaluated block-at-a-time, and rows are
+// materialised only at the answer boundary. Answers, η bounds and access
+// stats are identical either way; disabling it runs the row-at-a-time
+// reference executor for differential testing and measurement.
+func WithColumnarScan(enabled bool) Option {
+	return func(o *core.ExecOptions) { o.NoColumnarScan = !enabled }
+}
+
 // WithCacheBypass makes the call skip the plan cache entirely — no lookup,
 // no insertion — so a one-off query cannot evict hot cached plans.
 func WithCacheBypass() Option {

@@ -1,0 +1,56 @@
+package access_test
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/fixture"
+	"repro/internal/relation"
+)
+
+// TestFetchBlockMatchesFetch pins the load-bearing equivalence of the
+// columnar fetch path: for every group, level and shard count, FetchBlock /
+// FetchBatchBlocks return row-for-row exactly the samples Fetch returns
+// (values kind-exact, counts equal), including after a snapshot restore.
+func TestFetchBlockMatchesFetch(t *testing.T) {
+	db := fixture.Example1(11, 60, 40)
+	for _, shards := range []int{1, 4} {
+		l, err := access.BuildLadderSharded(db, "poi", []string{"type"}, []string{"city", "price"}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := access.RestoreLadder(db, l.Snapshot(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lad := range []*access.Ladder{l, restored} {
+			xs := lad.GroupXs()
+			xs = append(xs, relation.Tuple{relation.String("no-such-type")})
+			for k := 0; k <= lad.MaxK(); k++ {
+				blocks := lad.FetchBatchBlocks(xs, k, 4)
+				for i, x := range xs {
+					rows := lad.Fetch(x, k)
+					blk := lad.FetchBlock(x, k)
+					if (blk == nil) != (rows == nil) || blk != blocks[i] {
+						t.Fatalf("shards=%d k=%d x=%v: block/row presence mismatch", shards, k, x)
+					}
+					if blk == nil {
+						continue
+					}
+					if blk.Rows() != len(rows) {
+						t.Fatalf("shards=%d k=%d x=%v: %d block rows vs %d samples", shards, k, x, blk.Rows(), len(rows))
+					}
+					for r, s := range rows {
+						if blk.Counts[r] != s.Count || !blk.Y.RowKeyEqualTuple(r, s.Y) {
+							t.Fatalf("shards=%d k=%d x=%v row %d diverges", shards, k, x, r)
+						}
+					}
+					half := blk.Prefix(blk.Rows() / 2)
+					if half.Rows() != blk.Rows()/2 {
+						t.Fatalf("prefix rows %d", half.Rows())
+					}
+				}
+			}
+		}
+	}
+}

@@ -68,6 +68,9 @@ type ladderGroup struct {
 	// levels[k] is the level-k fetch result, materialised once; the slices
 	// and their tuples are shared and must be treated as read-only.
 	levels [][]Sample
+	// blocks[k] is the columnar form of levels[k], materialised in the same
+	// pass and served by fetchBlock to the columnar executor path.
+	blocks []*LevelBlock
 	// resolutions[k] is the group's level-k per-attribute resolution (the
 	// max of Rep.MaxDist over the level), accumulated while materialising
 	// levels so ladder-level metadata refreshes never re-walk the trees.
@@ -137,6 +140,7 @@ func (g *ladderGroup) setTree(tree *kdtree.Tree) {
 		g.levels[k] = lvl
 		g.resolutions[k] = res
 	}
+	g.blocks = buildLevelBlocks(g.levels, attrs)
 }
 
 // fetch returns the group's level-k samples as a shared read-only view.

@@ -123,6 +123,7 @@ func RestoreLadder(db *relation.Database, snap LadderSnapshot, shards int) (*Lad
 			key:         gs.Key,
 			items:       gs.Items,
 			levels:      gs.Levels,
+			blocks:      buildLevelBlocks(gs.Levels, len(l.yAttrs)),
 			resolutions: gs.Resolutions,
 			distinct:    gs.Distinct,
 		})

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/fixture"
+	"repro/internal/query"
+)
+
+// TestColumnarScanMatchesRowScan is the tentpole differential guard of the
+// columnar execution layer: over the same 200-case randomized corpus as the
+// golden digest suite, systems partitioned 1 and 4 ways answering with the
+// columnar path (the default) must produce answers, η, exactness, budget
+// consumption and truncation byte-identical to the row-at-a-time reference
+// path selected per call via ExecOptions.NoColumnarScan. Block storage,
+// block-at-a-time predicate evaluation and the block hash join may only
+// change how an answer is computed, never what it is or what it costs
+// against α·|D| — including deterministic failures (the relaxed-join blowup
+// guard), which must surface identically on both paths. The golden digests
+// of TestExecutorMatchesStringKeyReference, recorded before the columnar
+// layer existed, pin the same equivalence against the historical executor.
+func TestColumnarScanMatchesRowScan(t *testing.T) {
+	const cases = 200
+	ctx := context.Background()
+	db := fixture.Example1(7, 120, 80)
+
+	type sys struct {
+		n int
+		s *Scheme
+	}
+	var systems []sys
+	for _, n := range []int{1, 4} {
+		as, err := fixture.SchemaA0Sharded(db, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, sys{n, NewWithOptions(db, as, Options{Workers: 4})})
+	}
+
+	g := corpus.NewGenerator(42)
+	alphas := []float64{0.01, 0.1, 0.6}
+	for ci := 0; ci < cases; ci++ {
+		q := g.Query()
+		alpha := alphas[ci%len(alphas)]
+		for _, sc := range systems {
+			rowAns, _, rowErr := sc.s.AnswerContext(ctx, q, ExecOptions{Alpha: alpha, NoColumnarScan: true})
+			colAns, _, colErr := sc.s.AnswerContext(ctx, q, ExecOptions{Alpha: alpha})
+			if (rowErr == nil) != (colErr == nil) {
+				t.Fatalf("case %d shards=%d: error mismatch: row %v, columnar %v\n%s",
+					ci, sc.n, rowErr, colErr, query.Render(q))
+			}
+			if rowErr != nil {
+				if rowErr.Error() != colErr.Error() {
+					t.Fatalf("case %d shards=%d: error text diverged: %q vs %q", ci, sc.n, rowErr, colErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(relKeys(rowAns.Rel), relKeys(colAns.Rel)) {
+				t.Fatalf("case %d shards=%d: answers diverged\n%s", ci, sc.n, query.Render(q))
+			}
+			if rowAns.Eta != colAns.Eta || rowAns.Exact != colAns.Exact {
+				t.Fatalf("case %d shards=%d: eta/exact diverged: (%v, %v) vs (%v, %v)",
+					ci, sc.n, rowAns.Eta, rowAns.Exact, colAns.Eta, colAns.Exact)
+			}
+			if rowAns.Stats.Accessed != colAns.Stats.Accessed || rowAns.Stats.Truncated != colAns.Stats.Truncated {
+				t.Fatalf("case %d shards=%d: budget consumption diverged: accessed %d/%v vs %d/%v\n%s",
+					ci, sc.n, rowAns.Stats.Accessed, rowAns.Stats.Truncated,
+					colAns.Stats.Accessed, colAns.Stats.Truncated, query.Render(q))
+			}
+		}
+	}
+}
+
+// TestColumnarScanEdgeShapes replays the deterministic edge-shape corpus
+// (results emptied by EXCEPT, single-tuple relations, 64+-wide duplicate
+// join keys) columnar against row over its adversarial database — the
+// shapes where a columnar gather or block hash join would plausibly diverge
+// first.
+func TestColumnarScanEdgeShapes(t *testing.T) {
+	ctx := context.Background()
+	db := corpus.EdgeDB()
+	for _, shards := range []int{1, 4} {
+		as, err := fixture.SchemaA0Sharded(db, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewWithOptions(db, as, Options{Workers: 4})
+		for ci, c := range corpus.EdgeCases() {
+			rowAns, _, rowErr := s.AnswerContext(ctx, c.Query, ExecOptions{Alpha: c.Alpha, NoColumnarScan: true})
+			colAns, _, colErr := s.AnswerContext(ctx, c.Query, ExecOptions{Alpha: c.Alpha})
+			if (rowErr == nil) != (colErr == nil) {
+				t.Fatalf("edge case %d shards=%d: error mismatch: row %v, columnar %v", ci, shards, rowErr, colErr)
+			}
+			if rowErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(relKeys(rowAns.Rel), relKeys(colAns.Rel)) {
+				t.Fatalf("edge case %d shards=%d: answers diverged\n%s", ci, shards, query.Render(c.Query))
+			}
+			if rowAns.Eta != colAns.Eta || rowAns.Stats.Accessed != colAns.Stats.Accessed ||
+				rowAns.Stats.Truncated != colAns.Stats.Truncated {
+				t.Fatalf("edge case %d shards=%d: eta/stats diverged", ci, shards)
+			}
+		}
+	}
+}
+
+// TestColumnarScanToggleWithParallelFetch drives both execution paths
+// through the scatter-gather fetch (multi-worker pool, lowered parallel-emit
+// gate) so the columnar prefetch accounting is exercised too, not just the
+// lazy per-X fetch.
+func TestColumnarScanToggleWithParallelFetch(t *testing.T) {
+	ctx := context.Background()
+	db := fixture.Example1(3, 90, 70)
+	as, err := fixture.SchemaA0Sharded(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithOptions(db, as, Options{Workers: 8, PlanCacheSize: -1})
+
+	g := corpus.NewGenerator(7)
+	for ci := 0; ci < 40; ci++ {
+		q := g.Query()
+		row := ExecOptions{Alpha: 0.2, MinParallelEmitRows: 4, NoColumnarScan: true}
+		col := ExecOptions{Alpha: 0.2, MinParallelEmitRows: 4}
+		rowAns, _, rowErr := s.AnswerContext(ctx, q, row)
+		colAns, _, colErr := s.AnswerContext(ctx, q, col)
+		if (rowErr == nil) != (colErr == nil) {
+			t.Fatalf("case %d: error mismatch: %v vs %v", ci, rowErr, colErr)
+		}
+		if rowErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(relKeys(rowAns.Rel), relKeys(colAns.Rel)) ||
+			rowAns.Stats.Accessed != colAns.Stats.Accessed {
+			t.Fatalf("case %d: toggle changed the answer\n%s", ci, query.Render(q))
+		}
+	}
+}

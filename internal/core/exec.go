@@ -152,6 +152,7 @@ func leafOpts(o ExecOptions, budget, fetchWorkers int) plan.ExecOpts {
 	if o.MinParallelEmitRows > 0 {
 		po.MinParallelEmitRows = o.MinParallelEmitRows
 	}
+	po.ColumnarScan = !o.NoColumnarScan
 	return po
 }
 

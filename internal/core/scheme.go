@@ -90,6 +90,11 @@ type ExecOptions struct {
 	// MinParallelEmitRows overrides the chunked parallel-emit gate;
 	// 0 keeps plan.DefaultMinParallelEmitRows.
 	MinParallelEmitRows int
+	// NoColumnarScan disables the columnar execution path for this call,
+	// falling back to the row-at-a-time reference executor (answers and
+	// stats are identical — the knob exists for differential testing and
+	// apples-to-apples measurement).
+	NoColumnarScan bool
 	// BypassCache skips the plan cache entirely (no lookup, no insert).
 	BypassCache bool
 	// ExplainEta attaches the full bound-derivation trace (BoundTrace) to

@@ -1,0 +1,162 @@
+// Edge-shape corpus: deterministic adversarial cases at the corners the
+// randomized generator rarely hits — results emptied by EXCEPT (including
+// groups that vanish before an aggregate), relations holding a single
+// tuple, and join keys that fan out 64+ ways on both sides. The columnar
+// executor's differential suite and the η-audit sweep both replay them, so
+// the corners are pinned against the row-path reference AND the accuracy
+// contract.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/fixture"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// EdgeWideKeyRows is the fan-out of the duplicate-join-key shape in EdgeDB:
+// the friend relation holds this many tuples with the same pid, so an
+// equality join through that key multiplies combinations at least 64 wide.
+const EdgeWideKeyRows = 96
+
+// EdgeDB builds the Example 1 schema with adversarial contents (independent
+// of the randomized fixture sizes):
+//
+//   - person holds a single tuple — every plan over it fetches a
+//     one-sample level and every join against it is 1-vs-many;
+//   - friend holds EdgeWideKeyRows tuples sharing pid 1 (plus a handful of
+//     distinct keys), so joins on pid hit one 64+-wide duplicate key;
+//   - poi concentrates every point of interest in one city at two types,
+//     giving EXCEPT pairs whose right side fully covers the left.
+func EdgeDB() *relation.Database {
+	db := fixture.Example1Schema()
+	person := db.MustRelation("person")
+	friend := db.MustRelation("friend")
+	poi := db.MustRelation("poi")
+
+	person.MustAppend(relation.Tuple{relation.Int(1), relation.String("NYC")})
+
+	for i := 0; i < EdgeWideKeyRows; i++ {
+		friend.MustAppend(relation.Tuple{
+			relation.Int(1),
+			relation.Int(int64(i % 12)),
+		})
+	}
+	for i := 0; i < 8; i++ {
+		friend.MustAppend(relation.Tuple{
+			relation.Int(int64(2 + i)),
+			relation.Int(1),
+		})
+	}
+
+	for i := 0; i < 48; i++ {
+		typ := "hotel"
+		if i%2 == 1 {
+			typ = "bar"
+		}
+		poi.MustAppend(relation.Tuple{
+			relation.String(fmt.Sprintf("addr%d", i)),
+			relation.String(typ),
+			relation.String("NYC"),
+			relation.Float(20 + float64(i)*7.5),
+		})
+	}
+	return db
+}
+
+// EdgeCases returns the deterministic edge-shape corpus over EdgeDB, each
+// case paired with an alpha from the canonical rotation.
+func EdgeCases() []Case {
+	hotels := func(alias string) *query.SPC {
+		return &query.SPC{
+			Atoms:  []query.Atom{{Rel: "poi", Alias: alias}},
+			Preds:  []query.Pred{query.EqC(query.C(alias, "type"), relation.String("hotel"))},
+			Output: []query.Col{query.C(alias, "city"), query.C(alias, "price")},
+		}
+	}
+	anyPOI := func(alias string) *query.SPC {
+		return &query.SPC{
+			Atoms:  []query.Atom{{Rel: "poi", Alias: alias}},
+			Output: []query.Col{query.C(alias, "city"), query.C(alias, "price")},
+		}
+	}
+	// wideJoin fans one person tuple out through the 96-wide pid key.
+	wideJoin := &query.SPC{
+		Atoms: []query.Atom{
+			{Rel: "person", Alias: "p"},
+			{Rel: "friend", Alias: "f"},
+		},
+		Preds: []query.Pred{
+			query.EqJ(query.C("p", "pid"), query.C("f", "pid")),
+		},
+		Output: []query.Col{query.C("p", "city"), query.C("f", "fid")},
+	}
+	// doubleWide squares the duplicate key: friend ⋈ friend on pid, both
+	// sides 96 wide.
+	doubleWide := &query.SPC{
+		Atoms: []query.Atom{
+			{Rel: "friend", Alias: "a"},
+			{Rel: "friend", Alias: "b"},
+		},
+		Preds: []query.Pred{
+			query.EqJ(query.C("a", "pid"), query.C("b", "pid")),
+			query.EqC(query.C("a", "fid"), relation.Int(3)),
+		},
+		Output: []query.Col{query.C("b", "fid")},
+	}
+	// singleTuple pins the one-row relation alone and joined.
+	singleTuple := &query.SPC{
+		Atoms:  []query.Atom{{Rel: "person", Alias: "p"}},
+		Preds:  []query.Pred{query.EqC(query.C("p", "pid"), relation.Int(1))},
+		Output: []query.Col{query.C("p", "city")},
+	}
+	// noSuchCity selects nothing: its groups are empty before any EXCEPT.
+	noSuchCity := &query.SPC{
+		Atoms:  []query.Atom{{Rel: "poi", Alias: "m"}},
+		Preds:  []query.Pred{query.EqC(query.C("m", "city"), relation.String("Atlantis"))},
+		Output: []query.Col{query.C("m", "city"), query.C("m", "price")},
+	}
+
+	cases := []Case{
+		// EXCEPT of a query with itself: every group empties.
+		{Query: &query.Diff{L: hotels("h"), R: hotels("h2")}, Alpha: 0.1},
+		// EXCEPT whose right side strictly covers the left (hotel ⊂ any).
+		{Query: &query.Diff{L: hotels("h"), R: anyPOI("g")}, Alpha: 0.6},
+		// Aggregate over groups emptied by EXCEPT.
+		{Query: &query.GroupBy{
+			In:   &query.Diff{L: hotels("h"), R: anyPOI("g")},
+			Keys: []query.Col{query.C("h", "city")},
+			Agg:  query.AggAvg,
+			On:   query.C("h", "price"),
+			As:   "avg_price",
+		}, Alpha: 0.1},
+		// Aggregate over a selection that was empty to begin with.
+		{Query: &query.GroupBy{
+			In:   noSuchCity,
+			Keys: []query.Col{query.C("m", "city")},
+			Agg:  query.AggCount,
+			On:   query.C("m", "price"),
+			As:   "n",
+		}, Alpha: 0.01},
+		// Single-tuple relation, alone, unioned and differenced.
+		{Query: singleTuple, Alpha: 0.01},
+		{Query: &query.Union{L: singleTuple, R: &query.SPC{
+			Atoms:  []query.Atom{{Rel: "person", Alias: "q"}},
+			Preds:  []query.Pred{query.EqC(query.C("q", "pid"), relation.Int(99))},
+			Output: []query.Col{query.C("q", "city")},
+		}}, Alpha: 0.1},
+		// Duplicate-key joins, 96 wide one-sided and squared.
+		{Query: wideJoin, Alpha: 0.6},
+		{Query: doubleWide, Alpha: 0.1},
+		// Aggregate across the wide join.
+		{Query: &query.GroupBy{
+			In:   wideJoin,
+			Keys: []query.Col{query.C("p", "city")},
+			Agg:  query.AggCount,
+			On:   query.C("f", "fid"),
+			As:   "n",
+		}, Alpha: 0.6},
+	}
+	return cases
+}

@@ -31,8 +31,9 @@ import (
 // runnable; start from DefaultConfig or ShortConfig.
 type Config struct {
 	// Datasets selects the sweeps to run, in order: "corpus" (the
-	// 200-case randomized corpus over the Example 1 fixture), "tpch" and
-	// "tfacc" (generated workloads over the synthetic datasets).
+	// 200-case randomized corpus over the Example 1 fixture), "edge" (the
+	// deterministic edge-shape corpus over its adversarial database), and
+	// "tpch" / "tfacc" (generated workloads over the synthetic datasets).
 	Datasets []string
 	// Alphas is the resource-ratio grid every query is answered at.
 	Alphas []float64
@@ -64,7 +65,7 @@ type Config struct {
 // the historical soundness tests, so the sweep subsumes them.
 func DefaultConfig() Config {
 	return Config{
-		Datasets:        []string{"corpus", "tpch", "tfacc"},
+		Datasets:        []string{"corpus", "edge", "tpch", "tfacc"},
 		Alphas:          []float64{0.01, 0.05, 0.3},
 		CorpusSeed:      corpus.DefaultSeed,
 		CorpusCases:     corpus.DefaultCases,
@@ -84,7 +85,7 @@ func DefaultConfig() Config {
 // full audit's coverage.
 func ShortConfig() Config {
 	cfg := DefaultConfig()
-	cfg.Datasets = []string{"corpus", "tpch"}
+	cfg.Datasets = []string{"corpus", "edge", "tpch"}
 	cfg.Alphas = []float64{0.01, 0.3}
 	cfg.CorpusCases = 50
 	cfg.WorkloadQueries = 6
@@ -167,6 +168,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		switch name {
 		case "corpus":
 			sw, err = runCorpus(ctx, cfg, rep)
+		case "edge":
+			sw, err = runEdge(ctx, cfg, rep)
 		case "tpch", "tfacc":
 			sw, err = runWorkload(ctx, cfg, rep, name)
 		default:
@@ -196,6 +199,34 @@ func runCorpus(ctx context.Context, cfg Config, rep *Report) (Sweep, error) {
 			continue
 		}
 		checked, skipped, err := auditQuery(ctx, cfg, rep, s, "corpus", ci, c.Query)
+		if err != nil {
+			return Sweep{}, err
+		}
+		sw.Queries++
+		sw.Checked += checked
+		sw.Skipped += skipped
+	}
+	sw.Elapsed = time.Since(start)
+	return sw, nil
+}
+
+// runEdge audits the deterministic edge-shape corpus (results emptied by
+// EXCEPT, single-tuple relations, 64+-wide duplicate join keys) over its
+// adversarial Example 1 instance.
+func runEdge(ctx context.Context, cfg Config, rep *Report) (Sweep, error) {
+	start := time.Now()
+	db := corpus.EdgeDB()
+	as, err := fixture.SchemaA0(db)
+	if err != nil {
+		return Sweep{}, fmt.Errorf("etaaudit: edge fixture: %w", err)
+	}
+	s := core.New(db, as)
+	sw := Sweep{Dataset: "edge"}
+	for ci, c := range corpus.EdgeCases() {
+		if skipCase(cfg, "edge", ci) {
+			continue
+		}
+		checked, skipped, err := auditQuery(ctx, cfg, rep, s, "edge", ci, c.Query)
 		if err != nil {
 			return Sweep{}, err
 		}

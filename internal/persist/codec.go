@@ -36,6 +36,16 @@ import (
 // a ladder is canonical (sorted by X-key), so encoding the same state twice
 // yields identical bytes.
 //
+// Version 2 stores bulk tuple data — relation contents and explicit ladder
+// item lists — column-wise via the relation block codec (one typed payload
+// stream per attribute, dictionary-coded strings, validity bitmaps) instead
+// of row-at-a-time value records: snapshots shrink (categorical attributes
+// collapse into a dictionary plus small indexes) and a warm start decodes
+// flat arrays instead of one tagged value at a time. Version 1 files decode
+// unchanged through the retained row-format reader; writers always emit
+// version 2. Values round-trip kind-exact through blocks, so the derivable()
+// spelling check and byte-identical warm-start answers are unaffected.
+//
 // Two references keep the warm path linear instead of re-decoding the same
 // tuples repeatedly, mirroring the sharing the in-memory structures already
 // have:
@@ -60,8 +70,13 @@ const SnapshotFile = "snapshot.beas"
 // format version. Readers reject any other version.
 var snapshotMagic = [8]byte{'B', 'E', 'A', 'S', 'S', 'N', 'A', 'P'}
 
-// snapshotVersion is the current snapshot format version.
-const snapshotVersion = 1
+// snapshotVersion is the current snapshot format version, written by every
+// encode; snapshotVersionV1 is the legacy row-format version the reader
+// still accepts.
+const (
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1
+)
 
 // headerLen is the fixed byte length of the snapshot file header.
 const headerLen = 8 + 4 + 8 + 4
@@ -220,6 +235,11 @@ func (e *encoder) strings(ss []string) {
 	}
 }
 
+// block appends a tuple list in the columnar block encoding (v2 bulk form).
+func (e *encoder) block(width int, tuples []relation.Tuple) {
+	e.buf = relation.AppendBlock(e.buf, relation.BlockOfTuples(width, tuples))
+}
+
 // ladderRel finds the ladder's relation inside the snapshot (the codec is
 // closed over its own payload — it never consults the live database).
 func (s *snapshot) ladderRel(name string) *relSnapshot {
@@ -280,10 +300,7 @@ func encodeSnapshot(s *snapshot) ([]byte, error) {
 	for _, r := range s.relations {
 		e.string(r.name)
 		e.strings(r.attrs)
-		e.uvarint(uint64(len(r.tuples)))
-		for _, t := range r.tuples {
-			e.tuple(t)
-		}
+		e.block(len(r.attrs), r.tuples)
 	}
 	e.uvarint(uint64(len(s.ladders)))
 	for li := range s.ladders {
@@ -301,12 +318,19 @@ func encodeSnapshot(s *snapshot) ([]byte, error) {
 		for gi := range l.Groups {
 			g := &l.Groups[gi]
 			e.tuple(g.Key)
-			e.uvarint(uint64(len(g.Items)))
 			if mode == itemsExplicit {
+				// Explicit items ride in a columnar block (the row count is
+				// the block's own) followed by the per-item counts.
+				itemTuples := make([]relation.Tuple, len(g.Items))
+				for i, it := range g.Items {
+					itemTuples[i] = it.Tuple
+				}
+				e.block(len(l.Y), itemTuples)
 				for _, it := range g.Items {
-					e.tuple(it.Tuple)
 					e.uvarint(uint64(it.Count))
 				}
+			} else {
+				e.uvarint(uint64(len(g.Items)))
 			}
 			e.uvarint(uint64(g.Distinct))
 			// Level-view samples reference their tuples as first-key-equal
@@ -368,6 +392,9 @@ type decoder struct {
 	data []byte
 	off  int
 	path string
+	// version is the file format version being decoded; bulk tuple data is
+	// row-encoded at snapshotVersionV1 and block-encoded from version 2 on.
+	version int
 
 	valArena   []relation.Value
 	floatArena []float64
@@ -547,6 +574,17 @@ func (d *decoder) tuple() (relation.Tuple, error) {
 	return t, nil
 }
 
+// block decodes one columnar block (v2 bulk form), translating the codec's
+// typed corruption error into this file's *CorruptError.
+func (d *decoder) block() (*relation.Block, error) {
+	b, next, err := relation.DecodeBlock(d.data, d.off)
+	if err != nil {
+		return nil, corruptf(d.path, "%v", err)
+	}
+	d.off = next
+	return b, nil
+}
+
 func (d *decoder) strings() ([]string, error) {
 	n, err := d.count(1)
 	if err != nil {
@@ -610,10 +648,11 @@ func (d *decoder) deriveItems(rel *relSnapshot, l *access.LadderSnapshot, wantIt
 	return nil
 }
 
-// decodeSnapshot parses payload bytes (header already stripped and
-// checksum-verified). path is used for error reporting only.
-func decodeSnapshot(path string, payload []byte) (*snapshot, error) {
-	d := &decoder{data: payload, path: path}
+// decodeSnapshot parses payload bytes of the given format version (header
+// already stripped and checksum-verified). path is used for error reporting
+// only.
+func decodeSnapshot(path string, payload []byte, version int) (*snapshot, error) {
+	d := &decoder{data: payload, path: path, version: version}
 	s := &snapshot{}
 	var err error
 	if s.appliedSeq, err = d.uvarint(); err != nil {
@@ -632,6 +671,17 @@ func decodeSnapshot(path string, payload []byte) (*snapshot, error) {
 		}
 		if r.attrs, err = d.strings(); err != nil {
 			return nil, err
+		}
+		if d.version >= 2 {
+			blk, err := d.block()
+			if err != nil {
+				return nil, err
+			}
+			if blk.Width() != len(r.attrs) {
+				return nil, d.fail("relation %s block width %d != %d attributes", r.name, blk.Width(), len(r.attrs))
+			}
+			r.tuples = blk.Tuples()
+			continue
 		}
 		nT, err := d.count(1)
 		if err != nil {
@@ -700,7 +750,27 @@ func decodeSnapshot(path string, payload []byte) (*snapshot, error) {
 			if g.Key, err = d.tuple(); err != nil {
 				return nil, err
 			}
-			if mode == itemsExplicit {
+			if mode == itemsExplicit && d.version >= 2 {
+				blk, err := d.block()
+				if err != nil {
+					return nil, err
+				}
+				if blk.Width() != len(l.Y) {
+					return nil, d.fail("ladder %s group %v item block width %d != %d", l.RelName, g.Key, blk.Width(), len(l.Y))
+				}
+				nItems := blk.Rows()
+				tuples := blk.Tuples()
+				g.Items = make([]kdtree.Item, nItems)
+				for j := range g.Items {
+					g.Items[j].Tuple = tuples[j]
+					c, err := d.count(0)
+					if err != nil {
+						return nil, err
+					}
+					g.Items[j].Count = c
+				}
+				wantItems[gi] = nItems
+			} else if mode == itemsExplicit {
 				nItems, err := d.count(2)
 				if err != nil {
 					return nil, err
@@ -806,7 +876,7 @@ func decodeSnapshotFile(path string, data []byte) (*snapshot, error) {
 		return nil, corruptf(path, "bad magic %q", data[:8])
 	}
 	version := binary.LittleEndian.Uint32(data[8:12])
-	if version != snapshotVersion {
+	if version != snapshotVersion && version != snapshotVersionV1 {
 		return nil, corruptf(path, "unsupported snapshot version %d", version)
 	}
 	plen := binary.LittleEndian.Uint64(data[12:20])
@@ -818,7 +888,7 @@ func decodeSnapshotFile(path string, data []byte) (*snapshot, error) {
 	if crc32.ChecksumIEEE(payload) != sum {
 		return nil, corruptf(path, "payload checksum mismatch")
 	}
-	return decodeSnapshot(path, payload)
+	return decodeSnapshot(path, payload, int(version))
 }
 
 // --- snapshot capture and restore ----------------------------------------

@@ -1,0 +1,740 @@
+// Columnar execution path (ExecOpts.ColumnarScan).
+//
+// The row path (plan.go) materialises one []Value tuple per fetched sample
+// during ξF and another per surviving join combination during ξE — the
+// allocation profile that dominates hot-path CPU. This file keeps fetched
+// data columnar end to end: fetch steps append the ladder's per-level
+// columnar blocks (access.LevelBlock) into per-atom output blocks one
+// column at a time, predicates and hash-join keys are evaluated
+// block-at-a-time over the flat typed columns, and rows are materialised
+// exactly once, at the answer boundary.
+//
+// Equivalence with the row path is load-bearing and deliberate:
+//
+//   - Fetch enumeration, the per-X fetch cache, budget accounting and the
+//     truncation point replicate applyStep's order exactly, so
+//     Stats.Accessed and Stats.Truncated are byte-identical.
+//   - Block row hashing folds the same canonical encoding as Tuple.Hash,
+//     and bucket lists preserve build-side insertion order, so hash joins
+//     match and emit the same pairs in the same order as the TupleMap join.
+//   - Predicate evaluation calls the same RelaxedHolds/Holds methods on
+//     Values reconstructed (allocation-free) from the columns, with the
+//     same exact-vs-relaxed classification.
+//
+// Executions the precompiled evaluator cannot serve (budget truncation
+// left an atom with a partial schema, or the plan has no static eval
+// layout) materialise the fetched blocks into FetchedAtoms and run the
+// dynamic reference evaluator — the same fallback the row path takes.
+// TestColumnarScanMatchesRowScan replays the full corpus both ways.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/chase"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// blockAtom is the columnar analogue of FetchedAtom: the data fetched for
+// one atom as a column-wise block with per-row count weights.
+type blockAtom struct {
+	alias   string
+	schema  *relation.Schema
+	block   *relation.Block
+	weights []int
+}
+
+// executeColumnar runs the full plan on the columnar path: block fetch,
+// then block-at-a-time evaluation (or the dynamic reference evaluator over
+// materialised rows when the precompiled layout cannot serve this run).
+func executeColumnar(ctx context.Context, p *Bounded, db *relation.Database, o ExecOpts) (*Result, error) {
+	lay, err := p.layoutFor(db)
+	if err != nil {
+		return nil, err
+	}
+	atoms, stats, err := executeFetchBlocks(ctx, p, lay, o)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	if lay.eval != nil && blocksComplete(lay, atoms) {
+		res, err = evaluateColumnar(ctx, p, lay, atoms)
+	} else {
+		res, err = evaluateDynamic(ctx, p, db, materializeAtoms(p, lay, atoms))
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = *stats
+	return res, nil
+}
+
+// blocksComplete mirrors layoutMatches: every atom carries its precompiled
+// final schema (pointer identity), so the precompiled evaluator applies.
+func blocksComplete(lay *planLayout, atoms []*blockAtom) bool {
+	for ai, ba := range atoms {
+		schema := lay.emptySchema[ai]
+		if ba != nil {
+			schema = ba.schema
+		}
+		if schema != lay.finalSchema[ai] {
+			return false
+		}
+	}
+	return true
+}
+
+// materializeAtoms converts fetched blocks into the row form the dynamic
+// reference evaluator consumes; never-fetched atoms become empty relations
+// over their used attributes, exactly as executeFetch leaves them.
+func materializeAtoms(p *Bounded, lay *planLayout, atoms []*blockAtom) []*FetchedAtom {
+	out := make([]*FetchedAtom, len(atoms))
+	for ai, ba := range atoms {
+		if ba == nil {
+			out[ai] = &FetchedAtom{
+				Alias: atomAlias(p, ai),
+				Rel:   relation.NewRelation(lay.emptySchema[ai]),
+			}
+			continue
+		}
+		rel := relation.NewRelation(ba.schema)
+		rel.Tuples = ba.block.Tuples()
+		out[ai] = &FetchedAtom{Alias: ba.alias, Rel: rel, Weights: ba.weights}
+	}
+	return out
+}
+
+// executeFetchBlocks runs ξF on the columnar path, mirroring executeFetch
+// step for step (level selection, budget accounting, truncation break).
+func executeFetchBlocks(ctx context.Context, p *Bounded, lay *planLayout, o ExecOpts) ([]*blockAtom, *Stats, error) {
+	stats := &Stats{}
+	atoms := make([]*blockAtom, len(p.Chase.Query.Atoms))
+	for si := range p.Chase.Steps {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		s := &p.Chase.Steps[si]
+		k := s.K
+		if !s.Pinned && p.Ks != nil {
+			k = p.Ks[si]
+		}
+		if err := applyStepBlocks(ctx, p, atoms, &lay.steps[si], s, si, k, o, stats); err != nil {
+			return nil, nil, err
+		}
+		if stats.Truncated {
+			break
+		}
+	}
+	return atoms, stats, nil
+}
+
+// assembleXBlock writes the step's ladder-order X tuple for enumeration row
+// ri of blk into dst, mirroring assembleX (ri < 0 means the virtual row of
+// a first fetch, which has no own columns).
+func assembleXBlock(sl *stepLayout, fill []relation.Value, blk *relation.Block, ri int, dst relation.Tuple) {
+	for xi, r := range sl.route {
+		switch r {
+		case xOwn:
+			dst[xi] = blk.Value(ri, sl.ownCol[xi])
+		case xConst:
+			dst[xi] = sl.consts[xi]
+		default:
+			dst[xi] = fill[xi]
+		}
+	}
+}
+
+// forEachEnumBlock enumerates a step's fetch enumeration over block rows —
+// existing rows (or one virtual row when blk is nil) × the cross product of
+// external valuations — in the same deterministic order as forEachEnum,
+// calling visit with the current row index (-1 when virtual) and weight.
+func forEachEnumBlock(blk *relation.Block, weights []int, extVals [][]relation.Tuple, sl *stepLayout, fill []relation.Value, visit func(ri, w int) bool) {
+	var walkExt func(gi, ri, w int) bool
+	walkExt = func(gi, ri, w int) bool {
+		if gi == len(sl.extGroups) {
+			return visit(ri, w)
+		}
+		for _, vt := range extVals[gi] {
+			for i, xi := range sl.extGroups[gi] {
+				fill[xi] = vt[i]
+			}
+			if !walkExt(gi+1, ri, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if blk == nil {
+		walkExt(0, -1, 1)
+		return
+	}
+	for ri := 0; ri < blk.Rows(); ri++ {
+		if !walkExt(0, ri, weights[ri]) {
+			return
+		}
+	}
+}
+
+// colFill says where one output column of a fetch step gets its values for
+// each enumeration visit: broadcast from the prefix row, broadcast from the
+// assembled X tuple, or bulk-appended from the fetched level's Y column.
+// Mirrors buildRow's write order (Y wins where X and Y share a column).
+type colFill struct {
+	prefixCol int
+	xPos      int
+	yCol      int
+}
+
+func buildColFills(sl *stepLayout, arity int) []colFill {
+	fills := make([]colFill, arity)
+	for p := range fills {
+		fills[p] = colFill{prefixCol: -1, xPos: -1, yCol: -1}
+		if p < sl.prefixArity {
+			fills[p].prefixCol = p
+		}
+	}
+	for xi, pos := range sl.outX {
+		if pos >= 0 {
+			fills[pos] = colFill{prefixCol: -1, xPos: xi, yCol: -1}
+		}
+	}
+	for yi, pos := range sl.outY {
+		if pos >= 0 {
+			fills[pos] = colFill{prefixCol: -1, xPos: -1, yCol: yi}
+		}
+	}
+	return fills
+}
+
+// applyStepBlocks runs one fetch operation on the columnar path: same
+// enumeration, fetch cache, budget accounting and truncation as applyStep,
+// but the output atom is built one column at a time — the fetched level's Y
+// columns are appended as ranges and the prefix/X values broadcast — so no
+// per-sample row tuple is ever allocated.
+func applyStepBlocks(ctx context.Context, p *Bounded, atoms []*blockAtom, sl *stepLayout, s *chase.Step, si, k int, o ExecOpts, stats *Stats) error {
+	ai := sl.atom
+	cur := atoms[ai]
+	budget, workers := o.Budget, o.Workers
+
+	// Materialise distinct joint valuations per external group, in the same
+	// first-seen row order as the row path.
+	extVals := make([][]relation.Tuple, len(sl.extGroups))
+	for gi := range sl.extGroups {
+		ba := atoms[sl.extSrcAtom[gi]]
+		if ba == nil {
+			return fmt.Errorf("plan: step %d reads atom %d before it was fetched", si, sl.extSrcAtom[gi])
+		}
+		idx := sl.extSrcCols[gi]
+		seen := relation.NewTupleSet(ba.block.Rows())
+		scratch := make(relation.Tuple, len(idx))
+		for ri := 0; ri < ba.block.Rows(); ri++ {
+			for i, ci := range idx {
+				scratch[i] = ba.block.Value(ri, ci)
+			}
+			if !seen.Has(scratch) {
+				pt := append(relation.Tuple(nil), scratch...)
+				seen.Add(pt)
+				extVals[gi] = append(extVals[gi], pt)
+			}
+		}
+	}
+
+	out := &blockAtom{
+		alias:  atomAlias(p, ai),
+		schema: sl.schema,
+		block:  relation.NewBlock(sl.schema.Arity()),
+	}
+	fills := buildColFills(sl, sl.schema.Arity())
+
+	// Fetch cache: one budget-accounted columnar level view per distinct
+	// X-value, truncated with a prefix view where the row path truncates
+	// its sample slice. The cached key tuple rides along so emission can
+	// broadcast X values without holding the reused scratch tuple.
+	cache := relation.NewTupleMap[cachedLevel](0)
+
+	// Same scatter-gather gate as the row path: results and accounting are
+	// identical either way, the batch just spreads index lookups.
+	enumCount := 1
+	if cur != nil {
+		enumCount = cur.block.Rows()
+	}
+	for gi := range extVals {
+		if enumCount >= o.MinParallelEmitRows {
+			break
+		}
+		enumCount *= len(extVals[gi])
+	}
+	if workers > 1 && enumCount >= o.MinParallelEmitRows {
+		if err := prefetchStepBlocks(ctx, cur, extVals, sl, s, k, budget, stats, cache, workers); err != nil {
+			return err
+		}
+	}
+
+	// fetch resolves one X-value with budget accounting; identical charge
+	// order and truncation point to the row path's fetch closure.
+	fetch := func(xt relation.Tuple) cachedLevel {
+		if got, ok := cache.Get(xt); ok {
+			return got
+		}
+		key := append(relation.Tuple(nil), xt...)
+		got := cachedLevel{key: key}
+		if stats.Truncated {
+			cache.Put(key, got)
+			return got
+		}
+		lvl := s.Ladder.FetchBlock(xt, k)
+		n := 0
+		if lvl != nil {
+			n = lvl.Rows()
+		}
+		if stats.Accessed+n > budget {
+			room := budget - stats.Accessed
+			if room < 0 {
+				room = 0
+			}
+			lvl = lvl.Prefix(room)
+			n = room
+			stats.Truncated = true
+		}
+		stats.Accessed += n
+		got.lvl = lvl
+		cache.Put(key, got)
+		return got
+	}
+
+	// First pass: enumerate, fetch and budget-account every level in order,
+	// remembering the non-empty emissions and their total row count.
+	fill := make([]relation.Value, len(sl.route))
+	xt := make(relation.Tuple, len(sl.route))
+	visited := 0
+	var curBlk *relation.Block
+	var curW []int
+	if cur != nil {
+		curBlk, curW = cur.block, cur.weights
+	}
+	var emits []stepEmit
+	total := 0
+	forEachEnumBlock(curBlk, curW, extVals, sl, fill, func(ri, w int) bool {
+		if visited++; visited%cancelStride == 0 && ctx.Err() != nil {
+			return false
+		}
+		assembleXBlock(sl, fill, curBlk, ri, xt)
+		got := fetch(xt)
+		if got.lvl == nil || got.lvl.Rows() == 0 {
+			return true
+		}
+		emits = append(emits, stepEmit{lvl: got.lvl, key: got.key, ri: ri, w: w})
+		total += got.lvl.Rows()
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Second pass: build the output block column-wise with the total known.
+	// A step that emits exactly one level (every first fetch, and any step
+	// with one surviving X-value) serves that level's Y columns zero-copy as
+	// column views; multi-emit steps reserve each column's full capacity
+	// once, then bulk-append.
+	if len(emits) == 1 {
+		e := emits[0]
+		n := e.lvl.Rows()
+		for p := range fills {
+			f := &fills[p]
+			switch {
+			case f.yCol >= 0:
+				out.block.SetColView(p, e.lvl.Y.Col(f.yCol))
+			case f.xPos >= 0:
+				out.block.Col(p).AppendRepeat(e.key[f.xPos], n)
+			default:
+				out.block.Col(p).AppendRepeat(curBlk.Value(e.ri, f.prefixCol), n)
+			}
+		}
+		out.block.AddRows(n)
+		out.weights = make([]int, n)
+		for i, c := range e.lvl.Counts {
+			out.weights[i] = e.w * c
+		}
+	} else if len(emits) > 0 {
+		first := emits[0]
+		for p := range fills {
+			f := &fills[p]
+			col := out.block.Col(p)
+			switch {
+			case f.yCol >= 0:
+				src := first.lvl.Y.Col(f.yCol)
+				if !src.Mixed() {
+					col.Reserve(src.Kind(), total)
+				}
+			case f.xPos >= 0:
+				col.Reserve(first.key[f.xPos].Kind(), total)
+			default:
+				col.Reserve(curBlk.Value(first.ri, f.prefixCol).Kind(), total)
+			}
+		}
+		out.weights = make([]int, 0, total)
+		for _, e := range emits {
+			n := e.lvl.Rows()
+			for p := range fills {
+				f := &fills[p]
+				col := out.block.Col(p)
+				switch {
+				case f.yCol >= 0:
+					col.AppendRange(e.lvl.Y.Col(f.yCol), 0, n)
+				case f.xPos >= 0:
+					col.AppendRepeat(e.key[f.xPos], n)
+				default:
+					col.AppendRepeat(curBlk.Value(e.ri, f.prefixCol), n)
+				}
+			}
+			out.block.AddRows(n)
+			for _, c := range e.lvl.Counts {
+				out.weights = append(out.weights, e.w*c)
+			}
+		}
+	}
+	atoms[ai] = out
+	return nil
+}
+
+// cachedLevel is one fetch-cache entry: the budget-truncated level view (nil
+// for missing groups or post-truncation fetches) and the owned copy of its
+// X-key, which emission broadcasts into output columns.
+type cachedLevel struct {
+	lvl *access.LevelBlock
+	key relation.Tuple
+}
+
+// stepEmit is one non-empty emission of a fetch step: the level to append,
+// the X-key to broadcast, and the enumeration row/weight it extends.
+type stepEmit struct {
+	lvl *access.LevelBlock
+	key relation.Tuple
+	ri  int
+	w   int
+}
+
+// prefetchStepBlocks is prefetchStep on the columnar path: collect the
+// distinct X-values in first-seen enumeration order, resolve them with one
+// scatter-gather batch of level blocks, and budget-account sequentially in
+// exactly that order — the same tuples the lazy path would charge,
+// truncated (as a block prefix view) at the same point.
+func prefetchStepBlocks(ctx context.Context, cur *blockAtom, extVals [][]relation.Tuple, sl *stepLayout, s *chase.Step, k, budget int, stats *Stats, cache *relation.TupleMap[cachedLevel], workers int) error {
+	fill := make([]relation.Value, len(sl.route))
+	scratch := make(relation.Tuple, len(sl.route))
+	seen := relation.NewTupleSet(0)
+	var xs []relation.Tuple
+	visited := 0
+	var curBlk *relation.Block
+	var curW []int
+	if cur != nil {
+		curBlk, curW = cur.block, cur.weights
+	}
+	forEachEnumBlock(curBlk, curW, extVals, sl, fill, func(ri, w int) bool {
+		if visited++; visited%cancelStride == 0 && ctx.Err() != nil {
+			return false
+		}
+		assembleXBlock(sl, fill, curBlk, ri, scratch)
+		if seen.Has(scratch) {
+			return true
+		}
+		xt := append(relation.Tuple(nil), scratch...)
+		seen.Add(xt)
+		xs = append(xs, xt)
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	raw := s.Ladder.FetchBatchBlocks(xs, k, workers)
+
+	for i, xt := range xs {
+		lvl := raw[i]
+		if stats.Truncated {
+			cache.Put(xt, cachedLevel{key: xt})
+			continue
+		}
+		n := 0
+		if lvl != nil {
+			n = lvl.Rows()
+		}
+		if stats.Accessed+n > budget {
+			room := budget - stats.Accessed
+			if room < 0 {
+				room = 0
+			}
+			lvl = lvl.Prefix(room)
+			n = room
+			stats.Truncated = true
+		}
+		stats.Accessed += n
+		cache.Put(xt, cachedLevel{lvl: lvl, key: xt})
+	}
+	return nil
+}
+
+// evaluateColumnar is the precompiled evaluation path over blocks: constant
+// selections produce surviving index lists, joins hash block rows directly
+// and gather matched pairs column-wise, and the final projection is the
+// only place rows are materialised. Classification of exact vs relaxed
+// predicates, evaluation order and emission order replicate evaluateFast.
+func evaluateColumnar(ctx context.Context, p *Bounded, lay *planLayout, atoms []*blockAtom) (*Result, error) {
+	q := p.Chase.Query
+	ev := lay.eval
+	resOf := func(ai int, attr string) float64 {
+		return p.Chase.ResolutionOf(ai, attr, p.Ks)
+	}
+
+	// env is the joined environment so far; envW its per-row weights. env
+	// may alias an atom's fetched block (read-only) until the first join
+	// replaces it with a freshly gathered block.
+	var env *relation.Block
+	var envW []int
+
+	for ai := range q.Atoms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ba := atoms[ai]
+		blk := ba.block
+		ws := ba.weights
+
+		// Relaxed constant selection, hoisted like the row path; the
+		// surviving rows become an index list instead of a tuple slice.
+		// sel == nil means every row survives (no active selections).
+		type activeSel struct {
+			col  int
+			tol  float64
+			dist relation.Distance
+			pred query.Pred
+		}
+		var active []activeSel
+		for _, cs := range ev.constSels[ai] {
+			r := resOf(ai, cs.pred.Left.Attr)
+			if math.IsInf(r, 1) {
+				continue
+			}
+			active = append(active, activeSel{col: cs.col, tol: r, dist: cs.dist, pred: cs.pred})
+		}
+		var sel []int32
+		selAll := len(active) == 0
+		if !selAll {
+			for ri := 0; ri < blk.Rows(); ri++ {
+				ok := true
+				for _, cs := range active {
+					if !cs.pred.RelaxedHolds(cs.dist, blk.Value(ri, cs.col), relation.Null(), cs.tol) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					sel = append(sel, int32(ri))
+				}
+			}
+			if len(sel) == blk.Rows() {
+				// Every row survived: drop the index list so downstream
+				// stages take the zero-copy all-rows path.
+				selAll, sel = true, nil
+			}
+		}
+		nSel := len(sel)
+		if selAll {
+			nSel = blk.Rows()
+		}
+		// selRow maps a filtered position to its block row.
+		selRow := func(fi int) int {
+			if selAll {
+				return fi
+			}
+			return int(sel[fi])
+		}
+
+		if ai == 0 {
+			if selAll {
+				// Nothing filtered: serve the fetched block directly
+				// (read-only) — the common single-atom fast path.
+				env, envW = blk, ws
+				continue
+			}
+			env = relation.NewBlock(blk.Width())
+			for j := 0; j < blk.Width(); j++ {
+				env.Col(j).AppendIndexes(blk.Col(j), sel)
+			}
+			env.AddRows(len(sel))
+			envW = make([]int, len(sel))
+			for i, ri := range sel {
+				envW[i] = ws[ri]
+			}
+			continue
+		}
+
+		// Classify connecting join predicates exactly as evaluateFast: +inf
+		// tolerance means unbounded resolution, enforced exactly.
+		type activeJoin struct {
+			j     *joinSel
+			tol   float64
+			exact bool
+		}
+		var exactEq []*joinSel
+		var relaxed []activeJoin
+		for _, ji := range ev.connecting[ai] {
+			j := &ev.joins[ji]
+			tol := (resOf(j.lAtom, j.pred.Left.Attr) + resOf(j.rAtom, j.pred.Right.Attr)) / 2
+			bothNew := j.lAtom == ai && j.rAtom == ai
+			if j.pred.Op == query.OpEq && (tol == 0 || math.IsInf(tol, 1)) && !bothNew {
+				exactEq = append(exactEq, j)
+			} else {
+				relaxed = append(relaxed, activeJoin{j: j, tol: tol, exact: math.IsInf(tol, 1)})
+			}
+		}
+
+		valOf := func(side int, j *joinSel, ei, ri int) relation.Value {
+			a, c := j.lAtom, j.lCol
+			if side == 1 {
+				a, c = j.rAtom, j.rCol
+			}
+			if a == ai {
+				return blk.Value(ri, c)
+			}
+			return env.Value(ei, ev.envOffset[a]+c)
+		}
+
+		// Match phase: collect surviving (env row, atom row) pairs in the
+		// row path's emission order, then gather them column-wise. Seed
+		// capacity at the environment's row count — joins in α-bounded plans
+		// rarely shrink the environment by much more than they grow it.
+		capHint := env.Rows()
+		eIdx := make([]int32, 0, capHint)
+		aIdx := make([]int32, 0, capHint)
+		joinedW := make([]int, 0, capHint)
+		match := func(ei, ri int) {
+			for _, aj := range relaxed {
+				lv := valOf(0, aj.j, ei, ri)
+				rv := valOf(1, aj.j, ei, ri)
+				if aj.exact {
+					if !aj.j.pred.Holds(lv, rv) {
+						return
+					}
+					continue
+				}
+				if !aj.j.pred.RelaxedHolds(aj.j.lDist, lv, rv, aj.tol) {
+					return
+				}
+			}
+			eIdx = append(eIdx, int32(ei))
+			aIdx = append(aIdx, int32(ri))
+			joinedW = append(joinedW, envW[ei]*ws[ri])
+		}
+
+		if len(exactEq) > 0 {
+			// Hash join on the exact-equality keys, block-at-a-time: build
+			// rows are bucketed by the hash of their key projection (the
+			// same canonical fold as Tuple.Hash) in filtered order; probes
+			// verify per candidate with canonical key equality, so matches
+			// and their order are exactly the TupleMap join's.
+			atomKeyIdx := make([]int, len(exactEq))
+			envKeyIdx := make([]int, len(exactEq))
+			for i, j := range exactEq {
+				if j.lAtom == ai {
+					atomKeyIdx[i] = j.lCol
+					envKeyIdx[i] = ev.envOffset[j.rAtom] + j.rCol
+				} else {
+					atomKeyIdx[i] = j.rCol
+					envKeyIdx[i] = ev.envOffset[j.lAtom] + j.lCol
+				}
+			}
+			ht := make(map[uint64][]int32, nSel)
+			for fi := 0; fi < nSel; fi++ {
+				ri := selRow(fi)
+				h := blk.HashCols(ri, atomKeyIdx)
+				ht[h] = append(ht[h], int32(ri))
+			}
+			for ei := 0; ei < env.Rows(); ei++ {
+				h := env.HashCols(ei, envKeyIdx)
+				for _, ri := range ht[h] {
+					if env.ColsKeyEqual(ei, envKeyIdx, blk, int(ri), atomKeyIdx) {
+						match(ei, int(ri))
+					}
+				}
+			}
+		} else {
+			if env.Rows()*nSel > query.MaxIntermediate {
+				return nil, fmt.Errorf("plan: relaxed join of %d x %d rows exceeds limit", env.Rows(), nSel)
+			}
+			for ei := 0; ei < env.Rows(); ei++ {
+				for fi := 0; fi < nSel; fi++ {
+					match(ei, selRow(fi))
+				}
+			}
+		}
+
+		// Gather phase: one AppendIndexes per column builds the new
+		// environment without materialising any row.
+		prevWidth := ev.envOffset[ai]
+		next := relation.NewBlock(prevWidth + blk.Width())
+		for j := 0; j < prevWidth; j++ {
+			next.Col(j).AppendIndexes(env.Col(j), eIdx)
+		}
+		for j := 0; j < blk.Width(); j++ {
+			next.Col(prevWidth + j).AppendIndexes(blk.Col(j), aIdx)
+		}
+		next.AddRows(len(eIdx))
+		env, envW = next, joinedW
+	}
+
+	// Residual join predicates within the final environment.
+	for _, ji := range ev.residual {
+		j := &ev.joins[ji]
+		tol := (resOf(j.lAtom, j.pred.Left.Attr) + resOf(j.rAtom, j.pred.Right.Attr)) / 2
+		li := ev.envOffset[j.lAtom] + j.lCol
+		ri := ev.envOffset[j.rAtom] + j.rCol
+		var kept []int32
+		var keptW []int
+		for i := 0; i < env.Rows(); i++ {
+			ok := false
+			if math.IsInf(tol, 1) {
+				ok = j.pred.Holds(env.Value(i, li), env.Value(i, ri))
+			} else {
+				ok = j.pred.RelaxedHolds(j.lDist, env.Value(i, li), env.Value(i, ri), tol)
+			}
+			if ok {
+				kept = append(kept, int32(i))
+				keptW = append(keptW, envW[i])
+			}
+		}
+		if len(kept) == env.Rows() {
+			continue
+		}
+		next := relation.NewBlock(env.Width())
+		for j := 0; j < env.Width(); j++ {
+			next.Col(j).AppendIndexes(env.Col(j), kept)
+		}
+		next.AddRows(len(kept))
+		env, envW = next, keptW
+	}
+
+	// Project and materialise — the single row-building pass of the whole
+	// run, over one shared value arena.
+	res := &Result{Rel: relation.NewRelation(ev.outSchema)}
+	n := env.Rows()
+	if n == 0 {
+		return res, nil
+	}
+	width := len(ev.outIdx)
+	arena := make(relation.Tuple, 0, n*width)
+	res.Rel.Tuples = make([]relation.Tuple, 0, n)
+	res.Weights = append(res.Weights, envW...)
+	for i := 0; i < n; i++ {
+		start := len(arena)
+		for _, ci := range ev.outIdx {
+			arena = append(arena, env.Value(i, ci))
+		}
+		res.Rel.Tuples = append(res.Rel.Tuples, arena[start:len(arena):len(arena)])
+	}
+	return res, nil
+}

@@ -104,6 +104,14 @@ type ExecOpts struct {
 	// below this many existing rows the goroutine fan-out costs more than
 	// the row assembly it spreads. Output is identical at any value.
 	MinParallelEmitRows int
+	// ColumnarScan routes the run through the columnar executor (see
+	// colexec.go): fetched samples stay in the ladder's per-level columnar
+	// blocks, predicates and hash-join keys are evaluated block-at-a-time
+	// over flat typed columns, and rows are only materialised at the answer
+	// boundary. Answers, Stats and truncation are byte-identical to the row
+	// path (asserted by TestColumnarScanMatchesRowScan); false keeps the
+	// row-at-a-time reference path.
+	ColumnarScan bool
 }
 
 // DefaultMinParallelEmitRows is the default chunked-emit gate of
@@ -111,13 +119,14 @@ type ExecOpts struct {
 const DefaultMinParallelEmitRows = 64
 
 // DefaultExecOpts returns the executor defaults for one run: partition-aware
-// fetching on, the standard parallel-emit gate.
+// fetching on, the standard parallel-emit gate, columnar scan on.
 func DefaultExecOpts(budget, workers int) ExecOpts {
 	return ExecOpts{
 		Budget:              budget,
 		Workers:             workers,
 		PartitionAware:      true,
 		MinParallelEmitRows: DefaultMinParallelEmitRows,
+		ColumnarScan:        true,
 	}
 }
 
@@ -174,6 +183,9 @@ func ExecuteOpts(ctx context.Context, p *Bounded, db *relation.Database, o ExecO
 	}
 	if !o.PartitionAware || o.Workers < 1 {
 		o.Workers = 1
+	}
+	if o.ColumnarScan {
+		return executeColumnar(ctx, p, db, o)
 	}
 	atoms, stats, err := executeFetch(ctx, p, db, o)
 	if err != nil {

@@ -1,0 +1,202 @@
+// Block: a fixed-width batch of rows stored column-wise.
+//
+// Blocks are the unit the columnar execution path works in: ladder levels
+// materialise their samples' Y tuples as blocks, the executor appends
+// fetched blocks column-at-a-time, evaluates predicates and join keys over
+// the flat columns, and only materialises Tuples again at the answer
+// boundary. Row hashing and key equality over blocks fold exactly the same
+// canonical encoding as Tuple.Hash / Value.KeyEqual, so block-keyed hash
+// joins land in the same buckets as the row path's TupleMap.
+package relation
+
+// Block is a batch of rows of fixed width (arity), stored as one Column per
+// attribute. The zero Block is unusable; call NewBlock. Blocks returned by
+// Prefix are read-only views — never append to them.
+type Block struct {
+	cols []Column
+	rows int
+}
+
+// NewBlock returns an empty block of the given width.
+func NewBlock(width int) *Block {
+	return &Block{cols: make([]Column, width)}
+}
+
+// Width returns the number of columns.
+func (b *Block) Width() int { return len(b.cols) }
+
+// Rows returns the number of rows.
+func (b *Block) Rows() int { return b.rows }
+
+// Col returns column j. The pointer aliases the block's storage; appending
+// through it without going through the Block desynchronises the row count.
+func (b *Block) Col(j int) *Column { return &b.cols[j] }
+
+// AppendTuple appends one row. The tuple's arity must equal the block
+// width.
+func (b *Block) AppendTuple(t Tuple) {
+	if len(t) != len(b.cols) {
+		panic("relation: block width mismatch")
+	}
+	for j := range b.cols {
+		b.cols[j].Append(t[j])
+	}
+	b.rows++
+}
+
+// AppendRow appends row i of src, which must have the same width.
+func (b *Block) AppendRow(src *Block, i int) {
+	if len(src.cols) != len(b.cols) {
+		panic("relation: block width mismatch")
+	}
+	for j := range b.cols {
+		b.cols[j].Append(src.cols[j].Value(i))
+	}
+	b.rows++
+}
+
+// AppendBlockRange appends rows [lo, hi) of src column-wise; src must have
+// the same width.
+func (b *Block) AppendBlockRange(src *Block, lo, hi int) {
+	if len(src.cols) != len(b.cols) {
+		panic("relation: block width mismatch")
+	}
+	if lo >= hi {
+		return
+	}
+	for j := range b.cols {
+		b.cols[j].AppendRange(&src.cols[j], lo, hi)
+	}
+	b.rows += hi - lo
+}
+
+// AddRows records n rows appended column-wise through Col: callers that
+// bulk-append to every column directly (AppendRange/AppendRepeat/
+// AppendIndexes) must follow up with AddRows(n) to keep the row count in
+// step. It panics if any column's length disagrees with the new count —
+// catching a column that was skipped or double-appended at the call site
+// instead of corrupting downstream reads.
+func (b *Block) AddRows(n int) {
+	b.rows += n
+	for j := range b.cols {
+		if b.cols[j].Len() != b.rows {
+			panic("relation: column length out of step with block rows")
+		}
+	}
+}
+
+// SetColView installs a read-only view of src as column j, sharing src's
+// backing arrays instead of copying them (the executor uses this to serve a
+// whole fetched level as an output column zero-copy). The block becomes a
+// view itself: never append to column j afterwards, and account for src's
+// rows with AddRows as usual.
+func (b *Block) SetColView(j int, src *Column) {
+	b.cols[j] = *src
+}
+
+// Prefix returns a read-only view of the first n rows sharing the backing
+// arrays (the columnar analogue of samples[:n] budget truncation). n must
+// not exceed Rows.
+func (b *Block) Prefix(n int) *Block {
+	if n >= b.rows {
+		return b
+	}
+	cols := make([]Column, len(b.cols))
+	for j := range cols {
+		cols[j] = b.cols[j].prefix(n)
+	}
+	return &Block{cols: cols, rows: n}
+}
+
+// Value returns the value at row i, column j.
+func (b *Block) Value(i, j int) Value { return b.cols[j].Value(i) }
+
+// AppendRowTo appends row i's values to dst and returns the extended
+// slice, so callers can materialise rows into a shared []Value arena.
+func (b *Block) AppendRowTo(dst Tuple, i int) Tuple {
+	for j := range b.cols {
+		dst = append(dst, b.cols[j].Value(i))
+	}
+	return dst
+}
+
+// Tuple materialises row i as a freshly allocated Tuple.
+func (b *Block) Tuple(i int) Tuple {
+	return b.AppendRowTo(make(Tuple, 0, len(b.cols)), i)
+}
+
+// Tuples materialises every row, backed by one shared []Value arena (one
+// allocation for all rows' values plus one for the headers).
+func (b *Block) Tuples() []Tuple {
+	if b.rows == 0 {
+		return nil
+	}
+	arena := make(Tuple, 0, b.rows*len(b.cols))
+	out := make([]Tuple, b.rows)
+	for i := 0; i < b.rows; i++ {
+		start := len(arena)
+		arena = b.AppendRowTo(arena, i)
+		out[i] = arena[start:len(arena):len(arena)]
+	}
+	return out
+}
+
+// BlockOfTuples builds a block of the given width from rows; every tuple
+// must have arity width.
+func BlockOfTuples(width int, rows []Tuple) *Block {
+	b := NewBlock(width)
+	for _, t := range rows {
+		b.AppendTuple(t)
+	}
+	return b
+}
+
+// HashRow returns the FNV-1a hash of row i's canonical encoding — exactly
+// the value Tuple.Hash returns for the materialised row, so block-keyed
+// maps and TupleMap agree on buckets.
+func (b *Block) HashRow(i int) uint64 {
+	h := uint64(fnvOffset64)
+	for j := range b.cols {
+		h = b.cols[j].hashInto(i, h)
+		h = (h ^ 0x1f) * fnvPrime64
+	}
+	return h
+}
+
+// HashCols returns the hash of the projection of row i onto cols, equal to
+// Tuple.Hash of the projected row.
+func (b *Block) HashCols(i int, cols []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, j := range cols {
+		h = b.cols[j].hashInto(i, h)
+		h = (h ^ 0x1f) * fnvPrime64
+	}
+	return h
+}
+
+// ColsKeyEqual reports whether the projection of b's row i onto cols and
+// o's row k onto ocols are canonically equal component-wise (Value.KeyEqual
+// per position). The projections must have equal length.
+func (b *Block) ColsKeyEqual(i int, cols []int, o *Block, k int, ocols []int) bool {
+	for x, j := range cols {
+		if !b.cols[j].Value(i).KeyEqual(o.cols[ocols[x]].Value(k)) {
+			return false
+		}
+	}
+	return true
+}
+
+// RowKeyEqualTuple reports whether row i is canonically equal to t
+// (Value.KeyEqual per component), i.e. whether the materialised row and t
+// would collide in a TupleMap and verify equal.
+func (b *Block) RowKeyEqualTuple(i int, t Tuple) bool {
+	if len(t) != len(b.cols) {
+		return false
+	}
+	for j := range b.cols {
+		if !b.cols[j].Value(i).KeyEqual(t[j]) {
+			return false
+		}
+	}
+	return true
+}

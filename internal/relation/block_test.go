@@ -1,0 +1,264 @@
+package relation
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testValues is a value pool covering every kind and the canonical-encoding
+// edge cases (integral floats below/above the 1e15 unification cutoff, NaN,
+// ±Inf, ±0, empty strings, separator bytes).
+func testValues() []Value {
+	return []Value{
+		Null(),
+		Int(0), Int(3), Int(-7), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(3), Float(3.5), Float(-0.0), Float(1e300), Float(1e15), Float(1e15 - 2),
+		Float(math.NaN()), Float(math.Inf(1)), Float(math.Inf(-1)),
+		String(""), String("hotel"), String("a\x1fb"), String("a\x1eb"), String("日本"),
+	}
+}
+
+func randTuple(rng *rand.Rand, vals []Value, width int) Tuple {
+	t := make(Tuple, width)
+	for i := range t {
+		t[i] = vals[rng.Intn(len(vals))]
+	}
+	return t
+}
+
+// TestColumnRoundTrip pins that Append/Value round-trips every value
+// exactly (kind preserved, not just canonical equality), across homogeneous,
+// null-bearing and mixed columns.
+func TestColumnRoundTrip(t *testing.T) {
+	vals := testValues()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(150)
+		in := make([]Value, n)
+		var c Column
+		for i := range in {
+			in[i] = vals[rng.Intn(len(vals))]
+			c.Append(in[i])
+		}
+		if c.Len() != n {
+			t.Fatalf("Len = %d, want %d", c.Len(), n)
+		}
+		for i, want := range in {
+			got := c.Value(i)
+			if got != want && !(math.IsNaN(want.f) && math.IsNaN(got.f) && got.kind == KindFloat) {
+				t.Fatalf("trial %d row %d: got %#v want %#v (mixed=%v kind=%v)", trial, i, got, want, c.Mixed(), c.Kind())
+			}
+			if c.IsNull(i) != want.IsNull() {
+				t.Fatalf("trial %d row %d: IsNull mismatch", trial, i)
+			}
+		}
+	}
+}
+
+// TestColumnBulkOpsMatchPerRow pins that AppendRange, AppendRepeat and
+// AppendIndexes produce exactly the rows the per-row Append path would.
+func TestColumnBulkOpsMatchPerRow(t *testing.T) {
+	vals := testValues()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		var src Column
+		n := 1 + rng.Intn(100)
+		homog := rng.Intn(2) == 0
+		base := vals[rng.Intn(len(vals))]
+		for i := 0; i < n; i++ {
+			if homog {
+				src.Append(base)
+			} else {
+				src.Append(vals[rng.Intn(len(vals))])
+			}
+		}
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo)
+		idx := make([]int32, rng.Intn(2*n))
+		for i := range idx {
+			idx[i] = int32(rng.Intn(n))
+		}
+		rep := vals[rng.Intn(len(vals))]
+		repN := rng.Intn(10)
+
+		var fast, slow Column
+		seed := vals[rng.Intn(len(vals))]
+		fast.Append(seed)
+		slow.Append(seed)
+
+		fast.AppendRange(&src, lo, hi)
+		for i := lo; i < hi; i++ {
+			slow.Append(src.Value(i))
+		}
+		fast.AppendRepeat(rep, repN)
+		for j := 0; j < repN; j++ {
+			slow.Append(rep)
+		}
+		fast.AppendIndexes(&src, idx)
+		for _, i := range idx {
+			slow.Append(src.Value(int(i)))
+		}
+
+		if fast.Len() != slow.Len() {
+			t.Fatalf("trial %d: len %d vs %d", trial, fast.Len(), slow.Len())
+		}
+		for i := 0; i < fast.Len(); i++ {
+			a, b := fast.Value(i), slow.Value(i)
+			if a != b && !(a.kind == KindFloat && b.kind == KindFloat && math.IsNaN(a.f) && math.IsNaN(b.f)) {
+				t.Fatalf("trial %d row %d: %#v vs %#v", trial, i, a, b)
+			}
+		}
+	}
+}
+
+// TestBlockHashMatchesTupleHash pins the load-bearing equivalence of the
+// columnar path: HashRow/HashCols fold exactly what Tuple.Hash folds, and
+// the key-equality helpers agree with KeyEqual on the materialised rows, so
+// block-keyed joins land in the same buckets as the row path's TupleMap.
+func TestBlockHashMatchesTupleHash(t *testing.T) {
+	vals := testValues()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		width := 1 + rng.Intn(5)
+		rows := make([]Tuple, 1+rng.Intn(60))
+		b := NewBlock(width)
+		for i := range rows {
+			rows[i] = randTuple(rng, vals, width)
+			b.AppendTuple(rows[i])
+		}
+		cols := rng.Perm(width)[:1+rng.Intn(width)]
+		for i, row := range rows {
+			if got, want := b.HashRow(i), row.Hash(); got != want {
+				t.Fatalf("trial %d row %d: HashRow %x want %x", trial, i, got, want)
+			}
+			proj := row.Project(cols)
+			if got, want := b.HashCols(i, cols), proj.Hash(); got != want {
+				t.Fatalf("trial %d row %d: HashCols %x want %x", trial, i, got, want)
+			}
+			if !b.RowKeyEqualTuple(i, row) {
+				t.Fatalf("trial %d row %d: RowKeyEqualTuple false for own row", trial, i)
+			}
+			j := rng.Intn(len(rows))
+			if got, want := b.ColsKeyEqual(i, cols, b, j, cols), keyEqualTuple(proj, rows[j].Project(cols)); got != want {
+				t.Fatalf("trial %d rows %d,%d: ColsKeyEqual %v want %v", trial, i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestBlockPrefixAndTuples pins the Prefix view semantics (the columnar
+// analogue of samples[:n] truncation) and arena materialisation.
+func TestBlockPrefixAndTuples(t *testing.T) {
+	vals := testValues()
+	rng := rand.New(rand.NewSource(4))
+	width := 3
+	rows := make([]Tuple, 100)
+	b := NewBlock(width)
+	for i := range rows {
+		rows[i] = randTuple(rng, vals, width)
+		b.AppendTuple(rows[i])
+	}
+	for _, n := range []int{0, 1, 63, 64, 65, 99, 100} {
+		p := b.Prefix(n)
+		if p.Rows() != n {
+			t.Fatalf("Prefix(%d).Rows = %d", n, p.Rows())
+		}
+		ts := p.Tuples()
+		if len(ts) != n {
+			t.Fatalf("Prefix(%d).Tuples len = %d", n, len(ts))
+		}
+		for i := 0; i < n; i++ {
+			if !p.RowKeyEqualTuple(i, rows[i]) || !keyEqualTuple(ts[i], rows[i]) {
+				t.Fatalf("Prefix(%d) row %d diverges", n, i)
+			}
+		}
+	}
+}
+
+// TestDecodeBlockRejectsDamage spot-checks the typed-error contract on a
+// few deterministic damage modes (the fuzz target explores the rest).
+func TestDecodeBlockRejectsDamage(t *testing.T) {
+	b := NewBlock(2)
+	b.AppendTuple(Tuple{Int(1), String("x")})
+	b.AppendTuple(Tuple{Null(), String("")})
+	enc := AppendBlock(nil, b)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeBlock(enc[:cut], 0); err != nil {
+			var ce *BlockCorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("truncation at %d: error %v is not *BlockCorruptError", cut, err)
+			}
+		}
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	if _, _, err := DecodeBlock(huge, 0); err == nil {
+		t.Fatal("oversized width decoded")
+	}
+}
+
+// FuzzBlockRoundTrip pins the block codec's two safety contracts, mirroring
+// FuzzSnapshotRoundTrip: (1) identity — any input that decodes re-encodes
+// canonically (encode∘decode∘encode is a fixed point); (2) rejection —
+// any input that does not decode fails with a typed *BlockCorruptError,
+// never a panic, hang, or unbounded allocation. Seeds cover mixed kinds,
+// NaN/±Inf floats, empty strings and all-null columns.
+func FuzzBlockRoundTrip(f *testing.F) {
+	seedBlocks := []*Block{
+		NewBlock(0),
+		BlockOfTuples(3, []Tuple{
+			{Int(1), Float(2.5), String("hotel")},
+			{Int(2), Float(math.NaN()), String("")},
+			{Int(3), Float(math.Inf(1)), String("hotel")},
+			{Null(), Float(math.Inf(-1)), Null()},
+		}),
+		BlockOfTuples(2, []Tuple{
+			{Null(), String("a")},
+			{Null(), Int(7)},
+			{Null(), Float(7)},
+		}),
+		BlockOfTuples(1, nil),
+	}
+	for _, b := range seedBlocks {
+		f.Add(AppendBlock(nil, b))
+	}
+	enc := AppendBlock(nil, seedBlocks[1])
+	f.Add(enc[:len(enc)/2])
+	mut := append([]byte(nil), enc...)
+	mut[len(mut)/3] ^= 0xff
+	f.Add(mut)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, _, err := DecodeBlock(data, 0)
+		if err != nil {
+			var ce *BlockCorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decode error %v is not a *BlockCorruptError", err)
+			}
+			return
+		}
+		re := AppendBlock(nil, b)
+		b2, n, err := DecodeBlock(re, 0)
+		if err != nil {
+			t.Fatalf("re-encoded block does not decode: %v", err)
+		}
+		if n != len(re) {
+			t.Fatalf("re-encoded block decode consumed %d of %d bytes", n, len(re))
+		}
+		re2 := AppendBlock(nil, b2)
+		if !bytes.Equal(re, re2) {
+			t.Fatal("decode∘encode is not the identity")
+		}
+		if b2.Rows() != b.Rows() || b2.Width() != b.Width() {
+			t.Fatalf("shape changed: %dx%d vs %dx%d", b2.Rows(), b2.Width(), b.Rows(), b.Width())
+		}
+		for i := 0; i < b.Rows(); i++ {
+			if !b.RowKeyEqualTuple(i, b2.Tuple(i)) {
+				t.Fatalf("row %d changed across round-trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,364 @@
+// Column-wise block encoding: the byte format shared by the snapshot codec
+// (internal/persist, format v2) and FuzzBlockRoundTrip.
+//
+// Layout (all counts uvarint):
+//
+//	width, rows,
+//	then per column:
+//	  kind tag (0 all-null, 1 int, 2 float, 3 string, 4 mixed)
+//	  validity flag (1 = bitmap follows: ceil(rows/64) little-endian words)
+//	  payload:
+//	    int:    rows zigzag varints
+//	    float:  rows x 8-byte little-endian IEEE-754 bit patterns (NaN bits
+//	            preserved verbatim)
+//	    string: dictionary (uvarint size, then length-prefixed entries in
+//	            first-appearance order) + rows uvarint dictionary indexes
+//	    mixed:  rows x (kind byte + payload as above, nulls empty)
+//
+// Dictionary-encoding string columns is where column-wise snapshots shrink:
+// categorical attributes store each distinct string once. Decoding is
+// bounds-checked throughout — corrupt input yields a *BlockCorruptError,
+// never a panic or an oversized allocation.
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Column kind tags in the encoded form.
+const (
+	colTagNull   = 0
+	colTagInt    = 1
+	colTagFloat  = 2
+	colTagString = 3
+	colTagMixed  = 4
+)
+
+// BlockCorruptError reports undecodable block bytes: a truncated buffer, an
+// out-of-range count or index, or an unknown tag. Callers (the snapshot
+// codec, the fuzz harness) rely on every decode failure being this type.
+type BlockCorruptError struct {
+	Offset int    // byte offset at which decoding failed
+	Reason string // human-readable cause
+}
+
+// Error implements the error interface.
+func (e *BlockCorruptError) Error() string {
+	return fmt.Sprintf("relation: corrupt block at offset %d: %s", e.Offset, e.Reason)
+}
+
+func corruptBlock(pos int, format string, args ...any) error {
+	return &BlockCorruptError{Offset: pos, Reason: fmt.Sprintf(format, args...)}
+}
+
+// AppendBlock appends the column-wise encoding of b to buf and returns the
+// extended slice.
+func AppendBlock(buf []byte, b *Block) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b.cols)))
+	buf = binary.AppendUvarint(buf, uint64(b.rows))
+	for j := range b.cols {
+		buf = appendColumn(buf, &b.cols[j], b.rows)
+	}
+	return buf
+}
+
+func appendColumn(buf []byte, c *Column, rows int) []byte {
+	tag := byte(colTagNull)
+	if c.mixed {
+		tag = colTagMixed
+	} else {
+		switch c.kind {
+		case KindInt:
+			tag = colTagInt
+		case KindFloat:
+			tag = colTagFloat
+		case KindString:
+			tag = colTagString
+		}
+	}
+	buf = append(buf, tag)
+	if c.valid != nil || (tag == colTagNull && rows > 0) {
+		buf = append(buf, 1)
+		words := (rows + 63) >> 6
+		for w := 0; w < words; w++ {
+			var word uint64
+			if w < len(c.valid) {
+				word = c.valid[w]
+			}
+			if w == words-1 && rows&63 != 0 {
+				// Mask stray bits past the row count (prefix views may
+				// carry them) so the encoding is canonical.
+				word &= (uint64(1) << (uint(rows) & 63)) - 1
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, word)
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+	switch tag {
+	case colTagInt:
+		for _, v := range c.ints[:rows] {
+			buf = binary.AppendVarint(buf, v)
+		}
+	case colTagFloat:
+		for _, v := range c.floats[:rows] {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	case colTagString:
+		buf = appendStringDict(buf, c.strs[:rows])
+	case colTagMixed:
+		for _, v := range c.vals[:rows] {
+			buf = appendMixedValue(buf, v)
+		}
+	}
+	return buf
+}
+
+func appendStringDict(buf []byte, strs []string) []byte {
+	dict := make(map[string]uint64, len(strs))
+	order := make([]string, 0, len(strs))
+	idx := make([]uint64, len(strs))
+	for i, s := range strs {
+		id, ok := dict[s]
+		if !ok {
+			id = uint64(len(order))
+			dict[s] = id
+			order = append(order, s)
+		}
+		idx[i] = id
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(order)))
+	for _, s := range order {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	for _, id := range idx {
+		buf = binary.AppendUvarint(buf, id)
+	}
+	return buf
+}
+
+func appendMixedValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		buf = binary.AppendVarint(buf, v.i)
+	case KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.f))
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+		buf = append(buf, v.s...)
+	}
+	return buf
+}
+
+// DecodeBlock decodes a block from data starting at pos, returning the
+// block and the offset one past its encoding. All failures return a
+// *BlockCorruptError.
+func DecodeBlock(data []byte, pos int) (*Block, int, error) {
+	width, pos, err := blockUvarint(data, pos, "width")
+	if err != nil {
+		return nil, 0, err
+	}
+	rowsU, pos, err := blockUvarint(data, pos, "rows")
+	if err != nil {
+		return nil, 0, err
+	}
+	rows := int(rowsU)
+	// Each column costs at least 2 header bytes; each row of a column at
+	// least one payload byte or validity bit. Reject counts the buffer
+	// cannot hold before allocating anything proportional to them. A
+	// zero-width block carries no payload at all to justify its row count,
+	// so any claimed rows are corrupt (the engine never encodes zero-arity
+	// blocks).
+	if width > uint64(len(data)-pos) {
+		return nil, 0, corruptBlock(pos, "width %d exceeds remaining %d bytes", width, len(data)-pos)
+	}
+	if width == 0 && rowsU > 0 {
+		return nil, 0, corruptBlock(pos, "zero-width block with %d rows", rowsU)
+	}
+	if rowsU > uint64(len(data)-pos)*64 {
+		return nil, 0, corruptBlock(pos, "row count %d exceeds remaining %d bytes", rowsU, len(data)-pos)
+	}
+	b := &Block{cols: make([]Column, int(width)), rows: rows}
+	for j := range b.cols {
+		pos, err = decodeColumn(data, pos, &b.cols[j], rows)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return b, pos, nil
+}
+
+func decodeColumn(data []byte, pos int, c *Column, rows int) (int, error) {
+	if pos+2 > len(data) {
+		return 0, corruptBlock(pos, "truncated column header")
+	}
+	tag := data[pos]
+	hasValid := data[pos+1]
+	pos += 2
+	if tag > colTagMixed {
+		return 0, corruptBlock(pos-2, "unknown column tag %d", tag)
+	}
+	if hasValid > 1 {
+		return 0, corruptBlock(pos-1, "invalid validity flag %d", hasValid)
+	}
+	c.n = rows
+	if hasValid == 1 {
+		words := (rows + 63) >> 6
+		if pos+words*8 > len(data) {
+			return 0, corruptBlock(pos, "truncated validity bitmap")
+		}
+		c.valid = make([]uint64, words)
+		for w := 0; w < words; w++ {
+			c.valid[w] = binary.LittleEndian.Uint64(data[pos:])
+			pos += 8
+		}
+	} else if tag == colTagNull && rows > 0 {
+		return 0, corruptBlock(pos, "all-null column without validity bitmap")
+	}
+	switch tag {
+	case colTagNull:
+		if c.valid != nil {
+			// An all-null column's bitmap must be all zero (bits < rows);
+			// anything else claims non-null rows with no payload.
+			for i := 0; i < rows; i++ {
+				if !c.IsNull(i) {
+					return 0, corruptBlock(pos, "null column with valid bit set at row %d", i)
+				}
+			}
+		}
+		return pos, nil
+	case colTagInt:
+		if pos+rows > len(data) {
+			return 0, corruptBlock(pos, "truncated int column")
+		}
+		c.kind = KindInt
+		c.ints = make([]int64, rows)
+		for i := 0; i < rows; i++ {
+			v, n := binary.Varint(data[pos:])
+			if n <= 0 {
+				return 0, corruptBlock(pos, "bad varint in int column")
+			}
+			c.ints[i] = v
+			pos += n
+		}
+		return pos, nil
+	case colTagFloat:
+		if pos+rows*8 > len(data) {
+			return 0, corruptBlock(pos, "truncated float column")
+		}
+		c.kind = KindFloat
+		c.floats = make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			c.floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		}
+		return pos, nil
+	case colTagString:
+		return decodeStringColumn(data, pos, c, rows)
+	default:
+		return decodeMixedColumn(data, pos, c, rows)
+	}
+}
+
+func decodeStringColumn(data []byte, pos int, c *Column, rows int) (int, error) {
+	dictN, pos, err := blockUvarint(data, pos, "string dictionary size")
+	if err != nil {
+		return 0, err
+	}
+	if dictN > uint64(rows) || dictN > uint64(len(data)-pos) {
+		return 0, corruptBlock(pos, "string dictionary size %d out of range", dictN)
+	}
+	dict := make([]string, int(dictN))
+	for d := range dict {
+		ln, p, err := blockUvarint(data, pos, "string length")
+		if err != nil {
+			return 0, err
+		}
+		pos = p
+		if ln > uint64(len(data)-pos) {
+			return 0, corruptBlock(pos, "string length %d exceeds remaining %d bytes", ln, len(data)-pos)
+		}
+		dict[d] = string(data[pos : pos+int(ln)])
+		pos += int(ln)
+	}
+	if pos+rows > len(data) {
+		return 0, corruptBlock(pos, "truncated string column indexes")
+	}
+	c.kind = KindString
+	c.strs = make([]string, rows)
+	for i := 0; i < rows; i++ {
+		id, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, corruptBlock(pos, "bad varint in string column index")
+		}
+		if id >= uint64(len(dict)) {
+			return 0, corruptBlock(pos, "string dictionary index %d out of range", id)
+		}
+		c.strs[i] = dict[id]
+		pos += n
+	}
+	return pos, nil
+}
+
+func decodeMixedColumn(data []byte, pos int, c *Column, rows int) (int, error) {
+	if pos+rows > len(data) {
+		return 0, corruptBlock(pos, "truncated mixed column")
+	}
+	c.mixed = true
+	c.vals = make([]Value, rows)
+	for i := 0; i < rows; i++ {
+		if pos >= len(data) {
+			return 0, corruptBlock(pos, "truncated mixed column value")
+		}
+		k := Kind(data[pos])
+		pos++
+		switch k {
+		case KindNull:
+			if !c.IsNull(i) {
+				return 0, corruptBlock(pos-1, "mixed column null payload with valid bit set at row %d", i)
+			}
+		case KindInt:
+			v, n := binary.Varint(data[pos:])
+			if n <= 0 {
+				return 0, corruptBlock(pos, "bad varint in mixed column")
+			}
+			c.vals[i] = Value{kind: KindInt, i: v}
+			pos += n
+		case KindFloat:
+			if pos+8 > len(data) {
+				return 0, corruptBlock(pos, "truncated float in mixed column")
+			}
+			c.vals[i] = Value{kind: KindFloat, f: math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))}
+			pos += 8
+		case KindString:
+			ln, p, err := blockUvarint(data, pos, "mixed string length")
+			if err != nil {
+				return 0, err
+			}
+			pos = p
+			if ln > uint64(len(data)-pos) {
+				return 0, corruptBlock(pos, "mixed string length %d exceeds remaining %d bytes", ln, len(data)-pos)
+			}
+			c.vals[i] = Value{kind: KindString, s: string(data[pos : pos+int(ln)])}
+			pos += int(ln)
+		default:
+			return 0, corruptBlock(pos-1, "unknown value kind %d in mixed column", k)
+		}
+		if k != KindNull && c.IsNull(i) {
+			return 0, corruptBlock(pos, "mixed column non-null payload with valid bit clear at row %d", i)
+		}
+	}
+	return pos, nil
+}
+
+func blockUvarint(data []byte, pos int, what string) (uint64, int, error) {
+	v, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return 0, 0, corruptBlock(pos, "bad varint (%s)", what)
+	}
+	return v, pos + n, nil
+}

@@ -1,0 +1,352 @@
+// Columnar storage: kind-homogeneous typed columns with validity bitmaps.
+//
+// A Column stores one attribute across many rows as a single flat slice of
+// the payload type ([]int64, []float64 or []string) plus an optional
+// null/validity bitmap, instead of one Value per row inside a []Value tuple.
+// The executor's hot paths iterate these flat slices block-at-a-time; rows
+// are only materialised back into Tuples at the answer boundary. Columns
+// whose rows genuinely mix kinds (rare — e.g. an attribute holding both
+// strings and ints) fall back to a per-row []Value representation, so the
+// columnar layout never changes what values round-trip.
+package relation
+
+import "slices"
+
+// Column is typed columnar storage for one attribute. The zero Column is an
+// empty column ready for Append. Reading (Value, IsNull, hashing) is
+// allocation-free: Value is a value struct reconstructed from the flat
+// payload slices.
+//
+// Invariants: once a non-null value fixes the payload kind, the payload
+// slice holds exactly one slot per row (zero-valued at null positions);
+// the validity bitmap is allocated lazily on the first null and bit i is
+// set iff row i is non-null; a kind conflict migrates the column to the
+// mixed []Value fallback. Columns obtained from Block.Prefix are read-only
+// views sharing the parent's arrays — never Append to a view.
+type Column struct {
+	kind  Kind // payload kind of non-null rows; KindNull until one is seen
+	mixed bool // true: vals holds every row verbatim (kind-conflict fallback)
+	n     int
+	// valid is a little-endian bitmap: bit i set = row i non-null. nil means
+	// no row is null. Only bits < n are meaningful; a Prefix view may carry
+	// stray set bits past n in its last word.
+	valid  []uint64
+	ints   []int64
+	floats []float64
+	strs   []string
+	vals   []Value
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int { return c.n }
+
+// Kind returns the payload kind of the column's non-null rows (KindNull when
+// none has been appended yet); mixed columns report their rows individually
+// via Value.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Mixed reports whether the column fell back to per-row Value storage
+// because its rows mix payload kinds.
+func (c *Column) Mixed() bool { return c.mixed }
+
+// IsNull reports whether row i is null.
+func (c *Column) IsNull(i int) bool {
+	if c.valid == nil {
+		return !c.mixed && c.kind == KindNull
+	}
+	return c.valid[i>>6]&(1<<(uint(i)&63)) == 0
+}
+
+// Value reconstructs row i as a Value. The reconstruction allocates nothing
+// (string payloads share the column's backing string headers).
+func (c *Column) Value(i int) Value {
+	if c.mixed {
+		return c.vals[i]
+	}
+	if c.IsNull(i) {
+		return Value{}
+	}
+	switch c.kind {
+	case KindInt:
+		return Value{kind: KindInt, i: c.ints[i]}
+	case KindFloat:
+		return Value{kind: KindFloat, f: c.floats[i]}
+	default:
+		return Value{kind: KindString, s: c.strs[i]}
+	}
+}
+
+// setValid marks row i (which must be the next row, i == previous n) as
+// non-null (ok) or null (!ok), allocating the bitmap on the first null.
+func (c *Column) setValid(i int, ok bool) {
+	if ok {
+		if c.valid != nil {
+			c.valid = growBitmap(c.valid, i)
+			c.valid[i>>6] |= 1 << (uint(i) & 63)
+		}
+		return
+	}
+	if c.valid == nil {
+		c.valid = make([]uint64, (i>>6)+1)
+		for j := 0; j < i; j++ {
+			c.valid[j>>6] |= 1 << (uint(j) & 63)
+		}
+		return
+	}
+	c.valid = growBitmap(c.valid, i)
+	c.valid[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+func growBitmap(b []uint64, i int) []uint64 {
+	for len(b) <= i>>6 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// setKind fixes the payload kind, back-filling zero slots for the rows
+// appended so far (which were all null).
+func (c *Column) setKind(k Kind) {
+	c.kind = k
+	switch k {
+	case KindInt:
+		c.ints = make([]int64, c.n)
+	case KindFloat:
+		c.floats = make([]float64, c.n)
+	case KindString:
+		c.strs = make([]string, c.n)
+	}
+}
+
+// toMixed migrates the column to the per-row []Value fallback, materialising
+// the rows appended so far.
+func (c *Column) toMixed() {
+	vals := make([]Value, c.n)
+	for i := range vals {
+		vals[i] = c.Value(i)
+	}
+	c.mixed = true
+	c.vals = vals
+	c.ints, c.floats, c.strs = nil, nil, nil
+}
+
+// Append adds one row holding v. Appending a kind that conflicts with the
+// column's fixed payload kind migrates the column to mixed storage.
+func (c *Column) Append(v Value) {
+	i := c.n
+	if c.mixed {
+		c.vals = append(c.vals, v)
+		c.setValid(i, v.kind != KindNull)
+		c.n++
+		return
+	}
+	if v.kind == KindNull {
+		c.setValid(i, false)
+		switch c.kind {
+		case KindInt:
+			c.ints = append(c.ints, 0)
+		case KindFloat:
+			c.floats = append(c.floats, 0)
+		case KindString:
+			c.strs = append(c.strs, "")
+		}
+		c.n++
+		return
+	}
+	if c.kind == KindNull {
+		c.setKind(v.kind)
+	} else if c.kind != v.kind {
+		c.toMixed()
+		c.vals = append(c.vals, v)
+		c.setValid(i, true)
+		c.n++
+		return
+	}
+	switch v.kind {
+	case KindInt:
+		c.ints = append(c.ints, v.i)
+	case KindFloat:
+		c.floats = append(c.floats, v.f)
+	default:
+		c.strs = append(c.strs, v.s)
+	}
+	c.setValid(i, true)
+	c.n++
+}
+
+// AppendRange appends rows [lo, hi) of src. Homogeneous same-kind ranges
+// copy the flat payload slices directly; everything else falls back to
+// per-row Append, so the result is always row-for-row identical to the
+// per-row path.
+func (c *Column) AppendRange(src *Column, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	if !c.mixed && !src.mixed && src.kind != KindNull &&
+		(c.kind == src.kind || c.kind == KindNull) {
+		if c.kind == KindNull {
+			c.setKind(src.kind)
+		}
+		switch src.kind {
+		case KindInt:
+			c.ints = append(c.ints, src.ints[lo:hi]...)
+		case KindFloat:
+			c.floats = append(c.floats, src.floats[lo:hi]...)
+		default:
+			c.strs = append(c.strs, src.strs[lo:hi]...)
+		}
+		if src.valid == nil && c.valid == nil {
+			c.n += hi - lo
+			return
+		}
+		for i := lo; i < hi; i++ {
+			c.setValid(c.n, !src.IsNull(i))
+			c.n++
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		c.Append(src.Value(i))
+	}
+}
+
+// AppendRepeat appends count rows all holding v (broadcast: the executor
+// uses this to replicate a join prefix across a fetched block).
+func (c *Column) AppendRepeat(v Value, count int) {
+	if count <= 0 {
+		return
+	}
+	if !c.mixed && v.kind != KindNull && (c.kind == v.kind || c.kind == KindNull) {
+		if c.kind == KindNull {
+			c.setKind(v.kind)
+		}
+		switch v.kind {
+		case KindInt:
+			c.ints = slices.Grow(c.ints, count)
+			for j := 0; j < count; j++ {
+				c.ints = append(c.ints, v.i)
+			}
+		case KindFloat:
+			c.floats = slices.Grow(c.floats, count)
+			for j := 0; j < count; j++ {
+				c.floats = append(c.floats, v.f)
+			}
+		default:
+			c.strs = slices.Grow(c.strs, count)
+			for j := 0; j < count; j++ {
+				c.strs = append(c.strs, v.s)
+			}
+		}
+		if c.valid == nil {
+			c.n += count
+			return
+		}
+		for j := 0; j < count; j++ {
+			c.setValid(c.n, true)
+			c.n++
+		}
+		return
+	}
+	for j := 0; j < count; j++ {
+		c.Append(v)
+	}
+}
+
+// AppendIndexes appends src's rows at the given indexes, in order (gather:
+// the executor uses this to emit the surviving rows of a selection or the
+// matched pairs of a join, one column at a time).
+func (c *Column) AppendIndexes(src *Column, idx []int32) {
+	if !c.mixed && !src.mixed && src.kind != KindNull &&
+		(c.kind == src.kind || c.kind == KindNull) && src.valid == nil {
+		if c.kind == KindNull {
+			c.setKind(src.kind)
+		}
+		switch src.kind {
+		case KindInt:
+			c.ints = slices.Grow(c.ints, len(idx))
+			for _, i := range idx {
+				c.ints = append(c.ints, src.ints[i])
+			}
+		case KindFloat:
+			c.floats = slices.Grow(c.floats, len(idx))
+			for _, i := range idx {
+				c.floats = append(c.floats, src.floats[i])
+			}
+		default:
+			c.strs = slices.Grow(c.strs, len(idx))
+			for _, i := range idx {
+				c.strs = append(c.strs, src.strs[i])
+			}
+		}
+		if c.valid == nil {
+			c.n += len(idx)
+			return
+		}
+		for range idx {
+			c.setValid(c.n, true)
+			c.n++
+		}
+		return
+	}
+	for _, i := range idx {
+		c.Append(src.Value(int(i)))
+	}
+}
+
+// Reserve grows the column's payload capacity for n more rows of kind k,
+// fixing the payload kind if the column is still empty. It never changes the
+// rows a later Append produces — a conflicting reservation is simply not
+// used — so it is purely an allocation hint for bulk fills of known size.
+func (c *Column) Reserve(k Kind, n int) {
+	if c.mixed {
+		c.vals = slices.Grow(c.vals, n)
+		return
+	}
+	if k == KindNull {
+		return
+	}
+	if c.kind == KindNull {
+		c.setKind(k)
+	}
+	if c.kind != k {
+		return
+	}
+	switch c.kind {
+	case KindInt:
+		c.ints = slices.Grow(c.ints, n)
+	case KindFloat:
+		c.floats = slices.Grow(c.floats, n)
+	case KindString:
+		c.strs = slices.Grow(c.strs, n)
+	}
+}
+
+// prefix returns a read-only view of the first n rows, sharing the backing
+// arrays. Stray validity bits at positions >= n may remain set in the last
+// bitmap word; readers only consult bits < n.
+func (c *Column) prefix(n int) Column {
+	out := *c
+	out.n = n
+	if out.valid != nil {
+		out.valid = out.valid[:(n+63)>>6]
+	}
+	if out.mixed {
+		out.vals = out.vals[:n]
+		return out
+	}
+	switch out.kind {
+	case KindInt:
+		out.ints = out.ints[:n]
+	case KindFloat:
+		out.floats = out.floats[:n]
+	case KindString:
+		out.strs = out.strs[:n]
+	}
+	return out
+}
+
+// hashInto folds row i's canonical encoding into h, exactly as
+// Value.hashInto would for the reconstructed Value.
+func (c *Column) hashInto(i int, h uint64) uint64 {
+	return c.Value(i).hashInto(h)
+}
