@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/guard"
 	"repro/internal/persist"
+	"repro/internal/plan"
 	"repro/internal/plancache"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -317,6 +318,23 @@ func WithColumnarScan(enabled bool) Option {
 // no insertion — so a one-off query cannot evict hot cached plans.
 func WithCacheBypass() Option {
 	return func(o *core.ExecOptions) { o.BypassCache = true }
+}
+
+// RemoteFetcher resolves batched ladder fetches through a routing layer
+// that may serve them from other processes — the executor seam the cluster
+// layer (internal/cluster) implements. See WithRemoteFetcher.
+type RemoteFetcher = plan.RemoteFetcher
+
+// WithRemoteFetcher routes every fetch-step batch of the call through f
+// instead of the in-process ladder scatter-gather — how a cluster node
+// answers queries whose ladder groups live on its peers. Budget accounting
+// stays sequential in first-seen enumeration order over the returned views,
+// so answers, η and access stats are byte-identical to local execution
+// regardless of placement; a fetch the router cannot complete surfaces as
+// its typed error (for the cluster layer, a *cluster.PeerError), never as a
+// silently partial answer. WithRemoteFetcher(nil) restores local fetching.
+func WithRemoteFetcher(f RemoteFetcher) Option {
+	return func(o *core.ExecOptions) { o.Fetcher = f }
 }
 
 // WithTag attributes the call in the system's per-tag stats (QueryStats):

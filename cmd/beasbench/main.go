@@ -10,6 +10,7 @@
 //	beasbench -tiny                # fast smoke run
 //	beasbench -perf -out B.json    # run the perf harness, write/append JSON
 //	beasbench -perf -label after   # label the run inside the report
+//	beasbench -cluster             # cluster RPC latency sweep (1/2/3 nodes)
 //	beasbench -persist             # cold build vs warm snapshot load
 //	beasbench -etaaudit            # eta-soundness audit sweep (exact oracle)
 //	beasbench -cpuprofile cpu.out  # profile any of the above
@@ -58,6 +59,7 @@ func run() (code int) {
 
 		perf      = flag.Bool("perf", false, "run the tracked perf harness instead of the figures")
 		httpB     = flag.Bool("http", false, "run the end-to-end HTTP latency harness (shard counts 1/2/4/8 + legacy)")
+		clusterB  = flag.Bool("cluster", false, "run the cluster latency harness (fetches routed over the peer RPC, node counts 1/2/3)")
 		persistB  = flag.Bool("persist", false, "run the cold-vs-warm start harness (snapshot load vs ladder rebuild)")
 		overloadB = flag.Bool("overload", false, "run the overload harness: goodput/eta/latency at saturation per brownout mode")
 		auditB    = flag.Bool("etaaudit", false, "run the eta-soundness audit sweep (fails on any accuracy < eta)")
@@ -152,8 +154,8 @@ func run() (code int) {
 		cfg.WorkloadSeed = override64(*auditWorkSd, base.WorkloadSeed)
 		return runEtaAudit(*out, *label, *pr, *smoke, cfg)
 	}
-	if *perf || *httpB || *persistB || *overloadB {
-		return runPerf(*out, *label, *pr, *smoke, *httpB, *persistB, *overloadB)
+	if *perf || *httpB || *clusterB || *persistB || *overloadB {
+		return runPerf(*out, *label, *pr, *smoke, *httpB, *clusterB, *persistB, *overloadB)
 	}
 	return runFigures(*fig, *tiny, *queries)
 }
@@ -229,12 +231,14 @@ func appendRun(path string, pr int, desc string, run *bench.PerfRun) int {
 	return 0
 }
 
-func runPerf(out, label string, pr int, smoke, httpB, persistB, overloadB bool) int {
+func runPerf(out, label string, pr int, smoke, httpB, clusterB, persistB, overloadB bool) int {
 	var run *bench.PerfRun
 	var err error
 	switch {
 	case httpB:
 		run, err = bench.RunHTTPPerf(label, smoke, nil)
+	case clusterB:
+		run, err = bench.RunClusterPerf(label, smoke)
 	case persistB:
 		run, err = bench.RunPersistPerf(label, smoke)
 	case overloadB:

@@ -42,6 +42,16 @@
 //	                 uptime, per-ladder footprints, snapshot/WAL counters,
 //	                 brownout level and shed/degraded counters
 //
+// With -peers the daemon joins a static cluster (see internal/cluster): a
+// consistent-hash ring assigns ladder groups to the named nodes, every node
+// additionally serves the POST /internal/fetch RPC to its peers, and any
+// node answers any query by fanning the executor's batched fetches over the
+// ring. A peer unreachable past the retry budget fails queries routed to it
+// with 502 (typed *cluster.PeerError — never a silently partial answer),
+// trips that peer's circuit on /readyz and is visible in /stats "cluster".
+// With -data each node checkpoints into its own subdirectory of the shared
+// path, keyed by -node-id.
+//
 // Under overload the -brownout controller steps effective α down toward
 // -min-alpha (answers stay η-certified; responses carry "degraded" and the
 // achieved α) before shedding /batch and finally all query traffic; see the
@@ -66,12 +76,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	beas "repro"
 	"repro/internal/access"
+	"repro/internal/cluster"
 	"repro/internal/fixture"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -96,13 +108,26 @@ func main() {
 		ckptRetry = flag.Int("checkpoint-retries", 0, "with -data: consecutive checkpoint failures before the circuit opens and serving goes memory-only (0 = default 5)")
 		brownout  = flag.String("brownout", "auto", "overload brownout mode: auto | off | 0-3 (pinned level)")
 		minAlpha  = flag.Float64("min-alpha", 0, "floor the brownout controller may not degrade effective alpha below (0 = default 0.02)")
+		peers     = flag.String("peers", "", "static cluster members as comma-separated host:port or id=host:port entries (this node included); empty = single-node")
+		nodeID    = flag.String("node-id", "", "this node's ring identity (default: its own -peers entry matching -addr, else -addr)")
 	)
 	flag.Parse()
 
 	if *shards > 0 {
 		access.DefaultShards = *shards
 	}
-	sys, size, rels, err := open(*dataset, *scale, *seed, *dataDir, *ckptEvery, *ckptRetry, *walSync, *shards)
+	members, self, err := parsePeers(*peers, *nodeID, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
+		os.Exit(2)
+	}
+	// Cluster members sharing a -data path each checkpoint into their own
+	// subdirectory: two nodes writing one snapshot dir would corrupt both.
+	nodeDataDir := *dataDir
+	if nodeDataDir != "" && len(members) > 0 {
+		nodeDataDir = filepath.Join(nodeDataDir, sanitizeNodeID(self))
+	}
+	sys, size, rels, err := open(*dataset, *scale, *seed, nodeDataDir, *ckptEvery, *ckptRetry, *walSync, *shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
 		os.Exit(2)
@@ -110,10 +135,27 @@ func main() {
 	log.Printf("beasd: dataset %s ready: |D| = %d tuples, %d relations, %d-way sharded ladders",
 		*dataset, size, rels, effectiveShards(sys))
 
+	var node *cluster.Node
+	var execOpts []beas.Option
+	if len(members) > 0 {
+		node, err = cluster.New(cluster.Config{
+			NodeID: self,
+			Peers:  members,
+			Schema: sys.Scheme().Access(),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
+			os.Exit(2)
+		}
+		execOpts = append(execOpts, beas.WithRemoteFetcher(node.Fetcher()))
+		log.Printf("beasd: cluster node %s in %d-node ring (peers: %d)", self, len(members), len(members)-1)
+	}
+
 	srv, err := serve.New(serve.Config{
 		System:       sys,
 		DefaultAlpha: *alpha,
 		MaxRows:      *maxTuple,
+		ExecOptions:  execOpts,
 		Dataset:      *dataset,
 		DBSize:       size,
 		Relations:    rels,
@@ -126,6 +168,7 @@ func main() {
 			Mode:     *brownout,
 			MinAlpha: *minAlpha,
 		},
+		Cluster: node,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
@@ -159,6 +202,9 @@ func main() {
 		log.Printf("beasd: shutdown: %v", err)
 	}
 	srv.Close()
+	if node != nil {
+		node.Close()
+	}
 	if sys.Persisted() {
 		// A fresh timeout: the drain above may have consumed the whole
 		// shutdown budget, and a dead context would silently skip the
@@ -174,6 +220,72 @@ func main() {
 		log.Printf("beasd: close: %v", err)
 	}
 	log.Print("beasd: bye")
+}
+
+// parsePeers resolves the -peers/-node-id flags into the full member map
+// (ID → base URL, this node included) and this node's own ID. Entries are
+// "host:port" (the address doubles as the ID) or "id=host:port". When
+// -node-id is empty, the node identifies itself as the unique member whose
+// address ends with -addr (so ":8080" matches "localhost:8080").
+func parsePeers(spec, nodeID, addr string) (map[string]string, string, error) {
+	if spec == "" {
+		return nil, "", nil
+	}
+	members := make(map[string]string)
+	var ids []string
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, target := entry, entry
+		if i := strings.IndexByte(entry, '='); i >= 0 {
+			id, target = entry[:i], entry[i+1:]
+		}
+		if id == "" || target == "" {
+			return nil, "", fmt.Errorf("bad -peers entry %q", entry)
+		}
+		if !strings.Contains(target, "://") {
+			target = "http://" + target
+		}
+		if _, dup := members[id]; dup {
+			return nil, "", fmt.Errorf("duplicate -peers entry %q", id)
+		}
+		members[id] = target
+		ids = append(ids, id)
+	}
+	if len(members) == 0 {
+		return nil, "", fmt.Errorf("-peers is set but names no members")
+	}
+	if nodeID != "" {
+		if _, ok := members[nodeID]; !ok {
+			return nil, "", fmt.Errorf("-node-id %q is not among the -peers members", nodeID)
+		}
+		return members, nodeID, nil
+	}
+	var matches []string
+	for _, id := range ids {
+		if id == addr || strings.HasSuffix(members[id], addr) {
+			matches = append(matches, id)
+		}
+	}
+	if len(matches) != 1 {
+		return nil, "", fmt.Errorf("cannot identify this node among -peers by -addr %q (%d matches); pass -node-id", addr, len(matches))
+	}
+	return members, matches[0], nil
+}
+
+// sanitizeNodeID maps a node ID to a filesystem-safe directory name for the
+// per-node persistence subdirectory.
+func sanitizeNodeID(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
 }
 
 // effectiveShards reports the partition count of the system's ladders (they

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	// Bare host:port entries: the address is the ID, and -addr picks self.
+	members, self, err := parsePeers("localhost:8080,localhost:8081,localhost:8082", "", ":8081")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != "localhost:8081" {
+		t.Fatalf("self = %q", self)
+	}
+	want := map[string]string{
+		"localhost:8080": "http://localhost:8080",
+		"localhost:8081": "http://localhost:8081",
+		"localhost:8082": "http://localhost:8082",
+	}
+	if !reflect.DeepEqual(members, want) {
+		t.Fatalf("members = %v", members)
+	}
+
+	// Named entries with an explicit -node-id.
+	members, self, err = parsePeers("n1=host1:9000,n2=host2:9000", "n2", ":9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != "n2" || members["n1"] != "http://host1:9000" {
+		t.Fatalf("self=%q members=%v", self, members)
+	}
+
+	// Empty spec means no cluster at all.
+	if members, self, err = parsePeers("", "", ":8080"); err != nil || members != nil || self != "" {
+		t.Fatalf("empty spec: %v %v %v", members, self, err)
+	}
+
+	for _, bad := range []struct{ spec, id, addr string }{
+		{"localhost:8080,localhost:8081", "", ":9999"}, // addr matches nobody
+		{"n1=host:1,n2=host:2", "n3", ":1"},            // node-id not a member
+		{"n1=host:1,n1=host:2", "n1", ":1"},            // duplicate ID
+		{"=host:1", "", ":1"},                          // empty ID
+		{"host:1234,other:1234", "", ":1234"},          // ambiguous addr match
+	} {
+		if _, _, err := parsePeers(bad.spec, bad.id, bad.addr); err == nil {
+			t.Errorf("parsePeers(%q, %q, %q) accepted", bad.spec, bad.id, bad.addr)
+		}
+	}
+}
+
+func TestSanitizeNodeID(t *testing.T) {
+	if got := sanitizeNodeID("localhost:8080"); got != "localhost_8080" {
+		t.Fatalf("got %q", got)
+	}
+	if got := sanitizeNodeID("node-1.sub_x"); got != "node-1.sub_x" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -6,16 +6,16 @@
 // is missing.
 //
 // It additionally enforces the context-first contract of the public
-// serving and durability surfaces: in the root package (beas.go,
-// persistence.go), internal/serve and internal/persist, every exported
-// function or method whose name says it performs I/O or execution (Query*,
-// Execute*, Plan*, Open*, Answer*, Stream*, Run*, Serve*, Fetch*,
-// Discover*, Save*, Load*, Checkpoint*, Snapshot*, Insert*, Delete*,
-// Apply*) must take a context.Context as its first parameter, so
-// cancellation and deadlines can always propagate into the executor and
-// the snapshot/WAL writers. Deprecated shims (a "Deprecated:" doc
-// paragraph) and the explicit allowlist of stats/constructor accessors are
-// exempt.
+// serving, durability and cluster surfaces: in the root package (beas.go,
+// persistence.go), internal/serve, internal/persist and internal/cluster,
+// every exported function or method whose name says it performs I/O or
+// execution (Query*, Execute*, Plan*, Open*, Answer*, Stream*, Run*,
+// Serve*, Fetch*, Discover*, Save*, Load*, Checkpoint*, Snapshot*,
+// Insert*, Delete*, Apply*, Dial*, Join*) must take a context.Context as
+// its first parameter, so cancellation and deadlines can always propagate
+// into the executor, the snapshot/WAL writers and the remote fetch RPCs.
+// Deprecated shims (a "Deprecated:" doc paragraph) and the explicit
+// allowlist of stats/constructor accessors are exempt.
 //
 // Usage:
 //
@@ -189,7 +189,7 @@ func checkFile(fset *token.FileSet, file *ast.File) []string {
 // only (Query and QueryStream match "Query"; Queryish does not).
 var ctxPrefixes = []string{
 	"Query", "Execute", "Plan", "Open", "Answer", "Stream", "Run", "Serve", "Fetch", "Discover",
-	"Save", "Load", "Checkpoint", "Snapshot", "Insert", "Delete", "Apply",
+	"Save", "Load", "Checkpoint", "Snapshot", "Insert", "Delete", "Apply", "Dial", "Join",
 }
 
 // ctxAllowlist exempts exported names that match a verb prefix but neither
@@ -205,7 +205,8 @@ var ctxAllowlist = map[string]bool{
 
 // isContextFirstFile reports whether the file belongs to the public
 // serving or durability surface held to the context-first contract: every
-// root-package file and everything in internal/serve and internal/persist.
+// root-package file and everything in internal/serve, internal/persist and
+// internal/cluster (remote fetches must always be cancellable).
 func isContextFirstFile(root, path string) bool {
 	rel, err := filepath.Rel(root, path)
 	if err != nil {
@@ -214,7 +215,8 @@ func isContextFirstFile(root, path string) bool {
 	rel = filepath.ToSlash(rel)
 	return !strings.Contains(rel, "/") ||
 		strings.HasPrefix(rel, "internal/serve/") ||
-		strings.HasPrefix(rel, "internal/persist/")
+		strings.HasPrefix(rel, "internal/persist/") ||
+		strings.HasPrefix(rel, "internal/cluster/")
 }
 
 // matchesCtxPrefix reports whether the name starts with an execution verb

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates path (and its parents) under root with the given source.
+func write(t *testing.T, root, path, src string) {
+	t.Helper()
+	full := filepath.Join(root, filepath.FromSlash(path))
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterGate is the negative test for the internal/cluster doccheck
+// coverage: an undocumented exported identifier and a context-less Fetch*/
+// Dial*/Join* function in internal/cluster must each produce a finding.
+func TestClusterGate(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/cluster/bad.go", `// Package cluster is a doccheck test fixture.
+package cluster
+
+import "context"
+
+type Ring struct{}
+
+// FetchLevels lacks a context first parameter.
+func FetchLevels(k int) error { return nil }
+
+// DialPeer lacks a context first parameter.
+func DialPeer(addr string) error { return nil }
+
+// JoinRing is compliant.
+func JoinRing(ctx context.Context) error { return nil }
+`)
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		"exported type Ring has no doc comment",
+		"FetchLevels performs I/O or execution but lacks a context.Context first parameter",
+		"DialPeer performs I/O or execution but lacks a context.Context first parameter",
+	}
+	for _, want := range wants {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing finding %q in %v", want, findings)
+		}
+	}
+	for _, f := range findings {
+		if strings.Contains(f, "JoinRing") {
+			t.Errorf("compliant JoinRing flagged: %s", f)
+		}
+	}
+	if want, got := len(wants), len(findings); got != want {
+		t.Errorf("got %d findings, want %d: %v", got, want, findings)
+	}
+}
+
+// TestClusterGateClean asserts a fully compliant internal/cluster file
+// passes, so the gate does not cry wolf.
+func TestClusterGateClean(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/cluster/good.go", `// Package cluster is a doccheck test fixture.
+package cluster
+
+import "context"
+
+// Fetcher resolves remote fetches.
+type Fetcher struct{}
+
+// FetchBatch is context-first as required.
+func (f *Fetcher) FetchBatch(ctx context.Context, k int) error { return nil }
+`)
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("unexpected findings: %v", findings)
+	}
+}
+
+// TestOutsideClusterNotGated asserts the context-first rule still does not
+// apply to packages outside the gated surfaces.
+func TestOutsideClusterNotGated(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "internal/other/ok.go", `// Package other is a doccheck test fixture.
+package other
+
+// FetchThing has no ctx, which is fine outside the gated surfaces.
+func FetchThing(k int) error { return nil }
+`)
+	findings, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("unexpected findings: %v", findings)
+	}
+}

@@ -137,12 +137,29 @@ func measureHTTP(cfg httpBenchConfig, shards int, suffix string, execOpts ...bea
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+
+	lat, err := measureServeTraffic(cfg, ts.URL, "http", suffix)
+	if err != nil {
+		return nil, err
+	}
+	for i := range lat {
+		lat[i].Shards = shards
+	}
+	return lat, nil
+}
+
+// measureServeTraffic drives the mixed workload against an already-running
+// serve.Server at baseURL and folds the observed latencies into the two
+// tracked entries <prefix>_query_<suffix> and <prefix>_batch_<suffix>. It
+// is the shared measurement core of the HTTP and cluster harnesses — only
+// how the server was assembled differs between them.
+func measureServeTraffic(cfg httpBenchConfig, baseURL, prefix, suffix string) ([]PerfLatency, error) {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.workers * 2}}
 	defer client.CloseIdleConnections()
 
 	queries := httpBenchQueries()
 	post := func(path string, body []byte) error {
-		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
@@ -167,7 +184,7 @@ func measureHTTP(cfg httpBenchConfig, shards int, suffix string, execOpts ...bea
 	// steady-state serving (plan cache hot), not first-touch chase work.
 	for i := range queries {
 		if err := post("/query", queryBody(i)); err != nil {
-			return nil, fmt.Errorf("bench: http warmup (%s): %w", suffix, err)
+			return nil, fmt.Errorf("bench: %s warmup (%s): %w", prefix, suffix, err)
 		}
 	}
 
@@ -175,7 +192,7 @@ func measureHTTP(cfg httpBenchConfig, shards int, suffix string, execOpts ...bea
 		return post("/query", queryBody(i))
 	})
 	if err != nil {
-		return nil, fmt.Errorf("bench: http_query_%s: %w", suffix, err)
+		return nil, fmt.Errorf("bench: %s_query_%s: %w", prefix, suffix, err)
 	}
 
 	batchBody := func(i int) []byte {
@@ -190,14 +207,13 @@ func measureHTTP(cfg httpBenchConfig, shards int, suffix string, execOpts ...bea
 		return post("/batch", batchBody(i))
 	})
 	if err != nil {
-		return nil, fmt.Errorf("bench: http_batch_%s: %w", suffix, err)
+		return nil, fmt.Errorf("bench: %s_batch_%s: %w", prefix, suffix, err)
 	}
 
-	qs := summarizeLatency("http_query_"+suffix, qLat, cfg.workers)
-	qs.Shards = shards
-	bs := summarizeLatency("http_batch_"+suffix, bLat, cfg.workers)
-	bs.Shards = shards
-	return []PerfLatency{qs, bs}, nil
+	return []PerfLatency{
+		summarizeLatency(prefix+"_query_"+suffix, qLat, cfg.workers),
+		summarizeLatency(prefix+"_batch_"+suffix, bLat, cfg.workers),
+	}, nil
 }
 
 // fireConcurrent runs n operations over `workers` goroutines, returning the

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// PeerStats is one peer's client-side counters, as rendered in the /stats
+// cluster section.
+type PeerStats struct {
+	URL         string `json:"url"`
+	Fetches     int64  `json:"fetches"`
+	Retries     int64  `json:"retries"`
+	Failures    int64  `json:"failures"`
+	FastFails   int64  `json:"circuit_fast_fails"`
+	CircuitOpen bool   `json:"circuit_open"`
+	P95Micros   int64  `json:"remote_p95_micros"`
+}
+
+// Stats returns the node's cluster counters as the JSON-ready map
+// internal/serve embeds in /stats: ring assignment (per-node keyspace
+// shares), served-fetch totals, local/remote routing splits and per-peer
+// fetch/retry/failure/circuit/p95 numbers.
+func (n *Node) Stats() map[string]any {
+	now := time.Now()
+	peers := make(map[string]PeerStats, len(n.order))
+	openCircuits := 0
+	for _, id := range n.order {
+		p := n.peers[id]
+		p.mu.Lock()
+		ps := PeerStats{
+			URL:       p.url,
+			Fetches:   p.fetches,
+			Retries:   p.retries,
+			Failures:  p.failures,
+			FastFails: p.fastFails,
+		}
+		ps.CircuitOpen = !p.openUntil.IsZero() && now.Before(p.openUntil)
+		p.mu.Unlock()
+		ps.P95Micros = p.p95Micros()
+		if ps.CircuitOpen {
+			openCircuits++
+		}
+		peers[id] = ps
+	}
+	return map[string]any{
+		"node_id":        n.cfg.NodeID,
+		"nodes":          len(n.order) + 1,
+		"ring_shares":    n.ring.Shares(),
+		"served_fetches": n.served.Load(),
+		"served_rows":    n.servedRows.Load(),
+		"local_xs":       n.localXs.Load(),
+		"remote_xs":      n.remoteXs.Load(),
+		"open_circuits":  openCircuits,
+		"peers":          peers,
+	}
+}
+
+// RemoteXs returns how many X-value fetches this node's Fetcher routed to
+// peers over the wire. Harnesses use it to assert a multi-node measurement
+// did not silently degenerate to the local path.
+func (n *Node) RemoteXs() int64 { return n.remoteXs.Load() }
+
+// Ready returns the reasons this node is NOT ready to serve cluster-routed
+// queries — one entry per peer whose circuit breaker is open (i.e. the
+// peer stayed unreachable past the retry budget). Empty means ready;
+// internal/serve folds these into /readyz's 503 reasons.
+func (n *Node) Ready() []string {
+	now := time.Now()
+	var reasons []string
+	for _, id := range n.order {
+		if open, fails := n.peers[id].circuitOpen(now); open {
+			reasons = append(reasons, fmt.Sprintf(
+				"cluster peer %s unreachable: circuit open after %d consecutive failed fetches", id, fails))
+		}
+	}
+	return reasons
+}

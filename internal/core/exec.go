@@ -153,6 +153,7 @@ func leafOpts(o ExecOptions, budget, fetchWorkers int) plan.ExecOpts {
 		po.MinParallelEmitRows = o.MinParallelEmitRows
 	}
 	po.ColumnarScan = !o.NoColumnarScan
+	po.Fetcher = o.Fetcher
 	return po
 }
 

@@ -95,6 +95,13 @@ type ExecOptions struct {
 	// stats are identical — the knob exists for differential testing and
 	// apples-to-apples measurement).
 	NoColumnarScan bool
+	// Fetcher, when non-nil, resolves every fetch-step batch through the
+	// routing layer instead of the in-process ladder scatter-gather (the
+	// cluster seam — see plan.ExecOpts.Fetcher). Answers, η and budget
+	// accounting are byte-identical to local execution; a fetch the router
+	// cannot complete surfaces as its typed error (never a silently partial
+	// answer).
+	Fetcher plan.RemoteFetcher
 	// BypassCache skips the plan cache entirely (no lookup, no insert).
 	BypassCache bool
 	// ExplainEta attaches the full bound-derivation trace (BoundTrace) to

@@ -268,8 +268,8 @@ func applyStepBlocks(ctx context.Context, p *Bounded, atoms []*blockAtom, sl *st
 		}
 		enumCount *= len(extVals[gi])
 	}
-	if workers > 1 && enumCount >= o.MinParallelEmitRows {
-		if err := prefetchStepBlocks(ctx, cur, extVals, sl, s, k, budget, stats, cache, workers); err != nil {
+	if o.Fetcher != nil || (workers > 1 && enumCount >= o.MinParallelEmitRows) {
+		if err := prefetchStepBlocks(ctx, cur, extVals, sl, s, k, budget, stats, cache, workers, o.Fetcher); err != nil {
 			return err
 		}
 	}
@@ -422,8 +422,9 @@ type stepEmit struct {
 // distinct X-values in first-seen enumeration order, resolve them with one
 // scatter-gather batch of level blocks, and budget-account sequentially in
 // exactly that order — the same tuples the lazy path would charge,
-// truncated (as a block prefix view) at the same point.
-func prefetchStepBlocks(ctx context.Context, cur *blockAtom, extVals [][]relation.Tuple, sl *stepLayout, s *chase.Step, k, budget int, stats *Stats, cache *relation.TupleMap[cachedLevel], workers int) error {
+// truncated (as a block prefix view) at the same point. A non-nil fetcher
+// replaces the in-process batch with the routed one (the cluster seam).
+func prefetchStepBlocks(ctx context.Context, cur *blockAtom, extVals [][]relation.Tuple, sl *stepLayout, s *chase.Step, k, budget int, stats *Stats, cache *relation.TupleMap[cachedLevel], workers int, fetcher RemoteFetcher) error {
 	fill := make([]relation.Value, len(sl.route))
 	scratch := make(relation.Tuple, len(sl.route))
 	seen := relation.NewTupleSet(0)
@@ -451,7 +452,16 @@ func prefetchStepBlocks(ctx context.Context, cur *blockAtom, extVals [][]relatio
 		return err
 	}
 
-	raw := s.Ladder.FetchBatchBlocks(xs, k, workers)
+	var raw []*access.LevelBlock
+	if fetcher != nil {
+		var err error
+		raw, err = fetcher.FetchBatchBlocks(ctx, s.Ladder, xs, k)
+		if err != nil {
+			return err
+		}
+	} else {
+		raw = s.Ladder.FetchBatchBlocks(xs, k, workers)
+	}
 
 	for i, xt := range xs {
 		lvl := raw[i]
@@ -681,7 +691,7 @@ func evaluateColumnar(ctx context.Context, p *Bounded, lay *planLayout, atoms []
 			next.Col(j).AppendIndexes(env.Col(j), eIdx)
 		}
 		for j := 0; j < blk.Width(); j++ {
-			next.Col(prevWidth + j).AppendIndexes(blk.Col(j), aIdx)
+			next.Col(prevWidth+j).AppendIndexes(blk.Col(j), aIdx)
 		}
 		next.AddRows(len(eIdx))
 		env, envW = next, joinedW

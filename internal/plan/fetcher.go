@@ -1,0 +1,31 @@
+package plan
+
+import (
+	"context"
+
+	"repro/internal/access"
+	"repro/internal/relation"
+)
+
+// RemoteFetcher resolves the batched ladder fetches of the prefetch step
+// against owners that may live outside this process — the seam the cluster
+// layer (internal/cluster) plugs into the executor. The contract mirrors
+// access.Ladder.FetchBatch/FetchBatchBlocks exactly: out[i] corresponds to
+// xs[i] (nil for missing groups), every returned view is the group's FULL
+// untruncated level — budget accounting and truncation stay with the
+// caller, sequential in first-seen enumeration order, which is what keeps
+// N-node execution byte-identical to the in-process path.
+//
+// A fetcher must return row-for-row the same samples the ladder itself
+// would (TestClusterInvariance asserts this over the soundness corpus). A
+// fetch that cannot be completed — a peer down, a corrupt frame — must
+// surface as a typed error, never as silently missing data: the executor
+// aborts the plan rather than answer from a partial view.
+type RemoteFetcher interface {
+	// FetchBatch resolves the level-k sample views for every X-value of xs,
+	// in xs order.
+	FetchBatch(ctx context.Context, l *access.Ladder, xs []relation.Tuple, k int) ([][]access.Sample, error)
+	// FetchBatchBlocks is FetchBatch in columnar form (the ColumnarScan
+	// path): one level block per X-value, nil for missing groups.
+	FetchBatchBlocks(ctx context.Context, l *access.Ladder, xs []relation.Tuple, k int) ([]*access.LevelBlock, error)
+}

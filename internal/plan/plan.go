@@ -112,6 +112,16 @@ type ExecOpts struct {
 	// path (asserted by TestColumnarScanMatchesRowScan); false keeps the
 	// row-at-a-time reference path.
 	ColumnarScan bool
+	// Fetcher, when non-nil, resolves every fetch step's batch through it
+	// instead of the ladder's in-process scatter-gather — the cluster
+	// routing seam. Setting it forces the prefetch path on every step (the
+	// lazy per-X fallback would bypass the router), which is safe because
+	// prefetch and lazy fetching are proven byte-identical; budget
+	// accounting stays sequential in first-seen enumeration order over the
+	// returned views, so answers do not depend on where a fetch was served.
+	// A fetcher error aborts the step (typed, e.g. *cluster.PeerError) —
+	// never a silently partial answer.
+	Fetcher RemoteFetcher
 }
 
 // DefaultMinParallelEmitRows is the default chunked-emit gate of
@@ -367,9 +377,9 @@ func applyStep(ctx context.Context, p *Bounded, atoms []*FetchedAtom, sl *stepLa
 		}
 		enumCount *= len(extVals[gi])
 	}
-	prefetched := workers > 1 && enumCount >= o.MinParallelEmitRows
+	prefetched := o.Fetcher != nil || (workers > 1 && enumCount >= o.MinParallelEmitRows)
 	if prefetched {
-		if err := prefetchStep(ctx, cur, extVals, sl, s, k, budget, stats, cache, workers); err != nil {
+		if err := prefetchStep(ctx, cur, extVals, sl, s, k, budget, stats, cache, workers, o.Fetcher); err != nil {
 			return err
 		}
 	}
@@ -497,8 +507,10 @@ func applyStep(ctx context.Context, p *Bounded, atoms []*FetchedAtom, sl *stepLa
 // accounts them against the budget sequentially in exactly that order —
 // the same tuples the lazy path would charge, truncated at the same point.
 // ctx is checked during collection (every cancelStride visits) and again
-// immediately before the shard fan-out.
-func prefetchStep(ctx context.Context, cur *FetchedAtom, extVals [][]relation.Tuple, sl *stepLayout, s *chase.Step, k, budget int, stats *Stats, cache *relation.TupleMap[[]access.Sample], workers int) error {
+// immediately before the shard fan-out. A non-nil fetcher replaces the
+// in-process batch with the routed one — same view contract, so the
+// sequential accounting below is oblivious to where a fetch was served.
+func prefetchStep(ctx context.Context, cur *FetchedAtom, extVals [][]relation.Tuple, sl *stepLayout, s *chase.Step, k, budget int, stats *Stats, cache *relation.TupleMap[[]access.Sample], workers int, fetcher RemoteFetcher) error {
 	fill := make([]relation.Value, len(sl.route))
 	scratch := make(relation.Tuple, len(sl.route))
 	seen := relation.NewTupleSet(0)
@@ -528,7 +540,16 @@ func prefetchStep(ctx context.Context, cur *FetchedAtom, extVals [][]relation.Tu
 		return err
 	}
 
-	raw := s.Ladder.FetchBatch(xs, k, workers)
+	var raw [][]access.Sample
+	if fetcher != nil {
+		var err error
+		raw, err = fetcher.FetchBatch(ctx, s.Ladder, xs, k)
+		if err != nil {
+			return err
+		}
+	} else {
+		raw = s.Ladder.FetchBatch(xs, k, workers)
+	}
 
 	for i, xt := range xs {
 		samples := raw[i]

@@ -35,6 +35,11 @@
 // attribution, plan-cache effectiveness, process uptime, per-ladder
 // resident footprints and — when the system is persisted — the snapshot/WAL
 // counters of the durability layer.
+//
+// When Config.Cluster is set, the node's /internal/fetch RPC (see
+// internal/cluster) rides the same mux, /stats grows a cluster section,
+// open peer circuits fail /readyz, and a query that dies on an unreachable
+// peer answers 502 with the typed *cluster.PeerError text.
 package serve
 
 import (
@@ -53,6 +58,7 @@ import (
 	"time"
 
 	beas "repro"
+	"repro/internal/cluster"
 )
 
 // Config assembles a Server. System is required; zero values elsewhere get
@@ -99,6 +105,14 @@ type Config struct {
 	// value is automatic control with defaults; Mode "off" restores the
 	// reject-only behaviour of earlier versions.
 	Brownout BrownoutConfig
+
+	// Cluster, when non-nil, makes this server a member of a multi-node
+	// deployment: its /internal/fetch RPC is mounted on the same mux, a
+	// *cluster.PeerError maps to 502 Bad Gateway, open peer circuits fail
+	// /readyz and /stats grows a cluster section. The embedder still wires
+	// the node's Fetcher into ExecOptions (beas.WithRemoteFetcher) — serve
+	// only exposes the node, it does not reroute execution by itself.
+	Cluster *cluster.Node
 }
 
 func (c Config) withDefaults() Config {
@@ -316,6 +330,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/stats", s.handleStats)
+	if s.cfg.Cluster != nil {
+		mux.Handle(cluster.FetchPath, s.cfg.Cluster.Handler())
+	}
 	return s.recoverMiddleware(mux)
 }
 
@@ -439,8 +456,14 @@ func (s *Server) execute(ctx context.Context, req QueryRequest) (*QueryResponse,
 			return nil, http.StatusInternalServerError, err
 		}
 		code := http.StatusUnprocessableEntity
-		if errors.Is(err, context.DeadlineExceeded) {
+		var pe *cluster.PeerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
 			code = http.StatusGatewayTimeout
+		case errors.As(err, &pe):
+			// Typed degraded path: a cluster peer was unreachable past the
+			// retry budget — the answer is refused, never silently partial.
+			code = http.StatusBadGateway
 		}
 		return nil, code, err
 	}
@@ -898,6 +921,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			reasons = append(reasons, "WAL degraded: mutations refused")
 		}
 	}
+	if s.cfg.Cluster != nil {
+		reasons = append(reasons, s.cfg.Cluster.Ready()...)
+	}
 	if len(reasons) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status":  "not ready",
@@ -980,7 +1006,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	level, shifts := s.brown.snapshot()
+	var clusterSection map[string]any
+	if s.cfg.Cluster != nil {
+		clusterSection = s.cfg.Cluster.Stats()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"cluster":        clusterSection,
 		"queries":        ok,
 		"failures":       s.failures.Load(),
 		"streams":        s.streams.Load(),
