@@ -42,6 +42,7 @@ import (
 	"repro/internal/accuracy"
 	"repro/internal/core"
 	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/plan"
 	"repro/internal/plancache"
@@ -342,6 +343,64 @@ func WithRemoteFetcher(f RemoteFetcher) Option {
 // broken out, e.g. per tenant or per endpoint.
 func WithTag(tag string) Option {
 	return func(o *core.ExecOptions) { o.Tag = tag }
+}
+
+// Trace is a query-scoped span tree (see WithTrace): a root "query" span
+// with timed children for planning, each leaf fetch (per shard or cluster
+// peer), combine and η′ refinement, annotated with tuples accessed vs.
+// budget, the level served and η. Render it with Trace.String or walk it
+// from Trace.Root.
+type Trace = obs.Trace
+
+// TraceSpan is one node of a Trace.
+type TraceSpan = obs.Span
+
+// MetricsRegistry is a dependency-free metrics registry rendering the
+// Prometheus text exposition format; see System.RegisterMetrics and
+// cmd/beasd's /metrics endpoint.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTrace starts an empty query trace. Pass it to a single query call
+// with WithTrace; when the call returns, the trace is complete (its root
+// span ended) and also available as Answer.ExecTrace.
+func NewTrace() *Trace { return obs.NewTrace("query") }
+
+// WithTrace collects a query-scoped span tree into t: plan-cache lookup,
+// plan generation, each leaf fetch (shard scatter-gather per shard,
+// cluster RPC per peer with retry and circuit state), combine and η′
+// refinement, each span annotated with wall time, tuples accessed vs.
+// budget and the resolution level served. A trace is for one call; the
+// disabled path (no WithTrace) costs one context lookup plus a nil check
+// per instrumentation point.
+func WithTrace(t *Trace) Option {
+	return func(o *core.ExecOptions) { o.Trace = t }
+}
+
+// RegisterMetrics binds the system's instruments — plan-cache
+// effectiveness, occupancy and, for persisted systems, durability state —
+// into reg. The counters registered are the very atomics the system
+// increments, so a scrape and PlanCacheStats cannot disagree.
+func (s *System) RegisterMetrics(reg *MetricsRegistry) {
+	if h, m, e := s.scheme.PlanCacheCounters(); h != nil {
+		reg.RegisterCounter("beas_plancache_hits_total",
+			"Plan cache lookups served from the LRU.", h)
+		reg.RegisterCounter("beas_plancache_misses_total",
+			"Plan cache lookups that generated a new plan.", m)
+		reg.RegisterCounter("beas_plancache_evictions_total",
+			"Plans evicted to respect the cache capacity.", e)
+	}
+	reg.GaugeFunc("beas_plancache_entries",
+		"Plans currently cached.",
+		func() float64 { return float64(s.scheme.CacheStats().Len) })
+	reg.GaugeFunc("beas_plancache_capacity",
+		"Plan cache capacity bound.",
+		func() float64 { return float64(s.scheme.CacheStats().Cap) })
+	if s.store != nil {
+		s.store.RegisterMetrics(reg)
+	}
 }
 
 // WithExplainEta attaches the bound-derivation trace to the answer

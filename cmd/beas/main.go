@@ -15,6 +15,11 @@
 // that contributed to the reported η, with the fetch resolutions it
 // consumed — the way to see *why* a bound is what it is.
 //
+// Pass -explain-trace to print the execution span tree: planning (cache
+// hit or generation), each leaf with its fetch steps and per-shard
+// fan-out, combine and η′ refinement, each with wall time and access
+// counts — the way to see *where* a query's time and budget went.
+//
 // Pass -timeout to bound the wall time of the query: the deadline travels
 // into the executor as a context deadline, so an over-long execution is
 // abandoned mid-flight (Ctrl-C cancels the same way).
@@ -34,15 +39,16 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "tpch", "dataset: tpch | airca | tfacc")
-		scale   = flag.Int("scale", 1, "dataset scale factor")
-		seed    = flag.Int64("seed", 2017, "generator seed")
-		alpha   = flag.Float64("alpha", 0.01, "resource ratio in (0, 1]")
-		sql     = flag.String("sql", "", "SQL query (required)")
-		exact   = flag.Bool("exact", false, "also compute exact answers and realised accuracy")
-		maxRows = flag.Int("rows", 20, "max answer rows to print")
-		timeout = flag.Duration("timeout", 0, "abandon the query after this long (0 = no limit)")
-		explain = flag.Bool("explain-eta", false, "print the bound-derivation trace behind the reported eta")
+		dataset      = flag.String("dataset", "tpch", "dataset: tpch | airca | tfacc")
+		scale        = flag.Int("scale", 1, "dataset scale factor")
+		seed         = flag.Int64("seed", 2017, "generator seed")
+		alpha        = flag.Float64("alpha", 0.01, "resource ratio in (0, 1]")
+		sql          = flag.String("sql", "", "SQL query (required)")
+		exact        = flag.Bool("exact", false, "also compute exact answers and realised accuracy")
+		maxRows      = flag.Int("rows", 20, "max answer rows to print")
+		timeout      = flag.Duration("timeout", 0, "abandon the query after this long (0 = no limit)")
+		explain      = flag.Bool("explain-eta", false, "print the bound-derivation trace behind the reported eta")
+		explainTrace = flag.Bool("explain-trace", false, "print the execution span tree (planning, leaves, fetch steps, shard fan-out) with timings")
 	)
 	flag.Parse()
 	if *sql == "" {
@@ -88,6 +94,11 @@ func main() {
 	if *explain {
 		opts = append(opts, beas.WithExplainEta())
 	}
+	var tr *beas.Trace
+	if *explainTrace {
+		tr = beas.NewTrace()
+		opts = append(opts, beas.WithTrace(tr))
+	}
 	ans, plan, err := sys.Query(ctx, q, opts...)
 	fatal(err)
 
@@ -103,6 +114,12 @@ func main() {
 	if *explain {
 		fmt.Println("bound trace:")
 		fmt.Print(ans.Trace)
+		fmt.Println()
+	}
+
+	if *explainTrace && tr != nil {
+		fmt.Println("execution trace:")
+		fmt.Print(tr.String())
 		fmt.Println()
 	}
 

@@ -62,6 +62,7 @@ func run() (code int) {
 		clusterB  = flag.Bool("cluster", false, "run the cluster latency harness (fetches routed over the peer RPC, node counts 1/2/3)")
 		persistB  = flag.Bool("persist", false, "run the cold-vs-warm start harness (snapshot load vs ladder rebuild)")
 		overloadB = flag.Bool("overload", false, "run the overload harness: goodput/eta/latency at saturation per brownout mode")
+		obsB      = flag.Bool("obsbench", false, "run the observability-overhead harness (tracked ops + serving latency, obs off vs on)")
 		auditB    = flag.Bool("etaaudit", false, "run the eta-soundness audit sweep (fails on any accuracy < eta)")
 		out       = flag.String("out", "", "with -perf/-http: write (or append the run to) this JSON report")
 		label     = flag.String("label", "current", "with -perf/-http: label of the run inside the report")
@@ -154,8 +155,8 @@ func run() (code int) {
 		cfg.WorkloadSeed = override64(*auditWorkSd, base.WorkloadSeed)
 		return runEtaAudit(*out, *label, *pr, *smoke, cfg)
 	}
-	if *perf || *httpB || *clusterB || *persistB || *overloadB {
-		return runPerf(*out, *label, *pr, *smoke, *httpB, *clusterB, *persistB, *overloadB)
+	if *perf || *httpB || *clusterB || *persistB || *overloadB || *obsB {
+		return runPerf(*out, *label, *pr, *smoke, *httpB, *clusterB, *persistB, *overloadB, *obsB)
 	}
 	return runFigures(*fig, *tiny, *queries)
 }
@@ -231,9 +232,10 @@ func appendRun(path string, pr int, desc string, run *bench.PerfRun) int {
 	return 0
 }
 
-func runPerf(out, label string, pr int, smoke, httpB, clusterB, persistB, overloadB bool) int {
+func runPerf(out, label string, pr int, smoke, httpB, clusterB, persistB, overloadB, obsB bool) int {
 	var run *bench.PerfRun
 	var err error
+	desc := "Tracked execution-core performance: plan execution, offline index build, serving latency."
 	switch {
 	case httpB:
 		run, err = bench.RunHTTPPerf(label, smoke, nil)
@@ -243,6 +245,9 @@ func runPerf(out, label string, pr int, smoke, httpB, clusterB, persistB, overlo
 		run, err = bench.RunPersistPerf(label, smoke)
 	case overloadB:
 		run, err = bench.RunOverloadPerf(label, smoke)
+	case obsB:
+		run, err = bench.RunObsPerf(label, smoke)
+		desc = "Observability overhead: tracked ops and serving latency with tracing+audit off vs on."
 	default:
 		run, err = bench.RunPerf(label, smoke)
 	}
@@ -269,7 +274,7 @@ func runPerf(out, label string, pr int, smoke, httpB, clusterB, persistB, overlo
 		return 0
 	}
 	// Replace a same-labelled run so re-runs stay idempotent.
-	return appendRun(out, pr, "Tracked execution-core performance: plan execution, offline index build, serving latency.", run)
+	return appendRun(out, pr, desc, run)
 }
 
 func runFigures(fig string, tiny bool, queries int) int {

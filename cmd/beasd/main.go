@@ -41,6 +41,15 @@
 //	                 weight, per-tag attribution, plan-cache stats,
 //	                 uptime, per-ladder footprints, snapshot/WAL counters,
 //	                 brownout level and shed/degraded counters
+//	GET  /metrics  → the same counters in Prometheus text exposition
+//	                 format (one registry backs both endpoints)
+//
+// Observability (see ARCHITECTURE.md §14): POST /query?debug=trace returns
+// the query's span tree alongside the answer; -slow-query-ms traces every
+// query and logs the span tree of the outliers; -audit-log appends one
+// NDJSON audit record per query (filtered by -audit-filter); -pprof-addr
+// serves net/http/pprof on a separate listener; -log-format switches the
+// structured log between human text and JSON lines.
 //
 // With -peers the daemon joins a static cluster (see internal/cluster): a
 // consistent-hash ring assigns ladder groups to the named nodes, every node
@@ -72,8 +81,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers for the -pprof-addr listener
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -85,6 +94,8 @@ import (
 	"repro/internal/access"
 	"repro/internal/cluster"
 	"repro/internal/fixture"
+	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -110,8 +121,27 @@ func main() {
 		minAlpha  = flag.Float64("min-alpha", 0, "floor the brownout controller may not degrade effective alpha below (0 = default 0.02)")
 		peers     = flag.String("peers", "", "static cluster members as comma-separated host:port or id=host:port entries (this node included); empty = single-node")
 		nodeID    = flag.String("node-id", "", "this node's ring identity (default: its own -peers entry matching -addr, else -addr)")
+
+		logFormat   = flag.String("log-format", "text", "structured log format: text | json")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off). Keep it off public interfaces.")
+		auditPath   = flag.String("audit-log", "", "append one NDJSON audit record per query to this file (empty = off; \"-\" = stdout)")
+		auditFilter = flag.String("audit-filter", "", "audit allowlist, e.g. \"events=query,batch;tags=team-a\" (empty = audit everything)")
+		slowQueryMS = flag.Int("slow-query-ms", 0, "trace every query and log the span tree of any slower than this many milliseconds (0 = off)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
+		os.Exit(2)
+	}
+	// Contained engine panics (parallel leaves, stream producers, batch
+	// workers) become structured error events at the point of recovery,
+	// even on paths that never surface through an HTTP response.
+	guard.SetReporter(func(pe *guard.PanicError) {
+		logger.Error("contained engine panic", "op", pe.Op,
+			"panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
+	})
 
 	if *shards > 0 {
 		access.DefaultShards = *shards
@@ -127,13 +157,13 @@ func main() {
 	if nodeDataDir != "" && len(members) > 0 {
 		nodeDataDir = filepath.Join(nodeDataDir, sanitizeNodeID(self))
 	}
-	sys, size, rels, err := open(*dataset, *scale, *seed, nodeDataDir, *ckptEvery, *ckptRetry, *walSync, *shards)
+	sys, size, rels, err := open(*dataset, *scale, *seed, nodeDataDir, *ckptEvery, *ckptRetry, *walSync, *shards, logger)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
 		os.Exit(2)
 	}
-	log.Printf("beasd: dataset %s ready: |D| = %d tuples, %d relations, %d-way sharded ladders",
-		*dataset, size, rels, effectiveShards(sys))
+	logger.Info("dataset ready", "dataset", *dataset, "tuples", size,
+		"relations", rels, "shards", effectiveShards(sys))
 
 	var node *cluster.Node
 	var execOpts []beas.Option
@@ -148,7 +178,25 @@ func main() {
 			os.Exit(2)
 		}
 		execOpts = append(execOpts, beas.WithRemoteFetcher(node.Fetcher()))
-		log.Printf("beasd: cluster node %s in %d-node ring (peers: %d)", self, len(members), len(members)-1)
+		logger.Info("cluster node joined ring", "node", self, "ring", len(members), "peers", len(members)-1)
+	}
+
+	audit, auditClose, err := openAudit(*auditPath, *auditFilter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		// net/http/pprof registered its handlers on http.DefaultServeMux at
+		// import; a dedicated listener keeps profiling off the serving port
+		// (and off the load balancer).
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -168,7 +216,10 @@ func main() {
 			Mode:     *brownout,
 			MinAlpha: *minAlpha,
 		},
-		Cluster: node,
+		Cluster:   node,
+		Audit:     audit,
+		SlowQuery: time.Duration(*slowQueryMS) * time.Millisecond,
+		Logger:    logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "beasd: %v\n", err)
@@ -181,9 +232,10 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
-		log.Printf("beasd: listening on %s (default alpha %g)", *addr, *alpha)
+		logger.Info("listening", "addr", *addr, "default_alpha", *alpha)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("beasd: %v", err)
+			logger.Error("listener failed", "err", err)
+			os.Exit(1)
 		}
 	}()
 
@@ -194,12 +246,12 @@ func main() {
 	// Graceful shutdown, in dependency order: stop accepting and drain
 	// in-flight HTTP work, drain the accepted /batch backlog, write a final
 	// checkpoint so the next start is warm, release the WAL.
-	log.Print("beasd: shutting down: draining requests")
+	logger.Info("shutting down: draining requests")
 	srv.StartDrain() // readiness fails first so balancers stop routing here
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("beasd: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	srv.Close()
 	if node != nil {
@@ -211,15 +263,47 @@ func main() {
 		// checkpoint that makes the next start warm.
 		ckptCtx, ckptCancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer ckptCancel()
-		log.Print("beasd: final checkpoint")
+		logger.Info("final checkpoint")
 		if err := sys.Checkpoint(ckptCtx); err != nil {
-			log.Printf("beasd: final checkpoint: %v", err)
+			logger.Error("final checkpoint failed", "err", err)
 		}
 	}
-	if err := sys.Close(); err != nil {
-		log.Printf("beasd: close: %v", err)
+	if err := auditClose(); err != nil {
+		logger.Warn("audit close", "err", err)
 	}
-	log.Print("beasd: bye")
+	if err := sys.Close(); err != nil {
+		logger.Warn("close", "err", err)
+	}
+	logger.Info("bye")
+}
+
+// openAudit builds the audit log for the -audit-log/-audit-filter flags:
+// nil when disabled, stdout for "-", otherwise an append-opened file. The
+// returned closer drains the ring and releases the file.
+func openAudit(path, filterSpec string) (*obs.AuditLog, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	filter, err := obs.ParseAuditFilter(filterSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if path == "-" {
+		a := obs.NewAuditLog(os.Stdout, filter, 0)
+		return a, a.Close, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("audit log: %w", err)
+	}
+	a := obs.NewAuditLog(f, filter, 0)
+	return a, func() error {
+		err := a.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
 }
 
 // parsePeers resolves the -peers/-node-id flags into the full member map
@@ -303,7 +387,7 @@ func effectiveShards(sys *beas.System) int {
 // entirely, not just the index build. Otherwise the dataset is generated,
 // the schema built cold, and the initial snapshot written for the next
 // start.
-func open(dataset string, scale int, seed int64, dataDir string, ckptEvery, ckptRetry int, walSync bool, shards int) (*beas.System, int, int, error) {
+func open(dataset string, scale int, seed int64, dataDir string, ckptEvery, ckptRetry int, walSync bool, shards int, logger *obs.Logger) (*beas.System, int, int, error) {
 	db, populate, build, err := loadDataset(dataset, scale, seed)
 	if err != nil {
 		return nil, 0, 0, err
@@ -323,7 +407,7 @@ func open(dataset string, scale int, seed int64, dataDir string, ckptEvery, ckpt
 		beas.WithPersistShards(shards),
 		beas.WithCheckpointEvery(ckptEvery),
 		beas.WithCheckpointRetries(ckptRetry),
-		beas.WithPersistLogf(log.Printf),
+		beas.WithPersistLogf(logger.Logf),
 	}
 	if walSync {
 		opts = append(opts, beas.WithWALSync())
@@ -338,7 +422,8 @@ func open(dataset string, scale int, seed int64, dataDir string, ckptEvery, ckpt
 	if ps.WarmStart {
 		mode = fmt.Sprintf("warm start (%d WAL records replayed, generation skipped)", ps.Replayed)
 	}
-	log.Printf("beasd: persistence %s: %s in %v", dataDir, mode, time.Since(start).Round(time.Millisecond))
+	logger.Info("persistence opened", "dir", dataDir, "mode", mode,
+		"took", time.Since(start).Round(time.Millisecond))
 	return sys, db.Size(), len(db.Names()), nil
 }
 

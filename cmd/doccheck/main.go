@@ -205,8 +205,10 @@ var ctxAllowlist = map[string]bool{
 
 // isContextFirstFile reports whether the file belongs to the public
 // serving or durability surface held to the context-first contract: every
-// root-package file and everything in internal/serve, internal/persist and
-// internal/cluster (remote fetches must always be cancellable).
+// root-package file and everything in internal/serve, internal/persist,
+// internal/cluster (remote fetches must always be cancellable) and
+// internal/obs (the observability layer rides on every serving path, so
+// anything it executes must be cancellable too).
 func isContextFirstFile(root, path string) bool {
 	rel, err := filepath.Rel(root, path)
 	if err != nil {
@@ -216,7 +218,8 @@ func isContextFirstFile(root, path string) bool {
 	return !strings.Contains(rel, "/") ||
 		strings.HasPrefix(rel, "internal/serve/") ||
 		strings.HasPrefix(rel, "internal/persist/") ||
-		strings.HasPrefix(rel, "internal/cluster/")
+		strings.HasPrefix(rel, "internal/cluster/") ||
+		strings.HasPrefix(rel, "internal/obs/")
 }
 
 // matchesCtxPrefix reports whether the name starts with an execution verb

@@ -160,6 +160,11 @@ func (l *Ladder) NumGroups() int { return l.store.numGroups() }
 // Shards returns the partition count of the group store.
 func (l *Ladder) Shards() int { return l.store.NumShards() }
 
+// ShardOf returns the index of the store shard owning x's group — the same
+// routing FetchBatch's scatter-gather uses. Exposed so tracing can account
+// a batched fetch per shard without changing the fetch path's signatures.
+func (l *Ladder) ShardOf(x relation.Tuple) int { return l.store.shardOf(x) }
+
 // MaxGroupDistinct returns the largest group's distinct-Y count: the N of
 // the ladder's access-constraint view, and the per-X-value fetch bound that
 // tariff estimation uses without touching the data.

@@ -1,0 +1,206 @@
+// Observability-overhead harness: the tracked before/after evidence that
+// the obs layer obeys its own contract — disabled observability is free
+// (spans cost one context lookup plus a nil check; metrics do not exist on
+// paths that do not register them), and fully-enabled observability
+// (per-query span trees + audit records) prices in at single-digit
+// percent on the serving path.
+//
+// `beasbench -obsbench -out BENCH_N.json` appends one labelled run with
+// paired entries: each tracked operation measured with observability off
+// (`*_obs_off`, identical code path to the plain -perf harness) and with
+// tracing + audit on (`*_obs_on`). The off/on delta IS the overhead; the
+// off-vs-BENCH-baseline delta shows what merely linking the obs layer
+// costs everyone else (acceptance: ≤2%).
+package bench
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// obsAuditRecord builds the audit record the enabled path emits per
+// operation, shaped like the serving layer's.
+func obsAuditRecord(ans *core.Answer, served time.Duration) obs.AuditRecord {
+	return obs.AuditRecord{
+		Time:           time.Now().UTC().Format(time.RFC3339Nano),
+		Event:          "query",
+		SQLDigest:      "obsbench00000000",
+		AlphaRequested: 0.2,
+		AlphaEffective: 0.2,
+		BudgetSpent:    ans.Stats.Accessed,
+		Eta:            ans.Eta,
+		Exact:          ans.Exact,
+		Truncated:      ans.Stats.Truncated,
+		LatencyMicros:  served.Microseconds(),
+		Status:         http.StatusOK,
+	}
+}
+
+// runObsPlanBenchmark measures repeated execution of the plan for q with
+// full observability enabled: a fresh span tree per operation plus one
+// audit record through the asynchronous ring.
+func runObsPlanBenchmark(name string, s *core.Scheme, q query.Expr, alpha float64, audit *obs.AuditLog) (PerfBenchmark, error) {
+	ctx := context.Background()
+	p, err := s.PlanContext(ctx, q, core.ExecOptions{Alpha: alpha})
+	if err != nil {
+		return PerfBenchmark{}, err
+	}
+	var accessed, ops int64
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		accessed, ops = 0, 0
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace("query")
+			start := time.Now()
+			ans, err := s.ExecuteContext(ctx, p, core.ExecOptions{Trace: tr})
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			audit.Record(obsAuditRecord(ans, time.Since(start)))
+			accessed += int64(ans.Stats.Accessed)
+			ops++
+		}
+	})
+	if benchErr != nil {
+		return PerfBenchmark{}, benchErr
+	}
+	out := PerfBenchmark{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if ops > 0 {
+		out.TuplesPerOp = float64(accessed) / float64(ops)
+	}
+	return out, nil
+}
+
+// measureObsServingLatency mirrors measureServingLatency with per-query
+// tracing and audit recording enabled — the cost profile of a server run
+// with -slow-query-ms and -audit-log both on.
+func measureObsServingLatency(s *core.Scheme, n, workers int, audit *obs.AuditLog) (*PerfLatency, error) {
+	queries := make([]query.Expr, 8)
+	for i := range queries {
+		queries[i] = fixture.Q1(int64(i), 95)
+	}
+	durs := make([]time.Duration, n)
+	errs := make([]error, workers)
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(n) {
+			return -1
+		}
+		next++
+		return int(next - 1)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				q := queries[i%len(queries)]
+				tr := obs.NewTrace("query")
+				start := time.Now()
+				ans, _, err := s.AnswerContext(context.Background(), q, core.ExecOptions{Alpha: 0.2, Trace: tr})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				durs[i] = time.Since(start)
+				audit.Record(obsAuditRecord(ans, durs[i]))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	lat := summarizeLatency("serving_mixed_q1_obs_on", durs, workers)
+	lat.CacheHitRate = s.CacheStats().HitRate()
+	return &lat, nil
+}
+
+// RunObsPerf executes the observability-overhead suite once: the tracked
+// join and aggregation plans plus the mixed serving workload, each
+// measured observability-off and observability-on.
+func RunObsPerf(label string, smoke bool) (*PerfRun, error) {
+	run := RunPerfEnv()
+	run.Label = label
+	s, _, err := perfSystem()
+	if err != nil {
+		return nil, err
+	}
+	audit := obs.NewAuditLog(io.Discard, obs.AuditFilter{}, 0)
+	defer audit.Close()
+
+	cases := []struct {
+		name  string
+		q     query.Expr
+		alpha float64
+	}{
+		{"multi_leaf_join", MultiLeafJoinQuery(), 0.2},
+		{"group_by_agg", &query.GroupBy{
+			In: &query.SPC{
+				Atoms:  []query.Atom{{Rel: "poi", Alias: "h"}},
+				Preds:  []query.Pred{query.EqC(query.C("h", "type"), relation.String("hotel"))},
+				Output: []query.Col{query.C("h", "city"), query.C("h", "price")},
+			},
+			Keys: []query.Col{query.C("h", "city")},
+			Agg:  query.AggAvg,
+			On:   query.C("h", "price"),
+			As:   "avg_price",
+		}, 0.3},
+	}
+	for _, c := range cases {
+		off, err := runPlanBenchmark(c.name+"_obs_off", s, c.q, c.alpha)
+		if err != nil {
+			return nil, err
+		}
+		on, err := runObsPlanBenchmark(c.name+"_obs_on", s, c.q, c.alpha, audit)
+		if err != nil {
+			return nil, err
+		}
+		run.Benchmarks = append(run.Benchmarks, off, on)
+	}
+
+	nq, workers := 4000, runtime.GOMAXPROCS(0)
+	if smoke {
+		nq, workers = 64, 2
+	}
+	latOff, err := measureServingLatency(s, nq, workers)
+	if err != nil {
+		return nil, err
+	}
+	latOff.Name = "serving_mixed_q1_obs_off"
+	latOn, err := measureObsServingLatency(s, nq, workers, audit)
+	if err != nil {
+		return nil, err
+	}
+	run.Latency = append(run.Latency, *latOff, *latOn)
+	return run, nil
+}

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -278,25 +277,9 @@ func measureServingLatency(s *core.Scheme, n, workers int) (*PerfLatency, error)
 			return nil, fmt.Errorf("bench: serving latency: %w", err)
 		}
 	}
-	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-	var total time.Duration
-	for _, d := range durs {
-		total += d
-	}
-	pct := func(p float64) float64 {
-		i := int(p * float64(len(durs)-1))
-		return float64(durs[i].Nanoseconds()) / 1e3
-	}
-	st := s.CacheStats()
-	return &PerfLatency{
-		Name:         "serving_mixed_q1",
-		Queries:      n,
-		Workers:      workers,
-		P50Micros:    pct(0.50),
-		P99Micros:    pct(0.99),
-		MeanMicros:   float64(total.Nanoseconds()) / float64(len(durs)) / 1e3,
-		CacheHitRate: st.HitRate(),
-	}, nil
+	lat := summarizeLatency("serving_mixed_q1", durs, workers)
+	lat.CacheHitRate = s.CacheStats().HitRate()
+	return &lat, nil
 }
 
 // WritePerfReport marshals the report to path, indented for diffability.

@@ -29,11 +29,11 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/access"
 	"repro/internal/guard"
+	"repro/internal/obs"
 )
 
 // FetchPath is the internal RPC route every node serves and dials.
@@ -117,10 +117,12 @@ type Node struct {
 	// and stats rendering.
 	order []string
 
-	served     atomic.Int64 // /internal/fetch requests answered
-	servedRows atomic.Int64 // sample rows shipped to peers
-	localXs    atomic.Int64 // X-values resolved from the local ladders
-	remoteXs   atomic.Int64 // X-values routed to peers
+	// Routing and serving counters are registry instruments (see
+	// RegisterMetrics): /stats and /metrics read these same atomics.
+	served     obs.Counter // /internal/fetch requests answered
+	servedRows obs.Counter // sample rows shipped to peers
+	localXs    obs.Counter // X-values resolved from the local ladders
+	remoteXs   obs.Counter // X-values routed to peers
 }
 
 // ladderEntry pairs a ladder with its precomputed identity hash.
@@ -242,8 +244,8 @@ func (n *Node) handleFetch(w http.ResponseWriter, r *http.Request) {
 			rows += lvl.Rows()
 		}
 	}
-	n.served.Add(1)
-	n.servedRows.Add(int64(rows))
+	n.served.Inc()
+	n.servedRows.Add(uint64(rows))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(AppendFetchResponse(nil, lvls))
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/access"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -53,12 +54,15 @@ type peer struct {
 	id  string
 	url string
 
+	// The call counters are registry instruments (atomics) so /stats and
+	// /metrics read identical values; see Node.RegisterMetrics.
+	fetches   obs.Counter // completed RPC calls (success or final failure)
+	retries   obs.Counter // individual attempt retries
+	failures  obs.Counter // calls failed past the retry budget
+	fastFails obs.Counter // calls rejected by an open circuit
+
 	mu          sync.Mutex
-	fetches     int64 // completed RPC calls (success or final failure)
-	retries     int64 // individual attempt retries
-	failures    int64 // calls failed past the retry budget
-	fastFails   int64 // calls rejected by an open circuit
-	consecFails int   // consecutive failed calls (resets on success)
+	consecFails int // consecutive failed calls (resets on success)
 	openUntil   time.Time
 	lat         [latWindow]int64 // recent success latencies, microseconds
 	latN        int
@@ -74,7 +78,7 @@ func (p *peer) allow(now time.Time) bool {
 	if p.openUntil.IsZero() || now.After(p.openUntil) {
 		return true
 	}
-	p.fastFails++
+	p.fastFails.Inc()
 	return false
 }
 
@@ -83,7 +87,7 @@ func (p *peer) allow(now time.Time) bool {
 func (p *peer) recordSuccess(micros int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.fetches++
+	p.fetches.Inc()
 	p.consecFails = 0
 	p.openUntil = time.Time{}
 	p.lat[p.latIdx] = micros
@@ -98,8 +102,8 @@ func (p *peer) recordSuccess(micros int64) {
 func (p *peer) recordFailure(threshold int, cooloff time.Duration, now time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.fetches++
-	p.failures++
+	p.fetches.Inc()
+	p.failures.Inc()
 	p.consecFails++
 	if p.consecFails >= threshold {
 		p.openUntil = now.Add(cooloff)
@@ -107,11 +111,7 @@ func (p *peer) recordFailure(threshold int, cooloff time.Duration, now time.Time
 }
 
 // addRetry counts one retried attempt.
-func (p *peer) addRetry() {
-	p.mu.Lock()
-	p.retries++
-	p.mu.Unlock()
-}
+func (p *peer) addRetry() { p.retries.Inc() }
 
 // circuitOpen reports whether the breaker currently rejects calls.
 func (p *peer) circuitOpen(now time.Time) (bool, int) {
@@ -193,7 +193,7 @@ func (n *Node) fetchLevels(ctx context.Context, l *access.Ladder, xs []relation.
 		return out, nil
 	}
 	if len(n.peers) == 0 {
-		n.localXs.Add(int64(len(xs)))
+		n.localXs.Add(uint64(len(xs)))
 		return l.FetchBatchBlocks(xs, k, n.cfg.LocalWorkers), nil
 	}
 	id := LadderID(l)
@@ -211,8 +211,8 @@ func (n *Node) fetchLevels(ctx context.Context, l *access.Ladder, xs []relation.
 			byPeer[owner] = append(byPeer[owner], i)
 		}
 	}
-	n.localXs.Add(int64(len(localIdx)))
-	n.remoteXs.Add(int64(len(xs) - len(localIdx)))
+	n.localXs.Add(uint64(len(localIdx)))
+	n.remoteXs.Add(uint64(len(xs) - len(localIdx)))
 
 	errs := make(map[string]error, len(byPeer))
 	var mu sync.Mutex
@@ -244,6 +244,8 @@ func (n *Node) fetchLevels(ctx context.Context, l *access.Ladder, xs []relation.
 		}(p, idxs)
 	}
 	if len(localIdx) > 0 {
+		ls := obs.SpanFrom(ctx).Child("local_fetch")
+		ls.SetInt("xs", int64(len(localIdx)))
 		sub := make([]relation.Tuple, len(localIdx))
 		for j, i := range localIdx {
 			sub[j] = xs[i]
@@ -252,6 +254,7 @@ func (n *Node) fetchLevels(ctx context.Context, l *access.Ladder, xs []relation.
 		for j, i := range localIdx {
 			out[i] = lvls[j]
 		}
+		ls.End()
 	}
 	wg.Wait()
 	if len(errs) > 0 {
@@ -270,7 +273,16 @@ func (n *Node) fetchLevels(ctx context.Context, l *access.Ladder, xs []relation.
 // views; every failure path returns a *PeerError (or the caller's own
 // context error, which is not charged against the peer).
 func (n *Node) fetchPeer(ctx context.Context, p *peer, ladderID string, xs []relation.Tuple, k, width int) ([]*access.LevelBlock, error) {
+	// One span per peer RPC (including fast-failed ones): xs count, retry
+	// count and circuit/error state, so a trace of a degraded query shows
+	// exactly which peer cost what.
+	ps := obs.SpanFrom(ctx).Child("peer_fetch")
+	defer ps.End()
+	ps.SetStr("peer", p.id)
+	ps.SetStr("url", p.url)
+	ps.SetInt("xs", int64(len(xs)))
 	if !p.allow(time.Now()) {
+		ps.SetBool("circuit_open", true)
 		return nil, &PeerError{Node: p.id, Op: "fetch", Circuit: true, Err: errCircuitOpen}
 	}
 	reqBytes := AppendFetchRequest(nil, ladderID, k, width, xs)
@@ -281,6 +293,7 @@ func (n *Node) fetchPeer(ctx context.Context, p *peer, ladderID string, xs []rel
 			p.addRetry()
 			select {
 			case <-ctx.Done():
+				ps.SetInt("retries", int64(attempt))
 				return nil, ctx.Err()
 			case <-time.After(backoff):
 			}
@@ -292,17 +305,21 @@ func (n *Node) fetchPeer(ctx context.Context, p *peer, ladderID string, xs []rel
 		lvls, err := n.fetchOnce(ctx, p, reqBytes, len(xs))
 		if err == nil {
 			p.recordSuccess(time.Since(start).Microseconds())
+			ps.SetInt("retries", int64(attempt))
 			return lvls, nil
 		}
 		if ctx.Err() != nil {
 			// The query's own deadline/cancellation, not a peer fault:
 			// surface it unwrapped (serve maps it to 504) and leave the
 			// breaker untouched.
+			ps.SetInt("retries", int64(attempt))
 			return nil, ctx.Err()
 		}
 		lastErr = err
 	}
 	p.recordFailure(n.cfg.BreakerThreshold, n.cfg.BreakerCooloff, time.Now())
+	ps.SetInt("retries", int64(n.cfg.Retries))
+	ps.SetBool("error", true)
 	return nil, &PeerError{Node: p.id, Op: "fetch", Err: lastErr}
 }
 

@@ -189,10 +189,10 @@ func TestClusterInvariance(t *testing.T) {
 		if sc.n == 1 {
 			continue
 		}
-		var served, remote int64
+		var served, remote uint64
 		for _, node := range sc.tc.nodes {
-			served += node.served.Load()
-			remote += node.remoteXs.Load()
+			served += node.served.Value()
+			remote += node.remoteXs.Value()
 		}
 		if served == 0 || remote == 0 {
 			t.Fatalf("nodes=%d: no remote fetches happened (served=%d routed=%d); invariance was vacuous",

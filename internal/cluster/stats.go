@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // PeerStats is one peer's client-side counters, as rendered in the /stats
@@ -27,14 +29,14 @@ func (n *Node) Stats() map[string]any {
 	openCircuits := 0
 	for _, id := range n.order {
 		p := n.peers[id]
-		p.mu.Lock()
 		ps := PeerStats{
 			URL:       p.url,
-			Fetches:   p.fetches,
-			Retries:   p.retries,
-			Failures:  p.failures,
-			FastFails: p.fastFails,
+			Fetches:   int64(p.fetches.Value()),
+			Retries:   int64(p.retries.Value()),
+			Failures:  int64(p.failures.Value()),
+			FastFails: int64(p.fastFails.Value()),
 		}
+		p.mu.Lock()
 		ps.CircuitOpen = !p.openUntil.IsZero() && now.Before(p.openUntil)
 		p.mu.Unlock()
 		ps.P95Micros = p.p95Micros()
@@ -47,19 +49,55 @@ func (n *Node) Stats() map[string]any {
 		"node_id":        n.cfg.NodeID,
 		"nodes":          len(n.order) + 1,
 		"ring_shares":    n.ring.Shares(),
-		"served_fetches": n.served.Load(),
-		"served_rows":    n.servedRows.Load(),
-		"local_xs":       n.localXs.Load(),
-		"remote_xs":      n.remoteXs.Load(),
+		"served_fetches": n.served.Value(),
+		"served_rows":    n.servedRows.Value(),
+		"local_xs":       n.localXs.Value(),
+		"remote_xs":      n.remoteXs.Value(),
 		"open_circuits":  openCircuits,
 		"peers":          peers,
+	}
+}
+
+// RegisterMetrics binds the node's routing counters and per-peer client
+// state into reg: the counters are the very atomics Stats reads, and the
+// circuit/p95 series are computed at scrape time from the breaker state.
+func (n *Node) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("beas_cluster_served_fetches_total",
+		"Cluster fetch RPCs answered for peers.", &n.served)
+	reg.RegisterCounter("beas_cluster_served_rows_total",
+		"Sample rows shipped to peers over fetch RPCs.", &n.servedRows)
+	reg.RegisterCounter("beas_cluster_local_xs_total",
+		"X-value fetches resolved from local ladders.", &n.localXs)
+	reg.RegisterCounter("beas_cluster_remote_xs_total",
+		"X-value fetches routed to peers.", &n.remoteXs)
+	for _, id := range n.order {
+		p := n.peers[id]
+		reg.RegisterCounterIn("beas_cluster_peer_fetches_total",
+			"Completed fetch RPC calls per peer (success or final failure).", "peer", id, &p.fetches)
+		reg.RegisterCounterIn("beas_cluster_peer_retries_total",
+			"Retried fetch RPC attempts per peer.", "peer", id, &p.retries)
+		reg.RegisterCounterIn("beas_cluster_peer_failures_total",
+			"Fetch RPC calls failed past the retry budget per peer.", "peer", id, &p.failures)
+		reg.RegisterCounterIn("beas_cluster_peer_fast_fails_total",
+			"Fetch RPC calls rejected by an open circuit per peer.", "peer", id, &p.fastFails)
+		reg.GaugeFuncVec("beas_cluster_peer_circuit_open",
+			"Whether the peer's circuit breaker is currently open (0/1).", "peer", id,
+			func() float64 {
+				if open, _ := p.circuitOpen(time.Now()); open {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFuncVec("beas_cluster_peer_p95_micros",
+			"95th-percentile successful fetch RPC latency per peer, microseconds.", "peer", id,
+			func() float64 { return float64(p.p95Micros()) })
 	}
 }
 
 // RemoteXs returns how many X-value fetches this node's Fetcher routed to
 // peers over the wire. Harnesses use it to assert a multi-node measurement
 // did not silently degenerate to the local path.
-func (n *Node) RemoteXs() int64 { return n.remoteXs.Load() }
+func (n *Node) RemoteXs() int64 { return int64(n.remoteXs.Value()) }
 
 // Ready returns the reasons this node is NOT ready to serve cluster-routed
 // queries — one entry per peer whose circuit breaker is open (i.e. the

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/guard"
 	"repro/internal/kdtree"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -35,6 +36,12 @@ type Answer struct {
 	// extended with execution-stage overrides (η′ refinement, exactness,
 	// truncation). Populated only when ExecOptions.ExplainEta is set.
 	Trace *BoundTrace
+	// ExecTrace is the query-scoped span tree collected when the call
+	// carried ExecOptions.Trace: planning, each leaf, fetch steps, shard or
+	// peer fan-out, combine and η′ refinement, with timings and access
+	// accounting. Nil when tracing was disabled. (Named ExecTrace because
+	// Trace is taken by the η derivation record above.)
+	ExecTrace *obs.Trace
 	// Stats aggregates data access over all leaf executions.
 	Stats plan.Stats
 }
@@ -96,6 +103,7 @@ func (s *Scheme) Execute(p *Plan) (*Answer, error) {
 // (FetchWorkers, NoPartitionAwareFetch, MinParallelEmitRows, Tag) apply.
 func (s *Scheme) ExecuteContext(ctx context.Context, p *Plan, o ExecOptions) (*Answer, error) {
 	start := time.Now()
+	defer o.Trace.End()
 	ans, err := s.executeOpts(ctx, p, o)
 	if ans != nil {
 		s.recordTag(o.Tag, ans.Stats.Accessed, time.Since(start), nil)
@@ -111,6 +119,19 @@ func (s *Scheme) ExecuteContext(ctx context.Context, p *Plan, o ExecOptions) (*A
 // server (or a caller's worker) that is fine serving every other query.
 func (s *Scheme) executeOpts(ctx context.Context, p *Plan, o ExecOptions) (ans *Answer, err error) {
 	defer guard.Recover("query execution", &err)
+	ex := o.Trace.Root().Child("execute")
+	defer func() {
+		if ans != nil {
+			ans.ExecTrace = o.Trace
+			ex.SetInt("budget", int64(p.Budget))
+			ex.SetInt("accessed", int64(ans.Stats.Accessed))
+			ex.SetFloat("eta", ans.Eta)
+			ex.SetBool("exact", ans.Exact)
+			ex.SetBool("truncated", ans.Stats.Truncated)
+		}
+		ex.End()
+	}()
+	ctx = obs.ContextWithSpan(ctx, ex)
 	workers := s.workers
 	if o.FetchWorkers > 0 {
 		workers = o.FetchWorkers
@@ -124,7 +145,10 @@ func (s *Scheme) executeOpts(ctx context.Context, p *Plan, o ExecOptions) (ans *
 			return s.assemble(ctx, p, o, results, stats)
 		}
 		// A leaf overran its partition; re-run sequentially so truncation
-		// semantics match the reference path exactly.
+		// semantics match the reference path exactly. (Under tracing the
+		// discarded parallel pass's leaf spans stay in the tree, flagged
+		// here, so the double pass is visible rather than mysterious.)
+		ex.SetBool("fallback_sequential", true)
 	}
 	results, stats, err := s.executeLeavesSequential(ctx, p, o, workers)
 	if err != nil {
@@ -164,15 +188,30 @@ func leafOpts(o ExecOptions, budget, fetchWorkers int) plan.ExecOpts {
 func (s *Scheme) executeLeavesSequential(ctx context.Context, p *Plan, o ExecOptions, fetchWorkers int) (map[*query.SPC]*leafResult, plan.Stats, error) {
 	results := make(map[*query.SPC]*leafResult, len(p.Leaves))
 	var stats plan.Stats
+	parent := obs.SpanFrom(ctx)
 	remaining := p.Budget
-	for _, l := range p.Leaves {
+	for li, l := range p.Leaves {
 		if err := ctx.Err(); err != nil {
 			return nil, stats, err
 		}
-		if ExecPanicHook != nil {
-			ExecPanicHook()
-		}
-		r, err := plan.ExecuteOpts(ctx, l.Bounded, s.db, leafOpts(o, remaining, fetchWorkers))
+		// The leaf span closes by defer so the tree stays balanced even when
+		// the leaf panics (the guard at executeOpts recovers above us).
+		r, err := func() (*plan.Result, error) {
+			ls := parent.Child("leaf")
+			defer ls.End()
+			ls.SetInt("leaf", int64(li))
+			ls.SetStr("mode", "seq")
+			ls.SetInt("budget", int64(remaining))
+			if ExecPanicHook != nil {
+				ExecPanicHook()
+			}
+			r, err := plan.ExecuteOpts(obs.ContextWithSpan(ctx, ls), l.Bounded, s.db, leafOpts(o, remaining, fetchWorkers))
+			if err == nil {
+				ls.SetInt("accessed", int64(r.Stats.Accessed))
+				ls.SetBool("truncated", r.Stats.Truncated)
+			}
+			return r, err
+		}()
 		if err != nil {
 			return nil, stats, err
 		}
@@ -205,6 +244,7 @@ func (s *Scheme) executeLeavesParallel(ctx context.Context, p *Plan, o ExecOptio
 	if fetchWorkers < 1 {
 		fetchWorkers = 1
 	}
+	parent := obs.SpanFrom(ctx)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < poolWorkers; w++ {
@@ -217,10 +257,19 @@ func (s *Scheme) executeLeavesParallel(ctx context.Context, p *Plan, o ExecOptio
 				// internal error instead of a dead process.
 				func() {
 					defer guard.Recover("parallel leaf execution", &errList[li])
+					ls := parent.Child("leaf")
+					defer ls.End()
+					ls.SetInt("leaf", int64(li))
+					ls.SetStr("mode", "par")
+					ls.SetInt("budget", int64(shares[li]))
 					if ExecPanicHook != nil {
 						ExecPanicHook()
 					}
-					resList[li], errList[li] = plan.ExecuteOpts(ctx, p.Leaves[li].Bounded, s.db, leafOpts(o, shares[li], fetchWorkers))
+					resList[li], errList[li] = plan.ExecuteOpts(obs.ContextWithSpan(ctx, ls), p.Leaves[li].Bounded, s.db, leafOpts(o, shares[li], fetchWorkers))
+					if r := resList[li]; r != nil && errList[li] == nil {
+						ls.SetInt("accessed", int64(r.Stats.Accessed))
+						ls.SetBool("truncated", r.Stats.Truncated)
+					}
 				}()
 			}
 		}()
@@ -279,11 +328,15 @@ func (s *Scheme) assemble(ctx context.Context, p *Plan, o ExecOptions, results m
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := obs.SpanFrom(ctx)
 	ans := &Answer{Stats: stats}
+	cs := sp.Child("combine")
 	out, err := s.combine(p, p.Expr, results)
+	cs.End()
 	if err != nil {
 		return nil, err
 	}
+	cs.SetInt("rows", int64(out.Len()))
 	ans.Rel = out
 
 	ans.Eta = p.Eta
@@ -292,10 +345,13 @@ func (s *Scheme) assemble(ctx context.Context, p *Plan, o ExecOptions, results m
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		rs := sp.Child("eta_refine")
 		eta, err := s.refineEtaDiff(p, results, out)
+		rs.End()
 		if err != nil {
 			return nil, err
 		}
+		rs.SetFloat("eta_prime", eta)
 		ans.Eta = eta
 		refined = true
 	}
@@ -350,6 +406,9 @@ func (s *Scheme) Answer(e query.Expr, alpha float64) (*Answer, *Plan, error) {
 // field reports where it came from.
 func (s *Scheme) AnswerContext(ctx context.Context, e query.Expr, o ExecOptions) (*Answer, *Plan, error) {
 	start := time.Now()
+	// The options owner ends the root span: every path out of this call
+	// (including errors) leaves a fully timed trace.
+	defer o.Trace.End()
 	p, err := s.planFor(ctx, e, o)
 	if err != nil {
 		s.recordTag(o.Tag, 0, time.Since(start), err)
@@ -370,11 +429,18 @@ func (s *Scheme) AnswerContext(ctx context.Context, e query.Expr, o ExecOptions)
 // generation runs detached from any one caller's ctx — a cancelled waiter
 // leaves with ctx.Err() while the flight completes for the others.
 func (s *Scheme) planFor(ctx context.Context, e query.Expr, o ExecOptions) (*Plan, error) {
+	ps := o.Trace.Root().Child("plan")
+	defer ps.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if s.cache == nil || o.BypassCache {
-		return s.PlanContext(ctx, e, o)
+		ps.SetBool("cache_bypass", true)
+		p, err := s.PlanContext(ctx, e, o)
+		if err == nil {
+			ps.SetInt("budget", int64(p.Budget))
+		}
+		return p, err
 	}
 	alpha, budget, err := s.resolveBudget(o)
 	if err != nil {
@@ -384,12 +450,16 @@ func (s *Scheme) planFor(ctx context.Context, e query.Expr, o ExecOptions) (*Pla
 	if v, ok := s.cache.Get(key); ok {
 		hit := *v.(*Plan) // shallow copy: leaves are shared and immutable
 		hit.CacheHit = true
+		ps.SetBool("cache_hit", true)
+		ps.SetInt("budget", int64(hit.Budget))
 		return &hit, nil
 	}
+	ps.SetBool("cache_hit", false)
 
 	s.flightMu.Lock()
 	if f, ok := s.flights[key]; ok {
 		s.flightMu.Unlock()
+		ps.SetBool("coalesced", true)
 		select {
 		case <-f.done:
 		case <-ctx.Done():
@@ -400,6 +470,7 @@ func (s *Scheme) planFor(ctx context.Context, e query.Expr, o ExecOptions) (*Pla
 		}
 		hit := *f.p
 		hit.CacheHit = true
+		ps.SetInt("budget", int64(hit.Budget))
 		return &hit, nil
 	}
 	f := &flight{done: make(chan struct{})}
@@ -419,10 +490,13 @@ func (s *Scheme) planFor(ctx context.Context, e query.Expr, o ExecOptions) (*Pla
 	}()
 	// The flight's result is shared by every coalesced waiter, so generate
 	// detached from this caller's cancellation.
+	gs := ps.Child("generate")
 	f.p, f.err = s.generateWithBudget(context.WithoutCancel(ctx), e, alpha, budget)
+	gs.End()
 	if f.err != nil {
 		return nil, f.err
 	}
+	ps.SetInt("budget", int64(f.p.Budget))
 	s.cache.Put(key, f.p)
 	// Callers always get a private copy; the cached plan stays immutable
 	// even if the caller tweaks the returned header.

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/chase"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/plancache"
 	"repro/internal/query"
@@ -111,6 +112,16 @@ type ExecOptions struct {
 	ExplainEta bool
 	// Tag attributes this call in the scheme's per-tag stats (TagStats).
 	Tag string
+	// Trace, when non-nil, collects a query-scoped span tree: plan-cache
+	// lookup, plan generation, each leaf fetch (per shard or per cluster
+	// peer), combine and η′ refinement open timed child spans under its
+	// root, each annotated with tuples accessed vs. budget, the resolution
+	// level served and its η contribution. Nil (the default) disables
+	// tracing; the disabled cost is one context lookup plus a nil check per
+	// instrumentation point. The entry point that receives the options ends
+	// the root span, so Answer.ExecTrace is fully timed when the call
+	// returns.
+	Trace *obs.Trace
 }
 
 // flight is one in-progress plan generation awaited by late arrivals.
@@ -167,6 +178,16 @@ func (s *Scheme) CacheStats() plancache.Stats {
 		return plancache.Stats{}
 	}
 	return s.cache.Stats()
+}
+
+// PlanCacheCounters exposes the plan cache's effectiveness instruments for
+// metrics registration (obs.Registry.RegisterCounter); all nil when caching
+// is disabled. Reads still go through CacheStats.
+func (s *Scheme) PlanCacheCounters() (hits, misses, evictions *obs.Counter) {
+	if s.cache == nil {
+		return nil, nil, nil
+	}
+	return s.cache.Counters()
 }
 
 // TagStatsSnapshot returns a copy of the per-tag serving counters recorded

@@ -50,10 +50,12 @@ type Stream struct {
 func (s *Scheme) StreamContext(ctx context.Context, e query.Expr, o ExecOptions) (*Stream, error) {
 	p, err := s.planFor(ctx, e, o)
 	if err != nil {
+		o.Trace.End()
 		return nil, err
 	}
 	schema, err := query.OutputSchema(e, s.db)
 	if err != nil {
+		o.Trace.End()
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(ctx)

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 )
 
 // PanicError is a recovered panic from an execution goroutine, surfaced as
@@ -57,7 +58,25 @@ func Recover(op string, errp *error) {
 		*errp = pe
 		return
 	}
-	*errp = &PanicError{Op: op, Value: r, Stack: debug.Stack()}
+	pe := &PanicError{Op: op, Value: r, Stack: debug.Stack()}
+	if fn, ok := reporter.Load().(func(*PanicError)); ok && fn != nil {
+		fn(pe)
+	}
+	*errp = pe
+}
+
+// reporter holds the process-wide panic reporter (func(*PanicError)).
+var reporter atomic.Value
+
+// SetReporter installs a process-wide observer called once per contained
+// panic, at the point of recovery — before the error propagates to any
+// caller. The daemon points it at the structured logger so engine panics
+// are machine-parseable events even on paths that never reach an HTTP
+// response (batch workers, stream producers). The reporter must not panic;
+// nil uninstalls. Only freshly recovered panics are reported — a
+// *PanicError re-thrown through an outer guard is not double-counted.
+func SetReporter(fn func(*PanicError)) {
+	reporter.Store(fn)
 }
 
 // AsPanic unwraps err to its *PanicError if one is in its chain.

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AuditRecord is one per-query audit event, serialised as a single NDJSON
+// line. Field names are the stable audit schema (see ARCHITECTURE.md §14);
+// budget_spent and eta are copied verbatim from the Answer the client
+// received, so a record can be checked against the response byte for byte.
+type AuditRecord struct {
+	// Time is the event timestamp, RFC3339Nano.
+	Time string `json:"ts"`
+	// Event is the serving surface: "query", "stream" or "batch".
+	Event string `json:"event"`
+	// Tag is the client-supplied workload tag (empty when untagged).
+	Tag string `json:"tag,omitempty"`
+	// SQLDigest is the first 16 hex chars of SHA-256 over the SQL text.
+	SQLDigest string `json:"sql_digest"`
+	// AlphaRequested is the α the client asked for.
+	AlphaRequested float64 `json:"alpha_requested"`
+	// AlphaEffective is the α actually served (lower under brownout).
+	AlphaEffective float64 `json:"alpha_effective"`
+	// BudgetGranted is the tuple budget the plan was given.
+	BudgetGranted int `json:"budget_granted"`
+	// BudgetSpent is the tuples the execution actually accessed.
+	BudgetSpent int `json:"budget_spent"`
+	// Eta is the reported accuracy lower bound.
+	Eta float64 `json:"eta"`
+	// Exact reports a boundedly-evaluable (exact) answer.
+	Exact bool `json:"exact"`
+	// Truncated reports that some fetch hit its budget mid-list.
+	Truncated bool `json:"truncated"`
+	// Degraded reports that brownout shrank the effective α.
+	Degraded bool `json:"degraded"`
+	// CacheHit reports the plan came from the plan cache.
+	CacheHit bool `json:"cache_hit"`
+	// PlanClass is the plan's query class (empty on error).
+	PlanClass string `json:"plan_class,omitempty"`
+	// BrownoutLevel is the admission level the query was served at.
+	BrownoutLevel int `json:"brownout_level"`
+	// RemoteFetches counts cluster RPC fetches issued for this query era
+	// (0 when single-node).
+	RemoteFetches int64 `json:"remote_fetches,omitempty"`
+	// LatencyMicros is the end-to-end serving latency in microseconds.
+	LatencyMicros int64 `json:"latency_us"`
+	// Status is the HTTP status returned to the client.
+	Status int `json:"status"`
+	// Err is the error message on a failed query (empty on success).
+	Err string `json:"err,omitempty"`
+}
+
+// SQLDigest returns the audit digest of a SQL text: the first 16 hex
+// characters of its SHA-256 — stable, collision-resistant enough for
+// grouping, and free of the raw query text (which may embed user data).
+func SQLDigest(sql string) string {
+	sum := sha256.Sum256([]byte(sql))
+	return hex.EncodeToString(sum[:8])
+}
+
+// AuditFilter decides which audit events are recorded: an event-name
+// allowlist plus a tag allowlist, in the spirit of the couchbase audit
+// API's enabled-event/disabled-user semantics. An empty list allows
+// everything on that axis.
+type AuditFilter struct {
+	events map[string]bool
+	tags   map[string]bool
+}
+
+// ParseAuditFilter parses a filter spec of semicolon-separated clauses:
+//
+//	events=query,batch;tags=tenant-a,tenant-b
+//
+// An empty spec (or an omitted clause) allows every event / every tag.
+func ParseAuditFilter(spec string) (AuditFilter, error) {
+	var f AuditFilter
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return f, fmt.Errorf("audit filter clause %q: want key=v1,v2", clause)
+		}
+		set := map[string]bool{}
+		for _, v := range strings.Split(val, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				set[v] = true
+			}
+		}
+		switch strings.TrimSpace(key) {
+		case "events":
+			f.events = set
+		case "tags":
+			f.tags = set
+		default:
+			return f, fmt.Errorf("audit filter clause %q: unknown key (want events or tags)", clause)
+		}
+	}
+	return f, nil
+}
+
+// Allow reports whether a record with the given event and tag passes the
+// filter.
+func (f AuditFilter) Allow(event, tag string) bool {
+	if len(f.events) > 0 && !f.events[event] {
+		return false
+	}
+	if len(f.tags) > 0 && !f.tags[tag] {
+		return false
+	}
+	return true
+}
+
+// AuditLog writes audit records as NDJSON through a bounded asynchronous
+// ring: Record marshals and enqueues without ever blocking the serving
+// path — when the writer cannot keep up and the ring fills, records are
+// dropped and counted instead. Close drains what was accepted.
+//
+// A nil *AuditLog is a valid no-op (auditing disabled).
+type AuditLog struct {
+	filter  AuditFilter
+	ch      chan []byte
+	dropped atomic.Uint64
+	written atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+	werr   error
+}
+
+// DefaultAuditRing is the default ring capacity (records in flight).
+const DefaultAuditRing = 1024
+
+// NewAuditLog starts an audit log writing to w through a ring of the
+// given capacity (0 means DefaultAuditRing). The caller owns closing w
+// after Close returns.
+func NewAuditLog(w io.Writer, filter AuditFilter, ring int) *AuditLog {
+	if ring <= 0 {
+		ring = DefaultAuditRing
+	}
+	a := &AuditLog{
+		filter: filter,
+		ch:     make(chan []byte, ring),
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		for line := range a.ch {
+			if a.werr != nil {
+				continue // sink broken; keep draining so Close terminates
+			}
+			if _, err := w.Write(line); err != nil {
+				a.werr = err
+				continue
+			}
+			a.written.Add(1)
+		}
+	}()
+	return a
+}
+
+// Record filters, marshals and enqueues one audit record. It never
+// blocks: a full ring drops the record and increments Dropped. Nil-safe.
+func (a *AuditLog) Record(rec AuditRecord) {
+	if a == nil {
+		return
+	}
+	if !a.filter.Allow(rec.Event, rec.Tag) {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		a.dropped.Add(1)
+		return
+	}
+	line = append(line, '\n')
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		a.dropped.Add(1)
+		return
+	}
+	select {
+	case a.ch <- line:
+	default:
+		a.dropped.Add(1)
+	}
+	a.mu.Unlock()
+}
+
+// Dropped returns how many records were discarded because the ring was
+// full (writer backpressure) or the log was closed.
+func (a *AuditLog) Dropped() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.dropped.Load()
+}
+
+// Written returns how many records reached the writer successfully.
+func (a *AuditLog) Written() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.written.Load()
+}
+
+// closeDrainTimeout bounds how long Close waits for the writer to drain
+// the accepted backlog: a wedged sink (the very condition the ring
+// protects serving from) must not also wedge process shutdown.
+const closeDrainTimeout = 2 * time.Second
+
+// Close stops accepting records, waits (bounded) for the accepted backlog
+// to drain to the writer and returns the first write error seen, or an
+// error if the writer was still wedged at the deadline. Nil-safe;
+// idempotent.
+func (a *AuditLog) Close() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		close(a.ch)
+	}
+	a.mu.Unlock()
+	select {
+	case <-a.done:
+		return a.werr
+	case <-time.After(closeDrainTimeout):
+		return fmt.Errorf("audit log: writer did not drain within %v", closeDrainTimeout)
+	}
+}

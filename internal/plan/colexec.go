@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/chase"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -220,6 +221,20 @@ func applyStepBlocks(ctx context.Context, p *Bounded, atoms []*blockAtom, sl *st
 	cur := atoms[ai]
 	budget, workers := o.Budget, o.Workers
 
+	// Same per-step span as the row path's applyStep.
+	fs := obs.SpanFrom(ctx).Child("fetch_step")
+	if fs != nil {
+		fs.SetInt("step", int64(si))
+		fs.SetInt("level", int64(k))
+		ctx = obs.ContextWithSpan(ctx, fs)
+		before := stats.Accessed
+		defer func() {
+			fs.SetInt("accessed", int64(stats.Accessed-before))
+			fs.SetBool("truncated", stats.Truncated)
+			fs.End()
+		}()
+	}
+
 	// Materialise distinct joint valuations per external group, in the same
 	// first-seen row order as the row path.
 	extVals := make([][]relation.Tuple, len(sl.extGroups))
@@ -268,7 +283,9 @@ func applyStepBlocks(ctx context.Context, p *Bounded, atoms []*blockAtom, sl *st
 		}
 		enumCount *= len(extVals[gi])
 	}
-	if o.Fetcher != nil || (workers > 1 && enumCount >= o.MinParallelEmitRows) {
+	prefetched := o.Fetcher != nil || (workers > 1 && enumCount >= o.MinParallelEmitRows)
+	fs.SetBool("prefetch", prefetched)
+	if prefetched {
 		if err := prefetchStepBlocks(ctx, cur, extVals, sl, s, k, budget, stats, cache, workers, o.Fetcher); err != nil {
 			return err
 		}
@@ -460,7 +477,14 @@ func prefetchStepBlocks(ctx context.Context, cur *blockAtom, extVals [][]relatio
 			return err
 		}
 	} else {
+		done := shardSpans(ctx, s.Ladder, xs)
 		raw = s.Ladder.FetchBatchBlocks(xs, k, workers)
+		done(func(i int) int {
+			if raw[i] == nil {
+				return 0
+			}
+			return raw[i].Rows()
+		})
 	}
 
 	for i, xt := range xs {

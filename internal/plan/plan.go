@@ -25,6 +25,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/chase"
 	"repro/internal/guard"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -339,6 +340,22 @@ func applyStep(ctx context.Context, p *Bounded, atoms []*FetchedAtom, sl *stepLa
 	cur := atoms[ai]
 	budget, workers := o.Budget, o.Workers
 
+	// One span per fetch step (a handful per leaf, never per row); attrs
+	// are filled on the way out so truncation and the access delta are the
+	// step's own.
+	fs := obs.SpanFrom(ctx).Child("fetch_step")
+	if fs != nil {
+		fs.SetInt("step", int64(si))
+		fs.SetInt("level", int64(k))
+		ctx = obs.ContextWithSpan(ctx, fs)
+		before := stats.Accessed
+		defer func() {
+			fs.SetInt("accessed", int64(stats.Accessed-before))
+			fs.SetBool("truncated", stats.Truncated)
+			fs.End()
+		}()
+	}
+
 	// Materialise distinct joint valuations per external group.
 	extVals := make([][]relation.Tuple, len(sl.extGroups))
 	for gi := range sl.extGroups {
@@ -378,6 +395,7 @@ func applyStep(ctx context.Context, p *Bounded, atoms []*FetchedAtom, sl *stepLa
 		enumCount *= len(extVals[gi])
 	}
 	prefetched := o.Fetcher != nil || (workers > 1 && enumCount >= o.MinParallelEmitRows)
+	fs.SetBool("prefetch", prefetched)
 	if prefetched {
 		if err := prefetchStep(ctx, cur, extVals, sl, s, k, budget, stats, cache, workers, o.Fetcher); err != nil {
 			return err
@@ -542,13 +560,17 @@ func prefetchStep(ctx context.Context, cur *FetchedAtom, extVals [][]relation.Tu
 
 	var raw [][]access.Sample
 	if fetcher != nil {
+		// The routed path opens its own per-peer spans off the ctx span
+		// (see internal/cluster); nothing to account locally.
 		var err error
 		raw, err = fetcher.FetchBatch(ctx, s.Ladder, xs, k)
 		if err != nil {
 			return err
 		}
 	} else {
+		done := shardSpans(ctx, s.Ladder, xs)
 		raw = s.Ladder.FetchBatch(xs, k, workers)
+		done(func(i int) int { return len(raw[i]) })
 	}
 
 	for i, xt := range xs {

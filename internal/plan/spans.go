@@ -1,0 +1,46 @@
+package plan
+
+import (
+	"context"
+
+	"repro/internal/access"
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+// shardSpans opens one "shard" child span per store shard the batch's
+// X-values route to, under the span carried on ctx. The returned closer
+// annotates each span with its xs and samples counts (samplesAt reports
+// the per-index sample count once the batch has resolved) and ends them.
+// The shards are fetched concurrently inside one scatter-gather call, so
+// the spans share the fan-out window as their duration; the per-shard
+// attribution lives in the attrs. With tracing disabled (no ctx span) the
+// whole thing is a nil check and a no-op closer.
+func shardSpans(ctx context.Context, l *access.Ladder, xs []relation.Tuple) func(samplesAt func(i int) int) {
+	sp := obs.SpanFrom(ctx)
+	if sp == nil || len(xs) == 0 {
+		return func(func(int) int) {}
+	}
+	spans := map[int]*obs.Span{}
+	xsBy := map[int]int{}
+	for _, x := range xs {
+		si := l.ShardOf(x)
+		xsBy[si]++
+		if _, ok := spans[si]; !ok {
+			s := sp.Child("shard")
+			s.SetInt("shard", int64(si))
+			spans[si] = s
+		}
+	}
+	return func(samplesAt func(i int) int) {
+		samplesBy := map[int]int{}
+		for i, x := range xs {
+			samplesBy[l.ShardOf(x)] += samplesAt(i)
+		}
+		for si, s := range spans {
+			s.SetInt("xs", int64(xsBy[si]))
+			s.SetInt("samples", int64(samplesBy[si]))
+			s.End()
+		}
+	}
+}

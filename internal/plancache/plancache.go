@@ -18,6 +18,8 @@ package plancache
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // DefaultCapacity is the plan-cache size used when a caller passes a
@@ -55,7 +57,10 @@ type Cache struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits, misses, evictions uint64
+	// Effectiveness counters are registry instruments (see Counters): a
+	// server that registers them serves /stats and /metrics from the same
+	// atomics this cache increments.
+	hits, misses, evictions obs.Counter
 }
 
 // New builds a cache holding at most capacity entries. A non-positive
@@ -77,10 +82,10 @@ func (c *Cache) Get(key string) (any, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*entry).val, true
 }
@@ -100,7 +105,7 @@ func (c *Cache) Put(key string, val any) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*entry).key)
-		c.evictions++
+		c.evictions.Inc()
 	}
 }
 
@@ -116,12 +121,18 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
 		Len:       c.ll.Len(),
 		Cap:       c.cap,
 	}
+}
+
+// Counters exposes the cache's effectiveness instruments for metrics
+// registration (obs.Registry.RegisterCounter); reads go through Stats.
+func (c *Cache) Counters() (hits, misses, evictions *obs.Counter) {
+	return &c.hits, &c.misses, &c.evictions
 }
 
 // Purge drops every entry and resets the counters.
@@ -130,5 +141,7 @@ func (c *Cache) Purge() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[string]*list.Element, c.cap)
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.hits.Reset()
+	c.misses.Reset()
+	c.evictions.Reset()
 }

@@ -283,7 +283,7 @@ func (s *Server) pressure() float64 {
 		p = math.Max(p, float64(len(s.queue))/float64(c))
 	}
 	if s.cfg.BudgetCap > 0 && s.cfg.BudgetCap != math.MaxInt {
-		p = math.Max(p, float64(s.inflight.Load())/float64(s.cfg.BudgetCap))
+		p = math.Max(p, float64(s.inflight.Value())/float64(s.cfg.BudgetCap))
 	}
 	if t := s.brown.cfg.LatencyTarget; t > 0 {
 		s.brown.mu.Lock()

@@ -326,8 +326,8 @@ func TestRecoverMiddleware(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status %d, want 500", rec.Code)
 	}
-	if s.internalErrors.Load() != 1 {
-		t.Errorf("internalErrors = %d, want 1", s.internalErrors.Load())
+	if s.internalErrors.Value() != 1 {
+		t.Errorf("internalErrors = %d, want 1", s.internalErrors.Value())
 	}
 	// http.ErrAbortHandler is net/http's own control flow and must re-raise.
 	defer func() {

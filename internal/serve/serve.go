@@ -48,9 +48,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"math"
 	"net/http"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -59,6 +59,7 @@ import (
 
 	beas "repro"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // Config assembles a Server. System is required; zero values elsewhere get
@@ -113,6 +114,26 @@ type Config struct {
 	// the node's Fetcher into ExecOptions (beas.WithRemoteFetcher) — serve
 	// only exposes the node, it does not reroute execution by itself.
 	Cluster *cluster.Node
+
+	// Registry receives every serving instrument and is mounted at GET
+	// /metrics in Prometheus text exposition format. The serving counters
+	// live IN the registry (handlers increment registry-owned atomics), so
+	// /stats and /metrics cannot disagree. Nil builds a private registry.
+	Registry *obs.Registry
+	// Audit, when non-nil, receives one structured AuditRecord per query
+	// on every serving surface (/query, /stream, each /batch entry),
+	// successes and failures alike. Recording never blocks the serving
+	// path: a saturated ring drops and counts (see obs.AuditLog).
+	Audit *obs.AuditLog
+	// SlowQuery, when positive, traces every query and logs the full span
+	// tree of any that took at least this long. Tracing cannot be enabled
+	// retroactively, so the threshold prices a small always-on overhead
+	// (see BENCH_10.json obsbench) for forensic detail on the outliers.
+	SlowQuery time.Duration
+	// Logger receives the server's structured events (contained panics,
+	// slow queries, response-encode failures). Nil defaults to text lines
+	// on stderr, matching the log.Printf behaviour it replaces.
+	Logger *obs.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +201,10 @@ type QueryResponse struct {
 	RequestedAlpha float64 `json:"requestedAlpha,omitempty"`
 	// BrownoutLevel is the degradation level the answer was served at.
 	BrownoutLevel int `json:"brownoutLevel,omitempty"`
+	// Trace is the query's span tree — planning, leaves, fetch steps,
+	// shard/peer fan-out — present only when the call asked for it with
+	// ?debug=trace.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // BatchRequest is the body of a /batch call: queries to pipeline through
@@ -226,30 +251,37 @@ type job struct {
 
 // Server hosts the HTTP handlers and the batch worker pool over one shared
 // System. Create with New, release with Close.
+//
+// Every serving counter is an instrument owned by the metrics registry:
+// handlers increment the same atomics /metrics scrapes and /stats reads, so
+// the two endpoints render one source of truth by construction (there is no
+// shadow bookkeeping to drift).
 type Server struct {
 	cfg     Config
 	started time.Time
 	brown   *brownoutController
+	reg     *obs.Registry
+	log     *obs.Logger
 
 	queue chan *job
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
-	queries   atomic.Int64 // successful query executions (all paths)
-	failures  atomic.Int64 // rejected or failed query executions
-	totalNS   atomic.Int64 // cumulative serving time of successful executions
-	streams   atomic.Int64 // /stream calls completed successfully
-	batches   atomic.Int64 // /batch calls accepted
-	expired   atomic.Int64 // batch jobs failed on deadline (queued or mid-flight)
-	cancelled atomic.Int64 // batch jobs aborted by context cancellation
-	rejected  atomic.Int64 // batch jobs refused at admission
-	enqueued  atomic.Int64 // batch jobs admitted to the queue
-	completed atomic.Int64 // batch jobs finished by workers
-	inflight  atomic.Int64 // summed admission weight of unfinished batch jobs
+	queries   *obs.Counter   // successful query executions (all paths)
+	failures  *obs.Counter   // rejected or failed query executions
+	latency   *obs.Histogram // serving time of successful executions (seconds)
+	streams   *obs.Counter   // /stream calls completed successfully
+	batches   *obs.Counter   // /batch calls accepted
+	expired   *obs.Counter   // batch jobs failed on deadline (queued or mid-flight)
+	cancelled *obs.Counter   // batch jobs aborted by context cancellation
+	rejected  *obs.Counter   // batch jobs refused at admission
+	enqueued  *obs.Counter   // batch jobs admitted to the queue
+	completed *obs.Counter   // batch jobs finished by workers
+	inflight  *obs.Gauge     // summed admission weight of unfinished batch jobs
 
-	internalErrors atomic.Int64 // contained panics (middleware + evaluator)
-	degradedServed atomic.Int64 // answers served below the requested α
-	shed           atomic.Int64 // requests refused by brownout shedding
+	internalErrors *obs.Counter // contained panics (middleware + evaluator)
+	degradedServed *obs.Counter // answers served below the requested α
+	shed           *obs.Counter // requests refused by brownout shedding
 	draining       atomic.Bool  // shutdown started; readiness fails
 }
 
@@ -267,6 +299,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.brown = brown
 	s.queue = make(chan *job, s.cfg.QueueDepth)
+	s.log = s.cfg.Logger
+	if s.log == nil {
+		s.log, _ = obs.NewLogger(os.Stderr, "text")
+	}
+	s.reg = s.cfg.Registry
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.registerMetrics()
 	for w := 0; w < s.cfg.Workers; w++ {
 		s.wg.Add(1)
 		go func() {
@@ -294,6 +335,57 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// registerMetrics creates the serving instruments inside the registry and
+// binds the engine's own (plan cache, persistence, cluster) so one GET
+// /metrics scrape covers the full stack. Derived state — brownout level,
+// queue pressure, uptime — is exported as computed gauges evaluated at
+// scrape time from the same controller /stats reads.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	s.queries = r.Counter("beas_queries_total", "Queries answered successfully (all serving surfaces).")
+	s.failures = r.Counter("beas_query_failures_total", "Queries rejected or failed (validation, execution, shedding).")
+	s.latency = r.Histogram("beas_query_duration_seconds", "End-to-end serving latency of successful queries.", obs.DurationBuckets)
+	s.streams = r.Counter("beas_streams_total", "Completed /stream responses.")
+	s.batches = r.Counter("beas_batch_batches_total", "Accepted /batch calls.")
+	s.expired = r.Counter("beas_batch_expired_total", "Batch jobs failed on deadline, queued or mid-flight.")
+	s.cancelled = r.Counter("beas_batch_cancelled_total", "Batch jobs aborted by context cancellation.")
+	s.rejected = r.Counter("beas_batch_rejected_total", "Batch jobs refused at admission (queue or budget backpressure).")
+	s.enqueued = r.Counter("beas_batch_enqueued_total", "Batch jobs admitted to the request queue.")
+	s.completed = r.Counter("beas_batch_completed_total", "Batch jobs finished by workers.")
+	s.inflight = r.Gauge("beas_batch_inflight_budget", "Summed admission weight ⌈α·|D|⌉ of unfinished batch jobs.")
+	s.internalErrors = r.Counter("beas_internal_errors_total", "Contained panics (middleware and evaluator).")
+	s.degradedServed = r.Counter("beas_degraded_total", "Answers served below the requested α by brownout.")
+	s.shed = r.Counter("beas_shed_total", "Requests refused by brownout shedding.")
+	r.GaugeFunc("beas_brownout_level", "Current brownout degradation level.", func() float64 {
+		level, _ := s.brown.snapshot()
+		return float64(level)
+	})
+	r.GaugeFunc("beas_brownout_level_shifts", "Brownout level transitions since start.", func() float64 {
+		_, shifts := s.brown.snapshot()
+		return float64(shifts)
+	})
+	r.GaugeFunc("beas_brownout_pressure", "Instantaneous overload pressure feeding the controller.", func() float64 { return s.pressure() })
+	r.GaugeFunc("beas_batch_queue_depth", "Batch jobs waiting in the request queue.", func() float64 { return float64(len(s.queue)) })
+	r.GaugeFunc("beas_batch_queue_cap", "Batch request queue capacity.", func() float64 { return float64(cap(s.queue)) })
+	r.GaugeFunc("beas_draining", "Whether shutdown drain started and readiness fails (0/1).", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	r.GaugeFunc("beas_uptime_seconds", "Seconds since the server started.", func() float64 { return time.Since(s.started).Seconds() })
+	if s.cfg.Audit != nil {
+		r.GaugeFunc("beas_audit_written", "Audit records delivered to the sink.", func() float64 { return float64(s.cfg.Audit.Written()) })
+		r.GaugeFunc("beas_audit_dropped", "Audit records dropped by ring backpressure.", func() float64 { return float64(s.cfg.Audit.Dropped()) })
+	}
+	if s.cfg.System != nil {
+		s.cfg.System.RegisterMetrics(s.reg)
+	}
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.RegisterMetrics(s.reg)
+	}
+}
+
 // Close stops the batch workers gracefully: in-flight jobs finish and the
 // queued backlog is drained and executed (each job still subject to its own
 // deadline), so a shutdown does not fail work the server already accepted.
@@ -307,8 +399,8 @@ func (s *Server) Close() {
 		case j := <-s.queue:
 			j.entry.Error = "server shutting down"
 			j.entry.Cancelled = true
-			s.cancelled.Add(1)
-			s.failures.Add(1)
+			s.cancelled.Inc()
+			s.failures.Inc()
 			s.inflight.Add(-j.weight)
 			j.wg.Done()
 		default:
@@ -318,9 +410,9 @@ func (s *Server) Close() {
 }
 
 // Handler returns the route mux: /query, /stream, /batch, /snapshot,
-// /healthz (liveness), /readyz (readiness), /stats — every route wrapped in
-// the panic-recovery middleware, so a handler crash answers 500 and leaves
-// the process serving.
+// /healthz (liveness), /readyz (readiness), /stats, /metrics (Prometheus
+// text exposition) — every route wrapped in the panic-recovery middleware,
+// so a handler crash answers 500 and leaves the process serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -330,6 +422,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", s.reg.Handler())
 	if s.cfg.Cluster != nil {
 		mux.Handle(cluster.FetchPath, s.cfg.Cluster.Handler())
 	}
@@ -350,9 +443,10 @@ func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 			if v == http.ErrAbortHandler {
 				panic(v)
 			}
-			s.internalErrors.Add(1)
-			s.failures.Add(1)
-			log.Printf("serve: contained panic in %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			s.internalErrors.Inc()
+			s.failures.Inc()
+			s.log.Error("contained panic in handler",
+				"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(v), "stack", string(debug.Stack()))
 			// Best-effort 500: if the handler already started the response
 			// (a mid-stream panic), the write is a no-op on the status line
 			// and the client sees a truncated body.
@@ -438,38 +532,76 @@ func (s *Server) resolveDegradation(alpha float64, req QueryRequest) (level int,
 // marks the degradation and reports the achieved α, still η-certified. A
 // contained evaluator panic maps to 500 and the internalErrors counter —
 // the process, and every other request, keeps going.
-func (s *Server) execute(ctx context.Context, req QueryRequest) (*QueryResponse, int, error) {
+//
+// event names the serving surface for the audit trail ("query" or
+// "batch"; /stream audits itself); every exit emits exactly one audit
+// record whose budget_spent and eta are copied from the same Answer the
+// client is about to receive. wantTrace attaches the span tree to the
+// response; a configured SlowQuery threshold traces regardless, so the
+// outliers it flags come with their full execution timeline.
+func (s *Server) execute(ctx context.Context, req QueryRequest, event string, wantTrace bool) (*QueryResponse, int, error) {
+	rec := obs.AuditRecord{
+		Time:           time.Now().UTC().Format(time.RFC3339Nano),
+		Event:          event,
+		Tag:            req.Tag,
+		SQLDigest:      obs.SQLDigest(req.SQL),
+		AlphaRequested: s.effectiveAlpha(req),
+	}
 	alpha, code, err := s.validate(req)
 	if err != nil {
-		s.failures.Add(1)
+		s.failures.Inc()
+		rec.Status, rec.Err = code, err.Error()
+		s.cfg.Audit.Record(rec)
 		return nil, code, err
 	}
 	level, eff, floor := s.resolveDegradation(alpha, req)
+	rec.AlphaEffective = eff
+	rec.BrownoutLevel = level
+
+	opts := s.queryOptions(req, eff, floor)
+	var tr *beas.Trace
+	if wantTrace || s.cfg.SlowQuery > 0 {
+		tr = beas.NewTrace()
+		opts = append(opts, beas.WithTrace(tr))
+	}
+	var remoteBefore int64
+	if s.cfg.Cluster != nil {
+		remoteBefore = s.cfg.Cluster.RemoteXs()
+	}
 
 	start := time.Now()
-	ans, plan, err := s.cfg.System.QuerySQL(ctx, req.SQL, s.queryOptions(req, eff, floor)...)
+	ans, plan, err := s.cfg.System.QuerySQL(ctx, req.SQL, opts...)
+	served := time.Since(start)
+	rec.LatencyMicros = served.Microseconds()
+	if s.cfg.Cluster != nil {
+		// Attribution is approximate under concurrency: the counter delta
+		// can include fetches of overlapping queries.
+		rec.RemoteFetches = s.cfg.Cluster.RemoteXs() - remoteBefore
+	}
 	if err != nil {
-		s.failures.Add(1)
-		if pe, ok := beas.IsInternalError(err); ok {
-			s.internalErrors.Add(1)
-			log.Printf("serve: %v\n%s", pe, pe.Stack)
-			return nil, http.StatusInternalServerError, err
-		}
+		s.failures.Inc()
 		code := http.StatusUnprocessableEntity
-		var pe *cluster.PeerError
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			code = http.StatusGatewayTimeout
-		case errors.As(err, &pe):
-			// Typed degraded path: a cluster peer was unreachable past the
-			// retry budget — the answer is refused, never silently partial.
-			code = http.StatusBadGateway
+		if pe, ok := beas.IsInternalError(err); ok {
+			s.internalErrors.Inc()
+			s.log.Error("contained evaluator panic", "event", event, "sql_digest", rec.SQLDigest, "err", pe, "stack", string(pe.Stack))
+			code = http.StatusInternalServerError
+		} else {
+			var pe *cluster.PeerError
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				code = http.StatusGatewayTimeout
+			case errors.As(err, &pe):
+				// Typed degraded path: a cluster peer was unreachable past the
+				// retry budget — the answer is refused, never silently partial.
+				code = http.StatusBadGateway
+			}
 		}
+		rec.Status, rec.Err = code, err.Error()
+		s.cfg.Audit.Record(rec)
 		return nil, code, err
 	}
-	served := time.Since(start)
-	s.queries.Add(1)
-	s.totalNS.Add(served.Nanoseconds())
+	s.queries.Inc()
+	s.latency.Observe(served.Seconds())
 	s.brown.observe(served)
 
 	resp := &QueryResponse{
@@ -487,7 +619,7 @@ func (s *Server) execute(ctx context.Context, req QueryRequest) (*QueryResponse,
 		resp.Degraded = true
 		resp.RequestedAlpha = alpha
 		resp.BrownoutLevel = level
-		s.degradedServed.Add(1)
+		s.degradedServed.Inc()
 	}
 	for _, a := range ans.Rel.Schema.Attrs {
 		resp.Columns = append(resp.Columns, a.Name)
@@ -499,6 +631,24 @@ func (s *Server) execute(ctx context.Context, req QueryRequest) (*QueryResponse,
 		}
 		resp.Tuples = append(resp.Tuples, stringRow(t))
 	}
+	if wantTrace && tr != nil {
+		j := tr.JSON()
+		resp.Trace = &j
+	}
+	if s.cfg.SlowQuery > 0 && served >= s.cfg.SlowQuery && tr != nil {
+		s.log.Warn("slow query", "event", event, "sql_digest", rec.SQLDigest,
+			"served_ms", float64(served.Microseconds())/1e3, "trace", "\n"+tr.String())
+	}
+	rec.BudgetGranted = plan.Budget
+	rec.BudgetSpent = ans.Stats.Accessed
+	rec.Eta = ans.Eta
+	rec.Exact = ans.Exact
+	rec.Truncated = ans.Stats.Truncated
+	rec.Degraded = resp.Degraded
+	rec.CacheHit = plan.CacheHit
+	rec.PlanClass = plan.Class.String()
+	rec.Status = http.StatusOK
+	s.cfg.Audit.Record(rec)
 	return resp, http.StatusOK, nil
 }
 
@@ -519,8 +669,8 @@ func (s *Server) shedIfBrownedOut(w http.ResponseWriter, shedAt int) bool {
 	if level < shedAt {
 		return false
 	}
-	s.shed.Add(1)
-	s.failures.Add(1)
+	s.shed.Inc()
+	s.failures.Inc()
 	w.Header().Set("Retry-After", "1")
 	httpError(w, http.StatusServiceUnavailable,
 		fmt.Sprintf("overloaded (brownout level %d): shedding load, retry later", level))
@@ -538,16 +688,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.failures.Add(1)
+		s.failures.Inc()
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
-	resp, code, err := s.execute(r.Context(), req)
+	wantTrace := r.URL.Query().Get("debug") == "trace"
+	resp, code, err := s.execute(r.Context(), req, "query", wantTrace)
 	if err != nil {
 		httpError(w, code, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // streamFlushRows is how many NDJSON row lines are written between two
@@ -599,27 +750,50 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.failures.Add(1)
+		s.failures.Inc()
 		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
+	rec := obs.AuditRecord{
+		Time:           time.Now().UTC().Format(time.RFC3339Nano),
+		Event:          "stream",
+		Tag:            req.Tag,
+		SQLDigest:      obs.SQLDigest(req.SQL),
+		AlphaRequested: s.effectiveAlpha(req),
+	}
+	auditFail := func(code int, err error) {
+		rec.Status, rec.Err = code, err.Error()
+		s.cfg.Audit.Record(rec)
+	}
 	alpha, code, err := s.validate(req)
 	if err != nil {
-		s.failures.Add(1)
+		s.failures.Inc()
+		auditFail(code, err)
 		httpError(w, code, err.Error())
 		return
 	}
 	level, eff, floor := s.resolveDegradation(alpha, req)
+	rec.AlphaEffective = eff
+	rec.BrownoutLevel = level
 	q, err := beas.ParseSQL(req.SQL)
 	if err != nil {
-		s.failures.Add(1)
+		s.failures.Inc()
+		auditFail(http.StatusUnprocessableEntity, err)
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	opts := s.queryOptions(req, eff, floor)
+	var tr *beas.Trace
+	if s.cfg.SlowQuery > 0 {
+		tr = beas.NewTrace()
+		opts = append(opts, beas.WithTrace(tr))
+	}
 	start := time.Now()
-	st, err := s.cfg.System.QueryStream(r.Context(), q, s.queryOptions(req, eff, floor)...)
+	st, err := s.cfg.System.QueryStream(r.Context(), q, opts...)
 	if err != nil {
-		s.failures.Add(1)
+		s.failures.Inc()
+		rec.LatencyMicros = time.Since(start).Microseconds()
+		auditFail(http.StatusUnprocessableEntity, err)
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
@@ -650,7 +824,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := enc.Encode(streamLine{Row: stringRow(t)}); err != nil {
 			// Client is gone; Close (deferred) cancels the execution.
-			s.failures.Add(1)
+			s.failures.Inc()
+			rec.LatencyMicros = time.Since(start).Microseconds()
+			auditFail(http.StatusOK, fmt.Errorf("client disconnected mid-stream: %w", err))
 			return
 		}
 		if rows++; rows%streamFlushRows == 0 {
@@ -658,11 +834,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := st.Err(); err != nil {
-		s.failures.Add(1)
+		s.failures.Inc()
 		if pe, ok := beas.IsInternalError(err); ok {
-			s.internalErrors.Add(1)
-			log.Printf("serve: %v\n%s", pe, pe.Stack)
+			s.internalErrors.Inc()
+			s.log.Error("contained evaluator panic", "event", "stream", "sql_digest", rec.SQLDigest, "err", pe, "stack", string(pe.Stack))
 		}
+		rec.LatencyMicros = time.Since(start).Microseconds()
+		auditFail(http.StatusOK, err)
 		_ = enc.Encode(streamLine{Error: err.Error()})
 		flush()
 		return
@@ -684,14 +862,29 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		sum.Degraded = true
 		sum.RequestedAlpha = alpha
 		sum.BrownoutLevel = level
-		s.degradedServed.Add(1)
+		s.degradedServed.Inc()
 	}
 	_ = enc.Encode(streamLine{Summary: sum})
 	flush()
-	s.queries.Add(1)
-	s.streams.Add(1)
-	s.totalNS.Add(served.Nanoseconds())
+	s.queries.Inc()
+	s.streams.Inc()
+	s.latency.Observe(served.Seconds())
 	s.brown.observe(served)
+	if s.cfg.SlowQuery > 0 && served >= s.cfg.SlowQuery && tr != nil {
+		s.log.Warn("slow query", "event", "stream", "sql_digest", rec.SQLDigest,
+			"served_ms", float64(served.Microseconds())/1e3, "trace", "\n"+tr.String())
+	}
+	rec.BudgetGranted = plan.Budget
+	rec.BudgetSpent = ans.Stats.Accessed
+	rec.Eta = ans.Eta
+	rec.Exact = ans.Exact
+	rec.Truncated = ans.Stats.Truncated
+	rec.Degraded = sum.Degraded
+	rec.CacheHit = plan.CacheHit
+	rec.PlanClass = plan.Class.String()
+	rec.LatencyMicros = served.Microseconds()
+	rec.Status = http.StatusOK
+	s.cfg.Audit.Record(rec)
 }
 
 // jobWeight is the admission weight of one batch entry: its estimated
@@ -725,14 +918,14 @@ func (s *Server) admit(w int64) bool {
 // abandoned at the executor's next cancellation point — an expired job no
 // longer burns a worker to completion.
 func (s *Server) runJob(j *job) {
-	defer s.completed.Add(1)
+	defer s.completed.Inc()
 	defer s.inflight.Add(-j.weight)
 	defer j.wg.Done()
 	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
 		j.entry.TimedOut = true
 		j.entry.Error = "deadline exceeded before execution"
-		s.expired.Add(1)
-		s.failures.Add(1)
+		s.expired.Inc()
+		s.failures.Inc()
 		return
 	}
 	ctx := j.ctx
@@ -744,18 +937,18 @@ func (s *Server) runJob(j *job) {
 		ctx, cancel = context.WithDeadline(ctx, j.deadline)
 		defer cancel()
 	}
-	resp, _, err := s.execute(ctx, j.req)
+	resp, _, err := s.execute(ctx, j.req, "batch", false)
 	switch {
 	case err == nil:
 		j.entry.QueryResponse = *resp
 	case errors.Is(err, context.DeadlineExceeded):
 		j.entry.TimedOut = true
 		j.entry.Error = "deadline exceeded mid-execution"
-		s.expired.Add(1)
+		s.expired.Inc()
 	case errors.Is(err, context.Canceled):
 		j.entry.Cancelled = true
 		j.entry.Error = "cancelled: " + err.Error()
-		s.cancelled.Add(1)
+		s.cancelled.Inc()
 	default:
 		j.entry.Error = err.Error()
 	}
@@ -788,7 +981,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if req.DeadlineMS > 0 {
 		deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
-	s.batches.Add(1)
+	s.batches.Inc()
 
 	start := time.Now()
 	resp := &BatchResponse{Results: make([]BatchEntry, len(req.Queries))}
@@ -810,8 +1003,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			entry.Rejected = true
 			entry.Error = "in-flight budget cap reached"
 			resp.Rejected++
-			s.rejected.Add(1)
-			s.failures.Add(1)
+			s.rejected.Inc()
+			s.failures.Inc()
 			continue
 		}
 		wg.Add(1)
@@ -819,7 +1012,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.queue <- j:
 			s.brown.noteAdmission(false)
-			s.enqueued.Add(1)
+			s.enqueued.Inc()
 		default:
 			// Queue backpressure: the channel is full; fail fast instead of
 			// buffering without bound.
@@ -828,14 +1021,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			entry.Rejected = true
 			entry.Error = "request queue full"
 			resp.Rejected++
-			s.rejected.Add(1)
-			s.failures.Add(1)
+			s.rejected.Inc()
+			s.failures.Inc()
 			wg.Done()
 		}
 	}
 	wg.Wait()
 	resp.ServedMS = float64(time.Since(start).Microseconds()) / 1e3
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // SnapshotRequest is the optional body of a /snapshot call. An empty body
@@ -875,7 +1068,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"dir":     req.Dir,
 		"tookMs":  float64(time.Since(start).Microseconds()) / 1e3,
@@ -888,7 +1081,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // for dead processes, and a browned-out server is alive by design. Routing
 // decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"dataset":   s.cfg.Dataset,
 		"size":      s.cfg.DBSize,
@@ -925,13 +1118,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		reasons = append(reasons, s.cfg.Cluster.Ready()...)
 	}
 	if len(reasons) > 0 {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status":  "not ready",
 			"reasons": reasons,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 // persistStats renders a system's durability counters for the JSON
@@ -989,11 +1182,14 @@ func ladderStats(sys *beas.System) []map[string]any {
 	return out
 }
 
+// handleStats renders the JSON operator dashboard. It reads the same
+// registry instruments /metrics exposes — the endpoints are two renderings
+// of one set of atomics, which TestStatsMetricsAgree pins down.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	ok := s.queries.Load()
+	ok := s.queries.Value()
 	var avgMS float64
-	if ok > 0 {
-		avgMS = float64(s.totalNS.Load()) / float64(ok) / 1e6
+	if n := s.latency.Count(); n > 0 {
+		avgMS = s.latency.Sum() / float64(n) * 1e3
 	}
 	cache := s.cfg.System.PlanCacheStats()
 	tags := map[string]any{}
@@ -1010,16 +1206,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Cluster != nil {
 		clusterSection = s.cfg.Cluster.Stats()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	var auditSection map[string]any
+	if s.cfg.Audit != nil {
+		auditSection = map[string]any{
+			"written": s.cfg.Audit.Written(),
+			"dropped": s.cfg.Audit.Dropped(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"cluster":        clusterSection,
 		"queries":        ok,
-		"failures":       s.failures.Load(),
-		"streams":        s.streams.Load(),
+		"failures":       s.failures.Value(),
+		"streams":        s.streams.Value(),
 		"avgLatencyMs":   avgMS,
 		"uptimeSec":      time.Since(s.started).Seconds(),
-		"internalErrors": s.internalErrors.Load(),
+		"internalErrors": s.internalErrors.Value(),
 		"persist":        persistStats(s.cfg.System),
 		"ladders":        ladderStats(s.cfg.System),
+		"audit":          auditSection,
 		"brownout": map[string]any{
 			"mode":           s.brown.cfg.Mode,
 			"level":          level,
@@ -1027,22 +1231,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"pressure":       s.pressure(),
 			"smoothed":       s.brown.smoothed(),
 			"minAlphaFloor":  s.brown.cfg.MinAlpha,
-			"degradedServed": s.degradedServed.Load(),
-			"shed":           s.shed.Load(),
+			"degradedServed": s.degradedServed.Value(),
+			"shed":           s.shed.Value(),
 			"draining":       s.draining.Load(),
 		},
 		"batch": map[string]any{
-			"batches":        s.batches.Load(),
-			"enqueued":       s.enqueued.Load(),
-			"completed":      s.completed.Load(),
-			"rejected":       s.rejected.Load(),
-			"expired":        s.expired.Load(),
-			"cancelled":      s.cancelled.Load(),
+			"batches":        s.batches.Value(),
+			"enqueued":       s.enqueued.Value(),
+			"completed":      s.completed.Value(),
+			"rejected":       s.rejected.Value(),
+			"expired":        s.expired.Value(),
+			"cancelled":      s.cancelled.Value(),
 			"queueDepth":     len(s.queue),
 			"queueCap":       cap(s.queue),
 			"workers":        s.cfg.Workers,
 			"budgetCap":      s.cfg.BudgetCap,
-			"inFlightBudget": s.inflight.Load(),
+			"inFlightBudget": s.inflight.Value(),
 		},
 		"tags": tags,
 		"planCache": map[string]any{
@@ -1056,14 +1260,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// httpError answers a JSON error body. It stays a plain function (no
+// logging): error responses are part of normal service, not events.
 func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("serve: encode response: %v", err)
+		s.log.Warn("response encode failed", "err", err)
 	}
 }

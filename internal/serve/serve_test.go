@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/fixture"
+	"repro/internal/obs"
 
 	beas "repro"
 )
@@ -121,7 +122,7 @@ func TestQueryEndpointErrors(t *testing.T) {
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET status = %d", rec.Code)
 	}
-	if got := s.failures.Load(); got != int64(len(cases)) {
+	if got := s.failures.Value(); got != uint64(len(cases)) {
 		t.Errorf("failures = %d, want %d", got, len(cases))
 	}
 }
@@ -239,6 +240,8 @@ func TestBatchBackpressure(t *testing.T) {
 	}
 	s.brown, _ = newBrownoutController(BrownoutConfig{Mode: "off"})
 	s.queue = make(chan *job, 2)
+	s.reg = obs.NewRegistry()
+	s.registerMetrics()
 
 	var wg sync.WaitGroup
 	entries := make([]BatchEntry, 4)
@@ -287,8 +290,8 @@ func TestBatchDeadline(t *testing.T) {
 	if !entry.TimedOut || entry.Error == "" {
 		t.Fatalf("expired job not timed out: %+v", entry)
 	}
-	if s.expired.Load() != 1 {
-		t.Errorf("expired = %d", s.expired.Load())
+	if s.expired.Value() != 1 {
+		t.Errorf("expired = %d", s.expired.Value())
 	}
 }
 
@@ -369,6 +372,9 @@ func TestWeightedAdmission(t *testing.T) {
 		started: time.Now(),
 		stop:    make(chan struct{}),
 	}
+	s.brown, _ = newBrownoutController(BrownoutConfig{Mode: "off"})
+	s.reg = obs.NewRegistry()
+	s.registerMetrics()
 	full := s.jobWeight(1.0)
 	if full != int64(db.Size()) {
 		t.Fatalf("jobWeight(1.0) = %d, want |D| = %d", full, db.Size())
@@ -390,7 +396,7 @@ func TestWeightedAdmission(t *testing.T) {
 		t.Fatal("admission open while an over-cap job is in flight")
 	}
 	s.inflight.Add(-2 * full)
-	if got := s.inflight.Load(); got != 0 {
+	if got := s.inflight.Value(); got != 0 {
 		t.Fatalf("in-flight weight leaked: %d", got)
 	}
 }
@@ -432,7 +438,7 @@ func TestBatchWeightedAdmissionEndToEnd(t *testing.T) {
 	if !strings.Contains(resp.Results[1].Error, "budget cap") {
 		t.Errorf("rejection reason = %q", resp.Results[1].Error)
 	}
-	if got := s.inflight.Load(); got != 0 {
+	if got := s.inflight.Value(); got != 0 {
 		t.Errorf("in-flight weight after batch = %d, want 0", got)
 	}
 	// The cap and the (now zero) in-flight weight are visible on /stats.
@@ -469,8 +475,8 @@ func TestRunJobCancelledCounted(t *testing.T) {
 	if !entry.Cancelled || entry.TimedOut {
 		t.Fatalf("entry = %+v, want cancelled (not timed out)", entry)
 	}
-	if s.cancelled.Load() != 1 || s.expired.Load() != 0 {
-		t.Errorf("cancelled = %d, expired = %d", s.cancelled.Load(), s.expired.Load())
+	if s.cancelled.Value() != 1 || s.expired.Value() != 0 {
+		t.Errorf("cancelled = %d, expired = %d", s.cancelled.Value(), s.expired.Value())
 	}
 }
 
@@ -505,8 +511,8 @@ func TestRunJobMidFlightDeadline(t *testing.T) {
 	if entry.Error != "deadline exceeded mid-execution" {
 		t.Fatalf("error = %q, want mid-execution expiry (pre-execution expiry means the worker never started)", entry.Error)
 	}
-	if s.expired.Load() != 1 || s.cancelled.Load() != 0 {
-		t.Errorf("expired = %d, cancelled = %d", s.expired.Load(), s.cancelled.Load())
+	if s.expired.Value() != 1 || s.cancelled.Value() != 0 {
+		t.Errorf("expired = %d, cancelled = %d", s.expired.Value(), s.cancelled.Value())
 	}
 }
 
